@@ -1,0 +1,190 @@
+//! ExSample adapted to the [`SamplingMethod`] interface.
+//!
+//! This is a thin wrapper over [`exsample_core::ExSample`]: it translates the
+//! sampler's `(chunk, offset)` picks into global frame ids using the dataset's
+//! chunking, and routes discriminator feedback back to the chunk the frame was
+//! sampled from.
+
+use crate::method::SamplingMethod;
+use exsample_core::{ExSample, ExSampleConfig};
+use exsample_track::MatchOutcome;
+use exsample_video::{Chunking, FrameId};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// The ExSample algorithm behind the common sampling-method interface.
+#[derive(Debug, Clone)]
+pub struct ExSampleMethod {
+    sampler: ExSample,
+    chunk_starts: Vec<u64>,
+    chunk_ends: Vec<u64>,
+    /// Frames handed out but not yet recorded, mapped to the chunk they came from.
+    pending: HashMap<FrameId, usize>,
+}
+
+impl ExSampleMethod {
+    /// Create the method from a configuration and a chunking of the repository.
+    pub fn new(config: ExSampleConfig, chunking: &Chunking) -> Self {
+        let sampler = ExSample::new(config, &chunking.chunk_lengths());
+        ExSampleMethod {
+            sampler,
+            chunk_starts: chunking.chunks().iter().map(|c| c.start()).collect(),
+            chunk_ends: chunking.chunks().iter().map(|c| c.end()).collect(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Create the method with the paper's default configuration.
+    pub fn with_defaults(chunking: &Chunking) -> Self {
+        ExSampleMethod::new(ExSampleConfig::default(), chunking)
+    }
+
+    /// Wrap an existing, already-configured sampler.
+    ///
+    /// # Panics
+    /// Panics if the sampler's chunk count does not match the chunking.
+    pub fn from_sampler(sampler: ExSample, chunking: &Chunking) -> Self {
+        assert_eq!(
+            sampler.chunk_count(),
+            chunking.len(),
+            "sampler and chunking disagree on the number of chunks"
+        );
+        ExSampleMethod {
+            sampler,
+            chunk_starts: chunking.chunks().iter().map(|c| c.start()).collect(),
+            chunk_ends: chunking.chunks().iter().map(|c| c.end()).collect(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Access the underlying sampler (e.g. to inspect per-chunk statistics).
+    pub fn sampler(&self) -> &ExSample {
+        &self.sampler
+    }
+
+    /// Which chunk a global frame id belongs to.
+    fn chunk_of(&self, frame: FrameId) -> usize {
+        match self.chunk_ends.partition_point(|&end| end <= frame) {
+            idx if idx < self.chunk_starts.len() && frame >= self.chunk_starts[idx] => idx,
+            _ => panic!("frame {frame} is not covered by the chunking"),
+        }
+    }
+}
+
+impl SamplingMethod for ExSampleMethod {
+    fn name(&self) -> &'static str {
+        "exsample"
+    }
+
+    fn next_frame(&mut self, rng: &mut StdRng) -> Option<FrameId> {
+        let pick = self.sampler.next_frame(rng)?;
+        let frame = self.chunk_starts[pick.chunk] + pick.offset;
+        self.pending.insert(frame, pick.chunk);
+        Some(frame)
+    }
+
+    fn record(&mut self, frame: FrameId, outcome: &MatchOutcome) {
+        // Prefer the recorded pick (robust even if two chunks were ever to share a
+        // frame id); fall back to locating the chunk from the frame id so that the
+        // method also accepts feedback about frames it did not itself produce.
+        let chunk = self
+            .pending
+            .remove(&frame)
+            .unwrap_or_else(|| self.chunk_of(frame));
+        self.sampler.record(chunk, outcome.n1_delta());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_detect::{BBox, Detection, ObjectClass};
+    use exsample_video::{Chunking, ChunkingPolicy, VideoRepository};
+    use rand::SeedableRng;
+
+    fn chunking(frames: u64, chunks: u32) -> Chunking {
+        let repo = VideoRepository::single_clip(frames);
+        Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks })
+    }
+
+    fn new_object_outcome() -> MatchOutcome {
+        MatchOutcome {
+            new: vec![Detection::new(
+                BBox::new(0.1, 0.1, 0.1, 0.1),
+                ObjectClass::from("car"),
+                0.9,
+            )],
+            matched_once: Vec::new(),
+            matched_more: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn frames_are_global_ids_within_the_repository() {
+        let chunking = chunking(1_000, 10);
+        let mut method = ExSampleMethod::with_defaults(&chunking);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let frame = method.next_frame(&mut rng).unwrap();
+            assert!(frame < 1_000);
+            method.record(frame, &MatchOutcome::default());
+        }
+        assert_eq!(method.sampler().stats().total_samples(), 200);
+    }
+
+    #[test]
+    fn feedback_reaches_the_correct_chunk() {
+        let chunking = chunking(1_000, 4);
+        let mut method = ExSampleMethod::with_defaults(&chunking);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Reward only frames from the last chunk (frames >= 750).
+        for _ in 0..300 {
+            let frame = method.next_frame(&mut rng).unwrap();
+            let outcome = if frame >= 750 {
+                new_object_outcome()
+            } else {
+                MatchOutcome::default()
+            };
+            method.record(frame, &outcome);
+        }
+        let stats = method.sampler().stats();
+        let last = stats.chunk(3).samples();
+        assert!(
+            last > stats.chunk(0).samples(),
+            "adaptive sampling should favour the rewarded chunk: {:?}",
+            (0..4).map(|j| stats.chunk(j).samples()).collect::<Vec<_>>()
+        );
+        assert!(stats.chunk(3).n1() > 0);
+    }
+
+    #[test]
+    fn record_accepts_frames_without_pending_entry() {
+        let chunking = chunking(100, 4);
+        let mut method = ExSampleMethod::with_defaults(&chunking);
+        // Frame 80 belongs to chunk 3 even though the method never produced it.
+        method.record(80, &new_object_outcome());
+        assert_eq!(method.sampler().stats().chunk(3).samples(), 1);
+        assert_eq!(method.sampler().stats().chunk(3).n1(), 1);
+    }
+
+    #[test]
+    fn exhausts_exactly_the_repository() {
+        let chunking = chunking(64, 8);
+        let mut method = ExSampleMethod::with_defaults(&chunking);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut count = 0;
+        while let Some(frame) = method.next_frame(&mut rng) {
+            method.record(frame, &MatchOutcome::default());
+            count += 1;
+        }
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn name_and_cost() {
+        let chunking = chunking(10, 2);
+        let method = ExSampleMethod::with_defaults(&chunking);
+        assert_eq!(method.name(), "exsample");
+        assert_eq!(method.upfront_scan_frames(), 0);
+    }
+}

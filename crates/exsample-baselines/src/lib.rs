@@ -1,0 +1,32 @@
+//! # exsample-baselines
+//!
+//! The baselines ExSample is evaluated against (Section II-B and Section V of the
+//! paper), all speaking a single [`SamplingMethod`] interface so the query runner
+//! in `exsample-sim` can drive them interchangeably:
+//!
+//! * [`sequential::SequentialScan`] — naive execution: process frames in temporal
+//!   order (optionally one out of every `k` frames).
+//! * [`random::RandomSampler`] — uniform random sampling without replacement over
+//!   the whole repository, the paper's main efficient baseline.
+//! * [`random::RandomPlusSampler`] — the `random+` refinement (Section III-F)
+//!   applied to the whole repository, evaluated separately as an ablation.
+//! * [`exsample_method::ExSampleMethod`] — the ExSample algorithm adapted to the
+//!   same interface (a thin wrapper over `exsample-core`).
+//! * [`proxy::ProxyBaseline`] — a BlazeIt-style proxy-score baseline: an upfront
+//!   full-dataset scoring scan, then frames processed in descending proxy-score
+//!   order with an optional duplicate-avoidance gap.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod exsample_method;
+pub mod method;
+pub mod proxy;
+pub mod random;
+pub mod sequential;
+
+pub use exsample_method::ExSampleMethod;
+pub use method::SamplingMethod;
+pub use proxy::{ProxyBaseline, ProxyConfig};
+pub use random::{RandomPlusSampler, RandomSampler};
+pub use sequential::SequentialScan;

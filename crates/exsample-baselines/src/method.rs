@@ -1,0 +1,67 @@
+//! The common interface all sampling methods implement.
+
+use exsample_track::MatchOutcome;
+use exsample_video::FrameId;
+use rand::rngs::StdRng;
+
+/// A method for choosing which frame of the repository to process next.
+///
+/// The query runner repeatedly asks for the next frame, runs the detector and
+/// discriminator on it, and feeds the discriminator's verdict back to the method.
+/// Baselines that do not adapt (sequential, random, proxy order) simply ignore the
+/// feedback; ExSample uses it to update its per-chunk statistics.
+pub trait SamplingMethod {
+    /// A short human-readable name, used in experiment tables ("exsample",
+    /// "random", "random+", "proxy", "sequential").
+    fn name(&self) -> &'static str;
+
+    /// Number of frames that must be *scanned* (decoded and scored, but not run
+    /// through the full object detector) before the method can produce its first
+    /// frame.  Zero for every method except the proxy baseline, whose defining
+    /// cost is the upfront full-dataset scoring pass (Section V-B).
+    fn upfront_scan_frames(&self) -> u64 {
+        0
+    }
+
+    /// The next frame to process, or `None` when the method has exhausted the
+    /// repository.
+    fn next_frame(&mut self, rng: &mut StdRng) -> Option<FrameId>;
+
+    /// Feed back the discriminator outcome for a frame previously returned by
+    /// [`SamplingMethod::next_frame`].
+    fn record(&mut self, frame: FrameId, outcome: &MatchOutcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal implementation used to exercise the trait's default method.
+    struct Fixed(Vec<FrameId>);
+
+    impl SamplingMethod for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn next_frame(&mut self, _rng: &mut StdRng) -> Option<FrameId> {
+            self.0.pop()
+        }
+        fn record(&mut self, _frame: FrameId, _outcome: &MatchOutcome) {}
+    }
+
+    #[test]
+    fn default_upfront_scan_is_zero() {
+        let m = Fixed(vec![1, 2, 3]);
+        assert_eq!(m.upfront_scan_frames(), 0);
+        assert_eq!(m.name(), "fixed");
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        use rand::SeedableRng;
+        let mut m: Box<dyn SamplingMethod> = Box::new(Fixed(vec![7]));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.next_frame(&mut rng), Some(7));
+        assert_eq!(m.next_frame(&mut rng), None);
+    }
+}

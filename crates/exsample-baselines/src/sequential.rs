@@ -1,0 +1,115 @@
+//! Naive sequential execution.
+//!
+//! "A straightforward method is to process frames sequentially, applying the object
+//! detector on each frame of each video […] A natural extension is to sample only
+//! one out of every n frames."  (Section II-B.)  Sequential execution exhibits high
+//! variance: it can get stuck in long stretches of video with no objects, and
+//! repeatedly detects the same long-lived object.
+
+use crate::method::SamplingMethod;
+use exsample_track::MatchOutcome;
+use exsample_video::FrameId;
+use rand::rngs::StdRng;
+
+/// Process frames in temporal order, visiting one frame out of every `stride`.
+#[derive(Debug, Clone)]
+pub struct SequentialScan {
+    total_frames: u64,
+    stride: u64,
+    next: u64,
+}
+
+impl SequentialScan {
+    /// Scan every frame of a repository of `total_frames` frames.
+    pub fn every_frame(total_frames: u64) -> Self {
+        SequentialScan::with_stride(total_frames, 1)
+    }
+
+    /// Scan one frame out of every `stride` (e.g. `stride = 30` is one frame per
+    /// second of 30 fps video).
+    ///
+    /// # Panics
+    /// Panics if `stride == 0`.
+    pub fn with_stride(total_frames: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        SequentialScan {
+            total_frames,
+            stride,
+            next: 0,
+        }
+    }
+
+    /// The stride between visited frames.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Number of frames this scan will visit in total.
+    pub fn planned_frames(&self) -> u64 {
+        if self.total_frames == 0 {
+            0
+        } else {
+            (self.total_frames - 1) / self.stride + 1
+        }
+    }
+}
+
+impl SamplingMethod for SequentialScan {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn next_frame(&mut self, _rng: &mut StdRng) -> Option<FrameId> {
+        if self.next >= self.total_frames {
+            return None;
+        }
+        let frame = self.next;
+        self.next += self.stride;
+        Some(frame)
+    }
+
+    fn record(&mut self, _frame: FrameId, _outcome: &MatchOutcome) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn visits_every_frame_in_order() {
+        let mut scan = SequentialScan::every_frame(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let frames: Vec<FrameId> = std::iter::from_fn(|| scan.next_frame(&mut rng)).collect();
+        assert_eq!(frames, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stride_skips_frames() {
+        let mut scan = SequentialScan::with_stride(10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let frames: Vec<FrameId> = std::iter::from_fn(|| scan.next_frame(&mut rng)).collect();
+        assert_eq!(frames, vec![0, 3, 6, 9]);
+        assert_eq!(SequentialScan::with_stride(10, 3).planned_frames(), 4);
+    }
+
+    #[test]
+    fn empty_repository_yields_nothing() {
+        let mut scan = SequentialScan::every_frame(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(scan.next_frame(&mut rng), None);
+        assert_eq!(scan.planned_frames(), 0);
+    }
+
+    #[test]
+    fn no_upfront_cost() {
+        assert_eq!(SequentialScan::every_frame(100).upfront_scan_frames(), 0);
+        assert_eq!(SequentialScan::every_frame(100).name(), "sequential");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = SequentialScan::with_stride(10, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the sampling inner loop.
+//!
+//! ExSample's per-frame overhead (drawing one Gamma sample per chunk and picking a
+//! frame without replacement) must stay negligible next to the object detector's
+//! ~50 ms per frame; these benchmarks verify that the decision step costs
+//! microseconds even with 1024 chunks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsample_core::{ExSample, ExSampleConfig};
+use exsample_rand::{Gamma, Sampler};
+use exsample_video::{FrameSampler, RandomPlusSampler, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gamma_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let prior_only = Gamma::new(0.1, 1.0).unwrap();
+    let informed = Gamma::new(37.1, 1_201.0).unwrap();
+    c.bench_function("gamma_sample_prior_only", |b| {
+        b.iter(|| black_box(prior_only.sample(&mut rng)))
+    });
+    c.bench_function("gamma_sample_informed", |b| {
+        b.iter(|| black_box(informed.sample(&mut rng)))
+    });
+}
+
+fn bench_chunk_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exsample_next_frame");
+    for &chunks in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, &chunks| {
+            let lengths = vec![100_000u64; chunks];
+            let mut sampler = ExSample::new(ExSampleConfig::default(), &lengths);
+            let mut rng = StdRng::seed_from_u64(2);
+            // Give the sampler some history so the beliefs are non-trivial.
+            for j in 0..chunks {
+                sampler.record(j, i64::from(j % 3 == 0));
+            }
+            b.iter(|| {
+                let pick = sampler.next_frame(&mut rng).expect("frames remain");
+                sampler.record(pick.chunk, 0);
+                black_box(pick)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_within_chunk_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("within_chunk_sampler");
+    group.bench_function("uniform_without_replacement", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = UniformSampler::new(10_000_000);
+        b.iter(|| black_box(sampler.next_frame(&mut rng)));
+    });
+    group.bench_function("random_plus", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = RandomPlusSampler::new(10_000_000);
+        b.iter(|| black_box(sampler.next_frame(&mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gamma_sampling,
+    bench_chunk_selection,
+    bench_within_chunk_samplers
+);
+criterion_main!(benches);

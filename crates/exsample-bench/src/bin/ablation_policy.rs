@@ -1,0 +1,86 @@
+//! Section III-C ablation: chunk-selection policies.
+//!
+//! The paper chooses Thompson sampling over the Gamma beliefs and reports that
+//! Bayes-UCB gives indistinguishable results, while a greedy point-estimate rule
+//! risks locking onto an early lucky chunk.  This ablation compares the four
+//! policies implemented in `exsample-core::policy` on the same skewed workload.
+
+use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_core::{ChunkSelectionPolicy, ExSampleConfig};
+use exsample_data::{GridWorkload, SkewLevel};
+use exsample_rand::{SeedSequence, Summary};
+use exsample_sim::{metrics, run_trials, MethodKind, QueryRunner, StopCondition, Table};
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    banner(
+        "Ablation (Section III-C)",
+        "chunk-selection policy: Thompson vs Bayes-UCB vs greedy vs uniform",
+        &options,
+    );
+    let trials = options.trials_or(7, 21);
+    let budget: u64 = if options.full { 30_000 } else { 10_000 };
+    let seeds = SeedSequence::new(options.seed).derive("ablation-policy");
+
+    let dataset = GridWorkload::builder()
+        .frames(2_000_000)
+        .instances(2_000)
+        .chunks(64)
+        .mean_duration(700.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(seeds.derive("workload").seed())
+        .build()
+        .expect("valid workload")
+        .generate();
+
+    println!("# workload: 2M frames, 2000 instances, 64 chunks, skew 1/32, budget {budget}, {trials} trials\n");
+
+    let policies = [
+        ("thompson", ChunkSelectionPolicy::ThompsonSampling),
+        ("bayes-ucb", ChunkSelectionPolicy::BayesUcb),
+        ("greedy", ChunkSelectionPolicy::GreedyMean),
+        ("uniform", ChunkSelectionPolicy::UniformChunk),
+    ];
+
+    let mut table = Table::new(vec![
+        "policy",
+        "found @ n/4 (median)",
+        "found @ n (median)",
+        "found @ n (p25)",
+        "found @ n (p75)",
+    ]);
+
+    for (label, policy) in policies {
+        let config = ExSampleConfig::default().with_policy(policy);
+        let set = run_trials(trials, true, |trial| {
+            QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(budget))
+                .seed(seeds.derive(label).index(trial).seed())
+                .run(MethodKind::ExSample(config))
+        });
+        let values_at = |frames: u64| -> Summary {
+            Summary::from_values(
+                set.results
+                    .iter()
+                    .map(|r| metrics::found_at(&r.trajectory, frames) as f64)
+                    .collect(),
+            )
+        };
+        let mut quarter = values_at(budget / 4);
+        let mut full = values_at(budget);
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.0}", quarter.median()),
+            format!("{:.0}", full.median()),
+            format!("{:.0}", full.percentile(0.25)),
+            format!("{:.0}", full.percentile(0.75)),
+        ]);
+    }
+
+    print_table(&options, &table);
+    println!();
+    println!("# Expected shape: Thompson sampling and Bayes-UCB are statistically");
+    println!("# indistinguishable (as the paper reports); greedy is competitive in the");
+    println!("# median but has a wider spread (it can lock onto an early lucky chunk);");
+    println!("# the uniform policy trails all adaptive policies.");
+}

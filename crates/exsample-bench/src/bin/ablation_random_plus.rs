@@ -1,0 +1,98 @@
+//! Section III-F ablation: the `random+` within-chunk sampler.
+//!
+//! `random+` avoids sampling temporally close to previous samples.  The paper uses
+//! it both as a stand-alone baseline and inside ExSample's chunks.  This ablation
+//! compares four configurations on the same skewed workload: plain random,
+//! stand-alone random+, ExSample with uniform within-chunk sampling, and ExSample
+//! with random+ within chunks (the paper's default).
+
+use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_core::{ExSampleConfig, WithinChunkSampling};
+use exsample_data::{GridWorkload, SkewLevel};
+use exsample_rand::{SeedSequence, Summary};
+use exsample_sim::{metrics, run_trials, MethodKind, QueryRunner, StopCondition, Table};
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    banner(
+        "Ablation (Section III-F)",
+        "random+ within-chunk sampling vs. uniform",
+        &options,
+    );
+    let trials = options.trials_or(7, 21);
+    let budget: u64 = if options.full { 30_000 } else { 12_000 };
+    let seeds = SeedSequence::new(options.seed).derive("ablation-random-plus");
+
+    let dataset = GridWorkload::builder()
+        .frames(2_000_000)
+        .instances(2_000)
+        .chunks(64)
+        .mean_duration(700.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(seeds.derive("workload").seed())
+        .build()
+        .expect("valid workload")
+        .generate();
+
+    println!("# workload: 2M frames, 2000 instances, 64 chunks, skew 1/32, budget {budget}, {trials} trials\n");
+
+    let configurations: Vec<(&str, MethodKind)> = vec![
+        ("random", MethodKind::Random),
+        ("random+", MethodKind::RandomPlus),
+        (
+            "exsample (uniform in chunk)",
+            MethodKind::ExSample(
+                ExSampleConfig::default().with_within_chunk(WithinChunkSampling::Uniform),
+            ),
+        ),
+        (
+            "exsample (random+ in chunk)",
+            MethodKind::ExSample(
+                ExSampleConfig::default().with_within_chunk(WithinChunkSampling::RandomPlus),
+            ),
+        ),
+    ];
+
+    let checkpoints = [budget / 10, budget / 2, budget];
+    let mut table = Table::new(vec![
+        "method",
+        "found @ n/10",
+        "found @ n/2",
+        "found @ n",
+        "frames to 100 results (median)",
+    ]);
+
+    for (label, kind) in configurations {
+        let set = run_trials(trials, true, |trial| {
+            QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(budget))
+                .seed(seeds.derive(label).index(trial).seed())
+                .run(kind.clone())
+        });
+        let median_at = |frames: u64| -> f64 {
+            let mut s = Summary::from_values(
+                set.results
+                    .iter()
+                    .map(|r| metrics::found_at(&r.trajectory, frames) as f64)
+                    .collect(),
+            );
+            s.median()
+        };
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.0}", median_at(checkpoints[0])),
+            format!("{:.0}", median_at(checkpoints[1])),
+            format!("{:.0}", median_at(checkpoints[2])),
+            set.median_frames_to_count(100)
+                .map(|f| format!("{f:.0}"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+
+    print_table(&options, &table);
+    println!();
+    println!("# Expected shape: random+ modestly improves on random early in the run (it");
+    println!("# avoids wasting samples on temporally adjacent frames showing the same");
+    println!("# objects); both ExSample variants dominate the non-adaptive baselines, with");
+    println!("# random+ within chunks giving a small additional edge.");
+}

@@ -1,0 +1,104 @@
+//! Figure 4: the effect of the number of chunks on ExSample's performance.
+//!
+//! The paper fixes the Figure 3 workload at skew 1/32 and mean duration 700 frames
+//! and varies the chunk count from 1 to 1024.  One chunk makes ExSample equivalent
+//! to random sampling; more chunks let it exploit finer-grained skew, but too many
+//! chunks (1024) cost so many exploratory samples that performance drops again —
+//! the benefit is non-monotonic.  The dashed reference is the optimal static
+//! allocation of Eq. IV.1, computed here with the `exsample-opt` solver.
+
+use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_core::ExSampleConfig;
+use exsample_data::{GridWorkload, SkewLevel};
+use exsample_opt::{optimal_weights, InstanceChunkProbabilities, SolverOptions};
+use exsample_rand::{SeedSequence, Summary};
+use exsample_sim::{metrics, run_trials, MethodKind, QueryRunner, StopCondition, Table};
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    banner(
+        "Figure 4",
+        "instances found vs. chunk count (1 chunk == random sampling)",
+        &options,
+    );
+
+    let (frames, instances, budget) = if options.full {
+        (16_000_000u64, 2_000usize, 30_000u64)
+    } else {
+        (2_000_000, 2_000, 20_000)
+    };
+    let trials = options.trials_or(5, 21);
+    let chunk_counts: &[u32] = &[1, 2, 16, 128, 1024];
+    let checkpoints: Vec<u64> = vec![budget / 8, budget / 4, budget / 2, budget];
+
+    println!("# workload: {frames} frames, {instances} instances, skew 1/32, mean duration 700, budget {budget}, {trials} trials\n");
+
+    let seeds = SeedSequence::new(options.seed).derive("fig4");
+    let mut table = Table::new(vec![
+        "chunks",
+        "found @ n/8",
+        "found @ n/4",
+        "found @ n/2",
+        "found @ n",
+        "optimal @ n",
+    ]);
+
+    for &chunks in chunk_counts {
+        let workload = GridWorkload::builder()
+            .frames(frames)
+            .instances(instances)
+            .chunks(chunks)
+            .mean_duration(700.0)
+            .skew(SkewLevel::ThirtySecond)
+            .seed(seeds.derive("workload").seed())
+            .build()
+            .expect("valid workload");
+        let dataset = workload.generate();
+
+        let set = run_trials(trials, true, |trial| {
+            QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(budget))
+                .seed(seeds.derive("run").index(u64::from(chunks)).index(trial).seed())
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+        });
+
+        // Median instances found at each checkpoint across trials.
+        let mut row = vec![format!("{chunks}")];
+        for &checkpoint in &checkpoints {
+            let mut summary = Summary::from_values(
+                set.results
+                    .iter()
+                    .map(|r| metrics::found_at(&r.trajectory, checkpoint) as f64)
+                    .collect(),
+            );
+            row.push(format!("{:.0}", summary.median()));
+        }
+
+        // The Eq. IV.1 optimal static allocation for the full budget.
+        let intervals: Vec<(u64, u64)> = dataset
+            .ground_truth()
+            .instances()
+            .iter()
+            .map(|i| (i.first_frame(), i.last_frame()))
+            .collect();
+        let chunk_ranges: Vec<(u64, u64)> = dataset
+            .chunking()
+            .chunks()
+            .iter()
+            .map(|c| (c.start(), c.end()))
+            .collect();
+        let probs = InstanceChunkProbabilities::from_intervals(&intervals, &chunk_ranges);
+        let optimal = optimal_weights(&probs, budget, SolverOptions::default());
+        row.push(format!("{:.0}", optimal.expected_found));
+
+        table.push_row(row);
+    }
+
+    print_table(&options, &table);
+    println!();
+    println!("# Expected shape (paper Figure 4): 1 chunk behaves like random sampling; a");
+    println!("# moderate number of chunks (16-128) finds the most instances; 1024 chunks");
+    println!("# drops back because each chunk must be sampled before its statistics mean");
+    println!("# anything. The optimal column grows with chunk count because perfect prior");
+    println!("# knowledge exploits ever finer skew, which ExSample cannot match at 1024.");
+}

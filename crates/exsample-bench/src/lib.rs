@@ -1,0 +1,171 @@
+//! # exsample-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate the paper's
+//! tables and figures (see `src/bin/`) and for the Criterion micro-benchmarks
+//! (see `benches/`).
+//!
+//! Every experiment binary accepts the same small set of command-line flags:
+//!
+//! * `--full` — run at the paper's full scale (16 M-frame simulations, full-size
+//!   dataset analogs, 21 trials).  The default is a reduced configuration that
+//!   reproduces the *shape* of each result in seconds rather than hours.
+//! * `--trials N` — override the number of trials.
+//! * `--scale X` — override the dataset scale factor (dataset-analog experiments).
+//! * `--seed N` — root seed (default 7).
+//! * `--csv` — emit CSV instead of aligned text tables.
+//!
+//! The binaries print the regenerated table/figure data to stdout; `EXPERIMENTS.md`
+//! records one captured run of each alongside the paper's reported numbers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Run at the paper's full scale.
+    pub full: bool,
+    /// Number of trials (None = the experiment's default for the chosen scale).
+    pub trials: Option<usize>,
+    /// Dataset scale factor (None = the experiment's default).
+    pub scale: Option<f64>,
+    /// Root seed.
+    pub seed: u64,
+    /// Emit CSV instead of plain tables.
+    pub csv: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            full: false,
+            trials: None,
+            scale: None,
+            seed: 7,
+            csv: false,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parse options from an argument iterator (typically `std::env::args().skip(1)`).
+    ///
+    /// Unknown flags produce an error string listing the supported flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut options = ExperimentOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => options.full = true,
+                "--csv" => options.csv = true,
+                "--trials" => {
+                    let value = iter.next().ok_or("--trials requires a value")?;
+                    options.trials =
+                        Some(value.parse().map_err(|_| format!("bad --trials value: {value}"))?);
+                }
+                "--scale" => {
+                    let value = iter.next().ok_or("--scale requires a value")?;
+                    options.scale =
+                        Some(value.parse().map_err(|_| format!("bad --scale value: {value}"))?);
+                }
+                "--seed" => {
+                    let value = iter.next().ok_or("--seed requires a value")?;
+                    options.seed =
+                        value.parse().map_err(|_| format!("bad --seed value: {value}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "supported flags: --full --trials N --scale X --seed N --csv".to_string()
+                    )
+                }
+                other => return Err(format!("unknown flag `{other}` (try --help)")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parse from the process arguments, printing the error and exiting on failure.
+    pub fn from_env() -> Self {
+        match ExperimentOptions::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The number of trials to run, given the experiment's defaults for the reduced
+    /// and full configurations.
+    pub fn trials_or(&self, reduced: usize, full: usize) -> usize {
+        self.trials.unwrap_or(if self.full { full } else { reduced })
+    }
+
+    /// The dataset scale to use, given the experiment's defaults.
+    pub fn scale_or(&self, reduced: f64) -> f64 {
+        self.scale.unwrap_or(if self.full { 1.0 } else { reduced })
+    }
+}
+
+/// Print a table in the format selected by the options.
+pub fn print_table(options: &ExperimentOptions, table: &exsample_sim::Table) {
+    if options.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_plain());
+    }
+}
+
+/// Print an experiment banner with its figure/table reference.
+pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
+    println!("# {reference}: {description}");
+    println!(
+        "# mode: {}  seed: {}",
+        if options.full { "full (paper scale)" } else { "reduced (default)" },
+        options.seed
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExperimentOptions, String> {
+        ExperimentOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_options() {
+        let options = parse(&[]).unwrap();
+        assert!(!options.full);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.trials_or(5, 21), 5);
+        assert_eq!(options.scale_or(0.25), 0.25);
+    }
+
+    #[test]
+    fn full_flag_switches_defaults() {
+        let options = parse(&["--full"]).unwrap();
+        assert!(options.full);
+        assert_eq!(options.trials_or(5, 21), 21);
+        assert_eq!(options.scale_or(0.25), 1.0);
+    }
+
+    #[test]
+    fn explicit_values_override_defaults() {
+        let options = parse(&["--trials", "9", "--scale", "0.5", "--seed", "3", "--csv"]).unwrap();
+        assert_eq!(options.trials_or(5, 21), 9);
+        assert_eq!(options.scale_or(0.25), 0.5);
+        assert_eq!(options.seed, 3);
+        assert!(options.csv);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "abc"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

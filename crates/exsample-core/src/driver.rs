@@ -1,0 +1,251 @@
+//! The complete Algorithm 1 loop: sampler + detector + discriminator.
+//!
+//! [`run_query`] wires an [`ExSample`] sampler to an object [`Detector`] and a
+//! [`Discriminator`] over a concrete [`Chunking`] of a video repository, and runs
+//! the paper's Algorithm 1 until a stopping condition is met.  The richer
+//! experiment harness (cost accounting, recall trajectories, multi-trial sweeps)
+//! lives in the `exsample-sim` crate; this driver is the minimal faithful loop and
+//! is what the quickstart example uses.
+
+use crate::exsample::ExSample;
+use exsample_detect::{Detector, InstanceId};
+use exsample_track::Discriminator;
+use exsample_video::Chunking;
+use rand::Rng;
+
+/// Why a query run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The requested number of distinct results was found.
+    ResultLimitReached,
+    /// The frame budget was exhausted before enough results were found.
+    FrameBudgetExhausted,
+    /// Every frame of the repository was sampled.
+    RepositoryExhausted,
+}
+
+/// The outcome of one query run.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Number of frames processed through the detector.
+    pub frames_processed: u64,
+    /// Number of distinct objects found (as judged by the discriminator).
+    pub distinct_found: usize,
+    /// The ground-truth instances among the found objects.
+    pub found_instances: Vec<InstanceId>,
+    /// Number of frames sampled from each chunk.
+    pub samples_per_chunk: Vec<u64>,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// Run Algorithm 1.
+///
+/// * `sampler` — the ExSample state machine (already configured with the chunk
+///   lengths of `chunking`).
+/// * `chunking` — maps the sampler's (chunk, offset) picks to global frame ids.
+/// * `detector` / `discriminator` — the frame-processing pipeline.
+/// * `result_limit` — stop after this many distinct objects.
+/// * `frame_budget` — optionally stop after this many detector invocations.
+///
+/// # Panics
+/// Panics if the sampler's chunk count does not match `chunking`.
+pub fn run_query<D, X, R>(
+    sampler: &mut ExSample,
+    chunking: &Chunking,
+    detector: &D,
+    discriminator: &mut X,
+    result_limit: usize,
+    frame_budget: Option<u64>,
+    rng: &mut R,
+) -> QueryOutcome
+where
+    D: Detector,
+    X: Discriminator,
+    R: Rng + ?Sized,
+{
+    assert_eq!(
+        sampler.chunk_count(),
+        chunking.len(),
+        "sampler and chunking disagree on the number of chunks"
+    );
+    let mut frames_processed = 0u64;
+    let stop_reason = loop {
+        if discriminator.distinct_count() >= result_limit {
+            break StopReason::ResultLimitReached;
+        }
+        if frame_budget.is_some_and(|budget| frames_processed >= budget) {
+            break StopReason::FrameBudgetExhausted;
+        }
+        // 1) choice of chunk and frame.
+        let Some(pick) = sampler.next_frame(rng) else {
+            break StopReason::RepositoryExhausted;
+        };
+        let frame = chunking.chunks()[pick.chunk].start() + pick.offset;
+        // 2) io, decode, detect, match.
+        let detections = detector.detect(frame);
+        let outcome = discriminator.observe(&detections);
+        // 3) update state.
+        sampler.record(pick.chunk, outcome.n1_delta());
+        frames_processed += 1;
+    };
+
+    QueryOutcome {
+        frames_processed,
+        distinct_found: discriminator.distinct_count(),
+        found_instances: discriminator.found_instances(),
+        samples_per_chunk: sampler
+            .stats()
+            .all()
+            .iter()
+            .map(|s| s.samples())
+            .collect(),
+        stop_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExSampleConfig;
+    use exsample_detect::{GroundTruth, ObjectClass, ObjectInstance, PerfectDetector};
+    use exsample_track::OracleDiscriminator;
+    use exsample_video::{Chunking, ChunkingPolicy, VideoRepository};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// A repository of 40_000 frames, 8 chunks, with all ten "car" instances packed
+    /// into the final chunk.
+    fn skewed_setup() -> (Chunking, Arc<GroundTruth>) {
+        let repo = VideoRepository::single_clip(40_000);
+        let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks: 8 });
+        let mut instances = Vec::new();
+        for i in 0..10u64 {
+            let start = 35_000 + i * 450;
+            instances.push(ObjectInstance::simple(i, "car", start, start + 300));
+        }
+        let truth = Arc::new(GroundTruth::from_instances(40_000, instances));
+        (chunking, truth)
+    }
+
+    #[test]
+    fn finds_requested_results_and_stops() {
+        let (chunking, truth) = skewed_setup();
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let outcome = run_query(
+            &mut sampler,
+            &chunking,
+            &detector,
+            &mut discriminator,
+            5,
+            None,
+            &mut rng,
+        );
+        assert_eq!(outcome.stop_reason, StopReason::ResultLimitReached);
+        assert!(outcome.distinct_found >= 5);
+        assert_eq!(outcome.found_instances.len(), outcome.distinct_found);
+        assert_eq!(
+            outcome.samples_per_chunk.iter().sum::<u64>(),
+            outcome.frames_processed
+        );
+    }
+
+    #[test]
+    fn concentrates_samples_on_the_chunk_with_results() {
+        let (chunking, truth) = skewed_setup();
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut rng = StdRng::seed_from_u64(11);
+
+        let outcome = run_query(
+            &mut sampler,
+            &chunking,
+            &detector,
+            &mut discriminator,
+            10,
+            Some(3_000),
+            &mut rng,
+        );
+        // All instances live in the last chunk; it should dominate the allocation
+        // once a couple of results are found.
+        let last = *outcome.samples_per_chunk.last().unwrap() as f64;
+        let total = outcome.frames_processed as f64;
+        assert!(
+            last / total > 0.3,
+            "expected concentration on the last chunk: {:?}",
+            outcome.samples_per_chunk
+        );
+    }
+
+    #[test]
+    fn frame_budget_is_respected() {
+        let (chunking, truth) = skewed_setup();
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut rng = StdRng::seed_from_u64(13);
+
+        let outcome = run_query(
+            &mut sampler,
+            &chunking,
+            &detector,
+            &mut discriminator,
+            1_000_000,
+            Some(50),
+            &mut rng,
+        );
+        assert_eq!(outcome.stop_reason, StopReason::FrameBudgetExhausted);
+        assert_eq!(outcome.frames_processed, 50);
+    }
+
+    #[test]
+    fn repository_exhaustion_terminates_the_loop() {
+        // A tiny repository with no objects at all: the loop must stop once every
+        // frame has been sampled.
+        let repo = VideoRepository::single_clip(64);
+        let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks: 4 });
+        let truth = Arc::new(GroundTruth::new(64));
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut rng = StdRng::seed_from_u64(17);
+
+        let outcome = run_query(
+            &mut sampler,
+            &chunking,
+            &detector,
+            &mut discriminator,
+            10,
+            None,
+            &mut rng,
+        );
+        assert_eq!(outcome.stop_reason, StopReason::RepositoryExhausted);
+        assert_eq!(outcome.frames_processed, 64);
+        assert_eq!(outcome.distinct_found, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the number of chunks")]
+    fn mismatched_chunking_panics() {
+        let (chunking, truth) = skewed_setup();
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[10, 10]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = run_query(
+            &mut sampler,
+            &chunking,
+            &detector,
+            &mut discriminator,
+            1,
+            None,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The ExSample sampler state machine.
+//!
+//! [`ExSample`] exposes the algorithm as an incremental *pick / record* interface:
+//! callers ask for the next frame to process ([`ExSample::next_frame`] or
+//! [`ExSample::next_batch`]) and report back what the discriminator said about that
+//! frame ([`ExSample::record`]).  Keeping the detector and discriminator outside
+//! the state machine lets the same sampler drive the pure simulations of Figures
+//! 2–4 (where "processing a frame" is a coin-flip per instance) and the full video
+//! pipeline of Section V (where it is a detector + discriminator call), and makes
+//! the batched-sampling optimisation a natural extension rather than a special
+//! mode.
+
+use crate::config::{ExSampleConfig, WithinChunkSampling};
+use crate::policy;
+use crate::stats::ChunkStatsSet;
+use exsample_video::{FrameSampler, RandomPlusSampler, UniformSampler};
+use rand::Rng;
+
+/// A frame chosen by the sampler: chunk index plus the frame's offset within that
+/// chunk.  Callers translate the offset into a global frame id by adding the
+/// chunk's start frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePick {
+    /// Index of the selected chunk.
+    pub chunk: usize,
+    /// Offset of the selected frame within the chunk (`0 ≤ offset < chunk length`).
+    pub offset: u64,
+}
+
+/// Within-chunk sampler, chosen by [`WithinChunkSampling`].
+#[derive(Debug, Clone)]
+enum WithinSampler {
+    Uniform(UniformSampler),
+    RandomPlus(RandomPlusSampler),
+}
+
+impl WithinSampler {
+    fn new(strategy: WithinChunkSampling, len: u64) -> Self {
+        match strategy {
+            WithinChunkSampling::Uniform => WithinSampler::Uniform(UniformSampler::new(len)),
+            WithinChunkSampling::RandomPlus => {
+                WithinSampler::RandomPlus(RandomPlusSampler::new(len))
+            }
+        }
+    }
+
+    fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u64> {
+        match self {
+            WithinSampler::Uniform(s) => s.next_frame(rng),
+            WithinSampler::RandomPlus(s) => s.next_frame(rng),
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        match self {
+            WithinSampler::Uniform(s) => s.remaining(),
+            WithinSampler::RandomPlus(s) => s.remaining(),
+        }
+    }
+}
+
+/// The ExSample adaptive sampler (Algorithm 1's state).
+#[derive(Debug, Clone)]
+pub struct ExSample {
+    config: ExSampleConfig,
+    stats: ChunkStatsSet,
+    samplers: Vec<WithinSampler>,
+    chunk_lengths: Vec<u64>,
+}
+
+impl ExSample {
+    /// Create a sampler over chunks with the given lengths (in frames).
+    ///
+    /// Zero-length chunks are permitted (they are simply never selected), but at
+    /// least one chunk must be non-empty.
+    ///
+    /// # Panics
+    /// Panics if `chunk_lengths` is empty, all chunks are empty, or the
+    /// configuration is invalid.
+    pub fn new(config: ExSampleConfig, chunk_lengths: &[u64]) -> Self {
+        config.validate();
+        assert!(!chunk_lengths.is_empty(), "ExSample needs at least one chunk");
+        assert!(
+            chunk_lengths.iter().any(|&l| l > 0),
+            "at least one chunk must contain frames"
+        );
+        let samplers = chunk_lengths
+            .iter()
+            .map(|&len| WithinSampler::new(config.within_chunk, len))
+            .collect();
+        ExSample {
+            config,
+            stats: ChunkStatsSet::new(chunk_lengths.len()),
+            samplers,
+            chunk_lengths: chunk_lengths.to_vec(),
+        }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> &ExSampleConfig {
+        &self.config
+    }
+
+    /// The per-chunk statistics accumulated so far.
+    pub fn stats(&self) -> &ChunkStatsSet {
+        &self.stats
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_lengths.len()
+    }
+
+    /// Length (in frames) of chunk `j`.
+    pub fn chunk_length(&self, j: usize) -> u64 {
+        self.chunk_lengths[j]
+    }
+
+    /// Total frames not yet sampled, across all chunks.
+    pub fn remaining_frames(&self) -> u64 {
+        self.samplers.iter().map(WithinSampler::remaining).sum()
+    }
+
+    /// Whether every frame of every chunk has been sampled.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_frames() == 0
+    }
+
+    /// Eligibility mask: chunks that still have unsampled frames.
+    fn eligibility(&self) -> Vec<bool> {
+        self.samplers.iter().map(|s| s.remaining() > 0).collect()
+    }
+
+    /// Choose the next frame to process (lines 3–7 of Algorithm 1).
+    ///
+    /// Returns `None` once every frame in the repository has been sampled.
+    pub fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FramePick> {
+        let eligible = self.eligibility();
+        let chunk = policy::select_chunk(&self.config, &self.stats, &eligible, rng)?;
+        let offset = self.samplers[chunk]
+            .next_frame(rng)
+            .expect("selected chunk was eligible, so it has frames remaining");
+        Some(FramePick { chunk, offset })
+    }
+
+    /// Choose up to `batch` frames to process in one batched detector invocation
+    /// (the batched-sampling optimisation of Section III-F).
+    ///
+    /// The chunk indices are drawn with the same Thompson-sampling distribution as
+    /// `batch` consecutive calls to [`ExSample::next_frame`] *without* intermediate
+    /// state updates; per-chunk frame draws are still without replacement.  Fewer
+    /// than `batch` picks are returned only when the repository runs out of frames.
+    pub fn next_batch<R: Rng + ?Sized>(&mut self, rng: &mut R, batch: usize) -> Vec<FramePick> {
+        let mut picks = Vec::with_capacity(batch);
+        while picks.len() < batch {
+            let eligible = self.eligibility();
+            let want = batch - picks.len();
+            let chunks = policy::select_batch(&self.config, &self.stats, &eligible, want, rng);
+            if chunks.is_empty() {
+                break;
+            }
+            let mut made_progress = false;
+            for chunk in chunks {
+                // A chunk may run out of frames part-way through the batch; skip
+                // those picks and let the outer loop re-select.
+                if let Some(offset) = self.samplers[chunk].next_frame(rng) {
+                    picks.push(FramePick { chunk, offset });
+                    made_progress = true;
+                    if picks.len() == batch {
+                        break;
+                    }
+                }
+            }
+            if !made_progress {
+                break;
+            }
+        }
+        picks
+    }
+
+    /// Record the discriminator outcome for a frame sampled from `chunk` (lines
+    /// 11–12 of Algorithm 1): `n1_delta` is `|d0| − |d1|`.
+    pub fn record(&mut self, chunk: usize, n1_delta: i64) {
+        self.stats.record(chunk, n1_delta);
+    }
+
+    /// Apply an `N1` adjustment to a chunk without charging it a sample.
+    ///
+    /// This implements the technical-report refinement for objects spanning
+    /// multiple chunks: when an object originally found in chunk `j` is re-seen
+    /// from a frame of a different chunk, `j`'s `N1` should be decremented even
+    /// though the sample was charged elsewhere.
+    pub fn adjust_n1(&mut self, chunk: usize, n1_delta: i64) {
+        self.stats.adjust_n1(chunk, n1_delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChunkSelectionPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn adapts_towards_productive_chunk() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[10_000, 10_000, 10_000, 10_000]);
+        let mut rng = StdRng::seed_from_u64(101);
+        // Chunk 3 yields a new object on every sample; others never do.
+        for _ in 0..400 {
+            let pick = sampler.next_frame(&mut rng).unwrap();
+            let delta = if pick.chunk == 3 { 1 } else { 0 };
+            sampler.record(pick.chunk, delta);
+        }
+        let samples_to_best = sampler.stats().chunk(3).samples();
+        assert!(
+            samples_to_best > 250,
+            "expected most samples on chunk 3, got {samples_to_best}"
+        );
+    }
+
+    #[test]
+    fn single_chunk_behaves_like_plain_sampling() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[100]);
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut seen = HashSet::new();
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            assert_eq!(pick.chunk, 0);
+            assert!(seen.insert(pick.offset), "no frame sampled twice");
+            sampler.record(0, 0);
+        }
+        assert_eq!(seen.len(), 100);
+        assert!(sampler.is_exhausted());
+    }
+
+    #[test]
+    fn exhausted_chunks_are_skipped() {
+        // One tiny chunk and one large chunk; once the tiny chunk is exhausted only
+        // the large one is picked, and the sampler terminates exactly at the end.
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[3, 50]);
+        let mut rng = StdRng::seed_from_u64(103);
+        let mut count = 0;
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            sampler.record(pick.chunk, 0);
+            count += 1;
+            assert!(count <= 53, "sampler must not produce more picks than frames");
+        }
+        assert_eq!(count, 53);
+        assert_eq!(sampler.remaining_frames(), 0);
+        assert_eq!(sampler.stats().chunk(0).samples(), 3);
+        assert_eq!(sampler.stats().chunk(1).samples(), 50);
+    }
+
+    #[test]
+    fn zero_length_chunks_are_allowed_but_never_picked() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[0, 10, 0]);
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut count = 0;
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            assert_eq!(pick.chunk, 1);
+            sampler.record(pick.chunk, 0);
+            count += 1;
+        }
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn offsets_are_within_chunk_bounds() {
+        let lengths = [7u64, 13, 29];
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &lengths);
+        let mut rng = StdRng::seed_from_u64(105);
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            assert!(pick.offset < lengths[pick.chunk]);
+            sampler.record(pick.chunk, 0);
+        }
+    }
+
+    #[test]
+    fn batched_picks_cover_batch_size_and_respect_exhaustion() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[5, 5]);
+        let mut rng = StdRng::seed_from_u64(106);
+        let first = sampler.next_batch(&mut rng, 8);
+        assert_eq!(first.len(), 8);
+        let second = sampler.next_batch(&mut rng, 8);
+        assert_eq!(second.len(), 2, "only two frames remain in the repository");
+        assert!(sampler.next_batch(&mut rng, 4).is_empty());
+        // All ten frames distinct.
+        let all: HashSet<(usize, u64)> = first
+            .iter()
+            .chain(second.iter())
+            .map(|p| (p.chunk, p.offset))
+            .collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn batched_distribution_matches_statistics() {
+        // With strongly skewed statistics, most batched picks should target the
+        // productive chunk, mirroring the sequential behaviour.
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[100_000, 100_000]);
+        for _ in 0..50 {
+            sampler.record(0, 0);
+            sampler.record(1, 1);
+        }
+        let mut rng = StdRng::seed_from_u64(107);
+        let picks = sampler.next_batch(&mut rng, 200);
+        let to_productive = picks.iter().filter(|p| p.chunk == 1).count();
+        assert!(to_productive > 150, "got {to_productive}/200 picks on the productive chunk");
+    }
+
+    #[test]
+    fn cross_chunk_adjustment_does_not_charge_samples() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[10, 10]);
+        sampler.record(0, 1);
+        sampler.adjust_n1(0, -1);
+        assert_eq!(sampler.stats().chunk(0).samples(), 1);
+        assert_eq!(sampler.stats().chunk(0).n1(), 0);
+    }
+
+    #[test]
+    fn uniform_policy_distributes_samples_evenly() {
+        let config = ExSampleConfig::default().with_policy(ChunkSelectionPolicy::UniformChunk);
+        let mut sampler = ExSample::new(config, &[100_000; 4]);
+        let mut rng = StdRng::seed_from_u64(108);
+        for _ in 0..2_000 {
+            let pick = sampler.next_frame(&mut rng).unwrap();
+            // Feed it heavily skewed feedback; the uniform policy must ignore it.
+            let delta = if pick.chunk == 0 { 1 } else { 0 };
+            sampler.record(pick.chunk, delta);
+        }
+        for j in 0..4 {
+            let share = sampler.stats().chunk(j).samples() as f64 / 2_000.0;
+            assert!((share - 0.25).abs() < 0.06, "chunk {j} share {share}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn empty_chunk_list_panics() {
+        let _ = ExSample::new(ExSampleConfig::default(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk must contain frames")]
+    fn all_empty_chunks_panics() {
+        let _ = ExSample::new(ExSampleConfig::default(), &[0, 0]);
+    }
+}

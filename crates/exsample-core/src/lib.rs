@@ -1,0 +1,66 @@
+//! # exsample-core
+//!
+//! The ExSample algorithm: chunk-based adaptive sampling for distinct-object
+//! search over video repositories (Moll et al., ICDE 2022).
+//!
+//! ## The algorithm in one paragraph
+//!
+//! The repository is partitioned into `M` temporal chunks.  For each chunk `j`,
+//! ExSample tracks `n_j` (frames sampled from the chunk so far) and `N1_j` (the
+//! number of distinct objects found in the chunk that have been seen *exactly once*
+//! so far).  The expected number of new objects in the next frame sampled from the
+//! chunk is estimated as `R̂_j = N1_j / n_j` (Eq. III.1); the uncertainty of that
+//! estimate is captured by a `Gamma(N1_j + α₀, n_j + β₀)` belief (Eq. III.4) whose
+//! variance matches the bound of Eq. III.3.  Each iteration Thompson-samples one
+//! value from every chunk's belief, samples a frame from the winning chunk, runs
+//! the object detector, asks the discriminator which detections are new (`d0`) or
+//! second sightings (`d1`), and updates `N1_j += |d0| − |d1|`, `n_j += 1`.
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — [`ExSampleConfig`]: priors, chunk-selection policy, within-chunk
+//!   sampling strategy, batch size.
+//! * [`stats`] — [`ChunkStats`] / [`ChunkStatsSet`]: the `(N1, n)` bookkeeping and
+//!   belief construction.
+//! * [`estimator`] — the `R̂` estimator and the theoretical quantities (bias and
+//!   variance bounds, `π_i(n)` terms) used by the validation experiments.
+//! * [`policy`] — chunk-selection policies: Thompson sampling (the paper's choice),
+//!   Bayes-UCB, greedy point-estimate, and uniform round-robin (ablations).
+//! * [`exsample`] — [`ExSample`]: the incremental sampler state machine (pick a
+//!   frame / record feedback), including batched picking (Section III-F).
+//! * [`driver`] — [`driver::run_query`]: the complete Algorithm 1 loop wiring a
+//!   detector and discriminator to the sampler.
+//!
+//! ## Example
+//!
+//! ```
+//! use exsample_core::{ExSample, ExSampleConfig};
+//! use rand::SeedableRng;
+//!
+//! // Four chunks of 1000 frames each.
+//! let mut sampler = ExSample::new(ExSampleConfig::default(), &[1000, 1000, 1000, 1000]);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! // Sampling loop: pretend chunk 2 is full of new objects.
+//! for _ in 0..200 {
+//!     let pick = sampler.next_frame(&mut rng).expect("frames remain");
+//!     let found_new = if pick.chunk == 2 { 1 } else { 0 };
+//!     sampler.record(pick.chunk, found_new);
+//! }
+//! // The sampler should have concentrated on chunk 2.
+//! assert!(sampler.stats().chunk(2).samples() > 60);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod driver;
+pub mod estimator;
+pub mod exsample;
+pub mod policy;
+pub mod stats;
+
+pub use config::{ChunkSelectionPolicy, ExSampleConfig, WithinChunkSampling};
+pub use exsample::{ExSample, FramePick};
+pub use stats::{ChunkStats, ChunkStatsSet};

@@ -1,0 +1,295 @@
+//! Chunk-selection policies.
+//!
+//! Given the per-chunk statistics, a policy decides which chunk to sample from
+//! next.  The paper's policy is Thompson sampling over the Gamma beliefs of
+//! Eq. III.4; it also reports experimenting with Bayes-UCB and finding no
+//! difference.  The greedy point-estimate policy and the uniform policy are
+//! included as ablations: greedy demonstrates the "stuck on an early lucky chunk"
+//! failure mode motivating Thompson sampling, and uniform reduces ExSample to the
+//! random baseline.
+
+use crate::config::{ChunkSelectionPolicy, ExSampleConfig};
+use crate::stats::ChunkStatsSet;
+use exsample_rand::Sampler;
+use rand::Rng;
+
+/// Score every *eligible* chunk under the configured policy and return the index of
+/// the winner.
+///
+/// `eligible` marks chunks that still have frames left to sample; ineligible chunks
+/// are never selected.  Returns `None` if no chunk is eligible.
+pub fn select_chunk<R: Rng + ?Sized>(
+    config: &ExSampleConfig,
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    rng: &mut R,
+) -> Option<usize> {
+    select_batch(config, stats, eligible, 1, rng).into_iter().next()
+}
+
+/// Select `batch` chunk indices (with repetition allowed) under the configured
+/// policy, as used by the batched-sampling optimisation of Section III-F.
+///
+/// For Thompson sampling this draws `batch` independent samples per chunk belief —
+/// equivalently, it repeats the single-draw arg-max `batch` times — so the returned
+/// indices follow the same distribution as `batch` sequential (un-updated) picks.
+/// Deterministic policies (Bayes-UCB, greedy) would return the same index `batch`
+/// times, which is also their correct batched behaviour in the absence of state
+/// updates.
+pub fn select_batch<R: Rng + ?Sized>(
+    config: &ExSampleConfig,
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    batch: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert_eq!(
+        eligible.len(),
+        stats.len(),
+        "eligibility mask must cover every chunk"
+    );
+    if !eligible.iter().any(|&e| e) || batch == 0 {
+        return Vec::new();
+    }
+    match config.policy {
+        ChunkSelectionPolicy::ThompsonSampling => (0..batch)
+            .map(|_| thompson_pick(config, stats, eligible, rng))
+            .collect(),
+        ChunkSelectionPolicy::BayesUcb => {
+            let pick = bayes_ucb_pick(config, stats, eligible);
+            vec![pick; batch]
+        }
+        ChunkSelectionPolicy::GreedyMean => {
+            let pick = greedy_pick(stats, eligible, rng);
+            vec![pick; batch]
+        }
+        ChunkSelectionPolicy::UniformChunk => (0..batch)
+            .map(|_| uniform_pick(eligible, rng))
+            .collect(),
+    }
+}
+
+/// Thompson sampling: draw from each eligible chunk's belief, take the arg-max.
+fn thompson_pick<R: Rng + ?Sized>(
+    config: &ExSampleConfig,
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    rng: &mut R,
+) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, chunk) in stats.all().iter().enumerate() {
+        if !eligible[j] {
+            continue;
+        }
+        let draw = chunk.belief(config).sample(rng);
+        if best.map_or(true, |(_, b)| draw > b) {
+            best = Some((j, draw));
+        }
+    }
+    best.expect("at least one eligible chunk").0
+}
+
+/// Bayes-UCB: rank chunks by the `1 − 1/(t+1)` quantile of their belief, where `t`
+/// is the total number of samples taken so far (Kaufmann's index policy).
+fn bayes_ucb_pick(config: &ExSampleConfig, stats: &ChunkStatsSet, eligible: &[bool]) -> usize {
+    let t = stats.total_samples() as f64;
+    let level = 1.0 - 1.0 / (t + 2.0);
+    let mut best: Option<(usize, f64)> = None;
+    for (j, chunk) in stats.all().iter().enumerate() {
+        if !eligible[j] {
+            continue;
+        }
+        let index = chunk.belief(config).quantile(level);
+        if best.map_or(true, |(_, b)| index > b) {
+            best = Some((j, index));
+        }
+    }
+    best.expect("at least one eligible chunk").0
+}
+
+/// Greedy: arg-max of the point estimate, random among unsampled chunks / ties.
+fn greedy_pick<R: Rng + ?Sized>(stats: &ChunkStatsSet, eligible: &[bool], rng: &mut R) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    let mut ties = 0u32;
+    for (j, chunk) in stats.all().iter().enumerate() {
+        if !eligible[j] {
+            continue;
+        }
+        // Unsampled chunks get a tiny optimistic default so they are explored
+        // before chunks that have produced nothing.
+        let estimate = chunk.point_estimate().unwrap_or(f64::MIN_POSITIVE);
+        match best {
+            None => {
+                best = Some((j, estimate));
+                ties = 1;
+            }
+            Some((_, b)) if estimate > b => {
+                best = Some((j, estimate));
+                ties = 1;
+            }
+            Some((_, b)) if estimate == b => {
+                // Reservoir-style uniform tie breaking.
+                ties += 1;
+                if rng.gen_range(0..ties) == 0 {
+                    best = Some((j, estimate));
+                }
+            }
+            _ => {}
+        }
+    }
+    best.expect("at least one eligible chunk").0
+}
+
+/// Uniform: ignore statistics, pick an eligible chunk uniformly at random.
+fn uniform_pick<R: Rng + ?Sized>(eligible: &[bool], rng: &mut R) -> usize {
+    let count = eligible.iter().filter(|&&e| e).count();
+    let target = rng.gen_range(0..count);
+    eligible
+        .iter()
+        .enumerate()
+        .filter(|(_, &e)| e)
+        .nth(target)
+        .expect("target < eligible count")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_stats() -> ChunkStatsSet {
+        // Chunk 1 has produced results; chunks 0 and 2 have produced nothing.
+        let mut stats = ChunkStatsSet::new(3);
+        for _ in 0..30 {
+            stats.record(0, 0);
+            stats.record(2, 0);
+        }
+        for _ in 0..30 {
+            stats.record(1, 1);
+        }
+        stats
+    }
+
+    fn pick_counts(config: &ExSampleConfig, stats: &ChunkStatsSet, trials: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(17);
+        let eligible = vec![true; stats.len()];
+        let mut counts = vec![0usize; stats.len()];
+        for _ in 0..trials {
+            let j = select_chunk(config, stats, &eligible, &mut rng).unwrap();
+            counts[j] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn thompson_prefers_productive_chunk() {
+        let stats = skewed_stats();
+        let counts = pick_counts(&ExSampleConfig::default(), &stats, 2_000);
+        assert!(counts[1] > 1_800, "counts {counts:?}");
+    }
+
+    #[test]
+    fn thompson_still_explores_under_weak_evidence() {
+        // With only a handful of samples per chunk the beliefs are wide, so the
+        // unproductive chunks must still receive a non-trivial share of picks —
+        // this is exactly the behaviour that prevents getting stuck on an early
+        // lucky chunk (Section III-B).
+        let mut stats = ChunkStatsSet::new(3);
+        for _ in 0..5 {
+            stats.record(0, 0);
+            stats.record(2, 0);
+        }
+        for _ in 0..5 {
+            stats.record(1, 1);
+        }
+        let counts = pick_counts(&ExSampleConfig::default(), &stats, 2_000);
+        assert!(counts[1] > counts[0] && counts[1] > counts[2], "counts {counts:?}");
+        assert!(counts[0] + counts[2] > 0, "exploration collapsed: {counts:?}");
+    }
+
+    #[test]
+    fn bayes_ucb_prefers_productive_chunk() {
+        let stats = skewed_stats();
+        let config = ExSampleConfig::default().with_policy(ChunkSelectionPolicy::BayesUcb);
+        let counts = pick_counts(&config, &stats, 50);
+        assert_eq!(counts[1], 50, "Bayes-UCB is deterministic given fixed stats: {counts:?}");
+    }
+
+    #[test]
+    fn greedy_picks_best_point_estimate() {
+        let stats = skewed_stats();
+        let config = ExSampleConfig::default().with_policy(ChunkSelectionPolicy::GreedyMean);
+        let counts = pick_counts(&config, &stats, 50);
+        assert_eq!(counts[1], 50, "counts {counts:?}");
+    }
+
+    #[test]
+    fn uniform_ignores_statistics() {
+        let stats = skewed_stats();
+        let config = ExSampleConfig::default().with_policy(ChunkSelectionPolicy::UniformChunk);
+        let counts = pick_counts(&config, &stats, 3_000);
+        for &c in &counts {
+            assert!((c as f64 - 1_000.0).abs() < 150.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_statistics_give_uniform_thompson_choices() {
+        // "During the first execution of the while loop all the belief distributions
+        // are identical, but Thompson sampling effectively breaks ties at random."
+        let stats = ChunkStatsSet::new(4);
+        let counts = pick_counts(&ExSampleConfig::default(), &stats, 4_000);
+        for &c in &counts {
+            assert!((c as f64 - 1_000.0).abs() < 200.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ineligible_chunks_are_never_selected() {
+        let stats = skewed_stats();
+        let mut rng = StdRng::seed_from_u64(3);
+        let eligible = vec![true, false, true];
+        for _ in 0..200 {
+            let j = select_chunk(&ExSampleConfig::default(), &stats, &eligible, &mut rng).unwrap();
+            assert_ne!(j, 1);
+        }
+    }
+
+    #[test]
+    fn no_eligible_chunk_returns_none() {
+        let stats = ChunkStatsSet::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            select_chunk(&ExSampleConfig::default(), &stats, &[false, false], &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn batch_selection_length_and_distribution() {
+        let stats = skewed_stats();
+        let mut rng = StdRng::seed_from_u64(19);
+        let eligible = vec![true; 3];
+        let picks = select_batch(&ExSampleConfig::default(), &stats, &eligible, 64, &mut rng);
+        assert_eq!(picks.len(), 64);
+        let to_best = picks.iter().filter(|&&j| j == 1).count();
+        assert!(to_best > 48, "batched Thompson picks should favour chunk 1: {to_best}");
+    }
+
+    #[test]
+    fn batch_of_zero_is_empty() {
+        let stats = skewed_stats();
+        let mut rng = StdRng::seed_from_u64(19);
+        assert!(select_batch(&ExSampleConfig::default(), &stats, &[true; 3], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eligibility mask")]
+    fn mismatched_mask_panics() {
+        let stats = ChunkStatsSet::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = select_chunk(&ExSampleConfig::default(), &stats, &[true; 2], &mut rng);
+    }
+}

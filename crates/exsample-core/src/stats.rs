@@ -1,0 +1,239 @@
+//! Per-chunk sampling statistics and belief distributions.
+
+use crate::config::ExSampleConfig;
+use exsample_rand::Gamma;
+
+/// The `(N1, n)` statistics ExSample keeps for one chunk.
+///
+/// `N1` is stored as a signed integer: Algorithm 1 updates it by `|d0| − |d1|`, and
+/// when an object first found in chunk *j* is later re-seen from a frame of chunk
+/// *k ≠ j*, chunk *k* receives a `−1` without ever having received the `+1`, so the
+/// raw counter can go (slightly) negative.  The belief distribution clamps it at
+/// zero, which is the adjustment the paper's technical report describes for
+/// instances spanning multiple chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkStats {
+    n1: i64,
+    n: u64,
+}
+
+impl ChunkStats {
+    /// Fresh statistics (no samples, no results).
+    pub fn new() -> Self {
+        ChunkStats::default()
+    }
+
+    /// Number of frames sampled from this chunk.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Raw `N1` counter (may be negative, see the type-level documentation).
+    pub fn n1_raw(&self) -> i64 {
+        self.n1
+    }
+
+    /// `N1` clamped at zero, as used in the estimator and the belief.
+    pub fn n1(&self) -> u64 {
+        self.n1.max(0) as u64
+    }
+
+    /// Record one sampled frame whose discriminator outcome changed `N1` by
+    /// `n1_delta` (`|d0| − |d1|`).
+    pub fn record(&mut self, n1_delta: i64) {
+        self.n1 += n1_delta;
+        self.n += 1;
+    }
+
+    /// Record a change to `N1` *without* a sample being taken from this chunk.
+    ///
+    /// Used when an object originally found in this chunk is re-seen from a frame
+    /// belonging to a different chunk: that sighting decrements this chunk's `N1`
+    /// but increments the other chunk's `n`.
+    pub fn adjust_n1(&mut self, n1_delta: i64) {
+        self.n1 += n1_delta;
+    }
+
+    /// The point estimate `R̂ = N1 / n` (Eq. III.1).  Defined as `+∞`-free: a chunk
+    /// with no samples yet returns `f64::INFINITY`-avoiding 0/0 by reporting the
+    /// prior mean implied by `config` instead would hide information, so this
+    /// returns `None` when `n == 0`.
+    pub fn point_estimate(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.n1() as f64 / self.n as f64)
+        }
+    }
+
+    /// The Gamma belief distribution `Γ(N1 + α₀, n + β₀)` of Eq. III.4.
+    pub fn belief(&self, config: &ExSampleConfig) -> Gamma {
+        Gamma::new(
+            self.n1() as f64 + config.alpha0,
+            self.n as f64 + config.beta0,
+        )
+        .expect("priors validated to be positive")
+    }
+}
+
+/// The statistics of every chunk, plus aggregate bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ChunkStatsSet {
+    stats: Vec<ChunkStats>,
+    total_samples: u64,
+}
+
+impl ChunkStatsSet {
+    /// Create statistics for `chunks` chunks.
+    pub fn new(chunks: usize) -> Self {
+        assert!(chunks > 0, "ExSample needs at least one chunk");
+        ChunkStatsSet {
+            stats: vec![ChunkStats::new(); chunks],
+            total_samples: 0,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether there are no chunks (never true).
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Statistics of chunk `j`.
+    pub fn chunk(&self, j: usize) -> &ChunkStats {
+        &self.stats[j]
+    }
+
+    /// All chunk statistics.
+    pub fn all(&self) -> &[ChunkStats] {
+        &self.stats
+    }
+
+    /// Total frames sampled across all chunks.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Record a sample of chunk `j` with the given `N1` change.
+    pub fn record(&mut self, j: usize, n1_delta: i64) {
+        self.stats[j].record(n1_delta);
+        self.total_samples += 1;
+    }
+
+    /// Apply an `N1`-only adjustment to chunk `j` (no sample charged).
+    pub fn adjust_n1(&mut self, j: usize, n1_delta: i64) {
+        self.stats[j].adjust_n1(n1_delta);
+    }
+
+    /// The empirical fraction of samples allocated to each chunk so far.
+    ///
+    /// This is the de-facto weight vector `w_j = n_j / n` that Section IV-A compares
+    /// against the optimal offline allocation.
+    pub fn allocation(&self) -> Vec<f64> {
+        if self.total_samples == 0 {
+            return vec![0.0; self.stats.len()];
+        }
+        self.stats
+            .iter()
+            .map(|s| s.samples() as f64 / self.total_samples as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_rand::Sampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_updates_counters() {
+        let mut s = ChunkStats::new();
+        assert_eq!(s.point_estimate(), None);
+        s.record(2);
+        s.record(0);
+        s.record(-1);
+        assert_eq!(s.samples(), 3);
+        assert_eq!(s.n1_raw(), 1);
+        assert_eq!(s.n1(), 1);
+        assert!((s.point_estimate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_raw_n1_is_clamped_in_estimate_and_belief() {
+        let mut s = ChunkStats::new();
+        s.record(-1);
+        s.record(-1);
+        assert_eq!(s.n1_raw(), -2);
+        assert_eq!(s.n1(), 0);
+        assert_eq!(s.point_estimate(), Some(0.0));
+        let belief = s.belief(&ExSampleConfig::default());
+        assert!((belief.shape() - 0.1).abs() < 1e-12);
+        assert!((belief.rate() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn belief_matches_eq_iii_4() {
+        let mut s = ChunkStats::new();
+        for _ in 0..100 {
+            s.record(0);
+        }
+        for _ in 0..5 {
+            s.record(1);
+        }
+        let config = ExSampleConfig::default();
+        let belief = s.belief(&config);
+        assert!((belief.shape() - 5.1).abs() < 1e-12);
+        assert!((belief.rate() - 106.0).abs() < 1e-12);
+        // Mean ≈ N1/n and variance obeys the Eq. III.3-style bound mean/n.
+        assert!((belief.mean() - 5.1 / 106.0).abs() < 1e-12);
+        assert!(belief.variance() <= belief.mean() / 105.0 + 1e-12);
+    }
+
+    #[test]
+    fn fresh_chunk_belief_is_prior_only_and_samplable() {
+        let s = ChunkStats::new();
+        let belief = s.belief(&ExSampleConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(belief.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_set_tracks_totals_and_allocation() {
+        let mut set = ChunkStatsSet::new(4);
+        assert_eq!(set.allocation(), vec![0.0; 4]);
+        set.record(0, 1);
+        set.record(0, 0);
+        set.record(2, 1);
+        set.record(3, 0);
+        assert_eq!(set.total_samples(), 4);
+        assert_eq!(set.chunk(0).samples(), 2);
+        assert_eq!(set.chunk(1).samples(), 0);
+        let alloc = set.allocation();
+        assert!((alloc[0] - 0.5).abs() < 1e-12);
+        assert!((alloc.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_chunk_adjustment_changes_n1_but_not_samples() {
+        let mut set = ChunkStatsSet::new(2);
+        set.record(0, 1);
+        set.adjust_n1(0, -1);
+        assert_eq!(set.chunk(0).samples(), 1);
+        assert_eq!(set.chunk(0).n1(), 0);
+        assert_eq!(set.total_samples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_panics() {
+        let _ = ChunkStatsSet::new(0);
+    }
+}

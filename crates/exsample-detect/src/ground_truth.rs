@@ -1,0 +1,271 @@
+//! A queryable collection of ground-truth object instances.
+//!
+//! The simulated detector needs to answer "which instances are visible in frame f?"
+//! millions of times per experiment, over collections of up to tens of thousands of
+//! instances spanning tens of millions of frames.  A bucketed interval index keeps
+//! that query fast without the complexity of a full interval tree: instances are
+//! registered in every fixed-width bucket their interval overlaps, and a lookup
+//! scans only the (small) bucket containing the frame.
+
+use crate::class::ObjectClass;
+use crate::instance::{InstanceId, ObjectInstance};
+use exsample_video::FrameId;
+use std::collections::HashMap;
+
+/// Width of an index bucket in frames.
+///
+/// 4096 frames (~2.3 minutes of 30 fps video) keeps buckets small relative to chunk
+/// sizes while bounding the per-instance registration cost for long-lived objects.
+const BUCKET_FRAMES: u64 = 4096;
+
+/// The set of ground-truth object instances for a repository.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    instances: Vec<ObjectInstance>,
+    by_id: HashMap<InstanceId, usize>,
+    /// `buckets[b]` lists indices of instances whose interval intersects bucket `b`.
+    buckets: Vec<Vec<u32>>,
+    total_frames: u64,
+}
+
+impl GroundTruth {
+    /// Create an empty ground truth for a repository of `total_frames` frames.
+    pub fn new(total_frames: u64) -> Self {
+        let bucket_count = (total_frames / BUCKET_FRAMES + 1) as usize;
+        GroundTruth {
+            instances: Vec::new(),
+            by_id: HashMap::new(),
+            buckets: vec![Vec::new(); bucket_count],
+            total_frames,
+        }
+    }
+
+    /// Build a ground truth from a list of instances.
+    ///
+    /// # Panics
+    /// Panics if any instance extends beyond `total_frames` or reuses an id.
+    pub fn from_instances(total_frames: u64, instances: Vec<ObjectInstance>) -> Self {
+        let mut gt = GroundTruth::new(total_frames);
+        for inst in instances {
+            gt.push(inst);
+        }
+        gt
+    }
+
+    /// Add one instance.
+    ///
+    /// # Panics
+    /// Panics if the instance extends beyond the repository or its id is already
+    /// registered.
+    pub fn push(&mut self, instance: ObjectInstance) {
+        assert!(
+            instance.last_frame() < self.total_frames,
+            "instance {} ends at frame {} but the repository has only {} frames",
+            instance.id(),
+            instance.last_frame(),
+            self.total_frames
+        );
+        assert!(
+            !self.by_id.contains_key(&instance.id()),
+            "duplicate instance id {}",
+            instance.id()
+        );
+        let index = self.instances.len();
+        let first_bucket = (instance.first_frame() / BUCKET_FRAMES) as usize;
+        let last_bucket = (instance.last_frame() / BUCKET_FRAMES) as usize;
+        for bucket in &mut self.buckets[first_bucket..=last_bucket] {
+            bucket.push(index as u32);
+        }
+        self.by_id.insert(instance.id(), index);
+        self.instances.push(instance);
+    }
+
+    /// Total frames in the underlying repository.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Number of instances (across all classes).
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[ObjectInstance] {
+        &self.instances
+    }
+
+    /// Look up an instance by id.
+    pub fn get(&self, id: InstanceId) -> Option<&ObjectInstance> {
+        self.by_id.get(&id).map(|&i| &self.instances[i])
+    }
+
+    /// Instances of a particular class.
+    pub fn of_class<'a>(
+        &'a self,
+        class: &'a ObjectClass,
+    ) -> impl Iterator<Item = &'a ObjectInstance> + 'a {
+        self.instances.iter().filter(move |i| i.class() == class)
+    }
+
+    /// Number of instances of a particular class.
+    pub fn count_of_class(&self, class: &ObjectClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// The distinct classes present, in first-appearance order.
+    pub fn classes(&self) -> Vec<ObjectClass> {
+        let mut seen = Vec::new();
+        for inst in &self.instances {
+            if !seen.contains(inst.class()) {
+                seen.push(inst.class().clone());
+            }
+        }
+        seen
+    }
+
+    /// Instances visible in `frame` (any class).
+    pub fn visible_at(&self, frame: FrameId) -> Vec<&ObjectInstance> {
+        let bucket = (frame / BUCKET_FRAMES) as usize;
+        if bucket >= self.buckets.len() {
+            return Vec::new();
+        }
+        self.buckets[bucket]
+            .iter()
+            .map(|&i| &self.instances[i as usize])
+            .filter(|inst| inst.visible_at(frame))
+            .collect()
+    }
+
+    /// Instances of `class` visible in `frame`.
+    pub fn visible_of_class_at(&self, frame: FrameId, class: &ObjectClass) -> Vec<&ObjectInstance> {
+        self.visible_at(frame)
+            .into_iter()
+            .filter(|inst| inst.class() == class)
+            .collect()
+    }
+
+    /// The per-instance hit probabilities `p_i` for instances of `class`, each equal
+    /// to the instance duration divided by the total number of frames.
+    pub fn hit_probabilities(&self, class: &ObjectClass) -> Vec<f64> {
+        self.of_class(class)
+            .map(|i| i.hit_probability(self.total_frames))
+            .collect()
+    }
+
+    /// Count how many instances of `class` have at least one visible frame within
+    /// the global frame range `[start, end)`.
+    pub fn count_in_range(&self, class: &ObjectClass, start: FrameId, end: FrameId) -> usize {
+        self.of_class(class)
+            .filter(|i| i.first_frame() < end && i.last_frame() >= start)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ObjectInstance;
+
+    fn gt() -> GroundTruth {
+        GroundTruth::from_instances(
+            100_000,
+            vec![
+                ObjectInstance::simple(0, "car", 0, 99),
+                ObjectInstance::simple(1, "car", 50, 149),
+                ObjectInstance::simple(2, "bus", 5_000, 5_999),
+                ObjectInstance::simple(3, "car", 90_000, 99_999),
+            ],
+        )
+    }
+
+    #[test]
+    fn visible_at_returns_overlapping_instances() {
+        let gt = gt();
+        let at_75: Vec<u64> = gt.visible_at(75).iter().map(|i| i.id().0).collect();
+        assert_eq!(at_75, vec![0, 1]);
+        assert!(gt.visible_at(200).is_empty());
+        assert_eq!(gt.visible_at(5_500).len(), 1);
+        assert_eq!(gt.visible_at(99_999).len(), 1);
+    }
+
+    #[test]
+    fn visible_of_class_filters_class() {
+        let gt = gt();
+        let car = ObjectClass::from("car");
+        let bus = ObjectClass::from("bus");
+        assert_eq!(gt.visible_of_class_at(75, &car).len(), 2);
+        assert_eq!(gt.visible_of_class_at(75, &bus).len(), 0);
+        assert_eq!(gt.visible_of_class_at(5_500, &bus).len(), 1);
+    }
+
+    #[test]
+    fn class_counting_and_lookup() {
+        let gt = gt();
+        let car = ObjectClass::from("car");
+        assert_eq!(gt.count_of_class(&car), 3);
+        assert_eq!(gt.len(), 4);
+        assert_eq!(gt.classes().len(), 2);
+        assert!(gt.get(InstanceId(2)).is_some());
+        assert!(gt.get(InstanceId(99)).is_none());
+    }
+
+    #[test]
+    fn hit_probabilities_scale_with_duration() {
+        let gt = gt();
+        let car = ObjectClass::from("car");
+        let probs = gt.hit_probabilities(&car);
+        assert_eq!(probs.len(), 3);
+        assert!((probs[0] - 100.0 / 100_000.0).abs() < 1e-12);
+        assert!((probs[2] - 10_000.0 / 100_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_in_range_counts_overlaps() {
+        let gt = gt();
+        let car = ObjectClass::from("car");
+        assert_eq!(gt.count_in_range(&car, 0, 100), 2);
+        assert_eq!(gt.count_in_range(&car, 140, 200), 1);
+        assert_eq!(gt.count_in_range(&car, 200, 80_000), 0);
+        assert_eq!(gt.count_in_range(&car, 0, 100_000), 3);
+    }
+
+    #[test]
+    fn instances_spanning_many_buckets_are_found_everywhere() {
+        let mut gt = GroundTruth::new(1_000_000);
+        gt.push(ObjectInstance::simple(7, "truck", 10_000, 500_000));
+        for &frame in &[10_000u64, 123_456, 250_000, 499_999] {
+            assert_eq!(gt.visible_at(frame).len(), 1, "frame {frame}");
+        }
+        assert!(gt.visible_at(500_001).is_empty());
+        assert!(gt.visible_at(9_999).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance id")]
+    fn duplicate_id_panics() {
+        let mut gt = GroundTruth::new(1000);
+        gt.push(ObjectInstance::simple(1, "car", 0, 10));
+        gt.push(ObjectInstance::simple(1, "bus", 20, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends at frame")]
+    fn out_of_range_instance_panics() {
+        let mut gt = GroundTruth::new(1000);
+        gt.push(ObjectInstance::simple(1, "car", 990, 1_000));
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::new(500);
+        assert!(gt.is_empty());
+        assert!(gt.visible_at(100).is_empty());
+        assert!(gt.classes().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! Projected gradient ascent needs, after every gradient step, the closest point
+//! (in Euclidean distance) on the set `{ w : w ≥ 0, Σ w = 1 }`.  The classic
+//! O(M log M) algorithm (sort, find the threshold, shift and clip) is implemented
+//! here.
+
+/// Project `v` onto the probability simplex.
+///
+/// Returns the unique `w` with `w_j ≥ 0` and `Σ w_j = 1` minimising `‖w − v‖₂`.
+///
+/// # Panics
+/// Panics if `v` is empty or contains non-finite values.
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    assert!(v.iter().all(|x| x.is_finite()), "vector must be finite");
+
+    // Sort in descending order.
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+
+    // Find rho = max { k : sorted[k] + (1 - prefix_sum(k+1)) / (k+1) > 0 }.
+    let mut prefix = 0.0;
+    let mut theta = 0.0;
+    let mut found = false;
+    for (k, &value) in sorted.iter().enumerate() {
+        prefix += value;
+        let candidate = (prefix - 1.0) / (k + 1) as f64;
+        if value - candidate > 0.0 {
+            theta = candidate;
+            found = true;
+        }
+    }
+    debug_assert!(found, "simplex projection always has a valid threshold");
+    let _ = found;
+
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_on_simplex(w: &[f64]) {
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "sum {}", w.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn point_already_on_simplex_is_unchanged() {
+        let v = vec![0.2, 0.3, 0.5];
+        let w = project_to_simplex(&v);
+        for (a, b) in v.iter().zip(&w) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_projection_of_equal_values() {
+        let w = project_to_simplex(&[5.0, 5.0, 5.0, 5.0]);
+        assert_on_simplex(&w);
+        for &x in &w {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_entries_are_clipped() {
+        let w = project_to_simplex(&[-1.0, 0.5, 2.0]);
+        assert_on_simplex(&w);
+        assert_eq!(w[0], 0.0);
+        assert!(w[2] > w[1]);
+    }
+
+    #[test]
+    fn dominant_entry_gets_all_mass() {
+        let w = project_to_simplex(&[100.0, 0.0, 0.0]);
+        assert_on_simplex(&w);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert_eq!(&w[1..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(project_to_simplex(&[42.0]), vec![1.0]);
+        assert_eq!(project_to_simplex(&[-3.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let first = project_to_simplex(&[0.4, -0.3, 0.9, 0.05]);
+        let second = project_to_simplex(&first);
+        for (a, b) in first.iter().zip(&second) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_minimises_distance_against_candidates() {
+        // Compare against a brute-force grid search on a 2-simplex.
+        let v = [0.7, 0.1, -0.2];
+        let w = project_to_simplex(&v);
+        assert_on_simplex(&w);
+        let dist = |a: &[f64]| -> f64 {
+            a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let best = dist(&w);
+        let steps = 100;
+        for i in 0..=steps {
+            for j in 0..=(steps - i) {
+                let candidate = [
+                    i as f64 / steps as f64,
+                    j as f64 / steps as f64,
+                    (steps - i - j) as f64 / steps as f64,
+                ];
+                assert!(dist(&candidate) >= best - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_vector_panics() {
+        let _ = project_to_simplex(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        let _ = project_to_simplex(&[0.1, f64::NAN]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Beta distribution, built from two Gamma draws.
+//!
+//! The Beta distribution is used by the simulated object detector to draw
+//! per-instance detectability (the probability that the detector fires on a frame
+//! where the object is visible), and by the proxy-model baseline to model the
+//! correlation between proxy scores and ground truth.
+
+use crate::error::DistributionError;
+use crate::gamma::Gamma;
+use crate::Sampler;
+use rand::Rng;
+
+/// Beta distribution with shape parameters `alpha` and `beta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+    gamma_a: Gamma,
+    gamma_b: Gamma,
+}
+
+impl Beta {
+    /// Create a Beta distribution with the given shape parameters.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, DistributionError> {
+        let gamma_a = Gamma::new(alpha, 1.0)?;
+        let gamma_b = Gamma::new(beta, 1.0)?;
+        Ok(Beta {
+            alpha,
+            beta,
+            gamma_a,
+            gamma_b,
+        })
+    }
+
+    /// Create a Beta distribution with the given mean and "concentration"
+    /// (`alpha + beta`). Larger concentration means tighter spread around the mean.
+    pub fn with_mean_concentration(
+        mean: f64,
+        concentration: f64,
+    ) -> Result<Self, DistributionError> {
+        if !(0.0..=1.0).contains(&mean) || mean == 0.0 || mean == 1.0 {
+            return Err(DistributionError::ProbabilityOutOfRange {
+                distribution: "Beta",
+                value: mean,
+            });
+        }
+        Beta::new(mean * concentration, (1.0 - mean) * concentration)
+    }
+
+    /// Shape parameter `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter `beta`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `alpha / (alpha + beta)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `alpha * beta / ((alpha + beta)^2 (alpha + beta + 1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+impl Sampler<f64> for Beta {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = self.gamma_a.sample(rng);
+        let y = self.gamma_b.sample(rng);
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_lie_in_unit_interval() {
+        let d = Beta::new(0.5, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut s = Summary::new();
+        for _ in 0..200_000 {
+            s.push(d.sample(&mut rng));
+        }
+        assert!((s.mean() - d.mean()).abs() < 0.005);
+        assert!((s.variance() - d.variance()).abs() < 0.005);
+    }
+
+    #[test]
+    fn mean_concentration_constructor() {
+        let d = Beta::with_mean_concentration(0.8, 50.0).unwrap();
+        assert!((d.mean() - 0.8).abs() < 1e-12);
+        assert!((d.alpha() - 40.0).abs() < 1e-12);
+        assert!((d.beta() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::with_mean_concentration(0.0, 10.0).is_err());
+        assert!(Beta::with_mean_concentration(1.0, 10.0).is_err());
+        assert!(Beta::with_mean_concentration(1.5, 10.0).is_err());
+    }
+}

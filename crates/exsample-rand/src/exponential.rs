@@ -1,0 +1,118 @@
+//! Exponential distribution (inverse-CDF sampling).
+//!
+//! Used by the dataset analogs to model inter-arrival gaps between object
+//! instances within a chunk (e.g. how long a fixed camera waits between two
+//! distinct pedestrians entering the scene).
+
+use crate::error::{ensure_positive, DistributionError};
+use crate::{uniform_open01, Sampler};
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an Exponential distribution with the given rate.
+    pub fn new(rate: f64) -> Result<Self, DistributionError> {
+        ensure_positive("Exponential", "rate", rate)?;
+        Ok(Exponential { rate })
+    }
+
+    /// Create an Exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Result<Self, DistributionError> {
+        ensure_positive("Exponential", "mean", mean)?;
+        Ok(Exponential { rate: 1.0 / mean })
+    }
+
+    /// Rate parameter `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `1 / lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+}
+
+impl Sampler<f64> for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -uniform_open01(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_matches_parameter() {
+        let d = Exponential::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut s = Summary::new();
+        for _ in 0..200_000 {
+            s.push(d.sample(&mut rng));
+        }
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn with_mean_constructor() {
+        let d = Exponential::with_mean(12.5).unwrap();
+        assert!((d.mean() - 12.5).abs() < 1e-12);
+        assert!((d.rate() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = Exponential::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn memorylessness_roughly_holds() {
+        // P(X > s + t | X > s) == P(X > t). Check with empirical frequencies.
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let draws: Vec<f64> = d.sample_n(&mut rng, 200_000);
+        let s = 1.0;
+        let t = 0.5;
+        let exceed_s = draws.iter().filter(|&&x| x > s).count() as f64;
+        let exceed_st = draws.iter().filter(|&&x| x > s + t).count() as f64;
+        let exceed_t = draws.iter().filter(|&&x| x > t).count() as f64 / draws.len() as f64;
+        let conditional = exceed_st / exceed_s;
+        assert!((conditional - exceed_t).abs() < 0.02);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let d = Exponential::new(2.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Gamma distribution via the Marsaglia–Tsang method.
+//!
+//! The Gamma distribution is the heart of ExSample's decision step: the belief over
+//! a chunk's future reward `R_j(n_j + 1)` is modelled as
+//! `Gamma(alpha = N1_j + alpha0, beta = n_j + beta0)` (Eq. III.4), and Thompson
+//! sampling draws one value from each chunk's belief per iteration.  The paper uses
+//! the *rate* parameterisation (mean `alpha / beta`, variance `alpha / beta^2`),
+//! and so do we.
+
+use crate::error::{ensure_positive, DistributionError};
+use crate::normal::StandardNormal;
+use crate::{uniform_open01, Sampler};
+use rand::Rng;
+
+/// Gamma distribution with shape `alpha` and **rate** `beta`.
+///
+/// * mean  = `alpha / beta`
+/// * variance = `alpha / beta^2`
+///
+/// Sampling uses Marsaglia & Tsang's squeeze method for `alpha >= 1` and the
+/// `Gamma(alpha + 1) * U^(1/alpha)` boost for `alpha < 1` (the ExSample prior
+/// `alpha0 = 0.1` routinely puts us in that branch early in a query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Create a Gamma distribution with the given shape (`alpha`) and rate (`beta`).
+    pub fn new(shape: f64, rate: f64) -> Result<Self, DistributionError> {
+        ensure_positive("Gamma", "shape", shape)?;
+        ensure_positive("Gamma", "rate", rate)?;
+        Ok(Gamma { shape, rate })
+    }
+
+    /// Create the ExSample belief distribution for a chunk.
+    ///
+    /// `n1` is the number of objects seen exactly once in the chunk, `n` the number
+    /// of frames sampled from it, and `alpha0`/`beta0` the smoothing constants of
+    /// Eq. III.4 (the paper uses `alpha0 = 0.1`, `beta0 = 1.0`).
+    pub fn belief(n1: f64, n: f64, alpha0: f64, beta0: f64) -> Result<Self, DistributionError> {
+        Gamma::new(n1 + alpha0, n + beta0)
+    }
+
+    /// Shape parameter `alpha`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter `beta`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean of the distribution, `alpha / beta`.
+    pub fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    /// Variance of the distribution, `alpha / beta^2`.
+    pub fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Density at zero: infinite for shape < 1, rate for shape == 1, zero above.
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                self.rate
+            } else {
+                0.0
+            };
+        }
+        let log_pdf = self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
+            - self.rate * x
+            - ln_gamma(self.shape);
+        log_pdf.exp()
+    }
+
+    /// Cumulative distribution function at `x` (regularised lower incomplete gamma).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        lower_incomplete_gamma_regularized(self.shape, self.rate * x)
+    }
+
+    /// Approximate the `q`-quantile (inverse CDF) by bisection.
+    ///
+    /// Used by the Bayes-UCB policy, which ranks chunks by an upper quantile of the
+    /// belief distribution rather than by a Thompson draw.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        if q == 0.0 {
+            return 0.0;
+        }
+        if q == 1.0 {
+            return f64::INFINITY;
+        }
+        // Bracket the quantile: start from the mean and grow the upper bound.
+        let mut lo = 0.0;
+        let mut hi = (self.mean() + 4.0 * self.variance().sqrt()).max(1e-12);
+        while self.cdf(hi) < q {
+            hi *= 2.0;
+            if hi > 1e300 {
+                return hi;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl Sampler<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = if self.shape < 1.0 {
+            // Boost: X ~ Gamma(shape+1, 1), U^(1/shape) * X ~ Gamma(shape, 1).
+            let x = marsaglia_tsang(rng, self.shape + 1.0);
+            let u = uniform_open01(rng);
+            x * u.powf(1.0 / self.shape)
+        } else {
+            marsaglia_tsang(rng, self.shape)
+        };
+        raw / self.rate
+    }
+}
+
+/// Marsaglia–Tsang sampler for `Gamma(shape, 1)` with `shape >= 1`.
+fn marsaglia_tsang<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape >= 1.0);
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = StandardNormal.sample(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = uniform_open01(rng);
+        // Squeeze test (fast accept).
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        // Full acceptance test in log space.
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the Lanczos approximation.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for the
+/// complement otherwise (Numerical Recipes style).
+pub fn lower_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+    } else {
+        // Continued fraction for Q(a, x); P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(shape: f64, rate: f64, n: usize, seed: u64) -> (f64, f64) {
+        let d = Gamma::new(shape, rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng));
+        }
+        (s.mean(), s.variance())
+    }
+
+    #[test]
+    fn mean_and_variance_large_shape() {
+        let (m, v) = moments(9.0, 2.0, 200_000, 31);
+        assert!((m - 4.5).abs() < 0.05, "mean {m}");
+        assert!((v - 2.25).abs() < 0.1, "variance {v}");
+    }
+
+    #[test]
+    fn mean_and_variance_shape_below_one() {
+        // ExSample's prior-only belief: Gamma(0.1, 1.0).
+        let (m, v) = moments(0.1, 1.0, 400_000, 32);
+        assert!((m - 0.1).abs() < 0.01, "mean {m}");
+        assert!((v - 0.1).abs() < 0.02, "variance {v}");
+    }
+
+    #[test]
+    fn belief_constructor_matches_paper_parameterisation() {
+        let belief = Gamma::belief(5.0, 120.0, 0.1, 1.0).unwrap();
+        assert!((belief.mean() - 5.1 / 121.0).abs() < 1e-12);
+        assert!((belief.variance() - 5.1 / (121.0 * 121.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = Gamma::new(0.1, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let d = Gamma::new(2.5, 1.5).unwrap();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(d.cdf(100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn cdf_exponential_special_case() {
+        // Gamma(1, rate) is Exponential(rate): CDF(x) = 1 - exp(-rate x).
+        let d = Gamma::new(1.0, 2.0).unwrap();
+        for &x in &[0.1_f64, 0.5, 1.0, 3.0] {
+            let expected = 1.0 - (-2.0 * x).exp();
+            assert!((d.cdf(x) - expected).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        for &q in &[0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let x = d.quantile(q);
+            assert!((d.cdf(x) - q).abs() < 1e-9, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_monotone_in_level() {
+        let d = Gamma::new(0.1, 1.0).unwrap();
+        assert!(d.quantile(0.9) > d.quantile(0.5));
+        assert!(d.quantile(0.5) > d.quantile(0.1));
+    }
+
+    #[test]
+    fn empirical_cdf_agrees_with_analytic_cdf() {
+        let d = Gamma::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(35);
+        let n = 100_000;
+        let threshold = d.mean();
+        let count = (0..n).filter(|_| d.sample(&mut rng) <= threshold).count();
+        let empirical = count as f64 / n as f64;
+        assert!((empirical - d.cdf(threshold)).abs() < 0.01);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = Gamma::new(2.5, 1.0).unwrap();
+        // Trapezoidal integration over a generous range.
+        let mut integral = 0.0;
+        let dx = 0.001;
+        let mut x = 0.0;
+        while x < 40.0 {
+            integral += 0.5 * (d.pdf(x) + d.pdf(x + dx)) * dx;
+            x += dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-width histograms.
+//!
+//! The Figure 2 validation experiment compares the *empirical histogram* of the true
+//! next-frame reward `R(n+1)` (collected over thousands of simulated runs) against
+//! the Gamma belief density of Eq. III.4.  This module provides the histogram type
+//! used to collect and normalise those observations.
+
+/// A histogram with equally sized bins over a fixed `[lo, hi)` range.
+///
+/// Out-of-range observations are counted in saturating under/overflow bins so that
+/// totals are never silently lost.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equally sized bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((value - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of a single bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Centre of bin `idx`.
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        self.lo + (idx as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations that fell at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The bin counts normalised to a probability *density* (so the histogram can be
+    /// overlaid on an analytic PDF): each value is `count / (total * bin_width)`.
+    pub fn density(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = self.total as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// The fraction of in-range observations in each bin.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 2.0, 8);
+        for i in 0..1000 {
+            h.record((i % 20) as f64 / 10.0); // values 0.0 .. 1.9, all in range
+        }
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn empty_histogram_density_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.density(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Poisson distribution.
+//!
+//! Section III of the paper shows that, under an independence assumption, the
+//! number of objects seen exactly once (`N1(n)`) follows a Poisson distribution
+//! with parameter `lambda = sum_i pi_i(n)`.  The Figure 2 validation experiment and
+//! several property tests draw from this distribution directly, and the dataset
+//! analogs use Poisson counts for the number of instances per chunk.
+
+use crate::error::{ensure_positive, DistributionError};
+use crate::normal::standard_normal;
+use crate::{uniform_open01, Sampler};
+use rand::Rng;
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's inversion-by-multiplication for `lambda < 30` and a
+/// normal-approximation with rejection correction for larger means (sufficient for
+/// workload generation, where lambda rarely exceeds a few thousand).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution with the given mean.
+    pub fn new(lambda: f64) -> Result<Self, DistributionError> {
+        ensure_positive("Poisson", "lambda", lambda)?;
+        Ok(Poisson { lambda })
+    }
+
+    /// Mean (and variance) of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass function at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        let k_f = k as f64;
+        (k_f * self.lambda.ln() - self.lambda - crate::gamma::ln_gamma(k_f + 1.0)).exp()
+    }
+}
+
+impl Sampler<u64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            knuth(rng, self.lambda)
+        } else {
+            // Split lambda into manageable pieces so the Knuth product never
+            // underflows, exploiting Poisson additivity:
+            // Poisson(a + b) = Poisson(a) + Poisson(b).
+            // For very large lambda fall back to a clamped normal approximation
+            // which is accurate to O(1/sqrt(lambda)).
+            if self.lambda > 5_000.0 {
+                let z = standard_normal(rng);
+                let value = self.lambda + self.lambda.sqrt() * z + 0.5;
+                return value.max(0.0) as u64;
+            }
+            let mut remaining = self.lambda;
+            let mut total = 0u64;
+            while remaining > 0.0 {
+                let piece = remaining.min(25.0);
+                total += knuth(rng, piece);
+                remaining -= piece;
+            }
+            total
+        }
+    }
+}
+
+/// Knuth's algorithm: count uniform draws until their product drops below
+/// `exp(-lambda)`.
+fn knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let limit = (-lambda).exp();
+    let mut product = 1.0;
+    let mut count = 0u64;
+    loop {
+        product *= uniform_open01(rng);
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_summary(lambda: f64, n: usize, seed: u64) -> Summary {
+        let d = Poisson::new(lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn small_lambda_moments() {
+        let s = sample_summary(2.5, 200_000, 61);
+        assert!((s.mean() - 2.5).abs() < 0.02, "mean {}", s.mean());
+        assert!((s.variance() - 2.5).abs() < 0.05, "variance {}", s.variance());
+    }
+
+    #[test]
+    fn medium_lambda_moments() {
+        let s = sample_summary(150.0, 100_000, 62);
+        assert!((s.mean() - 150.0).abs() < 0.5, "mean {}", s.mean());
+        assert!((s.variance() - 150.0).abs() / 150.0 < 0.05);
+    }
+
+    #[test]
+    fn large_lambda_moments() {
+        let s = sample_summary(20_000.0, 50_000, 63);
+        assert!((s.mean() - 20_000.0).abs() / 20_000.0 < 0.01);
+        assert!((s.variance() - 20_000.0).abs() / 20_000.0 < 0.1);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(4.0).unwrap();
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_peaks_near_lambda() {
+        let d = Poisson::new(7.0).unwrap();
+        assert!(d.pmf(7) > d.pmf(2));
+        assert!(d.pmf(7) > d.pmf(15));
+    }
+
+    #[test]
+    fn zero_lambda_rejected() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn tiny_lambda_mostly_zero() {
+        let d = Poisson::new(0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(64);
+        let zeros = (0..10_000).filter(|_| d.sample(&mut rng) == 0).count();
+        assert!(zeros > 9_800, "zeros {zeros}");
+    }
+}

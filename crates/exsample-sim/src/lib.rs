@@ -1,0 +1,33 @@
+//! # exsample-sim
+//!
+//! The experiment harness of the ExSample reproduction: it runs distinct-object
+//! queries end-to-end (sampling method → simulated decode → simulated detector →
+//! discriminator), accounts for virtual GPU/decode time the way the paper does,
+//! and aggregates multi-trial sweeps into the statistics the evaluation reports
+//! (medians, 25–75 % bands, savings ratios, geometric means).
+//!
+//! * [`clock`] — virtual time accounting on top of the decode/detector cost model
+//!   (scan at ~100 fps, sampled processing at ~20 fps) plus Table-I-style duration
+//!   formatting (`"1m37s"`, `"2h58m"`).
+//! * [`runner`] — [`runner::QueryRunner`]: configure a query (dataset, class, stop
+//!   condition, detector noise, discriminator) and run any [`exsample_baselines::SamplingMethod`].
+//! * [`metrics`] — recall trajectories, frames-to-recall, savings ratios, and
+//!   aggregation of trajectories across trials.
+//! * [`sweep`] — run many trials (optionally in parallel) and collect their
+//!   results.
+//! * [`table`] — plain-text/markdown table rendering for the experiment binaries.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clock;
+pub mod metrics;
+pub mod runner;
+pub mod sweep;
+pub mod table;
+
+pub use clock::{format_duration, VirtualClock};
+pub use metrics::{frames_to_count, savings_ratio, TrajectoryBand};
+pub use runner::{MethodKind, QueryRunner, RunResult, StopCondition, TrajectoryPoint};
+pub use sweep::{run_trials, TrialSet};
+pub use table::Table;

@@ -1,0 +1,488 @@
+//! End-to-end query execution.
+//!
+//! [`QueryRunner`] configures one distinct-object query over a [`Dataset`] and runs
+//! it with any sampling method, producing a [`RunResult`] with the full recall
+//! trajectory and virtual time accounting.  This is the harness every experiment
+//! binary and integration test is built on.
+
+use crate::clock::VirtualClock;
+use exsample_baselines::{
+    ExSampleMethod, ProxyBaseline, ProxyConfig, RandomPlusSampler, RandomSampler, SamplingMethod,
+    SequentialScan,
+};
+use exsample_core::{ExSample, ExSampleConfig};
+use exsample_data::Dataset;
+use exsample_detect::{
+    Detector, DetectorNoise, InstanceId, ObjectClass, PerfectDetector, SimulatedDetector,
+};
+use exsample_rand::SeedSequence;
+use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
+use exsample_video::DecodeCostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// When to stop a query run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Stop after this many distinct results (the paper's limit queries, e.g.
+    /// "find 20 traffic lights").
+    DistinctResults(usize),
+    /// Stop after finding this fraction of all ground-truth instances of the query
+    /// class (the recall levels 0.1 / 0.5 / 0.9 of the evaluation).
+    Recall(f64),
+    /// Stop after processing this many frames through the detector.
+    FrameBudget(u64),
+    /// Run until the sampling method exhausts the repository.
+    Exhaustive,
+}
+
+/// Which discriminator the runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscriminatorKind {
+    /// Match detections by ground-truth instance id (controlled simulations).
+    Oracle,
+    /// The paper-faithful IoU-against-track-positions discriminator.
+    Tracking,
+}
+
+/// Convenience selector for the built-in sampling methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodKind {
+    /// ExSample with the given configuration.
+    ExSample(ExSampleConfig),
+    /// Uniform random sampling without replacement.
+    Random,
+    /// `random+` hierarchical sampling.
+    RandomPlus,
+    /// Sequential scan with the given stride.
+    Sequential {
+        /// Visit one frame out of every `stride`.
+        stride: u64,
+    },
+    /// BlazeIt-style proxy ordering with the given configuration.
+    Proxy(ProxyConfig),
+}
+
+/// One point of a recall trajectory: after `frames` detector invocations, `found`
+/// distinct ground-truth instances had been found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Frames processed through the detector when the point was recorded.
+    pub frames: u64,
+    /// Distinct ground-truth instances found at that moment.
+    pub found: usize,
+}
+
+/// The result of one query run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Name of the sampling method ("exsample", "random", …).
+    pub method: String,
+    /// Frames processed through the object detector.
+    pub frames_processed: u64,
+    /// Frames the method had to scan before producing its first pick (proxy only).
+    pub upfront_scan_frames: u64,
+    /// Distinct objects reported by the discriminator (may include objects created
+    /// from false-positive detections).
+    pub distinct_found: usize,
+    /// Distinct ground-truth instances found.
+    pub true_found: usize,
+    /// Total ground-truth instances of the query class in the dataset.
+    pub total_instances: usize,
+    /// The ground-truth instances found.
+    pub found_instances: Vec<InstanceId>,
+    /// Recall trajectory: one point per newly found ground-truth instance.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Virtual seconds spent scanning (upfront) at the cost model's scan rate.
+    pub scan_secs: f64,
+    /// Virtual seconds spent on sampled processing (decode + detector).
+    pub sample_secs: f64,
+}
+
+impl RunResult {
+    /// Recall achieved: found ground-truth instances over total instances.
+    pub fn recall(&self) -> f64 {
+        if self.total_instances == 0 {
+            0.0
+        } else {
+            self.true_found as f64 / self.total_instances as f64
+        }
+    }
+
+    /// Frames processed when the `count`-th ground-truth instance was found, or
+    /// `None` if the run never found that many.
+    pub fn frames_to_count(&self, count: usize) -> Option<u64> {
+        if count == 0 {
+            return Some(0);
+        }
+        self.trajectory
+            .iter()
+            .find(|p| p.found >= count)
+            .map(|p| p.frames)
+    }
+
+    /// Frames processed to reach a recall level, or `None` if never reached.
+    pub fn frames_to_recall(&self, recall: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&recall));
+        let needed = (recall * self.total_instances as f64).ceil() as usize;
+        self.frames_to_count(needed)
+    }
+
+    /// Virtual seconds to reach a recall level, including any upfront scan, under
+    /// the given cost model.  `None` if the recall level was never reached.
+    pub fn time_to_recall(&self, recall: f64, cost: &DecodeCostModel) -> Option<f64> {
+        let frames = self.frames_to_recall(recall)?;
+        Some(cost.proxy_scoring_secs(self.upfront_scan_frames) + cost.sampled_processing_secs(frames))
+    }
+
+    /// Total virtual seconds of the whole run (scan + sampled processing).
+    pub fn total_secs(&self) -> f64 {
+        self.scan_secs + self.sample_secs
+    }
+}
+
+/// Builder/executor for one query run.
+#[derive(Debug, Clone)]
+pub struct QueryRunner<'a> {
+    dataset: &'a Dataset,
+    class: ObjectClass,
+    stop: StopCondition,
+    seed: u64,
+    frame_cap: Option<u64>,
+    detector_noise: Option<DetectorNoise>,
+    discriminator: DiscriminatorKind,
+    cost: DecodeCostModel,
+}
+
+impl<'a> QueryRunner<'a> {
+    /// Create a runner for `dataset`, querying its first class, stopping when the
+    /// repository is exhausted, with a perfect detector and the oracle
+    /// discriminator.
+    pub fn new(dataset: &'a Dataset) -> Self {
+        let class = dataset
+            .classes()
+            .into_iter()
+            .next()
+            .expect("dataset has at least one class");
+        QueryRunner {
+            dataset,
+            class,
+            stop: StopCondition::Exhaustive,
+            seed: 0,
+            frame_cap: None,
+            detector_noise: None,
+            discriminator: DiscriminatorKind::Oracle,
+            cost: DecodeCostModel::paper(),
+        }
+    }
+
+    /// Query a specific object class.
+    pub fn class(mut self, class: impl Into<ObjectClass>) -> Self {
+        self.class = class.into();
+        self
+    }
+
+    /// Set the stop condition.
+    pub fn stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Set the RNG seed for the run (sampling decisions and detector noise).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a hard cap on detector invocations regardless of the stop condition.
+    pub fn frame_cap(mut self, cap: u64) -> Self {
+        self.frame_cap = Some(cap);
+        self
+    }
+
+    /// Use a noisy simulated detector instead of the perfect one.
+    pub fn detector_noise(mut self, noise: DetectorNoise) -> Self {
+        self.detector_noise = Some(noise);
+        self
+    }
+
+    /// Choose the discriminator implementation.
+    pub fn discriminator(mut self, kind: DiscriminatorKind) -> Self {
+        self.discriminator = kind;
+        self
+    }
+
+    /// Use a custom cost model for time accounting.
+    pub fn cost_model(mut self, cost: DecodeCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Run with a pre-built ExSample sampler (constructed over
+    /// `dataset.chunk_lengths()`).
+    pub fn run_exsample(self, sampler: ExSample) -> RunResult {
+        let mut method = ExSampleMethod::from_sampler(sampler, self.dataset.chunking());
+        self.run_method(&mut method)
+    }
+
+    /// Run one of the built-in methods.
+    pub fn run(self, kind: MethodKind) -> RunResult {
+        let total = self.dataset.total_frames();
+        match kind {
+            MethodKind::ExSample(config) => {
+                let mut method = ExSampleMethod::new(config, self.dataset.chunking());
+                self.run_method(&mut method)
+            }
+            MethodKind::Random => self.run_method(&mut RandomSampler::new(total)),
+            MethodKind::RandomPlus => self.run_method(&mut RandomPlusSampler::new(total)),
+            MethodKind::Sequential { stride } => {
+                self.run_method(&mut SequentialScan::with_stride(total, stride))
+            }
+            MethodKind::Proxy(config) => {
+                let mut method =
+                    ProxyBaseline::new(self.dataset.ground_truth(), &self.class, config);
+                self.run_method(&mut method)
+            }
+        }
+    }
+
+    /// Run an arbitrary sampling method.
+    pub fn run_method(self, method: &mut dyn SamplingMethod) -> RunResult {
+        let seeds = SeedSequence::new(self.seed).derive("query-runner");
+        let mut rng = StdRng::seed_from_u64(seeds.derive("sampling").seed());
+
+        let truth = Arc::clone(self.dataset.ground_truth());
+        let total_instances = truth.count_of_class(&self.class);
+
+        // Detector.
+        let detector: Box<dyn Detector> = match self.detector_noise {
+            None => Box::new(PerfectDetector::new(Arc::clone(&truth), self.class.clone())),
+            Some(noise) => Box::new(SimulatedDetector::new(
+                Arc::clone(&truth),
+                self.class.clone(),
+                noise,
+                seeds.derive("detector").seed(),
+            )),
+        };
+        // Discriminator.
+        let mut discriminator: Box<dyn Discriminator> = match self.discriminator {
+            DiscriminatorKind::Oracle => Box::new(OracleDiscriminator::new()),
+            DiscriminatorKind::Tracking => {
+                Box::new(TrackingDiscriminator::with_defaults(Arc::clone(&truth)))
+            }
+        };
+
+        let mut clock = VirtualClock::new(self.cost);
+        clock.charge_scan(method.upfront_scan_frames());
+
+        let mut found_true: HashSet<InstanceId> = HashSet::new();
+        let mut trajectory = Vec::new();
+        let mut frames_processed = 0u64;
+
+        let recall_target = |recall: f64| (recall * total_instances as f64).ceil() as usize;
+
+        loop {
+            // Stop conditions (checked before the next pick so a satisfied query
+            // does not pay for one more detector call).
+            let should_stop = match self.stop {
+                StopCondition::DistinctResults(limit) => discriminator.distinct_count() >= limit,
+                StopCondition::Recall(recall) => {
+                    total_instances > 0 && found_true.len() >= recall_target(recall)
+                }
+                StopCondition::FrameBudget(budget) => frames_processed >= budget,
+                StopCondition::Exhaustive => false,
+            };
+            if should_stop || self.frame_cap.is_some_and(|cap| frames_processed >= cap) {
+                break;
+            }
+            let Some(frame) = method.next_frame(&mut rng) else {
+                break;
+            };
+            let detections = detector.detect(frame);
+            let outcome = discriminator.observe(&detections);
+            method.record(frame, &outcome);
+            frames_processed += 1;
+            clock.charge_sampled(1);
+
+            for det in &outcome.new {
+                if let Some(id) = det.truth {
+                    if found_true.insert(id) {
+                        trajectory.push(TrajectoryPoint {
+                            frames: frames_processed,
+                            found: found_true.len(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut found_instances: Vec<InstanceId> = found_true.iter().copied().collect();
+        found_instances.sort();
+
+        RunResult {
+            method: method.name().to_string(),
+            frames_processed,
+            upfront_scan_frames: method.upfront_scan_frames(),
+            distinct_found: discriminator.distinct_count(),
+            true_found: found_true.len(),
+            total_instances,
+            found_instances,
+            trajectory,
+            scan_secs: clock.scan_secs(),
+            sample_secs: clock.sample_secs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_data::{GridWorkload, SkewLevel};
+
+    fn skewed_dataset() -> Dataset {
+        GridWorkload::builder()
+            .frames(120_000)
+            .instances(400)
+            .chunks(24)
+            .mean_duration(120.0)
+            .skew(SkewLevel::ThirtySecond)
+            .seed(3)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn distinct_results_stop_condition() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::DistinctResults(25))
+            .seed(1)
+            .run(MethodKind::ExSample(ExSampleConfig::default()));
+        assert!(result.distinct_found >= 25);
+        assert!(result.true_found >= 25);
+        assert_eq!(result.total_instances, 400);
+        assert_eq!(result.method, "exsample");
+        assert!(result.frames_processed > 0);
+        assert_eq!(result.upfront_scan_frames, 0);
+        assert_eq!(result.scan_secs, 0.0);
+    }
+
+    #[test]
+    fn recall_stop_condition_and_trajectory_consistency() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::Recall(0.5))
+            .seed(2)
+            .run(MethodKind::Random);
+        assert!(result.recall() >= 0.5);
+        // Trajectory is monotone in both coordinates and ends at the found count.
+        assert!(result
+            .trajectory
+            .windows(2)
+            .all(|w| w[0].frames <= w[1].frames && w[0].found < w[1].found));
+        assert_eq!(result.trajectory.last().unwrap().found, result.true_found);
+        // frames_to_recall is consistent with the trajectory.
+        let frames = result.frames_to_recall(0.5).unwrap();
+        assert!(frames <= result.frames_processed);
+        assert_eq!(result.frames_to_count(0), Some(0));
+    }
+
+    #[test]
+    fn frame_budget_is_respected() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(200))
+            .seed(3)
+            .run(MethodKind::RandomPlus);
+        assert_eq!(result.frames_processed, 200);
+        assert_eq!(result.method, "random+");
+    }
+
+    #[test]
+    fn exsample_beats_random_on_skewed_data() {
+        let dataset = skewed_dataset();
+        let budget = 4_000u64;
+        let ex = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(5)
+            .run(MethodKind::ExSample(ExSampleConfig::default()));
+        let rnd = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(5)
+            .run(MethodKind::Random);
+        assert!(
+            ex.true_found as f64 >= rnd.true_found as f64 * 1.2,
+            "exsample {} vs random {}",
+            ex.true_found,
+            rnd.true_found
+        );
+    }
+
+    #[test]
+    fn proxy_pays_upfront_scan() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::DistinctResults(10))
+            .seed(7)
+            .run(MethodKind::Proxy(ProxyConfig::default()));
+        assert_eq!(result.upfront_scan_frames, dataset.total_frames());
+        assert!(result.scan_secs > 0.0);
+        // Time to any recall level includes the scan.
+        let time = result
+            .time_to_recall(10.0 / 400.0, &DecodeCostModel::paper())
+            .unwrap();
+        assert!(time >= result.scan_secs);
+    }
+
+    #[test]
+    fn run_exsample_accepts_prebuilt_sampler() {
+        let dataset = skewed_dataset();
+        let sampler = ExSample::new(ExSampleConfig::default(), &dataset.chunk_lengths());
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::DistinctResults(15))
+            .seed(11)
+            .run_exsample(sampler);
+        assert!(result.distinct_found >= 15);
+    }
+
+    #[test]
+    fn tracking_discriminator_and_noisy_detector_still_find_objects() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(1_500))
+            .discriminator(DiscriminatorKind::Tracking)
+            .detector_noise(DetectorNoise::default())
+            .seed(13)
+            .run(MethodKind::ExSample(ExSampleConfig::default()));
+        assert!(result.true_found > 0);
+        // The tracking discriminator may create a handful of false-positive
+        // objects; distinct_found can therefore exceed true_found but not wildly.
+        assert!(result.distinct_found >= result.true_found);
+    }
+
+    #[test]
+    fn sequential_scan_runs_in_order() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(100))
+            .seed(17)
+            .run(MethodKind::Sequential { stride: 30 });
+        assert_eq!(result.method, "sequential");
+        assert_eq!(result.frames_processed, 100);
+    }
+
+    #[test]
+    fn recall_is_zero_for_class_with_no_instances() {
+        let dataset = skewed_dataset();
+        let result = QueryRunner::new(&dataset)
+            .class("unicorn")
+            .stop(StopCondition::FrameBudget(50))
+            .run(MethodKind::Random);
+        assert_eq!(result.total_instances, 0);
+        assert_eq!(result.recall(), 0.0);
+        assert_eq!(result.true_found, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-trial sweeps.
+//!
+//! The paper repeats every simulated configuration many times (21 trials per
+//! Figure 3 cell, 10 000 runs for the Figure 2 validation) and reports medians and
+//! percentile bands.  [`run_trials`] executes a configurable number of independent
+//! trials — each with a seed derived from the trial index so results are exactly
+//! reproducible — optionally spreading them over threads with `crossbeam`'s scoped
+//! threads.
+
+use crate::runner::RunResult;
+use exsample_rand::{geometric_mean, Summary};
+
+/// A collection of per-trial results for one experimental configuration.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    /// Results in trial order.
+    pub results: Vec<RunResult>,
+}
+
+impl TrialSet {
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Median frames needed to reach `count` found instances across trials
+    /// (trials that never reached the target are excluded).
+    pub fn median_frames_to_count(&self, count: usize) -> Option<f64> {
+        let mut summary = Summary::new();
+        for r in &self.results {
+            if let Some(frames) = r.frames_to_count(count) {
+                summary.push(frames as f64);
+            }
+        }
+        if summary.is_empty() {
+            None
+        } else {
+            Some(summary.median())
+        }
+    }
+
+    /// Median frames needed to reach a recall level across trials.
+    pub fn median_frames_to_recall(&self, recall: f64) -> Option<f64> {
+        let mut summary = Summary::new();
+        for r in &self.results {
+            if let Some(frames) = r.frames_to_recall(recall) {
+                summary.push(frames as f64);
+            }
+        }
+        if summary.is_empty() {
+            None
+        } else {
+            Some(summary.median())
+        }
+    }
+
+    /// Geometric mean of per-trial recall values.
+    pub fn geometric_mean_recall(&self) -> f64 {
+        geometric_mean(&self.results.iter().map(RunResult::recall).collect::<Vec<_>>())
+    }
+}
+
+/// Run `trials` independent trials of a query configuration.
+///
+/// `run` receives the trial index and must be deterministic given that index (the
+/// usual pattern is to derive the runner's seed from it).  When `parallel` is true
+/// the trials are distributed over up to `available_parallelism()` threads.
+pub fn run_trials<F>(trials: usize, parallel: bool, run: F) -> TrialSet
+where
+    F: Fn(u64) -> RunResult + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    if !parallel || trials == 1 {
+        return TrialSet {
+            results: (0..trials as u64).map(run).collect(),
+        };
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(trials);
+    let mut results: Vec<Option<RunResult>> = vec![None; trials];
+    let chunk = trials.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (worker, slice) in results.chunks_mut(chunk).enumerate() {
+            let run = &run;
+            scope.spawn(move |_| {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    let trial = (worker * chunk + offset) as u64;
+                    *slot = Some(run(trial));
+                }
+            });
+        }
+    })
+    .expect("trial worker panicked");
+
+    TrialSet {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every trial slot filled"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{MethodKind, QueryRunner, StopCondition};
+    use exsample_data::{Dataset, GridWorkload, SkewLevel};
+
+    fn dataset() -> Dataset {
+        GridWorkload::builder()
+            .frames(30_000)
+            .instances(100)
+            .chunks(8)
+            .mean_duration(80.0)
+            .skew(SkewLevel::Quarter)
+            .seed(1)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    fn run_one(dataset: &Dataset, trial: u64) -> RunResult {
+        QueryRunner::new(dataset)
+            .stop(StopCondition::FrameBudget(300))
+            .seed(trial)
+            .run(MethodKind::Random)
+    }
+
+    #[test]
+    fn sequential_and_parallel_give_identical_results() {
+        let dataset = dataset();
+        let seq = run_trials(6, false, |t| run_one(&dataset, t));
+        let par = run_trials(6, true, |t| run_one(&dataset, t));
+        assert_eq!(seq.len(), 6);
+        assert_eq!(par.len(), 6);
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.true_found, b.true_found);
+            assert_eq!(a.frames_processed, b.frames_processed);
+        }
+    }
+
+    #[test]
+    fn different_trials_use_different_seeds() {
+        let dataset = dataset();
+        let set = run_trials(4, false, |t| run_one(&dataset, t));
+        let founds: Vec<usize> = set.results.iter().map(|r| r.true_found).collect();
+        // At least two trials should differ (they use different seeds).
+        assert!(founds.windows(2).any(|w| w[0] != w[1]), "founds {founds:?}");
+    }
+
+    #[test]
+    fn median_frames_to_count_aggregates() {
+        let dataset = dataset();
+        let set = run_trials(5, false, |t| run_one(&dataset, t));
+        let median = set.median_frames_to_count(1);
+        assert!(median.is_some());
+        assert!(median.unwrap() >= 1.0);
+        // An unreachable target yields None.
+        assert_eq!(set.median_frames_to_count(10_000), None);
+        assert!(set.geometric_mean_recall() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = run_trials(0, false, |_| unreachable!());
+    }
+}

@@ -1,0 +1,167 @@
+//! Greedy IoU matching between two sets of boxes.
+//!
+//! Both the SORT-like tracker and the discriminator need to associate detections
+//! with existing objects.  The paper uses IoU (intersection-over-union) matching "a
+//! simple baseline for multi-object tracking that leverages the output of an object
+//! detector and matches detection boxes based on overlap across adjacent frames".
+//! A greedy assignment by descending IoU is the standard SORT-style approximation
+//! of the optimal (Hungarian) assignment and is what we implement here.
+
+use exsample_detect::BBox;
+
+/// One matched pair: indices into the left and right box lists plus their IoU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchPair {
+    /// Index into the left (existing objects / previous frame) list.
+    pub left: usize,
+    /// Index into the right (new detections / current frame) list.
+    pub right: usize,
+    /// IoU of the matched pair.
+    pub iou: f64,
+}
+
+/// Greedily match `left` boxes to `right` boxes by descending IoU.
+///
+/// Each left box and each right box participates in at most one pair, and only
+/// pairs with IoU at least `min_iou` are produced.  The result is sorted by
+/// descending IoU.
+pub fn greedy_iou_match(left: &[BBox], right: &[BBox], min_iou: f64) -> Vec<MatchPair> {
+    assert!(
+        (0.0..=1.0).contains(&min_iou),
+        "IoU threshold must be in [0, 1], got {min_iou}"
+    );
+    // Compute every candidate pair above the threshold.
+    let mut candidates: Vec<MatchPair> = Vec::new();
+    for (li, lb) in left.iter().enumerate() {
+        for (ri, rb) in right.iter().enumerate() {
+            let iou = lb.iou(rb);
+            if iou >= min_iou && iou > 0.0 {
+                candidates.push(MatchPair {
+                    left: li,
+                    right: ri,
+                    iou,
+                });
+            }
+        }
+    }
+    // Greedy selection by descending IoU.
+    candidates.sort_by(|a, b| b.iou.partial_cmp(&a.iou).expect("IoU is never NaN"));
+    let mut used_left = vec![false; left.len()];
+    let mut used_right = vec![false; right.len()];
+    let mut matches = Vec::new();
+    for cand in candidates {
+        if used_left[cand.left] || used_right[cand.right] {
+            continue;
+        }
+        used_left[cand.left] = true;
+        used_right[cand.right] = true;
+        matches.push(cand);
+    }
+    matches
+}
+
+/// Indices of right-hand boxes that were not matched by `matches`.
+pub fn unmatched_right(right_len: usize, matches: &[MatchPair]) -> Vec<usize> {
+    let mut used = vec![false; right_len];
+    for m in matches {
+        used[m.right] = true;
+    }
+    (0..right_len).filter(|&i| !used[i]).collect()
+}
+
+/// Indices of left-hand boxes that were not matched by `matches`.
+pub fn unmatched_left(left_len: usize, matches: &[MatchPair]) -> Vec<usize> {
+    let mut used = vec![false; left_len];
+    for m in matches {
+        used[m.left] = true;
+    }
+    (0..left_len).filter(|&i| !used[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: f64, y: f64) -> BBox {
+        BBox::new(x, y, 0.1, 0.1)
+    }
+
+    #[test]
+    fn identical_boxes_match() {
+        let left = vec![b(0.1, 0.1), b(0.5, 0.5)];
+        let right = vec![b(0.5, 0.5), b(0.1, 0.1)];
+        let m = greedy_iou_match(&left, &right, 0.5);
+        assert_eq!(m.len(), 2);
+        // Pairs are (0 -> 1) and (1 -> 0).
+        assert!(m.iter().any(|p| p.left == 0 && p.right == 1));
+        assert!(m.iter().any(|p| p.left == 1 && p.right == 0));
+        assert!(m.iter().all(|p| (p.iou - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn below_threshold_pairs_are_dropped() {
+        // Overlap of about IoU = 1/3.
+        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2)];
+        let right = vec![BBox::new(0.1, 0.0, 0.2, 0.2)];
+        assert_eq!(greedy_iou_match(&left, &right, 0.5).len(), 0);
+        assert_eq!(greedy_iou_match(&left, &right, 0.3).len(), 1);
+    }
+
+    #[test]
+    fn each_box_matched_at_most_once() {
+        // Two left boxes both overlap the single right box; only the better match
+        // survives.
+        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.05, 0.0, 0.2, 0.2)];
+        let right = vec![BBox::new(0.04, 0.0, 0.2, 0.2)];
+        let m = greedy_iou_match(&left, &right, 0.1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].left, 1, "the closer left box should win");
+    }
+
+    #[test]
+    fn greedy_prefers_higher_iou_globally() {
+        // left0 overlaps right0 strongly and right1 weakly; left1 overlaps right0
+        // weakly. Greedy should pair (left0, right0) and leave left1/right1 to pair
+        // only if above threshold.
+        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.15, 0.0, 0.2, 0.2)];
+        let right = vec![BBox::new(0.01, 0.0, 0.2, 0.2), BBox::new(0.3, 0.0, 0.2, 0.2)];
+        let m = greedy_iou_match(&left, &right, 0.05);
+        assert!(m.iter().any(|p| p.left == 0 && p.right == 0));
+        // left1 vs right1: boxes at x=0.15 and x=0.3 with width 0.2 overlap 0.05 ->
+        // IoU = 0.05/0.35 ≈ 0.14, above threshold, so it should also match.
+        assert!(m.iter().any(|p| p.left == 1 && p.right == 1));
+    }
+
+    #[test]
+    fn unmatched_helpers() {
+        let left = vec![b(0.1, 0.1), b(0.9, 0.9)];
+        let right = vec![b(0.1, 0.1), b(0.4, 0.4), b(0.6, 0.6)];
+        let m = greedy_iou_match(&left, &right, 0.5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(unmatched_right(right.len(), &m), vec![1, 2]);
+        assert_eq!(unmatched_left(left.len(), &m), vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(greedy_iou_match(&[], &[], 0.5).is_empty());
+        assert!(greedy_iou_match(&[b(0.1, 0.1)], &[], 0.5).is_empty());
+        assert!(greedy_iou_match(&[], &[b(0.1, 0.1)], 0.5).is_empty());
+        assert_eq!(unmatched_right(0, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "IoU threshold")]
+    fn invalid_threshold_panics() {
+        let _ = greedy_iou_match(&[], &[], 1.5);
+    }
+
+    #[test]
+    fn result_sorted_by_descending_iou() {
+        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.5, 0.5, 0.2, 0.2)];
+        let right = vec![BBox::new(0.02, 0.0, 0.2, 0.2), BBox::new(0.58, 0.5, 0.2, 0.2)];
+        let m = greedy_iou_match(&left, &right, 0.1);
+        assert_eq!(m.len(), 2);
+        assert!(m[0].iou >= m[1].iou);
+    }
+}

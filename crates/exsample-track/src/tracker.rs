@@ -1,0 +1,256 @@
+//! A SORT-like IoU tracker.
+//!
+//! The paper constructs approximate ground truth by sequentially scanning every
+//! video, running the reference detector on every frame, and linking detections
+//! across adjacent frames with IoU matching "similar to SORT" (Section V-A).  This
+//! module implements that tracker: it consumes per-frame detections in temporal
+//! order and emits tracks, each of which corresponds to one distinct object
+//! instance.
+
+use crate::matcher::{greedy_iou_match, unmatched_right};
+use exsample_detect::{BBox, Detection};
+use exsample_video::FrameId;
+
+/// Identifier assigned to a track by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u64);
+
+impl std::fmt::Display for TrackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "track{}", self.0)
+    }
+}
+
+/// A track: one object followed over consecutive frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Track identifier.
+    pub id: TrackId,
+    /// `(frame, box)` observations in increasing frame order.
+    pub observations: Vec<(FrameId, BBox)>,
+}
+
+impl Track {
+    /// First frame of the track.
+    pub fn first_frame(&self) -> FrameId {
+        self.observations.first().expect("tracks are never empty").0
+    }
+
+    /// Last frame of the track.
+    pub fn last_frame(&self) -> FrameId {
+        self.observations.last().expect("tracks are never empty").0
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the track has no observations (never true for emitted tracks).
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The most recent box.
+    pub fn last_box(&self) -> BBox {
+        self.observations.last().expect("tracks are never empty").1
+    }
+}
+
+/// Configuration and state of the IoU tracker.
+#[derive(Debug, Clone)]
+pub struct IouTracker {
+    /// Minimum IoU to link a detection to an existing track.
+    min_iou: f64,
+    /// A track is closed if it has not been matched for this many frames.
+    max_gap: u64,
+    next_id: u64,
+    active: Vec<Track>,
+    finished: Vec<Track>,
+    last_frame: Option<FrameId>,
+}
+
+impl IouTracker {
+    /// Create a tracker.
+    ///
+    /// `min_iou` is the association threshold (the SORT default of 0.3 is a good
+    /// choice for adjacent-frame matching); `max_gap` is the number of frames a
+    /// track may go unmatched before it is closed.
+    pub fn new(min_iou: f64, max_gap: u64) -> Self {
+        assert!((0.0..=1.0).contains(&min_iou));
+        IouTracker {
+            min_iou,
+            max_gap,
+            next_id: 0,
+            active: Vec::new(),
+            finished: Vec::new(),
+            last_frame: None,
+        }
+    }
+
+    /// A tracker with typical SORT-style defaults (IoU 0.3, gap 3 frames).
+    pub fn with_defaults() -> Self {
+        IouTracker::new(0.3, 3)
+    }
+
+    /// Feed the detections of one frame.  Frames must be fed in increasing order.
+    pub fn step(&mut self, frame: FrameId, detections: &[Detection]) {
+        if let Some(last) = self.last_frame {
+            assert!(frame > last, "frames must be fed in increasing order");
+        }
+        self.last_frame = Some(frame);
+
+        // Close tracks that have gone stale.
+        let max_gap = self.max_gap;
+        let mut still_active = Vec::with_capacity(self.active.len());
+        for track in self.active.drain(..) {
+            if frame - track.last_frame() > max_gap {
+                self.finished.push(track);
+            } else {
+                still_active.push(track);
+            }
+        }
+        self.active = still_active;
+
+        // Associate detections with active tracks.
+        let track_boxes: Vec<BBox> = self.active.iter().map(Track::last_box).collect();
+        let det_boxes: Vec<BBox> = detections.iter().map(|d| d.bbox).collect();
+        let matches = greedy_iou_match(&track_boxes, &det_boxes, self.min_iou);
+        for m in &matches {
+            self.active[m.left].observations.push((frame, det_boxes[m.right]));
+        }
+
+        // Unmatched detections start new tracks.
+        for idx in unmatched_right(det_boxes.len(), &matches) {
+            let id = TrackId(self.next_id);
+            self.next_id += 1;
+            self.active.push(Track {
+                id,
+                observations: vec![(frame, det_boxes[idx])],
+            });
+        }
+    }
+
+    /// Number of currently active (not yet closed) tracks.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Finish tracking and return all tracks (closed and still active), sorted by
+    /// their first frame.
+    pub fn finish(mut self) -> Vec<Track> {
+        self.finished.append(&mut self.active);
+        self.finished.sort_by_key(Track::first_frame);
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_detect::ObjectClass;
+
+    fn det(x: f64, y: f64) -> Detection {
+        Detection::new(BBox::new(x, y, 0.1, 0.1), ObjectClass::from("car"), 0.9)
+    }
+
+    #[test]
+    fn single_object_forms_single_track() {
+        let mut t = IouTracker::with_defaults();
+        for frame in 0..10u64 {
+            // Object drifts slowly to the right.
+            t.step(frame, &[det(0.1 + frame as f64 * 0.005, 0.5)]);
+        }
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].len(), 10);
+        assert_eq!(tracks[0].first_frame(), 0);
+        assert_eq!(tracks[0].last_frame(), 9);
+    }
+
+    #[test]
+    fn two_separated_objects_form_two_tracks() {
+        let mut t = IouTracker::with_defaults();
+        for frame in 0..5u64 {
+            t.step(frame, &[det(0.1, 0.1), det(0.8, 0.8)]);
+        }
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 2);
+        assert!(tracks.iter().all(|tr| tr.len() == 5));
+    }
+
+    #[test]
+    fn gap_longer_than_max_gap_splits_track() {
+        let mut t = IouTracker::new(0.3, 2);
+        t.step(0, &[det(0.5, 0.5)]);
+        t.step(1, &[det(0.5, 0.5)]);
+        // Object disappears for 5 frames.
+        t.step(2, &[]);
+        t.step(6, &[]);
+        t.step(7, &[det(0.5, 0.5)]);
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 2, "a long gap should start a new track");
+    }
+
+    #[test]
+    fn gap_within_max_gap_keeps_track_alive() {
+        let mut t = IouTracker::new(0.3, 3);
+        t.step(0, &[det(0.5, 0.5)]);
+        t.step(1, &[]);
+        t.step(2, &[det(0.5, 0.5)]);
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].len(), 2);
+    }
+
+    #[test]
+    fn fast_moving_object_splits_when_iou_drops() {
+        let mut t = IouTracker::new(0.5, 3);
+        t.step(0, &[det(0.1, 0.1)]);
+        // Jumps far away: IoU 0 with the previous box, so a new track must start.
+        t.step(1, &[det(0.7, 0.7)]);
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn crossing_objects_keep_identity_by_best_overlap() {
+        let mut t = IouTracker::new(0.1, 3);
+        // Two objects approach each other slowly; greedy best-overlap matching
+        // should keep two tracks alive the whole time.
+        for frame in 0..20u64 {
+            let a = det(0.2 + frame as f64 * 0.01, 0.5);
+            let b = det(0.6 - frame as f64 * 0.01, 0.5);
+            t.step(frame, &[a, b]);
+        }
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 2);
+        assert!(tracks.iter().all(|tr| tr.len() == 20));
+    }
+
+    #[test]
+    fn active_count_reflects_open_tracks() {
+        let mut t = IouTracker::with_defaults();
+        t.step(0, &[det(0.1, 0.1), det(0.8, 0.8)]);
+        assert_eq!(t.active_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_frames_panic() {
+        let mut t = IouTracker::with_defaults();
+        t.step(5, &[]);
+        t.step(4, &[]);
+    }
+
+    #[test]
+    fn finish_sorts_by_first_frame() {
+        let mut t = IouTracker::new(0.3, 1);
+        t.step(0, &[det(0.1, 0.1)]);
+        t.step(10, &[det(0.8, 0.8)]);
+        t.step(20, &[det(0.4, 0.4)]);
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 3);
+        assert!(tracks.windows(2).all(|w| w[0].first_frame() <= w[1].first_frame()));
+    }
+}

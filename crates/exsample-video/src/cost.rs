@@ -1,0 +1,196 @@
+//! Decode / IO cost model.
+//!
+//! The paper's time accounting (Section V-B) rests on two measured throughputs:
+//!
+//! * **Scanning** (sequential io + decode, as a proxy model must do to score every
+//!   frame): about **100 frames per second**.
+//! * **Sampled processing** (random-access decode + object detection, as ExSample
+//!   and the random baseline do): about **20 frames per second**, dominated by the
+//!   object detector.
+//!
+//! This module models those costs explicitly so experiments can convert "frames
+//!  processed" into wall-clock / GPU seconds the way the paper does, and also
+//! exposes a finer-grained per-frame model (decode cost proportional to keyframe
+//! distance) used in ablation experiments.
+
+use crate::repository::VideoRepository;
+use crate::FrameId;
+
+/// The cost of materialising one frame, broken into decode and detection parts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameCost {
+    /// Seconds spent on IO + decode.
+    pub decode_secs: f64,
+    /// Seconds spent running the object detector (zero for scan-only operations).
+    pub detect_secs: f64,
+}
+
+impl FrameCost {
+    /// Total seconds for this frame.
+    pub fn total_secs(&self) -> f64 {
+        self.decode_secs + self.detect_secs
+    }
+}
+
+/// Throughput-based cost model matching the paper's measured rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeCostModel {
+    /// Sequential scan throughput in frames/second (io + decode only).
+    pub scan_fps: f64,
+    /// Random-access sampling throughput in frames/second including detection.
+    pub sample_fps: f64,
+    /// Object detector throughput in frames/second on its own.
+    pub detector_fps: f64,
+    /// If true, random-access decode cost scales with the distance to the previous
+    /// keyframe instead of being a flat per-frame constant.
+    pub keyframe_aware: bool,
+}
+
+impl Default for DecodeCostModel {
+    fn default() -> Self {
+        DecodeCostModel {
+            scan_fps: 100.0,
+            sample_fps: 20.0,
+            detector_fps: 10.0,
+            keyframe_aware: false,
+        }
+    }
+}
+
+impl DecodeCostModel {
+    /// The paper's measured configuration (scan 100 fps, sample 20 fps, detector
+    /// 10 fps).
+    pub fn paper() -> Self {
+        DecodeCostModel::default()
+    }
+
+    /// A keyframe-aware variant of the paper configuration, used in ablations.
+    pub fn keyframe_aware() -> Self {
+        DecodeCostModel {
+            keyframe_aware: true,
+            ..DecodeCostModel::default()
+        }
+    }
+
+    /// Seconds to *scan* (decode sequentially, without detection) `frames` frames.
+    pub fn scan_secs(&self, frames: u64) -> f64 {
+        frames as f64 / self.scan_fps
+    }
+
+    /// Seconds to *scan and score* `frames` frames with a cheap proxy model.
+    ///
+    /// The paper measures the proxy scoring phase to be bound by io+decode, so this
+    /// equals [`DecodeCostModel::scan_secs`]; it exists as a separate method so
+    /// call sites say what they mean.
+    pub fn proxy_scoring_secs(&self, frames: u64) -> f64 {
+        self.scan_secs(frames)
+    }
+
+    /// Seconds to process `frames` *sampled* frames (random-access decode plus
+    /// object detection).
+    pub fn sampled_processing_secs(&self, frames: u64) -> f64 {
+        frames as f64 / self.sample_fps
+    }
+
+    /// Cost of one sampled frame, optionally keyframe-aware.
+    ///
+    /// In the flat model the decode share of a sampled frame is the difference
+    /// between the full sampling cost (`1/sample_fps`) and the pure detection cost
+    /// (`1/detector_fps` would exceed it, so we attribute `1/sample_fps` minus the
+    /// scan cost to detection instead).  In the keyframe-aware model the decode
+    /// share scales with the number of frames decoded to reach the target.
+    pub fn sampled_frame_cost(&self, repo: &VideoRepository, frame: FrameId) -> FrameCost {
+        let per_frame_decode = 1.0 / self.scan_fps;
+        let decode_secs = if self.keyframe_aware {
+            per_frame_decode * repo.random_access_decode_frames(frame) as f64
+        } else {
+            per_frame_decode
+        };
+        let detect_secs = (1.0 / self.sample_fps - per_frame_decode).max(0.0);
+        FrameCost {
+            decode_secs,
+            detect_secs,
+        }
+    }
+
+    /// Seconds to process `frames` frames in batches of `batch` on a detector whose
+    /// batched throughput improves by `batch_speedup` (>= 1) relative to the
+    /// single-frame rate.
+    ///
+    /// Models the "Batched sampling" optimisation of Section III-F.
+    pub fn batched_processing_secs(&self, frames: u64, batch: usize, batch_speedup: f64) -> f64 {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(batch_speedup >= 1.0, "batched inference cannot be slower than single-frame");
+        self.sampled_processing_secs(frames) / batch_speedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates() {
+        let m = DecodeCostModel::paper();
+        assert_eq!(m.scan_fps, 100.0);
+        assert_eq!(m.sample_fps, 20.0);
+        // 1.1M frames (the dashcam dataset) scans in ~3.06 hours: the paper's
+        // Table I quotes 2h54m for the dashcam scan, same order.
+        let hours = m.scan_secs(1_100_000) / 3600.0;
+        assert!((hours - 3.06).abs() < 0.1, "hours {hours}");
+    }
+
+    #[test]
+    fn sampling_is_slower_per_frame_than_scanning() {
+        let m = DecodeCostModel::paper();
+        assert!(m.sampled_processing_secs(100) > m.scan_secs(100));
+    }
+
+    #[test]
+    fn frame_cost_flat_model() {
+        let m = DecodeCostModel::paper();
+        let repo = VideoRepository::single_clip(1000);
+        let c = m.sampled_frame_cost(&repo, 57);
+        assert!((c.total_secs() - 1.0 / 20.0).abs() < 1e-12);
+        assert!(c.decode_secs > 0.0 && c.detect_secs > 0.0);
+    }
+
+    #[test]
+    fn frame_cost_keyframe_aware_model() {
+        let m = DecodeCostModel::keyframe_aware();
+        let repo = VideoRepository::single_clip(1000);
+        // Frame 0 is a keyframe: decode cost = 1 frame. Frame 19 needs 20 frames.
+        let cheap = m.sampled_frame_cost(&repo, 0);
+        let dear = m.sampled_frame_cost(&repo, 19);
+        assert!(dear.decode_secs > cheap.decode_secs);
+        assert!((dear.decode_secs - 20.0 * cheap.decode_secs).abs() < 1e-12);
+        // Detection cost identical in both.
+        assert_eq!(cheap.detect_secs, dear.detect_secs);
+    }
+
+    #[test]
+    fn proxy_scoring_matches_scan() {
+        let m = DecodeCostModel::paper();
+        assert_eq!(m.proxy_scoring_secs(12345), m.scan_secs(12345));
+    }
+
+    #[test]
+    fn batched_processing_speedup() {
+        let m = DecodeCostModel::paper();
+        let single = m.sampled_processing_secs(1000);
+        let batched = m.batched_processing_secs(1000, 16, 2.0);
+        assert!((batched - single / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        DecodeCostModel::paper().batched_processing_secs(10, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be slower")]
+    fn sub_one_speedup_panics() {
+        DecodeCostModel::paper().batched_processing_secs(10, 4, 0.5);
+    }
+}

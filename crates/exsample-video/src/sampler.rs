@@ -1,0 +1,390 @@
+//! Within-chunk frame samplers.
+//!
+//! ExSample picks a chunk via Thompson sampling and then a frame *within* that
+//! chunk.  The paper uses two within-chunk strategies:
+//!
+//! * plain uniform sampling **without replacement** ([`UniformSampler`]), which is
+//!   also the global `random` baseline when applied to the whole repository as a
+//!   single chunk; and
+//! * **`random+`** ([`RandomPlusSampler`], Section III-F), which avoids sampling
+//!   temporally close to previous samples by working through a hierarchy of
+//!   progressively finer segments: first one random frame from the whole range,
+//!   then one from each unsampled half, then from each quarter, and so on until the
+//!   full range is exhausted.
+
+use crate::FrameId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A sampler producing frame offsets `0..len` in some order, without replacement.
+///
+/// Offsets are relative to the start of the range being sampled (a chunk or the
+/// whole repository); callers add the chunk's start frame to obtain global ids.
+pub trait FrameSampler {
+    /// Total number of frames in the range.
+    fn len(&self) -> u64;
+
+    /// Whether the range is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of frames already produced.
+    fn sampled(&self) -> u64;
+
+    /// Number of frames not yet produced.
+    fn remaining(&self) -> u64 {
+        self.len() - self.sampled()
+    }
+
+    /// Produce the next frame offset, or `None` when the range is exhausted.
+    fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FrameId>;
+}
+
+/// Uniform sampling without replacement over `0..len`.
+///
+/// Implemented as a sparse Fisher–Yates shuffle: the virtual array `0..len` is
+/// shuffled lazily, storing only the entries that have been displaced.  Memory is
+/// proportional to the number of frames *sampled*, not to the length of the range,
+/// which matters because simulated repositories reach tens of millions of frames
+/// while queries typically sample only thousands.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    len: u64,
+    drawn: u64,
+    /// Sparse representation of the partially shuffled array.
+    displaced: HashMap<u64, u64>,
+}
+
+impl UniformSampler {
+    /// Create a sampler over the range `0..len`.
+    pub fn new(len: u64) -> Self {
+        UniformSampler {
+            len,
+            drawn: 0,
+            displaced: HashMap::new(),
+        }
+    }
+}
+
+impl FrameSampler for UniformSampler {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn sampled(&self) -> u64 {
+        self.drawn
+    }
+
+    fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FrameId> {
+        if self.drawn >= self.len {
+            return None;
+        }
+        // Classic sparse Fisher-Yates: pick a position in [drawn, len), swap its
+        // value with position `drawn`, return the value that was at the picked slot.
+        let pick = rng.gen_range(self.drawn..self.len);
+        let picked_value = *self.displaced.get(&pick).unwrap_or(&pick);
+        let current_value = *self.displaced.get(&self.drawn).unwrap_or(&self.drawn);
+        self.displaced.insert(pick, current_value);
+        self.displaced.remove(&self.drawn);
+        self.drawn += 1;
+        Some(picked_value)
+    }
+}
+
+/// The `random+` sampler of Section III-F.
+///
+/// Maintains a frontier of segments.  Each *round* visits every segment in random
+/// order and draws one not-yet-sampled frame from it; segments are then split in
+/// half for the next round.  Early samples are therefore spread out across the
+/// whole range (one per segment) instead of clustering the way independent uniform
+/// draws can, while the eventual ordering still covers every frame exactly once.
+#[derive(Debug, Clone)]
+pub struct RandomPlusSampler {
+    len: u64,
+    drawn: u64,
+    /// Segments remaining to be visited in the current round, in randomised order.
+    current_round: Vec<Segment>,
+    /// Segments queued for the next round.
+    next_round: Vec<Segment>,
+}
+
+/// A contiguous sub-range together with the offsets already sampled from it.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: u64,
+    end: u64,
+    /// Offsets (absolute, within `0..len`) already drawn from this segment.
+    ///
+    /// A segment is visited once per round and split each round, so this list stays
+    /// short (its length is bounded by the number of rounds, i.e. `log2(len)`).
+    taken: Vec<u64>,
+}
+
+impl Segment {
+    fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    fn available(&self) -> u64 {
+        self.len() - self.taken.len() as u64
+    }
+
+    /// Draw one untaken offset uniformly from this segment.
+    fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        debug_assert!(self.available() > 0);
+        // Rejection sampling is fine: at most log2(len) offsets are ever taken from
+        // a segment, so the acceptance probability stays close to one except for
+        // tiny (few-frame) segments, where the loop still terminates quickly.
+        loop {
+            let candidate = rng.gen_range(self.start..self.end);
+            if !self.taken.contains(&candidate) {
+                self.taken.push(candidate);
+                return candidate;
+            }
+        }
+    }
+
+    /// Split the segment into halves, partitioning the taken offsets accordingly.
+    fn split(self) -> (Option<Segment>, Option<Segment>) {
+        if self.len() <= 1 {
+            // A single-frame segment cannot be split; it survives as-is if untaken.
+            return if self.available() > 0 {
+                (Some(self), None)
+            } else {
+                (None, None)
+            };
+        }
+        let mid = self.start + self.len() / 2;
+        let (left_taken, right_taken): (Vec<u64>, Vec<u64>) =
+            self.taken.iter().partition(|&&o| o < mid);
+        let left = Segment {
+            start: self.start,
+            end: mid,
+            taken: left_taken,
+        };
+        let right = Segment {
+            start: mid,
+            end: self.end,
+            taken: right_taken,
+        };
+        let keep = |s: Segment| if s.available() > 0 { Some(s) } else { None };
+        (keep(left), keep(right))
+    }
+}
+
+impl RandomPlusSampler {
+    /// Create a `random+` sampler over the range `0..len`.
+    pub fn new(len: u64) -> Self {
+        let current_round = if len > 0 {
+            vec![Segment {
+                start: 0,
+                end: len,
+                taken: Vec::new(),
+            }]
+        } else {
+            Vec::new()
+        };
+        RandomPlusSampler {
+            len,
+            drawn: 0,
+            current_round,
+            next_round: Vec::new(),
+        }
+    }
+
+    /// Advance to the next round: split every pending segment and shuffle the order
+    /// in which the new segments will be visited.
+    fn advance_round<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        debug_assert!(self.current_round.is_empty());
+        let pending = std::mem::take(&mut self.next_round);
+        let mut fresh = Vec::with_capacity(pending.len() * 2);
+        for segment in pending {
+            let (a, b) = segment.split();
+            if let Some(a) = a {
+                fresh.push(a);
+            }
+            if let Some(b) = b {
+                fresh.push(b);
+            }
+        }
+        // Visit segments in random order within the round (Fisher–Yates).
+        for i in (1..fresh.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            fresh.swap(i, j);
+        }
+        self.current_round = fresh;
+    }
+}
+
+impl FrameSampler for RandomPlusSampler {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn sampled(&self) -> u64 {
+        self.drawn
+    }
+
+    fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FrameId> {
+        if self.drawn >= self.len {
+            return None;
+        }
+        if self.current_round.is_empty() {
+            self.advance_round(rng);
+            if self.current_round.is_empty() {
+                return None;
+            }
+        }
+        let mut segment = self
+            .current_round
+            .pop()
+            .expect("current round checked non-empty above");
+        let offset = segment.draw(rng);
+        if segment.available() > 0 {
+            self.next_round.push(segment);
+        }
+        self.drawn += 1;
+        Some(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn drain<S: FrameSampler>(sampler: &mut S, rng: &mut StdRng) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(f) = sampler.next_frame(rng) {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_covers_range_without_repeats() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut s = UniformSampler::new(1000);
+        let drawn = drain(&mut s, &mut rng);
+        assert_eq!(drawn.len(), 1000);
+        let unique: HashSet<u64> = drawn.iter().copied().collect();
+        assert_eq!(unique.len(), 1000);
+        assert!(drawn.iter().all(|&f| f < 1000));
+        assert_eq!(s.remaining(), 0);
+        assert!(s.next_frame(&mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_first_draw_is_uniform() {
+        // Draw the first sample from a fresh sampler many times; the empirical
+        // distribution over 10 buckets should be close to uniform.
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut buckets = [0u32; 10];
+        for _ in 0..20_000 {
+            let mut s = UniformSampler::new(100);
+            let f = s.next_frame(&mut rng).unwrap();
+            buckets[(f / 10) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((f64::from(b) - 2000.0).abs() < 250.0, "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn uniform_memory_is_proportional_to_draws() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut s = UniformSampler::new(10_000_000);
+        for _ in 0..100 {
+            s.next_frame(&mut rng).unwrap();
+        }
+        assert!(s.displaced.len() <= 200);
+    }
+
+    #[test]
+    fn uniform_empty_range() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let mut s = UniformSampler::new(0);
+        assert!(s.is_empty());
+        assert!(s.next_frame(&mut rng).is_none());
+    }
+
+    #[test]
+    fn random_plus_covers_range_without_repeats() {
+        let mut rng = StdRng::seed_from_u64(85);
+        for len in [1u64, 2, 3, 7, 64, 100, 1023] {
+            let mut s = RandomPlusSampler::new(len);
+            let drawn = drain(&mut s, &mut rng);
+            assert_eq!(drawn.len() as u64, len, "len {len}");
+            let unique: HashSet<u64> = drawn.iter().copied().collect();
+            assert_eq!(unique.len() as u64, len, "len {len}");
+            assert!(drawn.iter().all(|&f| f < len));
+        }
+    }
+
+    #[test]
+    fn random_plus_spreads_early_samples() {
+        // The first 32 samples include a full round of 16 segments of 64 frames
+        // each; those 16 samples necessarily land in 16 distinct 32-frame stripes,
+        // so the first 32 samples of a 1024-frame range must hit at least 16
+        // distinct stripes. (Uniform sampling gives no such guarantee.)
+        let mut rng = StdRng::seed_from_u64(86);
+        let mut s = RandomPlusSampler::new(1024);
+        let mut stripes = HashSet::new();
+        for _ in 0..32 {
+            let f = s.next_frame(&mut rng).unwrap();
+            stripes.insert(f / 32);
+        }
+        assert!(stripes.len() >= 16, "stripes hit: {}", stripes.len());
+    }
+
+    #[test]
+    fn random_plus_first_sample_spread_beats_uniform_on_average() {
+        // Average number of distinct 1/32 stripes hit by the first 32 samples,
+        // across many trials: random+ should dominate uniform.
+        let trials = 200;
+        let mut rng = StdRng::seed_from_u64(87);
+        let mut rp_total = 0usize;
+        let mut uni_total = 0usize;
+        for _ in 0..trials {
+            let mut rp = RandomPlusSampler::new(4096);
+            let mut uni = UniformSampler::new(4096);
+            let mut rp_stripes = HashSet::new();
+            let mut uni_stripes = HashSet::new();
+            for _ in 0..32 {
+                rp_stripes.insert(rp.next_frame(&mut rng).unwrap() / 128);
+                uni_stripes.insert(uni.next_frame(&mut rng).unwrap() / 128);
+            }
+            rp_total += rp_stripes.len();
+            uni_total += uni_stripes.len();
+        }
+        assert!(
+            rp_total > uni_total,
+            "random+ stripes {rp_total} vs uniform {uni_total}"
+        );
+    }
+
+    #[test]
+    fn random_plus_empty_and_single() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let mut s = RandomPlusSampler::new(0);
+        assert!(s.next_frame(&mut rng).is_none());
+        let mut s = RandomPlusSampler::new(1);
+        assert_eq!(s.next_frame(&mut rng), Some(0));
+        assert!(s.next_frame(&mut rng).is_none());
+    }
+
+    #[test]
+    fn samplers_report_progress() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let mut s = RandomPlusSampler::new(10);
+        assert_eq!(s.sampled(), 0);
+        assert_eq!(s.remaining(), 10);
+        s.next_frame(&mut rng);
+        s.next_frame(&mut rng);
+        assert_eq!(s.sampled(), 2);
+        assert_eq!(s.remaining(), 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! Searching for a *rare* object class with a realistic, noisy pipeline.
+//!
+//! The paper's urban-planning / mapping scenario: find most instances (90 % recall)
+//! of a rare class — motorcycles in the night-street analog — using the noisy
+//! simulated detector and the paper-faithful tracking discriminator instead of the
+//! oracle used in controlled simulations.  This exercises the full substrate stack:
+//! detector misses and false positives, IoU matching against stored track
+//! positions, and per-chunk statistics that can dip below zero when an object is
+//! re-seen from another chunk.
+//!
+//! ```bash
+//! cargo run --release --example rare_object_hunt
+//! ```
+
+use exsample::core::ExSampleConfig;
+use exsample::data::datasets::{night_street, DatasetAnalog};
+use exsample::detect::DetectorNoise;
+use exsample::sim::runner::DiscriminatorKind;
+use exsample::sim::{format_duration, MethodKind, QueryRunner, StopCondition};
+use exsample::video::DecodeCostModel;
+
+fn main() {
+    let dataset = DatasetAnalog::new(night_street(), 21).with_scale(0.25).generate();
+    let class = "motorcycle";
+    let total = dataset.instance_count(&class.into());
+    let cost = DecodeCostModel::paper();
+
+    println!(
+        "night-street analog: {:.1} hours of video, {} chunks, {} distinct motorcycles",
+        dataset.repository().total_duration_hours(),
+        dataset.chunking().len(),
+        total
+    );
+    println!("query: reach 90% recall with a noisy detector and the tracking discriminator\n");
+
+    let noise = DetectorNoise {
+        miss_rate: 0.1,
+        false_positives_per_frame: 0.05,
+        localization_sigma: 0.01,
+        min_true_score: 0.5,
+    };
+
+    for (label, kind) in [
+        ("exsample", MethodKind::ExSample(ExSampleConfig::default())),
+        ("random", MethodKind::Random),
+    ] {
+        let result = QueryRunner::new(&dataset)
+            .class(class)
+            .stop(StopCondition::Recall(0.9))
+            .frame_cap(dataset.total_frames() / 2)
+            .detector_noise(noise)
+            .discriminator(DiscriminatorKind::Tracking)
+            .seed(17)
+            .run(kind);
+        println!(
+            "{label:<9} frames: {:>7}  recall: {:.2}  distinct objects reported: {:>4}  (of which {} are real)  time: {}",
+            result.frames_processed,
+            result.recall(),
+            result.distinct_found,
+            result.true_found,
+            format_duration(cost.sampled_processing_secs(result.frames_processed)),
+        );
+    }
+
+    println!();
+    println!("The tracking discriminator occasionally reports a false-positive detection as");
+    println!("a distinct object (the detector noise is configured to produce them), which is");
+    println!("why `distinct objects reported` can exceed the number of real motorcycles");
+    println!("found — exactly the behaviour a deployment with an imperfect detector shows.");
+}

@@ -1,0 +1,287 @@
+//! Cross-crate integration tests: the full sampling pipeline (workload generation →
+//! chunking → ExSample → simulated detector → discriminator → metrics) behaves the
+//! way the paper describes.
+
+use exsample::core::{ChunkSelectionPolicy, ExSample, ExSampleConfig};
+use exsample::data::datasets::{bdd_mot, DatasetAnalog};
+use exsample::data::{Dataset, GridWorkload, SkewLevel};
+use exsample::detect::DetectorNoise;
+use exsample::sim::runner::DiscriminatorKind;
+use exsample::sim::{run_trials, MethodKind, QueryRunner, StopCondition};
+use exsample::video::DecodeCostModel;
+
+fn skewed_dataset(seed: u64) -> Dataset {
+    GridWorkload::builder()
+        .frames(400_000)
+        .instances(800)
+        .chunks(32)
+        .mean_duration(200.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(seed)
+        .build()
+        .expect("valid workload")
+        .generate()
+}
+
+fn uniform_dataset(seed: u64) -> Dataset {
+    GridWorkload::builder()
+        .frames(400_000)
+        .instances(800)
+        .chunks(32)
+        .mean_duration(200.0)
+        .skew(SkewLevel::None)
+        .seed(seed)
+        .build()
+        .expect("valid workload")
+        .generate()
+}
+
+/// On skewed data, ExSample finds clearly more objects than random within the same
+/// frame budget (the paper's central claim).
+#[test]
+fn exsample_beats_random_on_skewed_data() {
+    let dataset = skewed_dataset(1);
+    let budget = 5_000u64;
+    let trials = 3;
+    let exsample = run_trials(trials, true, |trial| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(100 + trial)
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+    });
+    let random = run_trials(trials, true, |trial| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(100 + trial)
+            .run(MethodKind::Random)
+    });
+    let avg = |set: &exsample::sim::TrialSet| {
+        set.results.iter().map(|r| r.true_found as f64).sum::<f64>() / set.len() as f64
+    };
+    assert!(
+        avg(&exsample) > avg(&random) * 1.3,
+        "exsample {} vs random {}",
+        avg(&exsample),
+        avg(&random)
+    );
+}
+
+/// On data with no skew, ExSample performs comparably to random sampling — it never
+/// does significantly worse (the paper's "worst case" guarantee).
+#[test]
+fn exsample_matches_random_without_skew() {
+    let dataset = uniform_dataset(2);
+    let budget = 4_000u64;
+    let trials = 3;
+    let exsample = run_trials(trials, true, |trial| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(200 + trial)
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+    });
+    let random = run_trials(trials, true, |trial| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(200 + trial)
+            .run(MethodKind::Random)
+    });
+    let avg = |set: &exsample::sim::TrialSet| {
+        set.results.iter().map(|r| r.true_found as f64).sum::<f64>() / set.len() as f64
+    };
+    // Within 15% of each other.
+    let ratio = avg(&exsample) / avg(&random);
+    assert!(
+        (0.85..=1.2).contains(&ratio),
+        "exsample/random found ratio {ratio} (exsample {}, random {})",
+        avg(&exsample),
+        avg(&random)
+    );
+}
+
+/// A single chunk makes ExSample statistically equivalent to random sampling
+/// (Section IV-C's first extreme).
+#[test]
+fn single_chunk_is_equivalent_to_random() {
+    let dataset = GridWorkload::builder()
+        .frames(200_000)
+        .instances(400)
+        .chunks(1)
+        .mean_duration(150.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(3)
+        .build()
+        .unwrap()
+        .generate();
+    let budget = 2_000u64;
+    let ex = QueryRunner::new(&dataset)
+        .stop(StopCondition::FrameBudget(budget))
+        .seed(5)
+        .run(MethodKind::ExSample(ExSampleConfig::default()));
+    let rnd = QueryRunner::new(&dataset)
+        .stop(StopCondition::FrameBudget(budget))
+        .seed(5)
+        .run(MethodKind::Random);
+    let ratio = ex.true_found as f64 / rnd.true_found.max(1) as f64;
+    assert!((0.8..=1.25).contains(&ratio), "ratio {ratio}");
+}
+
+/// Runs are exactly reproducible for a fixed seed and differ across seeds.
+#[test]
+fn runs_are_deterministic_given_a_seed() {
+    let dataset = skewed_dataset(4);
+    let run = |seed: u64| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(800))
+            .seed(seed)
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+    };
+    let a = run(9);
+    let b = run(9);
+    let c = run(10);
+    assert_eq!(a.true_found, b.true_found);
+    assert_eq!(a.frames_processed, b.frames_processed);
+    assert_eq!(a.found_instances, b.found_instances);
+    assert!(a.found_instances != c.found_instances || a.true_found != c.true_found);
+}
+
+/// Exhaustive sampling finds every instance exactly once, no matter the method.
+#[test]
+fn exhaustive_run_reaches_full_recall() {
+    let dataset = GridWorkload::builder()
+        .frames(5_000)
+        .instances(40)
+        .chunks(8)
+        .mean_duration(60.0)
+        .skew(SkewLevel::Quarter)
+        .seed(6)
+        .build()
+        .unwrap()
+        .generate();
+    for kind in [
+        MethodKind::ExSample(ExSampleConfig::default()),
+        MethodKind::Random,
+        MethodKind::RandomPlus,
+        MethodKind::Sequential { stride: 1 },
+    ] {
+        let result = QueryRunner::new(&dataset)
+            .stop(StopCondition::Exhaustive)
+            .seed(7)
+            .run(kind.clone());
+        assert_eq!(result.frames_processed, 5_000, "{kind:?}");
+        assert_eq!(result.true_found, 40, "{kind:?}");
+        assert!((result.recall() - 1.0).abs() < 1e-12);
+    }
+}
+
+/// The batched sampler finds a comparable number of objects per processed frame to
+/// the sequential sampler (Section III-F: the update is commutative).
+#[test]
+fn batched_sampling_matches_sequential_efficiency() {
+    use exsample::detect::{Detector, PerfectDetector};
+    use exsample::track::{Discriminator, OracleDiscriminator};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let dataset = skewed_dataset(8);
+    let truth = Arc::clone(dataset.ground_truth());
+    let starts: Vec<u64> = dataset.chunking().chunks().iter().map(|c| c.start()).collect();
+    let budget = 3_000u64;
+
+    let run_with_batch = |batch: usize, seed: u64| -> usize {
+        let detector = PerfectDetector::new(Arc::clone(&truth), GridWorkload::class());
+        let mut discriminator = OracleDiscriminator::new();
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &dataset.chunk_lengths());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut processed = 0u64;
+        while processed < budget {
+            let want = batch.min((budget - processed) as usize);
+            let picks = sampler.next_batch(&mut rng, want);
+            if picks.is_empty() {
+                break;
+            }
+            let mut updates = Vec::new();
+            for pick in &picks {
+                let frame = starts[pick.chunk] + pick.offset;
+                let outcome = discriminator.observe(&detector.detect(frame));
+                updates.push((pick.chunk, outcome.n1_delta()));
+                processed += 1;
+            }
+            for (chunk, delta) in updates {
+                sampler.record(chunk, delta);
+            }
+        }
+        discriminator.distinct_count()
+    };
+
+    let sequential = run_with_batch(1, 31);
+    let batched = run_with_batch(32, 31);
+    let ratio = batched as f64 / sequential as f64;
+    assert!(
+        (0.75..=1.3).contains(&ratio),
+        "batched {batched} vs sequential {sequential}"
+    );
+}
+
+/// The noisy detector + tracking discriminator pipeline still achieves the recall
+/// target, and the virtual time accounting is internally consistent.
+#[test]
+fn noisy_pipeline_reaches_recall_with_consistent_accounting() {
+    let dataset = skewed_dataset(9);
+    let cost = DecodeCostModel::paper();
+    let result = QueryRunner::new(&dataset)
+        .stop(StopCondition::Recall(0.3))
+        .detector_noise(DetectorNoise::default())
+        .discriminator(DiscriminatorKind::Tracking)
+        .seed(12)
+        .run(MethodKind::ExSample(ExSampleConfig::default()));
+    assert!(result.recall() >= 0.3);
+    // Time accounting: sample_secs equals the cost model applied to the frames.
+    let expected = cost.sampled_processing_secs(result.frames_processed);
+    assert!((result.sample_secs - expected).abs() < 1e-6);
+    assert_eq!(result.scan_secs, 0.0);
+    // frames_to_recall is monotone in the recall level.
+    let f1 = result.frames_to_recall(0.1).unwrap();
+    let f3 = result.frames_to_recall(0.3).unwrap();
+    assert!(f1 <= f3);
+}
+
+/// The proxy baseline's upfront scan exceeds ExSample's entire query time on a
+/// realistic analog (the Table I architectural claim).
+#[test]
+fn proxy_scan_alone_exceeds_exsample_query_time() {
+    let dataset = DatasetAnalog::new(bdd_mot(), 5).with_scale(0.1).generate();
+    let cost = DecodeCostModel::paper();
+    let result = QueryRunner::new(&dataset)
+        .class("pedestrian")
+        .stop(StopCondition::Recall(0.9))
+        .frame_cap(dataset.total_frames())
+        .seed(3)
+        .run(MethodKind::ExSample(ExSampleConfig::default()));
+    assert!(result.recall() >= 0.9);
+    let exsample_time = cost.sampled_processing_secs(result.frames_processed);
+    let scan_time = cost.proxy_scoring_secs(dataset.total_frames());
+    assert!(
+        exsample_time < scan_time,
+        "exsample {exsample_time}s vs scan {scan_time}s"
+    );
+}
+
+/// All four chunk-selection policies complete and the adaptive ones beat the
+/// uniform policy on skewed data.
+#[test]
+fn adaptive_policies_beat_uniform_policy() {
+    let dataset = skewed_dataset(10);
+    let budget = 3_000u64;
+    let found = |policy: ChunkSelectionPolicy| {
+        QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(budget))
+            .seed(21)
+            .run(MethodKind::ExSample(ExSampleConfig::default().with_policy(policy)))
+            .true_found
+    };
+    let thompson = found(ChunkSelectionPolicy::ThompsonSampling);
+    let ucb = found(ChunkSelectionPolicy::BayesUcb);
+    let uniform = found(ChunkSelectionPolicy::UniformChunk);
+    assert!(thompson > uniform, "thompson {thompson} vs uniform {uniform}");
+    assert!(ucb > uniform, "ucb {ucb} vs uniform {uniform}");
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the cross-crate invariants the system relies on.
+
+use exsample::core::estimator;
+use exsample::data::skewgen;
+use exsample::opt::{expected_found, optimal_weights, project_to_simplex, InstanceChunkProbabilities, SolverOptions};
+use exsample::rand_ext::{Gamma, Sampler};
+use exsample::video::{Chunking, ChunkingPolicy, FrameSampler, RandomPlusSampler, UniformSampler, VideoRepository};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    /// The estimator's bias is non-negative and within the Eq. III.2 bounds for any
+    /// set of instance probabilities and sample count.
+    #[test]
+    fn estimator_bias_bounds_hold(
+        probs in proptest::collection::vec(1e-6f64..0.2, 1..60),
+        n in 1u64..5_000,
+    ) {
+        let bias = estimator::exact_relative_bias(&probs, n);
+        let (max_p, sqrt_bound) = estimator::bias_bounds(&probs);
+        prop_assert!(bias >= -1e-12);
+        prop_assert!(bias <= max_p + 1e-9, "bias {bias} > max_p {max_p}");
+        prop_assert!(bias <= sqrt_bound + 1e-9, "bias {bias} > sqrt bound {sqrt_bound}");
+    }
+
+    /// Expected distinct results are monotone in the sample count and bounded by
+    /// the instance count.
+    #[test]
+    fn expected_distinct_is_monotone_and_bounded(
+        probs in proptest::collection::vec(1e-6f64..0.3, 1..50),
+        n in 1u64..2_000,
+    ) {
+        let a = estimator::expected_distinct(&probs, n);
+        let b = estimator::expected_distinct(&probs, n + 100);
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(b <= probs.len() as f64 + 1e-9);
+    }
+
+    /// The Gamma belief's mean and variance match the paper's parameterisation for
+    /// any valid (N1, n) pair.
+    #[test]
+    fn gamma_belief_moments(n1 in 0u64..500, n in 1u64..100_000) {
+        let belief = Gamma::belief(n1 as f64, n as f64, 0.1, 1.0).unwrap();
+        let expected_mean = (n1 as f64 + 0.1) / (n as f64 + 1.0);
+        prop_assert!((belief.mean() - expected_mean).abs() < 1e-12);
+        // The belief's variance respects the Eq. III.3-style bound mean / n.
+        prop_assert!(belief.variance() <= belief.mean() / n as f64 + 1e-12);
+    }
+
+    /// Gamma samples are always strictly positive and finite.
+    #[test]
+    fn gamma_samples_positive(shape in 0.01f64..50.0, rate in 0.01f64..1_000.0, seed in 0u64..1_000) {
+        let dist = Gamma::new(shape, rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let draw = dist.sample(&mut rng);
+            prop_assert!(draw.is_finite() && draw > 0.0);
+        }
+    }
+
+    /// Any chunking policy produces a complete, non-overlapping partition.
+    #[test]
+    fn chunking_is_a_partition(
+        frames in 1u64..50_000,
+        chunk_frames in 1u64..5_000,
+        fixed_count in 1u32..64,
+        per_clip in proptest::bool::ANY,
+    ) {
+        let repo = VideoRepository::single_clip(frames);
+        let policy = if per_clip {
+            ChunkingPolicy::FixedFrames { frames: chunk_frames }
+        } else {
+            ChunkingPolicy::FixedCount { chunks: fixed_count }
+        };
+        let chunking = Chunking::new(&repo, policy);
+        let mut covered = 0u64;
+        let mut previous_end = 0u64;
+        for chunk in chunking.chunks() {
+            prop_assert!(!chunk.is_empty());
+            prop_assert_eq!(chunk.start(), previous_end);
+            previous_end = chunk.end();
+            covered += chunk.len();
+        }
+        prop_assert_eq!(covered, frames);
+        prop_assert_eq!(previous_end, frames);
+    }
+
+    /// Both within-chunk samplers enumerate every frame exactly once.
+    #[test]
+    fn samplers_are_without_replacement(len in 1u64..400, seed in 0u64..500, plus in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = HashSet::new();
+        if plus {
+            let mut sampler = RandomPlusSampler::new(len);
+            while let Some(f) = sampler.next_frame(&mut rng) {
+                prop_assert!(f < len);
+                prop_assert!(seen.insert(f));
+            }
+        } else {
+            let mut sampler = UniformSampler::new(len);
+            while let Some(f) = sampler.next_frame(&mut rng) {
+                prop_assert!(f < len);
+                prop_assert!(seen.insert(f));
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, len);
+    }
+
+    /// Simplex projection always returns a valid distribution that is no further
+    /// from the input than the uniform distribution is.
+    #[test]
+    fn simplex_projection_is_valid(v in proptest::collection::vec(-10.0f64..10.0, 1..40)) {
+        let w = project_to_simplex(&v);
+        prop_assert_eq!(w.len(), v.len());
+        prop_assert!(w.iter().all(|&x| x >= -1e-12));
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        let dist = |a: &[f64]| -> f64 { a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let uniform = vec![1.0 / v.len() as f64; v.len()];
+        prop_assert!(dist(&w) <= dist(&uniform) + 1e-9);
+    }
+
+    /// The optimal-weight solver never does worse than the uniform allocation.
+    #[test]
+    fn solver_at_least_matches_uniform(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..0.05, 3),
+            1..20
+        ),
+        n in 10u64..2_000,
+    ) {
+        let probs = InstanceChunkProbabilities::new(rows, 3);
+        let uniform = vec![1.0 / 3.0; 3];
+        let uniform_value = expected_found(&probs, &uniform, n);
+        let optimal = optimal_weights(&probs, n, SolverOptions::default());
+        prop_assert!(optimal.expected_found >= uniform_value - 1e-9);
+    }
+
+    /// The skew metric is scale-free (multiplying all counts by a constant does not
+    /// change it) and at least 1 for any non-empty histogram with instances.
+    #[test]
+    fn skew_metric_properties(
+        counts in proptest::collection::vec(0usize..50, 2..128),
+        factor in 2usize..5,
+    ) {
+        prop_assume!(counts.iter().sum::<usize>() > 0);
+        let s = skewgen::skew_metric(&counts);
+        prop_assert!(s >= 0.5, "skew {s}");
+        let scaled: Vec<usize> = counts.iter().map(|&c| c * factor).collect();
+        prop_assert!((skewgen::skew_metric(&scaled) - s).abs() < 1e-9);
+    }
+}
