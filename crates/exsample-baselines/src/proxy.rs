@@ -69,7 +69,10 @@ impl ProxyBaseline {
     /// here it costs a pass over the ground-truth intervals plus a sort.
     pub fn new(truth: &GroundTruth, class: &ObjectClass, config: ProxyConfig) -> Self {
         let total_frames = truth.total_frames();
-        assert!(total_frames > 0, "cannot build a proxy over an empty repository");
+        assert!(
+            total_frames > 0,
+            "cannot build a proxy over an empty repository"
+        );
         let mut scores = vec![0.0f32; total_frames as usize];
         for inst in truth.of_class(class) {
             for frame in inst.first_frame()..=inst.last_frame() {
@@ -200,15 +203,19 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let first_thousand: Vec<FrameId> =
-            (0..1_000).map(|_| proxy.next_frame(&mut rng).unwrap()).collect();
+        let first_thousand: Vec<FrameId> = (0..1_000)
+            .map(|_| proxy.next_frame(&mut rng).unwrap())
+            .collect();
         let car_frames = first_thousand
             .iter()
             .filter(|&&f| (1_000..1_500).contains(&f) || (7_000..7_100).contains(&f))
             .count();
         // 600 of 10_000 frames contain cars; random order would put ~60 of them in
         // the first 1000. A noisy-but-useful proxy puts far more.
-        assert!(car_frames > 300, "car frames in first 1000 picks: {car_frames}");
+        assert!(
+            car_frames > 300,
+            "car frames in first 1000 picks: {car_frames}"
+        );
     }
 
     #[test]
@@ -224,7 +231,9 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let picks: Vec<FrameId> = (0..10).map(|_| proxy.next_frame(&mut rng).unwrap()).collect();
+        let picks: Vec<FrameId> = (0..10)
+            .map(|_| proxy.next_frame(&mut rng).unwrap())
+            .collect();
         for (i, &a) in picks.iter().enumerate() {
             for &b in &picks[i + 1..] {
                 assert!(a.abs_diff(b) > 100, "picks too close: {a} and {b}");
@@ -234,7 +243,8 @@ mod tests {
 
     #[test]
     fn exhausts_every_frame_exactly_once_without_dedup() {
-        let truth = GroundTruth::from_instances(500, vec![ObjectInstance::simple(0, "car", 10, 40)]);
+        let truth =
+            GroundTruth::from_instances(500, vec![ObjectInstance::simple(0, "car", 10, 40)]);
         let mut proxy =
             ProxyBaseline::new(&truth, &ObjectClass::from("car"), ProxyConfig::default());
         let mut rng = StdRng::seed_from_u64(1);

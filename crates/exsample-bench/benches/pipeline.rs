@@ -75,5 +75,9 @@ fn bench_short_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detector_and_discriminator, bench_short_queries);
+criterion_group!(
+    benches,
+    bench_detector_and_discriminator,
+    bench_short_queries
+);
 criterion_main!(benches);

@@ -27,20 +27,24 @@ fn bench_gamma_sampling(c: &mut Criterion) {
 fn bench_chunk_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("exsample_next_frame");
     for &chunks in &[16usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, &chunks| {
-            let lengths = vec![100_000u64; chunks];
-            let mut sampler = ExSample::new(ExSampleConfig::default(), &lengths);
-            let mut rng = StdRng::seed_from_u64(2);
-            // Give the sampler some history so the beliefs are non-trivial.
-            for j in 0..chunks {
-                sampler.record(j, i64::from(j % 3 == 0));
-            }
-            b.iter(|| {
-                let pick = sampler.next_frame(&mut rng).expect("frames remain");
-                sampler.record(pick.chunk, 0);
-                black_box(pick)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chunks),
+            &chunks,
+            |b, &chunks| {
+                let lengths = vec![100_000u64; chunks];
+                let mut sampler = ExSample::new(ExSampleConfig::default(), &lengths);
+                let mut rng = StdRng::seed_from_u64(2);
+                // Give the sampler some history so the beliefs are non-trivial.
+                for j in 0..chunks {
+                    sampler.record(j, i64::from(j % 3 == 0));
+                }
+                b.iter(|| {
+                    let pick = sampler.next_frame(&mut rng).expect("frames remain");
+                    sampler.record(pick.chunk, 0);
+                    black_box(pick)
+                });
+            },
+        );
     }
     group.finish();
 }

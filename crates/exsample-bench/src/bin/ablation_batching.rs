@@ -44,7 +44,12 @@ fn main() {
         .generate();
     let class = GridWorkload::class();
     let truth = Arc::clone(dataset.ground_truth());
-    let chunk_starts: Vec<u64> = dataset.chunking().chunks().iter().map(|c| c.start()).collect();
+    let chunk_starts: Vec<u64> = dataset
+        .chunking()
+        .chunks()
+        .iter()
+        .map(|c| c.start())
+        .collect();
     let cost = DecodeCostModel::paper();
 
     println!("# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials\n");
@@ -61,7 +66,11 @@ fn main() {
         let mut founds = Summary::new();
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(
-                seeds.derive("trial").index(batch as u64).index(trial as u64).seed(),
+                seeds
+                    .derive("trial")
+                    .index(batch as u64)
+                    .index(trial as u64)
+                    .seed(),
             );
             let detector = PerfectDetector::new(Arc::clone(&truth), class.clone());
             let mut discriminator = OracleDiscriminator::new();

@@ -15,8 +15,8 @@
 use exsample_bench::{banner, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
-use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition, Table};
 use exsample_rand::SeedSequence;
+use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition, Table};
 
 fn main() {
     let options = ExperimentOptions::from_env();

@@ -58,7 +58,13 @@ fn main() {
         let set = run_trials(trials, true, |trial| {
             QueryRunner::new(&dataset)
                 .stop(StopCondition::FrameBudget(budget))
-                .seed(seeds.derive("run").index(u64::from(chunks)).index(trial).seed())
+                .seed(
+                    seeds
+                        .derive("run")
+                        .index(u64::from(chunks))
+                        .index(trial)
+                        .seed(),
+                )
                 .run(MethodKind::ExSample(ExSampleConfig::default()))
         });
 

@@ -69,7 +69,9 @@ fn main() {
                 .collect();
             let mut next = 0usize;
             while n < samples_per_trial {
-                let Some(frame) = sampler.next_frame(&mut rng) else { break };
+                let Some(frame) = sampler.next_frame(&mut rng) else {
+                    break;
+                };
                 let outcome = discriminator.observe(&detector.detect(frame));
                 for det in &outcome.new {
                     if let Some(id) = det.truth {

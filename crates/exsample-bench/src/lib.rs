@@ -60,22 +60,29 @@ impl ExperimentOptions {
                 "--csv" => options.csv = true,
                 "--trials" => {
                     let value = iter.next().ok_or("--trials requires a value")?;
-                    options.trials =
-                        Some(value.parse().map_err(|_| format!("bad --trials value: {value}"))?);
+                    options.trials = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --trials value: {value}"))?,
+                    );
                 }
                 "--scale" => {
                     let value = iter.next().ok_or("--scale requires a value")?;
-                    options.scale =
-                        Some(value.parse().map_err(|_| format!("bad --scale value: {value}"))?);
+                    options.scale = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --scale value: {value}"))?,
+                    );
                 }
                 "--seed" => {
                     let value = iter.next().ok_or("--seed requires a value")?;
-                    options.seed =
-                        value.parse().map_err(|_| format!("bad --seed value: {value}"))?;
+                    options.seed = value
+                        .parse()
+                        .map_err(|_| format!("bad --seed value: {value}"))?;
                 }
                 "--help" | "-h" => {
                     return Err(
-                        "supported flags: --full --trials N --scale X --seed N --csv".to_string()
+                        "supported flags: --full --trials N --scale X --seed N --csv".to_string(),
                     )
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -98,7 +105,8 @@ impl ExperimentOptions {
     /// The number of trials to run, given the experiment's defaults for the reduced
     /// and full configurations.
     pub fn trials_or(&self, reduced: usize, full: usize) -> usize {
-        self.trials.unwrap_or(if self.full { full } else { reduced })
+        self.trials
+            .unwrap_or(if self.full { full } else { reduced })
     }
 
     /// The dataset scale to use, given the experiment's defaults.
@@ -121,7 +129,11 @@ pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
     println!("# {reference}: {description}");
     println!(
         "# mode: {}  seed: {}",
-        if options.full { "full (paper scale)" } else { "reduced (default)" },
+        if options.full {
+            "full (paper scale)"
+        } else {
+            "reduced (default)"
+        },
         options.seed
     );
     println!();

@@ -94,12 +94,7 @@ where
         frames_processed,
         distinct_found: discriminator.distinct_count(),
         found_instances: discriminator.found_instances(),
-        samples_per_chunk: sampler
-            .stats()
-            .all()
-            .iter()
-            .map(|s| s.samples())
-            .collect(),
+        samples_per_chunk: sampler.stats().all().iter().map(|s| s.samples()).collect(),
         stop_reason,
     }
 }

@@ -96,7 +96,11 @@ pub fn bias_bounds(probabilities: &[f64]) -> (f64, f64) {
     }
     let max_p = probabilities.iter().copied().fold(0.0, f64::max);
     let mean = probabilities.iter().sum::<f64>() / n as f64;
-    let var = probabilities.iter().map(|&p| (p - mean) * (p - mean)).sum::<f64>() / n as f64;
+    let var = probabilities
+        .iter()
+        .map(|&p| (p - mean) * (p - mean))
+        .sum::<f64>()
+        / n as f64;
     let sigma = var.sqrt();
     (max_p, (n as f64).sqrt() * (mean + sigma))
 }
@@ -115,7 +119,11 @@ pub fn exact_relative_bias(probabilities: &[f64], n: u64) -> f64 {
     if e_estimate == 0.0 {
         return 0.0;
     }
-    let e_error: f64 = probabilities.iter().zip(&pi_n).map(|(&p, &pi)| p * pi).sum();
+    let e_error: f64 = probabilities
+        .iter()
+        .zip(&pi_n)
+        .map(|(&p, &pi)| p * pi)
+        .sum();
     e_error / e_estimate
 }
 
@@ -201,7 +209,10 @@ mod tests {
         for n in [1u64, 5, 20, 100, 1_000, 10_000] {
             let bias = exact_relative_bias(&ps, n);
             assert!(bias >= -1e-15, "bias must be non-negative (n = {n})");
-            assert!(bias <= max_p + 1e-12, "max_p bound violated at n = {n}: {bias} > {max_p}");
+            assert!(
+                bias <= max_p + 1e-12,
+                "max_p bound violated at n = {n}: {bias} > {max_p}"
+            );
             assert!(
                 bias <= sqrtn_bound + 1e-12,
                 "sqrt-N bound violated at n = {n}: {bias} > {sqrtn_bound}"

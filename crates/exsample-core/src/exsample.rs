@@ -60,12 +60,38 @@ impl WithinSampler {
 }
 
 /// The ExSample adaptive sampler (Algorithm 1's state).
+///
+/// # Hot-path state
+///
+/// Beyond the per-chunk statistics, the sampler maintains incrementally:
+///
+/// * `eligible` / `eligible_count` — which chunks still hold unsampled frames,
+///   updated the moment a chunk's last frame is handed out;
+/// * `remaining` — the total number of unsampled frames, so
+///   [`ExSample::remaining_frames`] and [`ExSample::is_exhausted`] are O(1)
+///   instead of an O(M) sum over the within-chunk samplers;
+/// * reusable scratch buffers for batched selection.
+///
+/// Together with the belief cache in [`ChunkStatsSet`], this makes
+/// [`ExSample::next_frame`] and [`ExSample::next_batch_into`] perform no heap
+/// allocation after the first batched call (within-chunk samplers amortise
+/// their own bookkeeping growth).
 #[derive(Debug, Clone)]
 pub struct ExSample {
     config: ExSampleConfig,
     stats: ChunkStatsSet,
     samplers: Vec<WithinSampler>,
     chunk_lengths: Vec<u64>,
+    /// Maintained eligibility mask: `eligible[j]` iff chunk `j` has unsampled frames.
+    eligible: Vec<bool>,
+    /// Number of `true` entries in `eligible`.
+    eligible_count: usize,
+    /// Maintained count of unsampled frames across all chunks.
+    remaining: u64,
+    /// Scratch buffer for batched chunk selection (chunk indices).
+    scratch_chunks: Vec<usize>,
+    /// Scratch buffer for batched chunk selection (running best draws).
+    scratch_draws: Vec<f64>,
 }
 
 impl ExSample {
@@ -79,20 +105,31 @@ impl ExSample {
     /// configuration is invalid.
     pub fn new(config: ExSampleConfig, chunk_lengths: &[u64]) -> Self {
         config.validate();
-        assert!(!chunk_lengths.is_empty(), "ExSample needs at least one chunk");
+        assert!(
+            !chunk_lengths.is_empty(),
+            "ExSample needs at least one chunk"
+        );
         assert!(
             chunk_lengths.iter().any(|&l| l > 0),
             "at least one chunk must contain frames"
         );
-        let samplers = chunk_lengths
+        let samplers: Vec<WithinSampler> = chunk_lengths
             .iter()
             .map(|&len| WithinSampler::new(config.within_chunk, len))
             .collect();
+        let eligible: Vec<bool> = chunk_lengths.iter().map(|&len| len > 0).collect();
+        let eligible_count = eligible.iter().filter(|&&e| e).count();
+        let remaining = chunk_lengths.iter().sum();
         ExSample {
             config,
-            stats: ChunkStatsSet::new(chunk_lengths.len()),
+            stats: ChunkStatsSet::with_priors(chunk_lengths.len(), config.alpha0, config.beta0),
             samplers,
             chunk_lengths: chunk_lengths.to_vec(),
+            eligible,
+            eligible_count,
+            remaining,
+            scratch_chunks: Vec::new(),
+            scratch_draws: Vec::new(),
         }
     }
 
@@ -116,54 +153,93 @@ impl ExSample {
         self.chunk_lengths[j]
     }
 
-    /// Total frames not yet sampled, across all chunks.
+    /// Total frames not yet sampled, across all chunks.  O(1): maintained as a
+    /// running counter rather than a sum over the within-chunk samplers.
     pub fn remaining_frames(&self) -> u64 {
-        self.samplers.iter().map(WithinSampler::remaining).sum()
+        self.remaining
     }
 
-    /// Whether every frame of every chunk has been sampled.
+    /// Whether every frame of every chunk has been sampled.  O(1).
     pub fn is_exhausted(&self) -> bool {
-        self.remaining_frames() == 0
+        self.remaining == 0
     }
 
-    /// Eligibility mask: chunks that still have unsampled frames.
-    fn eligibility(&self) -> Vec<bool> {
-        self.samplers.iter().map(|s| s.remaining() > 0).collect()
+    /// Book-keeping after a frame was handed out from `chunk`.
+    #[inline]
+    fn note_frame_taken(&mut self, chunk: usize) {
+        self.remaining -= 1;
+        if self.samplers[chunk].remaining() == 0 {
+            debug_assert!(self.eligible[chunk]);
+            self.eligible[chunk] = false;
+            self.eligible_count -= 1;
+        }
     }
 
     /// Choose the next frame to process (lines 3–7 of Algorithm 1).
     ///
     /// Returns `None` once every frame in the repository has been sampled.
+    /// This is the direct single-pick hot path: chunk selection reads the
+    /// maintained eligibility mask and the cached belief constants, performing
+    /// no heap allocation.
     pub fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FramePick> {
-        let eligible = self.eligibility();
-        let chunk = policy::select_chunk(&self.config, &self.stats, &eligible, rng)?;
+        if self.eligible_count == 0 {
+            return None;
+        }
+        let chunk = policy::select_chunk(&self.config, &self.stats, &self.eligible, rng)?;
         let offset = self.samplers[chunk]
             .next_frame(rng)
             .expect("selected chunk was eligible, so it has frames remaining");
+        self.note_frame_taken(chunk);
         Some(FramePick { chunk, offset })
     }
 
     /// Choose up to `batch` frames to process in one batched detector invocation
     /// (the batched-sampling optimisation of Section III-F).
     ///
+    /// Convenience wrapper around [`ExSample::next_batch_into`] that allocates
+    /// the result vector.
+    pub fn next_batch<R: Rng + ?Sized>(&mut self, rng: &mut R, batch: usize) -> Vec<FramePick> {
+        let mut picks = Vec::with_capacity(batch);
+        self.next_batch_into(rng, batch, &mut picks);
+        picks
+    }
+
+    /// Fill `picks` with up to `batch` frames to process in one batched detector
+    /// invocation, reusing the caller's buffer (and the sampler's internal
+    /// scratch space) so the call is allocation-free once buffers are warm.
+    ///
     /// The chunk indices are drawn with the same Thompson-sampling distribution as
     /// `batch` consecutive calls to [`ExSample::next_frame`] *without* intermediate
     /// state updates; per-chunk frame draws are still without replacement.  Fewer
-    /// than `batch` picks are returned only when the repository runs out of frames.
-    pub fn next_batch<R: Rng + ?Sized>(&mut self, rng: &mut R, batch: usize) -> Vec<FramePick> {
-        let mut picks = Vec::with_capacity(batch);
-        while picks.len() < batch {
-            let eligible = self.eligibility();
+    /// than `batch` picks are produced only when the repository runs out of frames.
+    pub fn next_batch_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        batch: usize,
+        picks: &mut Vec<FramePick>,
+    ) {
+        picks.clear();
+        while picks.len() < batch && self.eligible_count > 0 {
             let want = batch - picks.len();
-            let chunks = policy::select_batch(&self.config, &self.stats, &eligible, want, rng);
-            if chunks.is_empty() {
+            policy::select_batch_into(
+                &self.config,
+                &self.stats,
+                &self.eligible,
+                want,
+                rng,
+                &mut self.scratch_chunks,
+                &mut self.scratch_draws,
+            );
+            if self.scratch_chunks.is_empty() {
                 break;
             }
             let mut made_progress = false;
-            for chunk in chunks {
+            for i in 0..self.scratch_chunks.len() {
+                let chunk = self.scratch_chunks[i];
                 // A chunk may run out of frames part-way through the batch; skip
                 // those picks and let the outer loop re-select.
                 if let Some(offset) = self.samplers[chunk].next_frame(rng) {
+                    self.note_frame_taken(chunk);
                     picks.push(FramePick { chunk, offset });
                     made_progress = true;
                     if picks.len() == batch {
@@ -175,7 +251,6 @@ impl ExSample {
                 break;
             }
         }
-        picks
     }
 
     /// Record the discriminator outcome for a frame sampled from `chunk` (lines
@@ -205,7 +280,8 @@ mod tests {
 
     #[test]
     fn adapts_towards_productive_chunk() {
-        let mut sampler = ExSample::new(ExSampleConfig::default(), &[10_000, 10_000, 10_000, 10_000]);
+        let mut sampler =
+            ExSample::new(ExSampleConfig::default(), &[10_000, 10_000, 10_000, 10_000]);
         let mut rng = StdRng::seed_from_u64(101);
         // Chunk 3 yields a new object on every sample; others never do.
         for _ in 0..400 {
@@ -244,7 +320,10 @@ mod tests {
         while let Some(pick) = sampler.next_frame(&mut rng) {
             sampler.record(pick.chunk, 0);
             count += 1;
-            assert!(count <= 53, "sampler must not produce more picks than frames");
+            assert!(
+                count <= 53,
+                "sampler must not produce more picks than frames"
+            );
         }
         assert_eq!(count, 53);
         assert_eq!(sampler.remaining_frames(), 0);
@@ -306,7 +385,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(107);
         let picks = sampler.next_batch(&mut rng, 200);
         let to_productive = picks.iter().filter(|p| p.chunk == 1).count();
-        assert!(to_productive > 150, "got {to_productive}/200 picks on the productive chunk");
+        assert!(
+            to_productive > 150,
+            "got {to_productive}/200 picks on the productive chunk"
+        );
     }
 
     #[test]
@@ -333,6 +415,67 @@ mod tests {
             let share = sampler.stats().chunk(j).samples() as f64 / 2_000.0;
             assert!((share - 0.25).abs() < 0.06, "chunk {j} share {share}");
         }
+    }
+
+    #[test]
+    fn remaining_counter_stays_consistent_with_samplers() {
+        // The O(1) counter must agree with the O(M) sum over the within-chunk
+        // samplers after every pick, across both single and batched picking.
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[40, 0, 25, 60]);
+        let mut rng = StdRng::seed_from_u64(109);
+        let sum_remaining =
+            |s: &ExSample| -> u64 { s.samplers.iter().map(WithinSampler::remaining).sum() };
+        assert_eq!(sampler.remaining_frames(), 125);
+        assert_eq!(sampler.remaining_frames(), sum_remaining(&sampler));
+        let mut taken = 0u64;
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            sampler.record(pick.chunk, 0);
+            taken += 1;
+            assert_eq!(sampler.remaining_frames(), 125 - taken);
+            assert_eq!(sampler.remaining_frames(), sum_remaining(&sampler));
+            if taken == 50 {
+                break;
+            }
+        }
+        let mut picks = Vec::new();
+        while !sampler.is_exhausted() {
+            sampler.next_batch_into(&mut rng, 7, &mut picks);
+            taken += picks.len() as u64;
+            assert_eq!(sampler.remaining_frames(), 125 - taken);
+            assert_eq!(sampler.remaining_frames(), sum_remaining(&sampler));
+        }
+        assert_eq!(taken, 125);
+        assert!(sampler.is_exhausted());
+    }
+
+    #[test]
+    fn next_batch_into_reuses_buffers_and_matches_next_batch_semantics() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[1_000; 8]);
+        let mut rng = StdRng::seed_from_u64(110);
+        let mut picks = Vec::new();
+        sampler.next_batch_into(&mut rng, 16, &mut picks);
+        assert_eq!(picks.len(), 16);
+        // Warm buffers: repeated calls must not grow any of them.
+        let cap = picks.capacity();
+        let scratch_cap = (
+            sampler.scratch_chunks.capacity(),
+            sampler.scratch_draws.capacity(),
+        );
+        for _ in 0..100 {
+            sampler.next_batch_into(&mut rng, 16, &mut picks);
+            assert_eq!(picks.len(), 16);
+            for p in &picks {
+                sampler.record(p.chunk, 0);
+            }
+        }
+        assert_eq!(picks.capacity(), cap);
+        assert_eq!(
+            (
+                sampler.scratch_chunks.capacity(),
+                sampler.scratch_draws.capacity()
+            ),
+            scratch_cap
+        );
     }
 
     #[test]

@@ -31,6 +31,38 @@
 //! * [`driver`] — [`driver::run_query`]: the complete Algorithm 1 loop wiring a
 //!   detector and discriminator to the sampler.
 //!
+//! ## Hot-path design
+//!
+//! Thompson sampling draws one Gamma value per chunk per pick, so at `M`
+//! chunks the selection step executes `M` Gamma draws for every frame that
+//! reaches the detector.  The selection hot path is engineered around three
+//! invariants (see [`stats`] and [`policy`] for details):
+//!
+//! * **Belief cache (struct-of-arrays).**  [`ChunkStatsSet`] caches each
+//!   chunk's Marsaglia–Tsang sampling constants (`d`, `c`, the `shape < 1`
+//!   boost exponent, and the rate) in four parallel arrays.  *Invalidation
+//!   rule:* chunk `j`'s entry is refreshed exactly when its `(N1_j, n_j)` pair
+//!   changes — inside `record` and `adjust_n1` — and never on the read path, so
+//!   a pick is `M` cheap cached draws instead of `M` distribution
+//!   constructions.  The cached draws are bitwise identical to sampling a
+//!   freshly constructed belief under the same RNG state.
+//! * **Allocation-free selection.**  [`ExSample`] maintains the eligibility
+//!   mask, eligible-chunk count and total remaining-frame count incrementally
+//!   (updated the moment a chunk's last frame is handed out), and keeps
+//!   reusable scratch buffers for batched selection.  `next_frame`,
+//!   `next_batch_into` and `is_exhausted` perform zero heap allocations after
+//!   warm-up — a counting-allocator test pins the policy layer to exactly
+//!   zero.  Batched selection makes a *single pass* over the chunk cache
+//!   maintaining `batch` running arg-maxes instead of `batch` full scans.
+//! * **Pruned arg-max.**  A chunk's draw is `d·v³·exp(−E/shape)/rate` with the
+//!   boost factor ≤ 1, so a multiply-compare against the running best prunes
+//!   the exponential variate, the `exp` and the division for chunks that
+//!   provably cannot win; the NaN-total `beats` relation keeps degenerate
+//!   draws from masking later chunks.  Equivalence with a textbook full-draw
+//!   arg-max is asserted by chi-square tests, and the cached and uncached
+//!   selection paths consume identical RNG streams (same picks under the same
+//!   seed, draw for draw).
+//!
 //! ## Example
 //!
 //! ```

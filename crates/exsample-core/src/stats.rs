@@ -1,7 +1,36 @@
 //! Per-chunk sampling statistics and belief distributions.
+//!
+//! # The belief cache
+//!
+//! Thompson sampling draws one value from every chunk's Gamma belief on every
+//! pick, so belief construction sits directly on the hot path.  To avoid
+//! rebuilding `M` distributions per pick, [`ChunkStatsSet`] maintains a
+//! struct-of-arrays cache of the Marsaglia–Tsang sampling constants of each
+//! chunk's belief `Γ(N1_j + α₀, n_j + β₀)`:
+//!
+//! * `cache_d[j]`, `cache_c[j]` — the squeeze constants `d = s − 1/3`,
+//!   `c = 1/√(9d)` for the (boosted) shape `s`;
+//! * `cache_boost_inv_shape[j]` — `1/shape` when `shape < 1`, else `0.0`;
+//! * `cache_rate[j]` — `n_j + β₀`.
+//!
+//! **Invalidation rule:** the cached constants of chunk `j` depend only on that
+//! chunk's `(N1_j, n_j)` pair and the priors fixed at construction, so they are
+//! refreshed exactly when `(N1_j, n_j)` changes — i.e. inside
+//! [`ChunkStatsSet::record`] and [`ChunkStatsSet::adjust_n1`] — and nowhere
+//! else.  Draws ([`ChunkStatsSet::cached_belief_draw`]) take `&self` and never
+//! touch the cache, which keeps the selection loop read-only and
+//! allocation-free.
+//!
+//! The cache is built for the priors passed to [`ChunkStatsSet::with_priors`]
+//! ([`ChunkStatsSet::new`] uses the paper defaults `α₀ = 0.1`, `β₀ = 1`).
+//! Callers that score the same statistics under *different* priors (the policy
+//! layer supports this for ablations) must fall back to the uncached path —
+//! see [`ChunkStatsSet::priors`].
 
 use crate::config::ExSampleConfig;
+use exsample_rand::gamma::{gamma_draw, mt_constants};
 use exsample_rand::Gamma;
+use rand::Rng;
 
 /// The `(N1, n)` statistics ExSample keeps for one chunk.
 ///
@@ -76,21 +105,109 @@ impl ChunkStats {
     }
 }
 
-/// The statistics of every chunk, plus aggregate bookkeeping.
+/// The statistics of every chunk, plus aggregate bookkeeping and the
+/// struct-of-arrays belief cache (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ChunkStatsSet {
     stats: Vec<ChunkStats>,
     total_samples: u64,
+    alpha0: f64,
+    beta0: f64,
+    cache_d: Vec<f64>,
+    cache_c: Vec<f64>,
+    cache_boost_inv_shape: Vec<f64>,
+    cache_rate: Vec<f64>,
 }
 
 impl ChunkStatsSet {
-    /// Create statistics for `chunks` chunks.
+    /// Create statistics for `chunks` chunks, caching beliefs for the paper's
+    /// default priors (`α₀ = 0.1`, `β₀ = 1`).
     pub fn new(chunks: usize) -> Self {
+        ChunkStatsSet::with_priors(chunks, 0.1, 1.0)
+    }
+
+    /// Create statistics for `chunks` chunks, caching beliefs for the given
+    /// Gamma priors.
+    pub fn with_priors(chunks: usize, alpha0: f64, beta0: f64) -> Self {
         assert!(chunks > 0, "ExSample needs at least one chunk");
-        ChunkStatsSet {
+        assert!(
+            alpha0 > 0.0 && beta0 > 0.0,
+            "belief priors must be positive (got alpha0 = {alpha0}, beta0 = {beta0})"
+        );
+        let mut set = ChunkStatsSet {
             stats: vec![ChunkStats::new(); chunks],
             total_samples: 0,
+            alpha0,
+            beta0,
+            cache_d: vec![0.0; chunks],
+            cache_c: vec![0.0; chunks],
+            cache_boost_inv_shape: vec![0.0; chunks],
+            cache_rate: vec![0.0; chunks],
+        };
+        for j in 0..chunks {
+            set.refresh_cache(j);
         }
+        set
+    }
+
+    /// The priors the belief cache is built for.
+    pub fn priors(&self) -> (f64, f64) {
+        (self.alpha0, self.beta0)
+    }
+
+    /// Recompute chunk `j`'s cached belief constants from its `(N1, n)` pair.
+    fn refresh_cache(&mut self, j: usize) {
+        let s = &self.stats[j];
+        let shape = s.n1() as f64 + self.alpha0;
+        let (d, c, boost_inv_shape) = mt_constants(shape);
+        self.cache_d[j] = d;
+        self.cache_c[j] = c;
+        self.cache_boost_inv_shape[j] = boost_inv_shape;
+        self.cache_rate[j] = s.samples() as f64 + self.beta0;
+    }
+
+    /// The cached Marsaglia–Tsang constants `(d, c, boost_inv_shape, rate)` of
+    /// chunk `j`'s belief.  Exposed for the selection hot path in
+    /// [`crate::policy`], which needs the raw constants to prune losing draws.
+    #[inline]
+    pub fn belief_constants(&self, j: usize) -> (f64, f64, f64, f64) {
+        (
+            self.cache_d[j],
+            self.cache_c[j],
+            self.cache_boost_inv_shape[j],
+            self.cache_rate[j],
+        )
+    }
+
+    /// The whole struct-of-arrays belief cache as parallel slices
+    /// `(d, c, boost_inv_shape, rate)`, one entry per chunk.
+    ///
+    /// The selection hot path iterates these zipped, which lets the compiler
+    /// elide per-chunk bounds checks.
+    #[inline]
+    pub fn belief_soa(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (
+            &self.cache_d,
+            &self.cache_c,
+            &self.cache_boost_inv_shape,
+            &self.cache_rate,
+        )
+    }
+
+    /// Draw one value from chunk `j`'s belief using the cached constants.
+    ///
+    /// Bitwise identical to `self.chunk(j).belief(config).sample(rng)` under
+    /// the same RNG state, provided `config`'s priors match [`Self::priors`] —
+    /// without constructing a distribution.
+    #[inline]
+    pub fn cached_belief_draw<R: Rng + ?Sized>(&self, j: usize, rng: &mut R) -> f64 {
+        gamma_draw(
+            rng,
+            self.cache_d[j],
+            self.cache_c[j],
+            self.cache_boost_inv_shape[j],
+            self.cache_rate[j],
+        )
     }
 
     /// Number of chunks.
@@ -122,11 +239,13 @@ impl ChunkStatsSet {
     pub fn record(&mut self, j: usize, n1_delta: i64) {
         self.stats[j].record(n1_delta);
         self.total_samples += 1;
+        self.refresh_cache(j);
     }
 
     /// Apply an `N1`-only adjustment to chunk `j` (no sample charged).
     pub fn adjust_n1(&mut self, j: usize, n1_delta: i64) {
         self.stats[j].adjust_n1(n1_delta);
+        self.refresh_cache(j);
     }
 
     /// The empirical fraction of samples allocated to each chunk so far.
@@ -235,5 +354,73 @@ mod tests {
     #[should_panic(expected = "at least one chunk")]
     fn zero_chunks_panics() {
         let _ = ChunkStatsSet::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priors must be positive")]
+    fn invalid_priors_panic() {
+        let _ = ChunkStatsSet::with_priors(2, 0.0, 1.0);
+    }
+
+    #[test]
+    fn cache_tracks_record_and_adjust() {
+        use exsample_rand::gamma::mt_constants;
+        let config = ExSampleConfig::default();
+        let mut set = ChunkStatsSet::new(3);
+        assert_eq!(set.priors(), (config.alpha0, config.beta0));
+        // Mutate the statistics through both update paths and check the cached
+        // constants always match a fresh computation from the belief.
+        set.record(0, 1);
+        set.record(0, 1);
+        set.record(2, 0);
+        set.adjust_n1(0, -1);
+        set.adjust_n1(1, -5); // clamped at zero in the belief
+        for j in 0..3 {
+            let belief = set.chunk(j).belief(&config);
+            let (ed, ec, eb) = mt_constants(belief.shape());
+            let (d, c, b, rate) = set.belief_constants(j);
+            assert_eq!(d.to_bits(), ed.to_bits(), "chunk {j} d");
+            assert_eq!(c.to_bits(), ec.to_bits(), "chunk {j} c");
+            assert_eq!(b.to_bits(), eb.to_bits(), "chunk {j} boost");
+            assert_eq!(rate.to_bits(), belief.rate().to_bits(), "chunk {j} rate");
+        }
+    }
+
+    #[test]
+    fn cached_belief_draw_matches_uncached_bitwise() {
+        let config = ExSampleConfig::default();
+        let mut set = ChunkStatsSet::new(2);
+        for _ in 0..40 {
+            set.record(0, 0);
+        }
+        for _ in 0..10 {
+            set.record(1, 1);
+        }
+        for j in 0..2 {
+            let belief = set.chunk(j).belief(&config);
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            for i in 0..2_000 {
+                let a = set.cached_belief_draw(j, &mut rng_a);
+                let b = belief.sample(&mut rng_b);
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk {j} draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_default_priors_are_cached_for_those_priors() {
+        let config = ExSampleConfig::default().with_priors(0.5, 2.0);
+        let mut set = ChunkStatsSet::with_priors(4, 0.5, 2.0);
+        set.record(3, 2);
+        let belief = set.chunk(3).belief(&config);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert_eq!(
+                set.cached_belief_draw(3, &mut rng_a).to_bits(),
+                belief.sample(&mut rng_b).to_bits()
+            );
+        }
     }
 }

@@ -274,7 +274,9 @@ impl DatasetAnalog {
 
     /// Materialise the dataset analog.
     pub fn generate(&self) -> Dataset {
-        let seeds = SeedSequence::new(self.seed).derive("dataset-analog").derive(self.spec.name);
+        let seeds = SeedSequence::new(self.seed)
+            .derive("dataset-analog")
+            .derive(self.spec.name);
         let mut rng = StdRng::seed_from_u64(seeds.seed());
 
         let (repo, chunking) = self.build_repository();
@@ -284,7 +286,8 @@ impl DatasetAnalog {
         let mut truth = GroundTruth::new(total_frames);
         let mut next_instance = 0u64;
         for class_spec in &self.spec.classes {
-            let instance_count = ((class_spec.instances as f64 * self.scale).round() as usize).max(1);
+            let instance_count =
+                ((class_spec.instances as f64 * self.scale).round() as usize).max(1);
             let weights = skewgen::hot_chunk_weights(chunks.len(), class_spec.skew.max(1.0));
             // Shuffle which chunks are "hot" per class so different classes peak in
             // different parts of the dataset, as they do in real data.
@@ -306,7 +309,12 @@ impl DatasetAnalog {
                     .round()
                     .clamp(1.0, chunk.len() as f64) as u64;
                 let slack = chunk.len() - duration;
-                let first = chunk.start() + if slack == 0 { 0 } else { rng.gen_range(0..=slack) };
+                let first = chunk.start()
+                    + if slack == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=slack)
+                    };
                 let last = first + duration - 1;
                 let bbox = BBox::from_center(
                     0.1 + rng.gen::<f64>() * 0.8,
@@ -429,11 +437,17 @@ mod tests {
         // chunk duration scales with the dataset so the chunk count (and with it
         // the skew structure) is identical at reduced scale.
         let full = DatasetAnalog::new(amsterdam(), 1).generate();
-        let small = DatasetAnalog::new(amsterdam(), 1).with_scale(0.1).generate();
+        let small = DatasetAnalog::new(amsterdam(), 1)
+            .with_scale(0.1)
+            .generate();
         assert_eq!(full.chunking().len(), 60);
         assert_eq!(small.chunking().len(), 60);
         let full_chunk_frames = (1200.0 * DEFAULT_FPS) as u64;
-        assert!(full.chunking().chunks().iter().all(|c| c.len() <= full_chunk_frames));
+        assert!(full
+            .chunking()
+            .chunks()
+            .iter()
+            .all(|c| c.len() <= full_chunk_frames));
     }
 
     #[test]
@@ -473,8 +487,12 @@ mod tests {
 
     #[test]
     fn same_seed_is_reproducible() {
-        let a = DatasetAnalog::new(night_street(), 11).with_scale(0.05).generate();
-        let b = DatasetAnalog::new(night_street(), 11).with_scale(0.05).generate();
+        let a = DatasetAnalog::new(night_street(), 11)
+            .with_scale(0.05)
+            .generate();
+        let b = DatasetAnalog::new(night_street(), 11)
+            .with_scale(0.05)
+            .generate();
         assert_eq!(a.ground_truth().len(), b.ground_truth().len());
         assert_eq!(
             a.ground_truth().instances()[100],

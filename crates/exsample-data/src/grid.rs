@@ -89,9 +89,10 @@ impl std::fmt::Display for GridWorkloadError {
             GridWorkloadError::NoFrames => write!(f, "workload needs at least one frame"),
             GridWorkloadError::NoInstances => write!(f, "workload needs at least one instance"),
             GridWorkloadError::NoChunks => write!(f, "workload needs at least one chunk"),
-            GridWorkloadError::BadDuration =>
-
-                write!(f, "mean duration must be >= 1 frame and smaller than the dataset"),
+            GridWorkloadError::BadDuration => write!(
+                f,
+                "mean duration must be >= 1 frame and smaller than the dataset"
+            ),
         }
     }
 }
@@ -236,7 +237,12 @@ impl GridWorkload {
         let mut rng = StdRng::seed_from_u64(seeds.seed());
 
         let repo = VideoRepository::single_clip(spec.frames);
-        let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks: spec.chunks });
+        let chunking = Chunking::new(
+            &repo,
+            ChunkingPolicy::FixedCount {
+                chunks: spec.chunks,
+            },
+        );
 
         let duration_dist = LogNormal::with_mean(spec.mean_duration, spec.duration_sigma)
             .expect("builder validated the mean duration");
@@ -340,20 +346,8 @@ mod tests {
             .build()
             .unwrap()
             .generate();
-        let s_uniform = skewgen::skew_metric(
-            &uniform
-                .instances_per_chunk(&class)
-                .iter()
-                .map(|&c| c)
-                .collect::<Vec<_>>(),
-        );
-        let s_skewed = skewgen::skew_metric(
-            &skewed
-                .instances_per_chunk(&class)
-                .iter()
-                .map(|&c| c)
-                .collect::<Vec<_>>(),
-        );
+        let s_uniform = skewgen::skew_metric(&uniform.instances_per_chunk(&class).to_vec());
+        let s_skewed = skewgen::skew_metric(&skewed.instances_per_chunk(&class).to_vec());
         assert!(s_uniform < 1.7, "uniform skew {s_uniform}");
         assert!(s_skewed > 4.0, "skewed skew {s_skewed}");
         assert!(s_skewed > s_uniform);
@@ -383,7 +377,10 @@ mod tests {
             GridWorkloadError::NoChunks
         );
         assert_eq!(
-            GridWorkload::builder().mean_duration(0.5).build().unwrap_err(),
+            GridWorkload::builder()
+                .mean_duration(0.5)
+                .build()
+                .unwrap_err(),
             GridWorkloadError::BadDuration
         );
         assert_eq!(
@@ -397,7 +394,13 @@ mod tests {
         assert_eq!(SkewLevel::None.concentration(), 1.0);
         assert_eq!(SkewLevel::Quarter.concentration(), 0.25);
         assert_eq!(SkewLevel::TwoFiftySixth.label(), "1/256");
-        assert_eq!(SkewLevel::Custom { fraction_inverse: 8.0 }.concentration(), 0.125);
+        assert_eq!(
+            SkewLevel::Custom {
+                fraction_inverse: 8.0
+            }
+            .concentration(),
+            0.125
+        );
         assert_eq!(SkewLevel::figure3_columns().len(), 4);
     }
 }

@@ -45,11 +45,12 @@ impl IndependentWorkload {
         rng: &mut R,
     ) -> Self {
         assert!(instances > 0, "need at least one instance");
-        assert!(median_p > 0.0 && median_p < 1.0, "median probability must be in (0, 1)");
+        assert!(
+            median_p > 0.0 && median_p < 1.0,
+            "median probability must be in (0, 1)"
+        );
         let dist = LogNormal::new(median_p.ln(), sigma).expect("validated parameters");
-        let probabilities = (0..instances)
-            .map(|_| dist.sample(rng).min(0.5))
-            .collect();
+        let probabilities = (0..instances).map(|_| dist.sample(rng).min(0.5)).collect();
         IndependentWorkload { probabilities }
     }
 
@@ -141,9 +142,22 @@ mod tests {
         assert_eq!(w.len(), 1_000);
         // Orders of magnitude as described in Section III-D: mean of a few 1e-3,
         // sigma within an order of magnitude of 8e-3, max well above the mean.
-        assert!(w.mean_p() > 5e-4 && w.mean_p() < 2e-2, "mean_p {}", w.mean_p());
-        assert!(w.sigma_p() > 1e-3 && w.sigma_p() < 5e-2, "sigma_p {}", w.sigma_p());
-        assert!(w.max_p() > 10.0 * w.mean_p(), "max_p {} mean_p {}", w.max_p(), w.mean_p());
+        assert!(
+            w.mean_p() > 5e-4 && w.mean_p() < 2e-2,
+            "mean_p {}",
+            w.mean_p()
+        );
+        assert!(
+            w.sigma_p() > 1e-3 && w.sigma_p() < 5e-2,
+            "sigma_p {}",
+            w.sigma_p()
+        );
+        assert!(
+            w.max_p() > 10.0 * w.mean_p(),
+            "max_p {} mean_p {}",
+            w.max_p(),
+            w.mean_p()
+        );
         assert!(w.probabilities().iter().all(|&p| p > 0.0 && p <= 0.5));
     }
 

@@ -29,7 +29,7 @@ pub fn skew_metric(instances_per_chunk: &[usize]) -> f64 {
     }
     let mut counts: Vec<usize> = instances_per_chunk.to_vec();
     counts.sort_unstable_by(|a, b| b.cmp(a));
-    let half = (total + 1) / 2;
+    let half = total.div_ceil(2);
     let mut covered = 0usize;
     let mut k = 0usize;
     for c in counts {
@@ -48,11 +48,7 @@ pub fn skew_metric(instances_per_chunk: &[usize]) -> f64 {
 ///
 /// `concentration = 1.0` (or anything ≥ 1) means no skew and falls back to a
 /// uniform draw.  The result is clamped to `[0, total_frames)`.
-pub fn normal_center<R: Rng + ?Sized>(
-    total_frames: u64,
-    concentration: f64,
-    rng: &mut R,
-) -> u64 {
+pub fn normal_center<R: Rng + ?Sized>(total_frames: u64, concentration: f64, rng: &mut R) -> u64 {
     assert!(total_frames > 0);
     assert!(concentration > 0.0, "concentration must be positive");
     if concentration >= 1.0 {
@@ -156,7 +152,10 @@ mod tests {
             }
         }
         let frac = inside as f64 / trials as f64;
-        assert!((frac - 0.95).abs() < 0.03, "fraction inside central band: {frac}");
+        assert!(
+            (frac - 0.95).abs() < 0.03,
+            "fraction inside central band: {frac}"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ mod tests {
     use super::*;
 
     fn det(class: &str, score: f64) -> Detection {
-        Detection::new(BBox::new(0.1, 0.1, 0.2, 0.2), ObjectClass::from(class), score)
+        Detection::new(
+            BBox::new(0.1, 0.1, 0.2, 0.2),
+            ObjectClass::from(class),
+            score,
+        )
     }
 
     #[test]

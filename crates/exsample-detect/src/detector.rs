@@ -115,12 +115,18 @@ impl DetectorNoise {
     }
 
     fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.miss_rate), "miss_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.miss_rate),
+            "miss_rate must be a probability"
+        );
         assert!(
             self.false_positives_per_frame >= 0.0,
             "false positive rate must be non-negative"
         );
-        assert!(self.localization_sigma >= 0.0, "localisation sigma must be non-negative");
+        assert!(
+            self.localization_sigma >= 0.0,
+            "localisation sigma must be non-negative"
+        );
         assert!((0.0..=1.0).contains(&self.min_true_score));
     }
 }
@@ -139,7 +145,12 @@ impl SimulatedDetector {
     ///
     /// `seed` fixes the detector's noise pattern; the same seed always misses the
     /// same instances in the same frames.
-    pub fn new(truth: Arc<GroundTruth>, class: ObjectClass, noise: DetectorNoise, seed: u64) -> Self {
+    pub fn new(
+        truth: Arc<GroundTruth>,
+        class: ObjectClass,
+        noise: DetectorNoise,
+        seed: u64,
+    ) -> Self {
         noise.validate();
         SimulatedDetector {
             truth,
@@ -182,9 +193,14 @@ impl Detector for SimulatedDetector {
             } else {
                 truth_box
             };
-            let score = self.noise.min_true_score
-                + rng.gen::<f64>() * (1.0 - self.noise.min_true_score);
-            detections.push(Detection::with_truth(bbox, self.class.clone(), score, inst.id()));
+            let score =
+                self.noise.min_true_score + rng.gen::<f64>() * (1.0 - self.noise.min_true_score);
+            detections.push(Detection::with_truth(
+                bbox,
+                self.class.clone(),
+                score,
+                inst.id(),
+            ));
         }
 
         // False positives: expected count is small (well below one per frame), so a
@@ -276,15 +292,15 @@ mod tests {
 
     #[test]
     fn zero_noise_matches_perfect_detector_counts() {
-        let det = SimulatedDetector::new(
-            truth(),
-            ObjectClass::from("car"),
-            DetectorNoise::none(),
-            7,
-        );
+        let det =
+            SimulatedDetector::new(truth(), ObjectClass::from("car"), DetectorNoise::none(), 7);
         let perfect = PerfectDetector::new(truth(), ObjectClass::from("car"));
         for frame in [0u64, 400, 750, 1_200, 5_000] {
-            assert_eq!(det.detect(frame).len(), perfect.detect(frame).len(), "frame {frame}");
+            assert_eq!(
+                det.detect(frame).len(),
+                perfect.detect(frame).len(),
+                "frame {frame}"
+            );
         }
     }
 
@@ -347,7 +363,10 @@ mod tests {
         let perfect = PerfectDetector::new(truth(), ObjectClass::from("car"));
         let noisy_box = jittery.detect(100).detections[0].bbox;
         let true_box = perfect.detect(100).detections[0].bbox;
-        assert!(noisy_box.iou(&true_box) > 0.5, "jittered box should still overlap heavily");
+        assert!(
+            noisy_box.iou(&true_box) > 0.5,
+            "jittered box should still overlap heavily"
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ impl InstanceChunkProbabilities {
     pub fn new(rows: Vec<Vec<f64>>, chunks: usize) -> Self {
         assert!(chunks > 0, "need at least one chunk");
         for row in &rows {
-            assert_eq!(row.len(), chunks, "every instance needs one probability per chunk");
+            assert_eq!(
+                row.len(),
+                chunks,
+                "every instance needs one probability per chunk"
+            );
             assert!(
                 row.iter().all(|p| (0.0..=1.0).contains(p)),
                 "probabilities must lie in [0, 1]"
@@ -85,7 +89,11 @@ impl InstanceChunkProbabilities {
 /// The Eq. IV.1 objective: expected number of distinct instances found after `n`
 /// samples allocated with weights `w`.
 pub fn expected_found(probs: &InstanceChunkProbabilities, weights: &[f64], n: u64) -> f64 {
-    assert_eq!(weights.len(), probs.chunks(), "weight vector has wrong length");
+    assert_eq!(
+        weights.len(),
+        probs.chunks(),
+        "weight vector has wrong length"
+    );
     (0..probs.instances())
         .map(|i| {
             let hit = probs.hit_probability(i, weights);
@@ -115,22 +123,21 @@ mod tests {
 
     fn two_chunk_probs() -> InstanceChunkProbabilities {
         // Three instances: two only in chunk 0, one only in chunk 1.
-        InstanceChunkProbabilities::new(
-            vec![vec![0.01, 0.0], vec![0.02, 0.0], vec![0.0, 0.05]],
-            2,
-        )
+        InstanceChunkProbabilities::new(vec![vec![0.01, 0.0], vec![0.02, 0.0], vec![0.0, 0.05]], 2)
     }
 
     #[test]
     fn from_intervals_computes_conditional_probabilities() {
         // Chunks of 100 frames each; instance spans frames 50..=149 (50 frames in
         // each chunk).
-        let probs = InstanceChunkProbabilities::from_intervals(&[(50, 149)], &[(0, 100), (100, 200)]);
+        let probs =
+            InstanceChunkProbabilities::from_intervals(&[(50, 149)], &[(0, 100), (100, 200)]);
         assert_eq!(probs.instances(), 1);
         assert!((probs.row(0)[0] - 0.5).abs() < 1e-12);
         assert!((probs.row(0)[1] - 0.5).abs() < 1e-12);
         // An instance entirely inside chunk 1.
-        let probs = InstanceChunkProbabilities::from_intervals(&[(120, 139)], &[(0, 100), (100, 200)]);
+        let probs =
+            InstanceChunkProbabilities::from_intervals(&[(120, 139)], &[(0, 100), (100, 200)]);
         assert_eq!(probs.row(0)[0], 0.0);
         assert!((probs.row(0)[1] - 0.2).abs() < 1e-12);
     }
@@ -168,7 +175,8 @@ mod tests {
             w_hi[j] += eps;
             let mut w_lo = w.clone();
             w_lo[j] -= eps;
-            let fd = (expected_found(&probs, &w_hi, n) - expected_found(&probs, &w_lo, n)) / (2.0 * eps);
+            let fd =
+                (expected_found(&probs, &w_hi, n) - expected_found(&probs, &w_lo, n)) / (2.0 * eps);
             assert!(
                 (grad[j] - fd).abs() < 1e-4,
                 "gradient component {j}: analytic {} vs fd {fd}",

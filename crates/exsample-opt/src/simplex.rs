@@ -43,7 +43,11 @@ mod tests {
 
     fn assert_on_simplex(w: &[f64]) {
         assert!(w.iter().all(|&x| x >= -1e-12));
-        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "sum {}", w.iter().sum::<f64>());
+        assert!(
+            (w.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "sum {}",
+            w.iter().sum::<f64>()
+        );
     }
 
     #[test]
@@ -101,9 +105,7 @@ mod tests {
         let v = [0.7, 0.1, -0.2];
         let w = project_to_simplex(&v);
         assert_on_simplex(&w);
-        let dist = |a: &[f64]| -> f64 {
-            a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist = |a: &[f64]| -> f64 { a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum() };
         let best = dist(&w);
         let steps = 100;
         for i in 0..=steps {

@@ -8,7 +8,7 @@
 //! and so do we.
 
 use crate::error::{ensure_positive, DistributionError};
-use crate::normal::StandardNormal;
+use crate::ziggurat::{fast_exponential, fast_standard_normal};
 use crate::{uniform_open01, Sampler};
 use rand::Rng;
 
@@ -130,25 +130,89 @@ impl Gamma {
 
 impl Sampler<f64> for Gamma {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let raw = if self.shape < 1.0 {
-            // Boost: X ~ Gamma(shape+1, 1), U^(1/shape) * X ~ Gamma(shape, 1).
-            let x = marsaglia_tsang(rng, self.shape + 1.0);
-            let u = uniform_open01(rng);
-            x * u.powf(1.0 / self.shape)
-        } else {
-            marsaglia_tsang(rng, self.shape)
-        };
-        raw / self.rate
+        let (d, c, boost_inv_shape) = mt_constants(self.shape);
+        gamma_draw(rng, d, c, boost_inv_shape, self.rate)
     }
 }
 
-/// Marsaglia–Tsang sampler for `Gamma(shape, 1)` with `shape >= 1`.
-fn marsaglia_tsang<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    debug_assert!(shape >= 1.0);
-    let d = shape - 1.0 / 3.0;
+/// A Gamma distribution with its Marsaglia–Tsang sampling constants precomputed.
+///
+/// [`Gamma::sample`] recomputes `d = shape − 1/3` and `c = 1/√(9d)` on every
+/// draw; when the *same* distribution is sampled many times (Thompson sampling
+/// draws from every chunk's belief on every pick), those recomputations — one
+/// square root and one division per draw — are pure overhead.  `CachedGamma`
+/// hoists them into the constructor.  Draws are **bitwise identical** to
+/// [`Gamma::sample`] under the same RNG state: both paths execute exactly the
+/// same arithmetic on exactly the same random stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedGamma {
+    shape: f64,
+    rate: f64,
+    d: f64,
+    c: f64,
+    /// `1/shape` when `shape < 1` (the boost branch), `0.0` otherwise.
+    boost_inv_shape: f64,
+}
+
+impl CachedGamma {
+    /// Create a cached Gamma sampler with the given shape and rate.
+    pub fn new(shape: f64, rate: f64) -> Result<Self, DistributionError> {
+        Gamma::new(shape, rate).map(|g| g.cached())
+    }
+
+    /// Shape parameter `alpha`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter `beta`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Gamma {
+    /// Precompute the Marsaglia–Tsang constants for repeated sampling.
+    pub fn cached(&self) -> CachedGamma {
+        let (d, c, boost_inv_shape) = mt_constants(self.shape);
+        CachedGamma {
+            shape: self.shape,
+            rate: self.rate,
+            d,
+            c,
+            boost_inv_shape,
+        }
+    }
+}
+
+impl Sampler<f64> for CachedGamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gamma_draw(rng, self.d, self.c, self.boost_inv_shape, self.rate)
+    }
+}
+
+/// The Marsaglia–Tsang constants for `Gamma(shape, 1)` sampling.
+///
+/// Returns `(d, c, boost_inv_shape)` where `d = s − 1/3`, `c = 1/√(9d)` for the
+/// *boosted* shape `s` (`shape + 1` when `shape < 1`, else `shape`), and
+/// `boost_inv_shape` is `1/shape` when the boost branch applies and `0.0`
+/// otherwise.  These are the per-distribution constants cached by
+/// [`CachedGamma`] and by `exsample-core`'s per-chunk belief cache.
+#[inline]
+pub fn mt_constants(shape: f64) -> (f64, f64, f64) {
+    let boost = shape < 1.0;
+    let s = if boost { shape + 1.0 } else { shape };
+    let d = s - 1.0 / 3.0;
     let c = 1.0 / (9.0 * d).sqrt();
+    (d, c, if boost { 1.0 / shape } else { 0.0 })
+}
+
+/// One accepted Marsaglia–Tsang draw of `Gamma(s, 1)` (`s ≥ 1`), given the
+/// precomputed constants `d = s − 1/3` and `c = 1/√(9d)`.  Returns `d·v³`.
+#[inline]
+pub fn mt_draw_unit<R: Rng + ?Sized>(rng: &mut R, d: f64, c: f64) -> f64 {
     loop {
-        let x = StandardNormal.sample(rng);
+        let x = fast_standard_normal(rng);
         let v = 1.0 + c * x;
         if v <= 0.0 {
             continue;
@@ -166,14 +230,39 @@ fn marsaglia_tsang<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
     }
 }
 
+/// Complete Gamma draw from cached constants: Marsaglia–Tsang body, the
+/// `shape < 1` boost, and the rate division.
+///
+/// The boost uses the identity `U^(1/shape) = exp(−E/shape)` with
+/// `E ~ Exponential(1)` drawn from the ziggurat — distributionally identical to
+/// the textbook uniform-power form but with a much cheaper random variate, and
+/// (critically for the chunk-selection hot path) the expensive `exp` can be
+/// *skipped by callers that only need an upper bound*, because
+/// `exp(−E/shape) ≤ 1` makes `d·v³/rate` an upper bound on the final draw.
+#[inline]
+pub fn gamma_draw<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: f64,
+    c: f64,
+    boost_inv_shape: f64,
+    rate: f64,
+) -> f64 {
+    let mut raw = mt_draw_unit(rng, d, c);
+    if boost_inv_shape > 0.0 {
+        let e = fast_exponential(rng);
+        raw *= (-e * boost_inv_shape).exp();
+    }
+    raw / rate
+}
+
 /// Natural log of the Gamma function (Lanczos approximation, g = 7, n = 9).
 pub fn ln_gamma(x: f64) -> f64 {
     // Coefficients for the Lanczos approximation.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -299,6 +388,39 @@ mod tests {
         assert!(Gamma::new(1.0, 0.0).is_err());
         assert!(Gamma::new(-1.0, 1.0).is_err());
         assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(CachedGamma::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cached_sampler_matches_uncached_draw_for_draw() {
+        // Same seed => bitwise-identical draw sequences, for both the plain
+        // branch (shape >= 1) and the boost branch (shape < 1).
+        for &(shape, rate) in &[(5.1, 106.0), (0.1, 1.0), (0.1, 400.0), (37.1, 1_201.0)] {
+            let dist = Gamma::new(shape, rate).unwrap();
+            let cached = dist.cached();
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            for i in 0..5_000 {
+                let a = dist.sample(&mut rng_a);
+                let b = cached.sample(&mut rng_b);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "draw {i} of Gamma({shape}, {rate})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mt_constants_match_documented_formulas() {
+        let (d, c, boost) = mt_constants(2.5);
+        assert!((d - (2.5 - 1.0 / 3.0)).abs() < 1e-15);
+        assert!((c - 1.0 / (9.0 * d).sqrt()).abs() < 1e-15);
+        assert_eq!(boost, 0.0);
+        let (d, _, boost) = mt_constants(0.1);
+        assert!((d - (1.1 - 1.0 / 3.0)).abs() < 1e-15);
+        assert!((boost - 10.0).abs() < 1e-12);
     }
 
     #[test]

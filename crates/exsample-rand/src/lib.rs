@@ -15,7 +15,11 @@
 //!
 //! * [`normal`] — standard / parameterised Normal via the Marsaglia polar method.
 //! * [`gamma`] — Gamma via the Marsaglia–Tsang squeeze method (with the shape < 1
-//!   boost), the core of ExSample's Thompson sampling step.
+//!   boost), the core of ExSample's Thompson sampling step; includes the
+//!   cached-constant API ([`CachedGamma`], [`gamma::mt_constants`],
+//!   [`gamma::gamma_draw`]) that the chunk-selection hot path builds on.
+//! * [`ziggurat`] — fast table-based standard Normal / Exponential samplers
+//!   backing the Gamma hot path.
 //! * [`lognormal`] — LogNormal durations, parameterisable by target mean/sigma.
 //! * [`poisson`] — Poisson counts (inversion for small mean, normal-approximation
 //!   rejection for large mean).
@@ -54,11 +58,13 @@ pub mod normal;
 pub mod poisson;
 pub mod seeding;
 pub mod summary;
+pub mod ziggurat;
+mod ziggurat_tables;
 
 pub use beta::Beta;
 pub use error::DistributionError;
 pub use exponential::Exponential;
-pub use gamma::Gamma;
+pub use gamma::{CachedGamma, Gamma};
 pub use histogram::Histogram;
 pub use lognormal::LogNormal;
 pub use normal::{Normal, StandardNormal};

@@ -103,7 +103,11 @@ mod tests {
     fn small_lambda_moments() {
         let s = sample_summary(2.5, 200_000, 61);
         assert!((s.mean() - 2.5).abs() < 0.02, "mean {}", s.mean());
-        assert!((s.variance() - 2.5).abs() < 0.05, "variance {}", s.variance());
+        assert!(
+            (s.variance() - 2.5).abs() < 0.05,
+            "variance {}",
+            s.variance()
+        );
     }
 
     #[test]

@@ -71,19 +71,31 @@ impl Summary {
 
     /// Minimum observation (0 if empty).
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum observation (0 if empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Percentile by linear interpolation between closest ranks.
     ///
     /// `q` is in `[0, 1]`; `q = 0.5` is the median.  Returns 0 for an empty summary.
     pub fn percentile(&mut self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "percentile level must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "percentile level must be in [0, 1]"
+        );
         if self.values.is_empty() {
             return 0.0;
         }
@@ -120,7 +132,12 @@ impl Summary {
 /// geometric mean over per-query savings ratios.  Non-positive values are skipped
 /// (a savings ratio can never legitimately be <= 0).
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }
@@ -192,5 +209,9 @@ mod tests {
         let s = Summary::from_values(vec![3.0, -1.0, 7.0]);
         assert_eq!(s.min(), -1.0);
         assert_eq!(s.max(), 7.0);
+        // Empty summaries report 0, as documented (not +/- infinity).
+        let empty = Summary::new();
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
     }
 }

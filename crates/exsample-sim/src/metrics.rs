@@ -14,7 +14,10 @@ pub fn frames_to_count(trajectory: &[TrajectoryPoint], count: usize) -> Option<u
     if count == 0 {
         return Some(0);
     }
-    trajectory.iter().find(|p| p.found >= count).map(|p| p.frames)
+    trajectory
+        .iter()
+        .find(|p| p.found >= count)
+        .map(|p| p.frames)
 }
 
 /// The savings ratio of `method` over `baseline` at a result-count target:

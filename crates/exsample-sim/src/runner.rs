@@ -134,7 +134,10 @@ impl RunResult {
     /// the given cost model.  `None` if the recall level was never reached.
     pub fn time_to_recall(&self, recall: f64, cost: &DecodeCostModel) -> Option<f64> {
         let frames = self.frames_to_recall(recall)?;
-        Some(cost.proxy_scoring_secs(self.upfront_scan_frames) + cost.sampled_processing_secs(frames))
+        Some(
+            cost.proxy_scoring_secs(self.upfront_scan_frames)
+                + cost.sampled_processing_secs(frames),
+        )
     }
 
     /// Total virtual seconds of the whole run (scan + sampled processing).

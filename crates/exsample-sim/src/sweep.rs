@@ -4,11 +4,17 @@
 //! Figure 3 cell, 10 000 runs for the Figure 2 validation) and reports medians and
 //! percentile bands.  [`run_trials`] executes a configurable number of independent
 //! trials — each with a seed derived from the trial index so results are exactly
-//! reproducible — optionally spreading them over threads with `crossbeam`'s scoped
-//! threads.
+//! reproducible — optionally spreading them over threads with a rayon-style
+//! order-preserving parallel map.
+//!
+//! Determinism guarantee: each trial's result is a pure function of its trial
+//! index (callers derive the trial RNG seed from it), and the parallel map
+//! assigns results back to their input slots, so [`run_trials`] returns bitwise
+//! identical `TrialSet`s for any thread count, including the sequential path.
 
 use crate::runner::RunResult;
 use exsample_rand::{geometric_mean, Summary};
+use rayon::prelude::*;
 
 /// A collection of per-trial results for one experimental configuration.
 #[derive(Debug, Clone)]
@@ -61,7 +67,13 @@ impl TrialSet {
 
     /// Geometric mean of per-trial recall values.
     pub fn geometric_mean_recall(&self) -> f64 {
-        geometric_mean(&self.results.iter().map(RunResult::recall).collect::<Vec<_>>())
+        geometric_mean(
+            &self
+                .results
+                .iter()
+                .map(RunResult::recall)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -69,7 +81,9 @@ impl TrialSet {
 ///
 /// `run` receives the trial index and must be deterministic given that index (the
 /// usual pattern is to derive the runner's seed from it).  When `parallel` is true
-/// the trials are distributed over up to `available_parallelism()` threads.
+/// the trials are distributed over up to `available_parallelism()` threads via an
+/// order-preserving parallel map; results are bitwise identical to the sequential
+/// path for any thread count.
 pub fn run_trials<F>(trials: usize, parallel: bool, run: F) -> TrialSet
 where
     F: Fn(u64) -> RunResult + Sync,
@@ -80,31 +94,8 @@ where
             results: (0..trials as u64).map(run).collect(),
         };
     }
-
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(trials);
-    let mut results: Vec<Option<RunResult>> = vec![None; trials];
-    let chunk = trials.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (worker, slice) in results.chunks_mut(chunk).enumerate() {
-            let run = &run;
-            scope.spawn(move |_| {
-                for (offset, slot) in slice.iter_mut().enumerate() {
-                    let trial = (worker * chunk + offset) as u64;
-                    *slot = Some(run(trial));
-                }
-            });
-        }
-    })
-    .expect("trial worker panicked");
-
     TrialSet {
-        results: results
-            .into_iter()
-            .map(|r| r.expect("every trial slot filled"))
-            .collect(),
+        results: (0..trials as u64).into_par_iter().map(run).collect(),
     }
 }
 

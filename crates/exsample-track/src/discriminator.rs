@@ -175,9 +175,11 @@ impl TrackingDiscriminator {
             if !self.instance_sightings.contains_key(&inst.id()) {
                 continue;
             }
-            let Some(track_box) = inst.bbox_at(frame) else { continue };
+            let Some(track_box) = inst.bbox_at(frame) else {
+                continue;
+            };
             let iou = det.bbox.iou(&track_box);
-            if iou >= self.min_iou && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= self.min_iou && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((inst.id(), iou));
             }
         }
@@ -185,12 +187,16 @@ impl TrackingDiscriminator {
     }
 
     /// Try to match a detection against false-positive tracks near this frame.
-    fn match_fp_track(&mut self, frame: FrameId, det: &Detection) -> Option<&mut FalsePositiveTrack> {
+    fn match_fp_track(
+        &mut self,
+        frame: FrameId,
+        det: &Detection,
+    ) -> Option<&mut FalsePositiveTrack> {
         let min_iou = self.min_iou;
         let window = self.fp_window;
-        self.false_positive_tracks.iter_mut().find(|t| {
-            frame.abs_diff(t.frame) <= window && det.bbox.iou(&t.bbox) >= min_iou
-        })
+        self.false_positive_tracks
+            .iter_mut()
+            .find(|t| frame.abs_diff(t.frame) <= window && det.bbox.iou(&t.bbox) >= min_iou)
     }
 }
 

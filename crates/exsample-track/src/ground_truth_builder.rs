@@ -110,7 +110,9 @@ pub fn build_ground_truth<D: Detector>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exsample_detect::{DetectorNoise, GroundTruth, ObjectInstance, PerfectDetector, SimulatedDetector};
+    use exsample_detect::{
+        DetectorNoise, GroundTruth, ObjectInstance, PerfectDetector, SimulatedDetector,
+    };
     use std::sync::Arc;
 
     fn truth() -> Arc<GroundTruth> {

@@ -111,7 +111,10 @@ mod tests {
     fn each_box_matched_at_most_once() {
         // Two left boxes both overlap the single right box; only the better match
         // survives.
-        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.05, 0.0, 0.2, 0.2)];
+        let left = vec![
+            BBox::new(0.0, 0.0, 0.2, 0.2),
+            BBox::new(0.05, 0.0, 0.2, 0.2),
+        ];
         let right = vec![BBox::new(0.04, 0.0, 0.2, 0.2)];
         let m = greedy_iou_match(&left, &right, 0.1);
         assert_eq!(m.len(), 1);
@@ -123,8 +126,14 @@ mod tests {
         // left0 overlaps right0 strongly and right1 weakly; left1 overlaps right0
         // weakly. Greedy should pair (left0, right0) and leave left1/right1 to pair
         // only if above threshold.
-        let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.15, 0.0, 0.2, 0.2)];
-        let right = vec![BBox::new(0.01, 0.0, 0.2, 0.2), BBox::new(0.3, 0.0, 0.2, 0.2)];
+        let left = vec![
+            BBox::new(0.0, 0.0, 0.2, 0.2),
+            BBox::new(0.15, 0.0, 0.2, 0.2),
+        ];
+        let right = vec![
+            BBox::new(0.01, 0.0, 0.2, 0.2),
+            BBox::new(0.3, 0.0, 0.2, 0.2),
+        ];
         let m = greedy_iou_match(&left, &right, 0.05);
         assert!(m.iter().any(|p| p.left == 0 && p.right == 0));
         // left1 vs right1: boxes at x=0.15 and x=0.3 with width 0.2 overlap 0.05 ->
@@ -159,7 +168,10 @@ mod tests {
     #[test]
     fn result_sorted_by_descending_iou() {
         let left = vec![BBox::new(0.0, 0.0, 0.2, 0.2), BBox::new(0.5, 0.5, 0.2, 0.2)];
-        let right = vec![BBox::new(0.02, 0.0, 0.2, 0.2), BBox::new(0.58, 0.5, 0.2, 0.2)];
+        let right = vec![
+            BBox::new(0.02, 0.0, 0.2, 0.2),
+            BBox::new(0.58, 0.5, 0.2, 0.2),
+        ];
         let m = greedy_iou_match(&left, &right, 0.1);
         assert_eq!(m.len(), 2);
         assert!(m[0].iou >= m[1].iou);

@@ -117,7 +117,9 @@ impl IouTracker {
         let det_boxes: Vec<BBox> = detections.iter().map(|d| d.bbox).collect();
         let matches = greedy_iou_match(&track_boxes, &det_boxes, self.min_iou);
         for m in &matches {
-            self.active[m.left].observations.push((frame, det_boxes[m.right]));
+            self.active[m.left]
+                .observations
+                .push((frame, det_boxes[m.right]));
         }
 
         // Unmatched detections start new tracks.
@@ -251,6 +253,8 @@ mod tests {
         t.step(20, &[det(0.4, 0.4)]);
         let tracks = t.finish();
         assert_eq!(tracks.len(), 3);
-        assert!(tracks.windows(2).all(|w| w[0].first_frame() <= w[1].first_frame()));
+        assert!(tracks
+            .windows(2)
+            .all(|w| w[0].first_frame() <= w[1].first_frame()));
     }
 }

@@ -130,9 +130,7 @@ impl Chunking {
         let chunks = match policy {
             ChunkingPolicy::FixedDuration { seconds } => {
                 assert!(seconds > 0.0, "chunk duration must be positive");
-                Self::per_clip_split(repo, |clip| {
-                    ((seconds * clip.fps()).floor() as u64).max(1)
-                })
+                Self::per_clip_split(repo, |clip| ((seconds * clip.fps()).floor() as u64).max(1))
             }
             ChunkingPolicy::FixedFrames { frames } => {
                 assert!(frames > 0, "chunk frame bound must be positive");
@@ -147,10 +145,7 @@ impl Chunking {
         Chunking { chunks, policy }
     }
 
-    fn per_clip_split(
-        repo: &VideoRepository,
-        max_len: impl Fn(&VideoClip) -> u64,
-    ) -> Vec<Chunk> {
+    fn per_clip_split(repo: &VideoRepository, max_len: impl Fn(&VideoClip) -> u64) -> Vec<Chunk> {
         let mut chunks = Vec::new();
         for (clip_index, clip) in repo.clips().iter().enumerate() {
             let clip_start = repo.clip_offset(clip_index);
@@ -300,7 +295,10 @@ mod tests {
         let lengths = c.chunk_lengths();
         let min = *lengths.iter().min().unwrap();
         let max = *lengths.iter().max().unwrap();
-        assert!(max - min <= 1, "fixed-count chunks should be within one frame of equal");
+        assert!(
+            max - min <= 1,
+            "fixed-count chunks should be within one frame of equal"
+        );
     }
 
     #[test]

@@ -33,7 +33,13 @@ impl VideoClip {
     ///
     /// # Panics
     /// Panics if `frame_count == 0`, `fps <= 0`, or `gop_size == 0`.
-    pub fn new(id: ClipId, name: impl Into<String>, frame_count: u64, fps: f64, gop_size: u32) -> Self {
+    pub fn new(
+        id: ClipId,
+        name: impl Into<String>,
+        frame_count: u64,
+        fps: f64,
+        gop_size: u32,
+    ) -> Self {
         assert!(frame_count > 0, "a clip must contain at least one frame");
         assert!(fps > 0.0, "fps must be positive");
         assert!(gop_size > 0, "GOP size must be positive");
@@ -89,7 +95,7 @@ impl VideoClip {
 
     /// Whether the local frame index is a keyframe.
     pub fn is_keyframe(&self, local_frame: u64) -> bool {
-        local_frame % u64::from(self.gop_size) == 0
+        local_frame.is_multiple_of(u64::from(self.gop_size))
     }
 
     /// Number of frames that must be decoded to materialise `local_frame` when

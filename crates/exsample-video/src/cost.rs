@@ -120,7 +120,10 @@ impl DecodeCostModel {
     /// Models the "Batched sampling" optimisation of Section III-F.
     pub fn batched_processing_secs(&self, frames: u64, batch: usize, batch_speedup: f64) -> f64 {
         assert!(batch > 0, "batch size must be positive");
-        assert!(batch_speedup >= 1.0, "batched inference cannot be slower than single-frame");
+        assert!(
+            batch_speedup >= 1.0,
+            "batched inference cannot be slower than single-frame"
+        );
         self.sampled_processing_secs(frames) / batch_speedup
     }
 }

@@ -56,9 +56,7 @@ fn main() {
         );
     }
     let savings = random.frames_processed as f64 / exsample.frames_processed.max(1) as f64;
-    println!(
-        "\nExSample needed {savings:.2}x fewer detector invocations than random sampling."
-    );
+    println!("\nExSample needed {savings:.2}x fewer detector invocations than random sampling.");
     println!(
         "At the paper's measured 20 frames/second of detector throughput that is {:.0}s vs {:.0}s of GPU time.",
         exsample.frames_processed as f64 / 20.0,

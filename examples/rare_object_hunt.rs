@@ -20,7 +20,9 @@ use exsample::sim::{format_duration, MethodKind, QueryRunner, StopCondition};
 use exsample::video::DecodeCostModel;
 
 fn main() {
-    let dataset = DatasetAnalog::new(night_street(), 21).with_scale(0.25).generate();
+    let dataset = DatasetAnalog::new(night_street(), 21)
+        .with_scale(0.25)
+        .generate();
     let class = "motorcycle";
     let total = dataset.instance_count(&class.into());
     let cost = DecodeCostModel::paper();

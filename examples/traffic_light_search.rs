@@ -78,9 +78,7 @@ fn main() {
 
     let exsample_total = runs[0].1.total_secs();
     let proxy_total = runs[2].1.total_secs();
-    println!(
-        "\nEven with a *perfectly ordered* score list, the proxy baseline cannot return its",
-    );
+    println!("\nEven with a *perfectly ordered* score list, the proxy baseline cannot return its",);
     println!(
         "first result before scanning the whole dataset ({}); ExSample finished the entire",
         format_duration(cost.proxy_scoring_secs(dataset.total_frames()))

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by this workspace's
+//! benches (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, and `black_box`) on top of a plain
+//! wall-clock measurement loop:
+//!
+//! 1. warm up the closure for a fixed wall-clock budget,
+//! 2. pick an iteration count that makes one measurement batch take roughly a
+//!    millisecond,
+//! 3. run `sample_size` batches and report the median ns/iteration.
+//!
+//! Two environment variables adjust behaviour:
+//!
+//! * `BENCH_QUICK=1` shrinks the measurement budget (used by CI smoke runs);
+//! * `BENCH_JSON=<path>` appends one JSON line per benchmark, which is how the
+//!   committed `BENCH_*.json` baselines are produced.
+
+#![deny(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration shared by all benchmarks of a binary.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measure_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+        Criterion {
+            sample_size: if quick { 10 } else { 30 },
+            warmup: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(150)
+            },
+            measure_target: if quick {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(4)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            measure_target: self.measure_target,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Compatibility no-op (criterion configures this on the group).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Compatibility no-op: upstream criterion parses CLI filters here.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of measurement batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher {
+            warmup: self.criterion.warmup,
+            measure_target: self.criterion.measure_target,
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input` under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher {
+            warmup: self.criterion.warmup,
+            measure_target: self.criterion.measure_target,
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            result: None,
+        };
+        f(&mut bencher, input);
+        bencher.report(&full);
+        self
+    }
+
+    /// Finish the group (no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier rendered from the parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identifier with an explicit function name and parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measurement loop.
+pub struct Bencher {
+    warmup: Duration,
+    measure_target: Duration,
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+struct Measurement {
+    median_ns: f64,
+    iters_per_batch: u64,
+    batches: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording the median batch time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters_per_batch =
+            ((self.measure_target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples[samples.len() / 2] * 1e9;
+        self.result = Some(Measurement {
+            median_ns,
+            iters_per_batch,
+            batches: self.sample_size,
+        });
+    }
+
+    fn report(self, name: &str) {
+        let Some(m) = self.result else {
+            println!("{name:<56} (no measurement: Bencher::iter never called)");
+            return;
+        };
+        let per_sec = 1e9 / m.median_ns;
+        println!(
+            "{name:<56} {:>12.1} ns/iter {:>16.0} iter/s  ({} x {} iters)",
+            m.median_ns, per_sec, m.batches, m.iters_per_batch
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let line = format!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.2},\"iters_per_sec\":{:.1},\"batches\":{},\"iters_per_batch\":{}}}\n",
+                name, m.median_ns, per_sec, m.batches, m.iters_per_batch
+            );
+            let _ = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut x = 0u64;
+        c.bench_function("trivial", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides `into_par_iter().map(f).collect()` over integer ranges and vectors,
+//! which is all this workspace needs for its trial sweeps.  The implementation
+//! materialises the items, splits them into contiguous per-thread slices, runs
+//! the mapping closure on `std::thread::scope` threads, and writes each result
+//! into its item's original slot — so `collect()` preserves input order exactly,
+//! and a deterministic per-item computation yields bitwise-identical output
+//! regardless of thread count (the property the sweep harness's tests assert).
+
+#![deny(unsafe_code)]
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    /// Types convertible into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Convert into a parallel iterator over the items.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    macro_rules! impl_for_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    impl_for_range!(u32, u64, usize, i32, i64);
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A materialised parallel iterator.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// The subset of rayon's `ParallelIterator` surface used in-tree, expressed
+    /// as a trait so `use rayon::prelude::*` brings the methods into scope.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Map every element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> MapPar<Self::Item, R, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync;
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn map<R, F>(self, f: F) -> MapPar<T, R, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            MapPar {
+                items: self.items,
+                f,
+                _result: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// A pending parallel map; executed by [`MapPar::collect`].
+    pub struct MapPar<T, R, F> {
+        items: Vec<T>,
+        f: F,
+        _result: std::marker::PhantomData<fn() -> R>,
+    }
+
+    impl<T, R, F> MapPar<T, R, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Run the map on as many threads as the host offers and collect the
+        /// results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let n = self.items.len();
+            if n == 0 {
+                return std::iter::empty().collect();
+            }
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n);
+            if threads <= 1 {
+                return self.items.into_iter().map(self.f).collect();
+            }
+            let f = &self.f;
+            let mut inputs: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+            let mut outputs: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (in_chunk, out_chunk) in inputs.chunks_mut(chunk).zip(outputs.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (item, slot) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                            *slot = Some(f(item.take().expect("item present")));
+                        }
+                    });
+                }
+            });
+            outputs
+                .into_iter()
+                .map(|r| r.expect("every slot filled by its worker"))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<u64> = (0u64..1_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 1_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn vec_input_and_empty_input() {
+        let out: Vec<String> = vec![3usize, 1, 2]
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["3", "1", "2"]);
+        let empty: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_map_exactly() {
+        let seq: Vec<u64> = (0u64..257)
+            .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let par: Vec<u64> = (0u64..257)
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        assert_eq!(seq, par);
+    }
+}

@@ -184,7 +184,12 @@ fn batched_sampling_matches_sequential_efficiency() {
 
     let dataset = skewed_dataset(8);
     let truth = Arc::clone(dataset.ground_truth());
-    let starts: Vec<u64> = dataset.chunking().chunks().iter().map(|c| c.start()).collect();
+    let starts: Vec<u64> = dataset
+        .chunking()
+        .chunks()
+        .iter()
+        .map(|c| c.start())
+        .collect();
     let budget = 3_000u64;
 
     let run_with_batch = |batch: usize, seed: u64| -> usize {
@@ -276,12 +281,17 @@ fn adaptive_policies_beat_uniform_policy() {
         QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(21)
-            .run(MethodKind::ExSample(ExSampleConfig::default().with_policy(policy)))
+            .run(MethodKind::ExSample(
+                ExSampleConfig::default().with_policy(policy),
+            ))
             .true_found
     };
     let thompson = found(ChunkSelectionPolicy::ThompsonSampling);
     let ucb = found(ChunkSelectionPolicy::BayesUcb);
     let uniform = found(ChunkSelectionPolicy::UniformChunk);
-    assert!(thompson > uniform, "thompson {thompson} vs uniform {uniform}");
+    assert!(
+        thompson > uniform,
+        "thompson {thompson} vs uniform {uniform}"
+    );
     assert!(ucb > uniform, "ucb {ucb} vs uniform {uniform}");
 }
