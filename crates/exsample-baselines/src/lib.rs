@@ -10,22 +10,22 @@
 //!   the whole repository, the paper's main efficient baseline.
 //! * [`random::RandomPlusSampler`] — the `random+` refinement (Section III-F)
 //!   applied to the whole repository, evaluated separately as an ablation.
-//! * [`exsample_method::ExSampleMethod`] — the ExSample algorithm adapted to the
-//!   same interface (a thin wrapper over `exsample-core`).
 //! * [`proxy::ProxyBaseline`] — a BlazeIt-style proxy-score baseline: an upfront
 //!   full-dataset scoring scan, then frames processed in descending proxy-score
 //!   order with an optional duplicate-avoidance gap.
+//!
+//! ExSample itself speaks the engine-level `SamplingPolicy` interface directly
+//! (see `exsample-engine`'s `ExSamplePolicy`); any [`SamplingMethod`] can be
+//! lifted into that interface via the engine's `MethodPolicy` adapter.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod exsample_method;
 pub mod method;
 pub mod proxy;
 pub mod random;
 pub mod sequential;
 
-pub use exsample_method::ExSampleMethod;
 pub use method::SamplingMethod;
 pub use proxy::{ProxyBaseline, ProxyConfig};
 pub use random::{RandomPlusSampler, RandomSampler};

@@ -2,7 +2,7 @@
 
 use exsample_track::MatchOutcome;
 use exsample_video::FrameId;
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// A method for choosing which frame of the repository to process next.
 ///
@@ -10,6 +10,10 @@ use rand::rngs::StdRng;
 /// discriminator on it, and feeds the discriminator's verdict back to the method.
 /// Baselines that do not adapt (sequential, random, proxy order) simply ignore the
 /// feedback; ExSample uses it to update its per-chunk statistics.
+///
+/// The RNG is taken as a `&mut dyn RngCore` trait object (rather than a generic
+/// parameter) so the trait stays object-safe end to end: execution engines hold
+/// methods, policies *and* their RNG streams behind `dyn` pointers.
 pub trait SamplingMethod {
     /// A short human-readable name, used in experiment tables ("exsample",
     /// "random", "random+", "proxy", "sequential").
@@ -25,11 +29,31 @@ pub trait SamplingMethod {
 
     /// The next frame to process, or `None` when the method has exhausted the
     /// repository.
-    fn next_frame(&mut self, rng: &mut StdRng) -> Option<FrameId>;
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> Option<FrameId>;
 
     /// Feed back the discriminator outcome for a frame previously returned by
     /// [`SamplingMethod::next_frame`].
     fn record(&mut self, frame: FrameId, outcome: &MatchOutcome);
+}
+
+/// Mutable references forward to the referenced method, so an execution engine
+/// can drive a method owned by its caller (who inspects it afterwards).
+impl<M: SamplingMethod + ?Sized> SamplingMethod for &mut M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn upfront_scan_frames(&self) -> u64 {
+        (**self).upfront_scan_frames()
+    }
+
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> Option<FrameId> {
+        (**self).next_frame(rng)
+    }
+
+    fn record(&mut self, frame: FrameId, outcome: &MatchOutcome) {
+        (**self).record(frame, outcome)
+    }
 }
 
 #[cfg(test)]
@@ -43,7 +67,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "fixed"
         }
-        fn next_frame(&mut self, _rng: &mut StdRng) -> Option<FrameId> {
+        fn next_frame(&mut self, _rng: &mut dyn RngCore) -> Option<FrameId> {
             self.0.pop()
         }
         fn record(&mut self, _frame: FrameId, _outcome: &MatchOutcome) {}
@@ -58,6 +82,7 @@ mod tests {
 
     #[test]
     fn trait_object_is_usable() {
+        use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut m: Box<dyn SamplingMethod> = Box::new(Fixed(vec![7]));
         let mut rng = StdRng::seed_from_u64(1);

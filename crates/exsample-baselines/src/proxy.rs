@@ -23,7 +23,7 @@ use exsample_rand::SeedSequence;
 use exsample_track::MatchOutcome;
 use exsample_video::FrameId;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Configuration of the simulated proxy baseline.
@@ -124,7 +124,7 @@ impl SamplingMethod for ProxyBaseline {
         self.total_frames
     }
 
-    fn next_frame(&mut self, _rng: &mut StdRng) -> Option<FrameId> {
+    fn next_frame(&mut self, _rng: &mut dyn RngCore) -> Option<FrameId> {
         while self.cursor < self.order.len() {
             let frame = self.order[self.cursor];
             self.cursor += 1;

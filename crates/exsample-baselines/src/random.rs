@@ -9,7 +9,7 @@
 use crate::method::SamplingMethod;
 use exsample_track::MatchOutcome;
 use exsample_video::{FrameId, FrameSampler, UniformSampler};
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// Uniform random sampling without replacement over `0..total_frames`.
 #[derive(Debug, Clone)]
@@ -36,7 +36,7 @@ impl SamplingMethod for RandomSampler {
         "random"
     }
 
-    fn next_frame(&mut self, rng: &mut StdRng) -> Option<FrameId> {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> Option<FrameId> {
         self.inner.next_frame(rng)
     }
 
@@ -68,7 +68,7 @@ impl SamplingMethod for RandomPlusSampler {
         "random+"
     }
 
-    fn next_frame(&mut self, rng: &mut StdRng) -> Option<FrameId> {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> Option<FrameId> {
         self.inner.next_frame(rng)
     }
 
@@ -78,6 +78,7 @@ impl SamplingMethod for RandomPlusSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::HashSet;
 

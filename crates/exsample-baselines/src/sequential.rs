@@ -9,7 +9,7 @@
 use crate::method::SamplingMethod;
 use exsample_track::MatchOutcome;
 use exsample_video::FrameId;
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// Process frames in temporal order, visiting one frame out of every `stride`.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl SamplingMethod for SequentialScan {
         "sequential"
     }
 
-    fn next_frame(&mut self, _rng: &mut StdRng) -> Option<FrameId> {
+    fn next_frame(&mut self, _rng: &mut dyn RngCore) -> Option<FrameId> {
         if self.next >= self.total_frames {
             return None;
         }
@@ -74,6 +74,7 @@ impl SamplingMethod for SequentialScan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

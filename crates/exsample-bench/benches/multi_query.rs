@@ -1,0 +1,102 @@
+//! Multi-query engine throughput: 1, 8 and 64 concurrent queries over one
+//! shared repository, with cross-query frame coalescing on and off.
+//!
+//! Each iteration executes a full `QueryEngine` run: every query is an
+//! ExSample policy with its own RNG stream and frame budget, all targeting the
+//! same detector over the same repository.  The coalesced/uncoalesced pair
+//! measures what sharing detector work across queries buys; the detector here
+//! is the cheap simulated one, so the wall-clock gap *understates* the real
+//! saving (each shared frame avoids a full decode + GPU inference in
+//! production) — which is why the bench also reports the invocation counts
+//! that determine the real-world bill.
+//!
+//! `BENCH_QUICK=1` (the CI smoke configuration) shrinks the per-query budget.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsample_core::ExSampleConfig;
+use exsample_data::{Dataset, GridWorkload, SkewLevel};
+use exsample_detect::PerfectDetector;
+use exsample_engine::{EngineReport, ExSamplePolicy, QueryEngine, QuerySpec};
+use std::sync::Arc;
+
+const QUERY_COUNTS: [usize; 3] = [1, 8, 64];
+
+fn budget() -> u64 {
+    if std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1") {
+        150
+    } else {
+        600
+    }
+}
+
+fn dataset() -> Dataset {
+    GridWorkload::builder()
+        .frames(200_000)
+        .instances(400)
+        .chunks(32)
+        .mean_duration(150.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(31)
+        .build()
+        .expect("valid workload")
+        .generate()
+}
+
+fn run_engine(
+    dataset: &Dataset,
+    detector: &PerfectDetector,
+    queries: usize,
+    coalesce: bool,
+    budget: u64,
+) -> EngineReport {
+    let mut engine = QueryEngine::new().coalesce(coalesce);
+    for q in 0..queries {
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+        engine
+            .push(
+                QuerySpec::new(format!("q{q}"), Box::new(policy), detector)
+                    .seed(1000 + q as u64)
+                    .batch(16)
+                    .frame_budget(budget),
+            )
+            .expect("valid query spec");
+    }
+    engine.run().expect("queries registered")
+}
+
+fn bench_multi_query(c: &mut Criterion) {
+    let dataset = dataset();
+    let detector = PerfectDetector::new(Arc::clone(dataset.ground_truth()), GridWorkload::class());
+    let budget = budget();
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+    for &queries in &QUERY_COUNTS {
+        for (label, coalesce) in [("coalesced", true), ("uncoalesced", false)] {
+            group.bench_with_input(BenchmarkId::new(label, queries), &queries, |b, &queries| {
+                b.iter(|| black_box(run_engine(&dataset, &detector, queries, coalesce, budget)));
+            });
+        }
+    }
+    group.finish();
+
+    // The acceptance-relevant numbers: batched detector invocations actually
+    // issued vs. what the queries demanded, per concurrency level.
+    println!("\n# multi-query detector invocation counts (per-query budget {budget} frames)");
+    println!("# queries | demanded | detected (coalesced) | detected (uncoalesced) | shared");
+    for &queries in &QUERY_COUNTS {
+        let coalesced = run_engine(&dataset, &detector, queries, true, budget);
+        let uncoalesced = run_engine(&dataset, &detector, queries, false, budget);
+        assert_eq!(coalesced.demanded_frames, uncoalesced.demanded_frames);
+        println!(
+            "# {:>7} | {:>8} | {:>20} | {:>22} | {:>6}",
+            queries,
+            coalesced.demanded_frames,
+            coalesced.detector_frames,
+            uncoalesced.detector_frames,
+            coalesced.coalesced_savings()
+        );
+    }
+}
+
+criterion_group!(benches, bench_multi_query);
+criterion_main!(benches);

@@ -7,17 +7,19 @@
 //! while unlocking the batched detector's higher throughput.  This ablation
 //! measures instances found as a function of frames processed for several batch
 //! sizes, plus the wall-clock implication under a batched cost model.
+//!
+//! Each run is one single-query `exsample-engine` execution whose per-stage
+//! batch size is the ablation variable — the hand-written pick→detect→record
+//! loop this binary used to carry is exactly what the engine now provides.
 
 use exsample_bench::{banner, print_table, ExperimentOptions};
-use exsample_core::{ExSample, ExSampleConfig};
+use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
-use exsample_detect::{Detector, PerfectDetector};
+use exsample_detect::PerfectDetector;
+use exsample_engine::{ExSamplePolicy, QueryEngine, QuerySpec};
 use exsample_rand::{SeedSequence, Summary};
 use exsample_sim::Table;
-use exsample_track::{Discriminator, OracleDiscriminator};
 use exsample_video::DecodeCostModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
@@ -44,12 +46,6 @@ fn main() {
         .generate();
     let class = GridWorkload::class();
     let truth = Arc::clone(dataset.ground_truth());
-    let chunk_starts: Vec<u64> = dataset
-        .chunking()
-        .chunks()
-        .iter()
-        .map(|c| c.start())
-        .collect();
     let cost = DecodeCostModel::paper();
 
     println!("# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials\n");
@@ -65,36 +61,24 @@ fn main() {
     for &batch in batch_sizes {
         let mut founds = Summary::new();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(
-                seeds
-                    .derive("trial")
-                    .index(batch as u64)
-                    .index(trial as u64)
-                    .seed(),
-            );
+            let seed = seeds
+                .derive("trial")
+                .index(batch as u64)
+                .index(trial as u64)
+                .seed();
             let detector = PerfectDetector::new(Arc::clone(&truth), class.clone());
-            let mut discriminator = OracleDiscriminator::new();
-            let mut sampler = ExSample::new(ExSampleConfig::default(), &dataset.chunk_lengths());
-            let mut processed = 0u64;
-            while processed < budget {
-                let want = batch.min((budget - processed) as usize);
-                let picks = sampler.next_batch(&mut rng, want);
-                if picks.is_empty() {
-                    break;
-                }
-                // Process the whole batch, then apply all updates (commutative).
-                let mut updates = Vec::with_capacity(picks.len());
-                for pick in &picks {
-                    let frame = chunk_starts[pick.chunk] + pick.offset;
-                    let outcome = discriminator.observe(&detector.detect(frame));
-                    updates.push((pick.chunk, outcome.n1_delta()));
-                    processed += 1;
-                }
-                for (chunk, delta) in updates {
-                    sampler.record(chunk, delta);
-                }
-            }
-            founds.push(discriminator.distinct_count() as f64);
+            let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+            let mut engine = QueryEngine::new();
+            engine
+                .push(
+                    QuerySpec::new("batching", Box::new(policy), &detector)
+                        .seed(seed)
+                        .batch(batch)
+                        .frame_budget(budget),
+                )
+                .expect("batch size is non-zero");
+            let report = engine.run().expect("one query registered");
+            founds.push(report.outcomes[0].distinct_found as f64);
         }
         // Batched inference speedup model: throughput improves with batch size and
         // saturates around 2x (a typical detector batching profile).

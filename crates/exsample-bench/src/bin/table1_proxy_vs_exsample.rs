@@ -8,6 +8,12 @@
 //! Across all 40+ queries the proxy's scan alone already exceeds the time ExSample
 //! needs to reach 90 % recall.
 //!
+//! All of a dataset's queries execute as concurrent queries of one
+//! `exsample-engine` engine over the shared repository — the multiplexed shape
+//! a production deployment would use — with per-query recall targets expressed
+//! as engine `true_limit`s and each query reading its own recall trajectory
+//! out of the engine report.
+//!
 //! The default configuration runs the dataset analogs at a reduced scale (both the
 //! scan time and ExSample's sampling time shrink proportionally, so the comparison
 //! is preserved); `--full` uses the full-size analogs.
@@ -15,9 +21,12 @@
 use exsample_bench::{banner, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::datasets::{all_datasets, DatasetAnalog};
+use exsample_detect::{ObjectClass, PerfectDetector};
+use exsample_engine::{ExSamplePolicy, QueryEngine, QuerySpec};
 use exsample_rand::SeedSequence;
-use exsample_sim::{format_duration, MethodKind, QueryRunner, StopCondition, Table};
+use exsample_sim::{format_duration, metrics, Table};
 use exsample_video::DecodeCostModel;
+use std::sync::Arc;
 
 fn main() {
     let options = ExperimentOptions::from_env();
@@ -54,27 +63,53 @@ fn main() {
             .with_scale(scale)
             .generate();
         let scan_secs = cost.proxy_scoring_secs(dataset.total_frames());
+        let truth = dataset.ground_truth();
 
-        for class_spec in &spec.classes {
+        // One engine for the whole dataset: every class query runs
+        // concurrently over the shared repository.
+        let detectors: Vec<PerfectDetector> = spec
+            .classes
+            .iter()
+            .map(|c| PerfectDetector::new(Arc::clone(truth), ObjectClass::from(c.class)))
+            .collect();
+        let totals: Vec<usize> = spec
+            .classes
+            .iter()
+            .map(|c| truth.count_of_class(&ObjectClass::from(c.class)))
+            .collect();
+        let mut engine = QueryEngine::new();
+        for ((class_spec, detector), &total) in spec.classes.iter().zip(&detectors).zip(&totals) {
             let class = class_spec.class;
-            let seed = seeds.derive(spec.name).derive(class).seed();
-            // A single run to 90% recall yields the whole trajectory, from which the
-            // lower recall levels are read off.
-            let result = QueryRunner::new(&dataset)
-                .class(class)
-                .stop(StopCondition::Recall(0.9))
-                .frame_cap(dataset.total_frames())
-                .seed(seed)
-                .run(MethodKind::ExSample(ExSampleConfig::default()));
+            let target = (0.9 * total as f64).ceil() as usize;
+            let mut query = QuerySpec::new(
+                class,
+                Box::new(ExSamplePolicy::new(
+                    ExSampleConfig::default(),
+                    dataset.chunking(),
+                )),
+                detector,
+            )
+            .seed(seeds.derive(spec.name).derive(class).seed())
+            .batch(8)
+            .frame_budget(dataset.total_frames());
+            if total > 0 {
+                query = query.true_limit(target);
+            }
+            engine.push(query).expect("valid query spec");
+        }
+        let report = engine.run().expect("dataset has queries");
 
+        for (outcome, &total) in report.outcomes.iter().zip(&totals) {
+            // The run to 90% recall yields the whole trajectory, from which the
+            // lower recall levels are read off.
             let time_at = |recall: f64| -> String {
-                result
-                    .frames_to_recall(recall)
+                let target = (recall * total as f64).ceil() as usize;
+                metrics::frames_to_count(&outcome.trajectory, target)
                     .map(|frames| format_duration(cost.sampled_processing_secs(frames)))
                     .unwrap_or_else(|| "-".to_string())
             };
-            let beats = result
-                .frames_to_recall(0.9)
+            let target90 = (0.9 * total as f64).ceil() as usize;
+            let beats = metrics::frames_to_count(&outcome.trajectory, target90)
                 .map(|frames| cost.sampled_processing_secs(frames) < scan_secs);
             queries += 1;
             if beats == Some(true) {
@@ -83,8 +118,8 @@ fn main() {
             table.push_row(vec![
                 spec.name.to_string(),
                 format_duration(scan_secs),
-                class.to_string(),
-                format!("{}", result.total_instances),
+                outcome.label.clone(),
+                format!("{total}"),
                 time_at(0.1),
                 time_at(0.5),
                 time_at(0.9),

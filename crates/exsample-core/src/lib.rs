@@ -28,8 +28,11 @@
 //!   Bayes-UCB, greedy point-estimate, and uniform round-robin (ablations).
 //! * [`exsample`] — [`ExSample`]: the incremental sampler state machine (pick a
 //!   frame / record feedback), including batched picking (Section III-F).
-//! * [`driver`] — [`driver::run_query`]: the complete Algorithm 1 loop wiring a
-//!   detector and discriminator to the sampler.
+//!
+//! The complete Algorithm 1 loop — wiring a detector and discriminator to the
+//! sampler — lives in the `exsample-engine` crate (`run_query` there is a thin
+//! wrapper over its batched multi-query `QueryEngine`); this crate is only the
+//! sampling algorithm itself.
 //!
 //! ## Hot-path design
 //!
@@ -87,7 +90,6 @@
 #![deny(unsafe_code)]
 
 pub mod config;
-pub mod driver;
 pub mod estimator;
 pub mod exsample;
 pub mod policy;

@@ -39,9 +39,20 @@
 
 use crate::config::{ChunkSelectionPolicy, ExSampleConfig};
 use crate::stats::ChunkStatsSet;
-use exsample_rand::gamma::mt_draw_unit;
+use exsample_rand::gamma::{gamma_draw, mt_draw_unit};
 use exsample_rand::ziggurat::fast_exponential;
 use rand::Rng;
+
+/// Chunk count at or below which [`select_chunk`] takes the small-M fast path.
+///
+/// At small M the arg-max scan is pick-overhead-bound: the zipped
+/// struct-of-arrays walk and the prune's gate branch cost more than the handful
+/// of `exp`s they avoid (the prune only pays off once a scan skips ~`ln M`
+/// boost exponentials, and the video pipeline's typical chunk counts sit well
+/// below that break-even).  The fast path is a plain indexed loop computing
+/// every chunk's *full* draw via [`gamma_draw`] — the same RNG schedule as a
+/// textbook per-chunk Thompson draw, which the equivalence tests exploit.
+pub const SMALL_M_CHUNKS: usize = 64;
 
 /// Total-order arg-max comparison: does `candidate` strictly beat `incumbent`?
 ///
@@ -90,7 +101,13 @@ pub fn select_chunk<R: Rng + ?Sized>(
     assert_mask(stats, eligible);
     match config.policy {
         ChunkSelectionPolicy::ThompsonSampling => {
-            if cache_matches(config, stats) {
+            if stats.len() <= SMALL_M_CHUNKS {
+                if cache_matches(config, stats) {
+                    thompson_pick_cached_small(stats, eligible, rng)
+                } else {
+                    thompson_pick_uncached_small(config, stats, eligible, rng)
+                }
+            } else if cache_matches(config, stats) {
                 thompson_pick_cached(stats, eligible, rng)
             } else {
                 thompson_pick_uncached(config, stats, eligible, rng)
@@ -117,7 +134,14 @@ pub fn select_chunk_reference<R: Rng + ?Sized>(
     assert_mask(stats, eligible);
     match config.policy {
         ChunkSelectionPolicy::ThompsonSampling => {
-            thompson_pick_uncached(config, stats, eligible, rng)
+            // The reference path mirrors the hot path's draw schedule (full
+            // draws at small M, pruned folds above) so the two consume the
+            // same random stream; only the belief-constant caching differs.
+            if stats.len() <= SMALL_M_CHUNKS {
+                thompson_pick_uncached_small(config, stats, eligible, rng)
+            } else {
+                thompson_pick_uncached(config, stats, eligible, rng)
+            }
         }
         _ => select_chunk(config, stats, eligible, rng),
     }
@@ -241,6 +265,58 @@ fn fold_thompson_draw<R: Rng + ?Sized>(
     } else {
         None
     }
+}
+
+/// The small-M fast path over the cached belief constants: a plain indexed
+/// loop computing every eligible chunk's full draw, with no zip chains and no
+/// prune gate (see [`SMALL_M_CHUNKS`]).  Allocation-free like the large-M
+/// path; the full-draw schedule makes each pick draw-for-draw identical to a
+/// textbook per-chunk Thompson arg-max under the same RNG state.
+fn thompson_pick_cached_small<R: Rng + ?Sized>(
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    rng: &mut R,
+) -> Option<usize> {
+    let (ds, cs, boosts, rates) = stats.belief_soa();
+    let mut best_j: Option<usize> = None;
+    let mut best = f64::NEG_INFINITY;
+    for j in 0..eligible.len() {
+        if !eligible[j] {
+            continue;
+        }
+        let draw = gamma_draw(rng, ds[j], cs[j], boosts[j], rates[j]);
+        if best_j.is_none() || beats(draw, best) {
+            best_j = Some(j);
+            best = draw;
+        }
+    }
+    best_j
+}
+
+/// Small-M fast path without the belief cache: constructs each chunk's belief
+/// from the statistics, then takes the same full-draw schedule as
+/// [`thompson_pick_cached_small`] (identical picks under the same seed).
+fn thompson_pick_uncached_small<R: Rng + ?Sized>(
+    config: &ExSampleConfig,
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    rng: &mut R,
+) -> Option<usize> {
+    let mut best_j: Option<usize> = None;
+    let mut best = f64::NEG_INFINITY;
+    for (j, chunk) in stats.all().iter().enumerate() {
+        if !eligible[j] {
+            continue;
+        }
+        let belief = chunk.belief(config);
+        let (d, c, boost_inv_shape) = exsample_rand::gamma::mt_constants(belief.shape());
+        let draw = gamma_draw(rng, d, c, boost_inv_shape, belief.rate());
+        if best_j.is_none() || beats(draw, best) {
+            best_j = Some(j);
+            best = draw;
+        }
+    }
+    best_j
 }
 
 /// Thompson sampling over the cached belief constants: draw from each eligible
@@ -725,11 +801,13 @@ mod tests {
 
     #[test]
     fn pruned_argmax_matches_textbook_full_draw_argmax_in_distribution() {
-        // The hot path prunes chunks whose draw provably cannot win before
-        // paying for the boost exponential and the division.  Validate the
-        // prune against a textbook Thompson arg-max that always computes every
-        // chunk's full draw: per-chunk selection frequencies must agree
-        // (two-sample chi-square).
+        // The large-M hot path prunes chunks whose draw provably cannot win
+        // before paying for the boost exponential and the division.  Validate
+        // the prune against a textbook Thompson arg-max that always computes
+        // every chunk's full draw: per-chunk selection frequencies must agree
+        // (two-sample chi-square).  The pruned fold is invoked directly
+        // because `select_chunk` routes this small a chunk count to the
+        // prune-free fast path.
         use exsample_rand::Sampler;
         let config = ExSampleConfig::default();
         let mut stats = ChunkStatsSet::new(6);
@@ -743,7 +821,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let mut pruned_counts = vec![0usize; 6];
         for _ in 0..trials {
-            pruned_counts[select_chunk(&config, &stats, &eligible, &mut rng).unwrap()] += 1;
+            pruned_counts[thompson_pick_cached(&stats, &eligible, &mut rng).unwrap()] += 1;
         }
         let mut full_counts = vec![0usize; 6];
         for _ in 0..trials {
@@ -771,6 +849,55 @@ mod tests {
             chi < 25.7,
             "chi-square {chi:.2}: pruned {pruned_counts:?} vs full {full_counts:?}"
         );
+    }
+
+    #[test]
+    fn small_m_fast_path_is_draw_for_draw_a_textbook_argmax() {
+        // At M ≤ SMALL_M_CHUNKS, `select_chunk` computes every eligible
+        // chunk's full draw — the exact RNG schedule of `belief.sample()` —
+        // so it must agree with a textbook per-chunk Thompson arg-max not just
+        // in distribution but pick for pick under the same seed.
+        use exsample_rand::Sampler;
+        let config = ExSampleConfig::default();
+        let mut stats = skewed_stats();
+        let eligible = [true, true, true];
+        let mut rng_a = StdRng::seed_from_u64(47);
+        let mut rng_b = StdRng::seed_from_u64(47);
+        for i in 0..2_000 {
+            let fast = select_chunk(&config, &stats, &eligible, &mut rng_a).unwrap();
+            let mut best_j = 0usize;
+            let mut best = f64::NEG_INFINITY;
+            for (j, chunk) in stats.all().iter().enumerate() {
+                let draw = chunk.belief(&config).sample(&mut rng_b);
+                if j == 0 || beats(draw, best) {
+                    best_j = j;
+                    best = draw;
+                }
+            }
+            assert_eq!(fast, best_j, "pick {i} diverged from the textbook arg-max");
+            stats.record(fast, i64::from(i % 5 == 0));
+        }
+    }
+
+    #[test]
+    fn large_m_cached_and_reference_paths_agree_draw_for_draw() {
+        // Above SMALL_M_CHUNKS both public paths use the pruned fold; they
+        // must keep selecting identical chunks under the same seed.
+        let config = ExSampleConfig::default();
+        let chunks = SMALL_M_CHUNKS + 16;
+        let mut stats = ChunkStatsSet::new(chunks);
+        for j in 0..chunks {
+            stats.record(j, i64::from(j % 3 == 0));
+        }
+        let eligible = vec![true; chunks];
+        let mut rng_a = StdRng::seed_from_u64(53);
+        let mut rng_b = StdRng::seed_from_u64(53);
+        for i in 0..500 {
+            let a = select_chunk(&config, &stats, &eligible, &mut rng_a).unwrap();
+            let b = select_chunk_reference(&config, &stats, &eligible, &mut rng_b).unwrap();
+            assert_eq!(a, b, "pick {i} diverged");
+            stats.record(a, i64::from(i % 7 == 0));
+        }
     }
 
     #[test]

@@ -124,26 +124,38 @@ fn policy_selection_allocates_exactly_zero() {
         &mut scratch,
     );
 
-    let before = allocations();
-    for _ in 0..1_000 {
-        let j = policy::select_chunk(&config, &stats, &eligible, &mut rng).unwrap();
-        assert!(j < 1_024);
-    }
-    for _ in 0..20 {
-        policy::select_batch_into(
-            &config,
-            &stats,
-            &eligible,
-            32,
-            &mut rng,
-            &mut out,
-            &mut scratch,
-        );
-        assert_eq!(out.len(), 32);
+    // The counter is process-global, so one-time lazy initialisation inside
+    // the standard library (e.g. libtest's mpmc channel context installing its
+    // thread-local during the window) can land in a measurement interval.
+    // Such init happens at most once per thread, so re-running the window
+    // separates it from the selection layer: the assertion demands a *clean*
+    // window, which only exists if selection itself never allocates.
+    let mut window_allocs = usize::MAX;
+    for _attempt in 0..3 {
+        let before = allocations();
+        for _ in 0..1_000 {
+            let j = policy::select_chunk(&config, &stats, &eligible, &mut rng).unwrap();
+            assert!(j < 1_024);
+        }
+        for _ in 0..20 {
+            policy::select_batch_into(
+                &config,
+                &stats,
+                &eligible,
+                32,
+                &mut rng,
+                &mut out,
+                &mut scratch,
+            );
+            assert_eq!(out.len(), 32);
+        }
+        window_allocs = allocations() - before;
+        if window_allocs == 0 {
+            break;
+        }
     }
     assert_eq!(
-        allocations() - before,
-        0,
+        window_allocs, 0,
         "chunk selection must perform zero heap allocations"
     );
 }

@@ -34,6 +34,21 @@ pub trait Detector {
     /// Run the detector on `frame` and return its detections of the query class.
     fn detect(&self, frame: FrameId) -> FrameDetections;
 
+    /// Run the detector on a batch of frames, appending one [`FrameDetections`]
+    /// per input frame to `out` (in input order).
+    ///
+    /// This is the invocation shape batched execution engines use: a GPU-backed
+    /// implementation would submit the whole batch in one inference call.  The
+    /// default implementation simply loops over [`Detector::detect`], which is
+    /// exact for the simulated detectors (they are deterministic per frame, so
+    /// batching cannot change any result).
+    fn detect_batch(&self, frames: &[FrameId], out: &mut Vec<FrameDetections>) {
+        out.reserve(frames.len());
+        for &frame in frames {
+            out.push(self.detect(frame));
+        }
+    }
+
     /// The class this detector instance reports.
     fn class(&self) -> &ObjectClass;
 }
@@ -256,6 +271,23 @@ mod tests {
         assert_eq!(det.class().name(), "car");
         // Ground-truth linkage is populated.
         assert!(det.detect(750).detections.iter().all(|d| d.truth.is_some()));
+    }
+
+    #[test]
+    fn detect_batch_matches_per_frame_detection() {
+        let det = SimulatedDetector::new(
+            truth(),
+            ObjectClass::from("car"),
+            DetectorNoise::default(),
+            17,
+        );
+        let frames = [750u64, 100, 2_000, 750];
+        let mut batched = Vec::new();
+        det.detect_batch(&frames, &mut batched);
+        assert_eq!(batched.len(), frames.len());
+        for (&frame, result) in frames.iter().zip(&batched) {
+            assert_eq!(result, &det.detect(frame), "frame {frame}");
+        }
     }
 
     #[test]

@@ -1,28 +1,25 @@
 //! The complete Algorithm 1 loop: sampler + detector + discriminator.
 //!
 //! [`run_query`] wires an [`ExSample`] sampler to an object [`Detector`] and a
-//! [`Discriminator`] over a concrete [`Chunking`] of a video repository, and runs
-//! the paper's Algorithm 1 until a stopping condition is met.  The richer
-//! experiment harness (cost accounting, recall trajectories, multi-trial sweeps)
-//! lives in the `exsample-sim` crate; this driver is the minimal faithful loop and
-//! is what the quickstart example uses.
+//! [`Discriminator`] over a concrete [`Chunking`] of a video repository, and
+//! runs the paper's Algorithm 1 until a stopping condition is met.  It is a
+//! thin wrapper over [`QueryEngine`]: one query, batch size 1, the caller's
+//! RNG threaded through as the query's stream.  A batch-1 engine stage is
+//! exactly one pick → detect → record iteration of the paper's loop, so this
+//! wrapper reproduces the historical hand-written loop pick for pick (the
+//! determinism test-suite pins that equivalence down against a faithful
+//! replica of the legacy loop).
 
-use crate::exsample::ExSample;
+use crate::engine::{QueryEngine, QuerySpec};
+use crate::error::EngineError;
+use crate::policy::ExSamplePolicy;
+use exsample_core::ExSample;
 use exsample_detect::{Detector, InstanceId};
 use exsample_track::Discriminator;
 use exsample_video::Chunking;
 use rand::Rng;
 
-/// Why a query run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// The requested number of distinct results was found.
-    ResultLimitReached,
-    /// The frame budget was exhausted before enough results were found.
-    FrameBudgetExhausted,
-    /// Every frame of the repository was sampled.
-    RepositoryExhausted,
-}
+pub use crate::engine::StopReason;
 
 /// The outcome of one query run.
 #[derive(Debug, Clone)]
@@ -48,8 +45,9 @@ pub struct QueryOutcome {
 /// * `result_limit` — stop after this many distinct objects.
 /// * `frame_budget` — optionally stop after this many detector invocations.
 ///
-/// # Panics
-/// Panics if the sampler's chunk count does not match `chunking`.
+/// # Errors
+/// Returns [`EngineError::ChunkCountMismatch`] if the sampler's chunk count
+/// does not match `chunking` (historically a panic).
 pub fn run_query<D, X, R>(
     sampler: &mut ExSample,
     chunking: &Chunking,
@@ -58,51 +56,47 @@ pub fn run_query<D, X, R>(
     result_limit: usize,
     frame_budget: Option<u64>,
     rng: &mut R,
-) -> QueryOutcome
+) -> Result<QueryOutcome, EngineError>
 where
     D: Detector,
     X: Discriminator,
-    R: Rng + ?Sized,
+    R: Rng,
 {
-    assert_eq!(
-        sampler.chunk_count(),
-        chunking.len(),
-        "sampler and chunking disagree on the number of chunks"
-    );
-    let mut frames_processed = 0u64;
-    let stop_reason = loop {
-        if discriminator.distinct_count() >= result_limit {
-            break StopReason::ResultLimitReached;
+    let (frames_processed, stop_reason) = {
+        let policy = ExSamplePolicy::from_sampler(&mut *sampler, chunking)?;
+        let mut spec = QuerySpec::new("run-query", Box::new(policy), detector)
+            .discriminator(Box::new(&mut *discriminator))
+            .rng(Box::new(&mut *rng))
+            .result_limit(result_limit)
+            .batch(1);
+        if let Some(budget) = frame_budget {
+            spec = spec.frame_budget(budget);
         }
-        if frame_budget.is_some_and(|budget| frames_processed >= budget) {
-            break StopReason::FrameBudgetExhausted;
-        }
-        // 1) choice of chunk and frame.
-        let Some(pick) = sampler.next_frame(rng) else {
-            break StopReason::RepositoryExhausted;
-        };
-        let frame = chunking.chunks()[pick.chunk].start() + pick.offset;
-        // 2) io, decode, detect, match.
-        let detections = detector.detect(frame);
-        let outcome = discriminator.observe(&detections);
-        // 3) update state.
-        sampler.record(pick.chunk, outcome.n1_delta());
-        frames_processed += 1;
+        let mut engine = QueryEngine::new();
+        engine.push(spec)?;
+        let report = engine.run()?;
+        let q = &report.outcomes[0];
+        (
+            q.frames_processed,
+            q.stop_reason.expect("run() leaves every query stopped"),
+        )
     };
 
-    QueryOutcome {
+    // The engine's borrows have been released; read the final state off the
+    // caller's own sampler and discriminator, exactly as the legacy loop did.
+    Ok(QueryOutcome {
         frames_processed,
         distinct_found: discriminator.distinct_count(),
         found_instances: discriminator.found_instances(),
         samples_per_chunk: sampler.stats().all().iter().map(|s| s.samples()).collect(),
         stop_reason,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ExSampleConfig;
+    use exsample_core::ExSampleConfig;
     use exsample_detect::{GroundTruth, ObjectClass, ObjectInstance, PerfectDetector};
     use exsample_track::OracleDiscriminator;
     use exsample_video::{Chunking, ChunkingPolicy, VideoRepository};
@@ -140,7 +134,8 @@ mod tests {
             5,
             None,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.stop_reason, StopReason::ResultLimitReached);
         assert!(outcome.distinct_found >= 5);
         assert_eq!(outcome.found_instances.len(), outcome.distinct_found);
@@ -166,7 +161,8 @@ mod tests {
             10,
             Some(3_000),
             &mut rng,
-        );
+        )
+        .unwrap();
         // All instances live in the last chunk; it should dominate the allocation
         // once a couple of results are found.
         let last = *outcome.samples_per_chunk.last().unwrap() as f64;
@@ -194,7 +190,8 @@ mod tests {
             1_000_000,
             Some(50),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.stop_reason, StopReason::FrameBudgetExhausted);
         assert_eq!(outcome.frames_processed, 50);
     }
@@ -219,21 +216,21 @@ mod tests {
             10,
             None,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.stop_reason, StopReason::RepositoryExhausted);
         assert_eq!(outcome.frames_processed, 64);
         assert_eq!(outcome.distinct_found, 0);
     }
 
     #[test]
-    #[should_panic(expected = "disagree on the number of chunks")]
-    fn mismatched_chunking_panics() {
+    fn mismatched_chunking_is_a_typed_error_not_a_panic() {
         let (chunking, truth) = skewed_setup();
         let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
         let mut discriminator = OracleDiscriminator::new();
         let mut sampler = ExSample::new(ExSampleConfig::default(), &[10, 10]);
         let mut rng = StdRng::seed_from_u64(1);
-        let _ = run_query(
+        let err = run_query(
             &mut sampler,
             &chunking,
             &detector,
@@ -241,6 +238,9 @@ mod tests {
             1,
             None,
             &mut rng,
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::ChunkCountMismatch(_)));
+        assert!(err.to_string().contains("disagree on the number of chunks"));
     }
 }

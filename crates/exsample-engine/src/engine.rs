@@ -1,0 +1,735 @@
+//! The batched multi-query execution engine.
+//!
+//! [`QueryEngine`] runs one or many concurrent distinct-object queries over a
+//! shared video repository in *stages*.  Each stage is a three-phase pipeline:
+//!
+//! ```text
+//!          ┌────────────────────────────────────────────────────────┐
+//!  stage:  │ 1. PICK     every live query draws ≤ batch frame ids   │
+//!          │             from its SamplingPolicy (own RNG stream)   │
+//!          │ 2. DETECT   frame ids are coalesced across queries     │
+//!          │             sharing a detector (sorted, deduplicated)  │
+//!          │             and run through one batched invocation     │
+//!          │ 3. FAN-OUT  per query, in pick order: discriminator    │
+//!          │             observes the frame's detections, the       │
+//!          │             policy records the verdict, budgets and    │
+//!          │             trajectories advance                       │
+//!          └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Stages repeat until every query has a [`StopReason`].  The detector is the
+//! dominant cost in real deployments, so phase 2 is where multiplexing pays:
+//! when several queries ask for the same frame in the same stage, the engine
+//! detects it once and fans the (deterministic) result out to each query's own
+//! discriminator.  See the crate docs for the exact coalescing semantics.
+//!
+//! Determinism: each query owns an RNG stream seeded from its
+//! [`QuerySpec::seed`], detectors are pure functions of the frame id, and
+//! phase 3 always visits queries in registration order — so per-query outcomes
+//! are a function of the query's own spec, never of how stages interleave,
+//! which queries share the engine, or whether coalescing is enabled.
+
+use crate::error::EngineError;
+use crate::policy::SamplingPolicy;
+use exsample_detect::{Detector, FrameDetections, InstanceId};
+use exsample_track::{Discriminator, OracleDiscriminator};
+use exsample_video::FrameId;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Why a query stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The requested number of distinct results (or ground-truth instances)
+    /// was found.
+    ResultLimitReached,
+    /// The query's frame budget was exhausted before enough results were found.
+    FrameBudgetExhausted,
+    /// The query's policy ran out of frames to produce.
+    RepositoryExhausted,
+}
+
+/// One point of a recall trajectory: after `frames` detector invocations paid
+/// by this query, `found` distinct ground-truth instances had been found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Frames processed through the detector when the point was recorded.
+    pub frames: u64,
+    /// Distinct ground-truth instances found at that moment.
+    pub found: usize,
+}
+
+/// Specification of one query, built builder-style and submitted via
+/// [`QueryEngine::push`].
+pub struct QuerySpec<'a> {
+    label: String,
+    policy: Box<dyn SamplingPolicy + 'a>,
+    detector: &'a dyn Detector,
+    discriminator: Box<dyn Discriminator + 'a>,
+    rng: Box<dyn RngCore + 'a>,
+    result_limit: Option<usize>,
+    true_limit: Option<usize>,
+    frame_budget: Option<u64>,
+    batch: usize,
+}
+
+impl<'a> QuerySpec<'a> {
+    /// Create a spec with an [`OracleDiscriminator`], batch size 1, no limits,
+    /// and an RNG stream derived from seed 0.
+    pub fn new(
+        label: impl Into<String>,
+        policy: Box<dyn SamplingPolicy + 'a>,
+        detector: &'a dyn Detector,
+    ) -> Self {
+        QuerySpec {
+            label: label.into(),
+            policy,
+            detector,
+            discriminator: Box::new(OracleDiscriminator::new()),
+            rng: Box::new(StdRng::seed_from_u64(0)),
+            result_limit: None,
+            true_limit: None,
+            frame_budget: None,
+            batch: 1,
+        }
+    }
+
+    /// Replace the discriminator (default: oracle matching).
+    pub fn discriminator(mut self, discriminator: Box<dyn Discriminator + 'a>) -> Self {
+        self.discriminator = discriminator;
+        self
+    }
+
+    /// Seed this query's private RNG stream.  Two engine runs whose specs carry
+    /// the same seeds produce identical per-query outcomes regardless of what
+    /// else runs alongside.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng = Box::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// Use an external RNG instead of a seeded private stream (the legacy
+    /// `run_query` wrapper threads its caller's generator through here).
+    pub fn rng(mut self, rng: Box<dyn RngCore + 'a>) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Stop once the discriminator reports this many distinct objects.
+    pub fn result_limit(mut self, limit: usize) -> Self {
+        self.result_limit = Some(limit);
+        self
+    }
+
+    /// Stop once this many distinct *ground-truth* instances have been found
+    /// (how recall-level stop conditions are expressed).
+    pub fn true_limit(mut self, limit: usize) -> Self {
+        self.true_limit = Some(limit);
+        self
+    }
+
+    /// Stop after this many detector invocations paid by this query.
+    pub fn frame_budget(mut self, budget: u64) -> Self {
+        self.frame_budget = Some(budget);
+        self
+    }
+
+    /// Number of frames the query requests per stage (its detector batch size).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// What one engine stage did, as seen by cost-accounting hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage number (0-based).
+    pub stage: u64,
+    /// Queries that contributed picks to this stage.
+    pub active_queries: usize,
+    /// Frames demanded by the queries (what an uncoalesced execution would
+    /// have run through detectors).
+    pub demanded_frames: u64,
+    /// Frames actually run through detectors after coalescing.
+    pub detector_frames: u64,
+    /// Batched detector invocations issued.
+    pub detector_calls: u64,
+}
+
+/// Final report for one query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The label the query was submitted under.
+    pub label: String,
+    /// Name of the query's sampling policy.
+    pub policy: String,
+    /// Detector invocations paid by this query (demand, not coalesced cost).
+    pub frames_processed: u64,
+    /// Distinct objects reported by the query's discriminator.
+    pub distinct_found: usize,
+    /// Distinct ground-truth instances found.
+    pub true_found: usize,
+    /// The ground-truth instances found, sorted.
+    pub found_instances: Vec<InstanceId>,
+    /// Recall trajectory: one point per newly found ground-truth instance.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Frames the policy had to scan upfront (proxy-style policies only).
+    pub upfront_scan_frames: u64,
+    /// Why the query stopped, or `None` if it is still running (possible only
+    /// in reports taken via [`QueryEngine::report`] between manual
+    /// [`QueryEngine::run_stage`] calls; after a completed
+    /// [`QueryEngine::run`] every query has a reason).
+    pub stop_reason: Option<StopReason>,
+}
+
+/// Aggregate result of an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-query reports, in registration order.
+    pub outcomes: Vec<QueryReport>,
+    /// Number of stages executed.
+    pub stages: u64,
+    /// Total frames demanded by all queries (uncoalesced detector work).
+    pub demanded_frames: u64,
+    /// Total frames run through detectors (coalesced detector work).
+    pub detector_frames: u64,
+    /// Total batched detector invocations.
+    pub detector_calls: u64,
+}
+
+impl EngineReport {
+    /// Detector invocations avoided by cross-query coalescing.
+    pub fn coalesced_savings(&self) -> u64 {
+        self.demanded_frames - self.detector_frames
+    }
+}
+
+struct QueryState<'a> {
+    label: String,
+    policy: Box<dyn SamplingPolicy + 'a>,
+    detector: &'a dyn Detector,
+    discriminator: Box<dyn Discriminator + 'a>,
+    rng: Box<dyn RngCore + 'a>,
+    result_limit: Option<usize>,
+    true_limit: Option<usize>,
+    frame_budget: Option<u64>,
+    batch: usize,
+    frames_processed: u64,
+    found_true: HashSet<InstanceId>,
+    trajectory: Vec<TrajectoryPoint>,
+    stop: Option<StopReason>,
+    /// This stage's picks (reused buffer).
+    picks: Vec<FrameId>,
+}
+
+impl QueryState<'_> {
+    /// The stop conditions, checked in the same order as the legacy per-frame
+    /// loop: results first, then budget (so a satisfied query never pays for
+    /// one more stage).
+    fn stop_condition(&self) -> Option<StopReason> {
+        if let Some(limit) = self.result_limit {
+            if self.discriminator.distinct_count() >= limit {
+                return Some(StopReason::ResultLimitReached);
+            }
+        }
+        if let Some(limit) = self.true_limit {
+            if self.found_true.len() >= limit {
+                return Some(StopReason::ResultLimitReached);
+            }
+        }
+        if let Some(budget) = self.frame_budget {
+            if self.frames_processed >= budget {
+                return Some(StopReason::FrameBudgetExhausted);
+            }
+        }
+        None
+    }
+
+    fn report(&self) -> QueryReport {
+        let mut found_instances: Vec<InstanceId> = self.found_true.iter().copied().collect();
+        found_instances.sort();
+        QueryReport {
+            label: self.label.clone(),
+            policy: self.policy.name().to_string(),
+            frames_processed: self.frames_processed,
+            distinct_found: self.discriminator.distinct_count(),
+            true_found: self.found_true.len(),
+            found_instances,
+            trajectory: self.trajectory.clone(),
+            upfront_scan_frames: self.policy.upfront_scan_frames(),
+            stop_reason: self.stop,
+        }
+    }
+}
+
+/// One coalescing unit of a stage: the frames demanded from one detector.
+struct DetectorGroup {
+    /// Index of the first member query; the group's detector identity is that
+    /// query's detector reference.  Membership tests compare detector
+    /// references as *fat* pointers (`std::ptr::eq` on `&dyn Detector`
+    /// compares data address and vtable), so two distinct zero-sized detector
+    /// types at the same address can never be merged — a vtable mismatch can
+    /// only cost a missed coalescing opportunity, never correctness.
+    owner: usize,
+    frames: Vec<FrameId>,
+    results: HashMap<FrameId, FrameDetections>,
+}
+
+/// The batched multi-query execution engine.  See the module docs for the
+/// stage pipeline and determinism guarantees.
+pub struct QueryEngine<'a> {
+    queries: Vec<QueryState<'a>>,
+    coalesce: bool,
+    stages: u64,
+    demanded_frames: u64,
+    detector_frames: u64,
+    detector_calls: u64,
+    /// Reused per-stage scratch: detector groups (only the first `live_groups`
+    /// entries are meaningful in a stage; dead entries keep their allocations
+    /// for reuse), the query→group membership map, and the detect_batch
+    /// output buffer.
+    groups: Vec<DetectorGroup>,
+    live_groups: usize,
+    membership: Vec<usize>,
+    detections_buf: Vec<FrameDetections>,
+}
+
+impl Default for QueryEngine<'_> {
+    fn default() -> Self {
+        QueryEngine::new()
+    }
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Create an engine with cross-query coalescing enabled.
+    pub fn new() -> Self {
+        QueryEngine {
+            queries: Vec::new(),
+            coalesce: true,
+            stages: 0,
+            demanded_frames: 0,
+            detector_frames: 0,
+            detector_calls: 0,
+            groups: Vec::new(),
+            live_groups: 0,
+            membership: Vec::new(),
+            detections_buf: Vec::new(),
+        }
+    }
+
+    /// Enable or disable cross-query frame coalescing (enabled by default).
+    /// Disabling it never changes any query's outcome — only how much detector
+    /// work is paid — which the determinism tests pin down.
+    pub fn coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Register a query; returns its index (reports come back in this order).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ZeroBatch`] if the spec's batch size is zero.
+    pub fn push(&mut self, spec: QuerySpec<'a>) -> Result<usize, EngineError> {
+        if spec.batch == 0 {
+            return Err(EngineError::ZeroBatch { label: spec.label });
+        }
+        self.queries.push(QueryState {
+            label: spec.label,
+            policy: spec.policy,
+            detector: spec.detector,
+            discriminator: spec.discriminator,
+            rng: spec.rng,
+            result_limit: spec.result_limit,
+            true_limit: spec.true_limit,
+            frame_budget: spec.frame_budget,
+            batch: spec.batch,
+            frames_processed: 0,
+            found_true: HashSet::new(),
+            trajectory: Vec::new(),
+            stop: None,
+            picks: Vec::new(),
+        });
+        Ok(self.queries.len() - 1)
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total frames demanded by queries so far (uncoalesced detector work).
+    pub fn demanded_frames(&self) -> u64 {
+        self.demanded_frames
+    }
+
+    /// Total frames run through detectors so far (after coalescing).
+    pub fn detector_frames(&self) -> u64 {
+        self.detector_frames
+    }
+
+    /// Execute one stage (pick → detect → fan-out) across all live queries.
+    ///
+    /// Returns `None` once every query has stopped — after that the engine is
+    /// finished and [`QueryEngine::report`] is stable.
+    pub fn run_stage(&mut self) -> Option<StageStats> {
+        // Phase 1: stop checks and picks.
+        let mut active = 0usize;
+        let mut demanded = 0u64;
+        for q in &mut self.queries {
+            q.picks.clear();
+            if q.stop.is_some() {
+                continue;
+            }
+            if let Some(reason) = q.stop_condition() {
+                q.stop = Some(reason);
+                continue;
+            }
+            let budget_left = q
+                .frame_budget
+                .map_or(u64::MAX, |b| b - q.frames_processed.min(b));
+            let want = (q.batch as u64).min(budget_left) as usize;
+            q.policy.next_batch_into(q.rng.as_mut(), want, &mut q.picks);
+            if q.picks.is_empty() {
+                q.stop = Some(StopReason::RepositoryExhausted);
+                continue;
+            }
+            active += 1;
+            demanded += q.picks.len() as u64;
+        }
+        if active == 0 {
+            return None;
+        }
+
+        let mut detector_frames = 0u64;
+        let mut detector_calls = 0u64;
+        if active == 1 {
+            // Fast path for stages with a single picking query (the whole run,
+            // for a single-query engine — e.g. the per-frame sim runner at
+            // batch 1): no grouping, no result map, detections are consumed
+            // straight out of the batch buffer in pick order.
+            let q = self
+                .queries
+                .iter_mut()
+                .find(|q| !q.picks.is_empty())
+                .expect("one query picked this stage");
+            let picks = std::mem::take(&mut q.picks);
+            self.detections_buf.clear();
+            q.detector.detect_batch(&picks, &mut self.detections_buf);
+            detector_calls = 1;
+            detector_frames = picks.len() as u64;
+            for (&frame, detections) in picks.iter().zip(self.detections_buf.drain(..)) {
+                Self::observe_frame(q, frame, &detections);
+            }
+            q.picks = picks;
+            q.picks.clear();
+        } else {
+            self.run_grouped_stage(&mut detector_frames, &mut detector_calls);
+        }
+
+        let stats = StageStats {
+            stage: self.stages,
+            active_queries: active,
+            demanded_frames: demanded,
+            detector_frames,
+            detector_calls,
+        };
+        self.stages += 1;
+        self.demanded_frames += demanded;
+        self.detector_frames += detector_frames;
+        self.detector_calls += detector_calls;
+        Some(stats)
+    }
+
+    /// One frame's fan-out for one query: discriminator verdict, policy
+    /// feedback, budget and trajectory bookkeeping.
+    fn observe_frame(q: &mut QueryState<'_>, frame: FrameId, detections: &FrameDetections) {
+        let outcome = q.discriminator.observe(detections);
+        q.policy.record(frame, &outcome);
+        q.frames_processed += 1;
+        for det in &outcome.new {
+            if let Some(id) = det.truth {
+                if q.found_true.insert(id) {
+                    q.trajectory.push(TrajectoryPoint {
+                        frames: q.frames_processed,
+                        found: q.found_true.len(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Phases 2 and 3 of a stage with several picking queries: group demands
+    /// per detector, deduplicate when coalescing, issue one batched detector
+    /// invocation per group, then fan results back out per query in
+    /// registration order.  Group slots, the membership map and the detection
+    /// buffer are reused across stages (allocations amortise to zero in
+    /// steady state).
+    fn run_grouped_stage(&mut self, detector_frames: &mut u64, detector_calls: &mut u64) {
+        self.live_groups = 0;
+        self.membership.clear();
+        for q in self.queries.iter() {
+            if q.picks.is_empty() {
+                self.membership.push(usize::MAX);
+                continue;
+            }
+            let group_index = if self.coalesce {
+                self.groups[..self.live_groups]
+                    .iter()
+                    .position(|g| std::ptr::eq(self.queries[g.owner].detector, q.detector))
+            } else {
+                None
+            };
+            let group_index = group_index.unwrap_or_else(|| {
+                let owner = self.membership.len();
+                if self.live_groups == self.groups.len() {
+                    self.groups.push(DetectorGroup {
+                        owner,
+                        frames: Vec::new(),
+                        results: HashMap::new(),
+                    });
+                } else {
+                    let slot = &mut self.groups[self.live_groups];
+                    slot.owner = owner;
+                    slot.frames.clear();
+                    slot.results.clear();
+                }
+                self.live_groups += 1;
+                self.live_groups - 1
+            });
+            self.groups[group_index].frames.extend_from_slice(&q.picks);
+            self.membership.push(group_index);
+        }
+        for group in self.groups[..self.live_groups].iter_mut() {
+            if self.coalesce {
+                group.frames.sort_unstable();
+                group.frames.dedup();
+            }
+            let detector = self.queries[group.owner].detector;
+            self.detections_buf.clear();
+            detector.detect_batch(&group.frames, &mut self.detections_buf);
+            *detector_calls += 1;
+            *detector_frames += group.frames.len() as u64;
+            group.results.reserve(self.detections_buf.len());
+            for (frame, detections) in group.frames.iter().zip(self.detections_buf.drain(..)) {
+                group.results.insert(*frame, detections);
+            }
+        }
+        for (q, &group_index) in self.queries.iter_mut().zip(&self.membership) {
+            if q.picks.is_empty() {
+                continue;
+            }
+            let results = &self.groups[group_index].results;
+            let picks = std::mem::take(&mut q.picks);
+            for &frame in &picks {
+                let detections = results
+                    .get(&frame)
+                    .expect("every picked frame was detected this stage");
+                Self::observe_frame(q, frame, detections);
+            }
+            // Hand the buffer back so the next stage reuses its allocation.
+            q.picks = picks;
+            q.picks.clear();
+        }
+    }
+
+    /// Run every query to completion, invoking `on_stage` after each stage
+    /// (the per-stage cost-accounting hook `exsample-sim` charges its virtual
+    /// clock from).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoQueries`] if no query was registered.
+    pub fn run_with<F: FnMut(&StageStats)>(
+        &mut self,
+        mut on_stage: F,
+    ) -> Result<EngineReport, EngineError> {
+        if self.queries.is_empty() {
+            return Err(EngineError::NoQueries);
+        }
+        while let Some(stats) = self.run_stage() {
+            on_stage(&stats);
+        }
+        Ok(self.report())
+    }
+
+    /// [`QueryEngine::run_with`] without a stage hook.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoQueries`] if no query was registered.
+    pub fn run(&mut self) -> Result<EngineReport, EngineError> {
+        self.run_with(|_| {})
+    }
+
+    /// Build the report for the engine's current state.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            outcomes: self.queries.iter().map(QueryState::report).collect(),
+            stages: self.stages,
+            demanded_frames: self.demanded_frames,
+            detector_frames: self.detector_frames,
+            detector_calls: self.detector_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ExSamplePolicy, FrameSamplerPolicy};
+    use exsample_core::ExSampleConfig;
+    use exsample_detect::{GroundTruth, ObjectClass, ObjectInstance, PerfectDetector};
+    use exsample_video::{Chunking, ChunkingPolicy, VideoRepository};
+    use std::sync::Arc;
+
+    fn setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>, PerfectDetector) {
+        let repo = VideoRepository::single_clip(frames);
+        let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks });
+        let mut instances = Vec::new();
+        let start0 = frames * 7 / 8;
+        let span = (frames / 96).max(2);
+        for i in 0..12u64 {
+            let start = start0 + i * span;
+            let end = (start + span - 1).min(frames - 1);
+            if start >= frames {
+                break;
+            }
+            instances.push(ObjectInstance::simple(i, "car", start, end));
+        }
+        let truth = Arc::new(GroundTruth::from_instances(frames, instances));
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        (chunking, truth, detector)
+    }
+
+    #[test]
+    fn single_query_finds_results_and_reports_stop_reason() {
+        let (chunking, _truth, detector) = setup(40_000, 8);
+        let mut engine = QueryEngine::new();
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+        engine
+            .push(
+                QuerySpec::new("q", Box::new(policy), &detector)
+                    .seed(3)
+                    .batch(16)
+                    .result_limit(5),
+            )
+            .unwrap();
+        let report = engine.run().unwrap();
+        let q = &report.outcomes[0];
+        assert_eq!(q.stop_reason, Some(StopReason::ResultLimitReached));
+        assert!(q.distinct_found >= 5);
+        assert_eq!(q.true_found, q.found_instances.len());
+        assert!(report.stages > 0);
+        assert_eq!(report.demanded_frames, q.frames_processed);
+    }
+
+    #[test]
+    fn frame_budget_is_exact_even_with_large_batches() {
+        let (chunking, _truth, detector) = setup(40_000, 8);
+        let mut engine = QueryEngine::new();
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+        engine
+            .push(
+                QuerySpec::new("q", Box::new(policy), &detector)
+                    .seed(5)
+                    .batch(64)
+                    .frame_budget(100),
+            )
+            .unwrap();
+        let report = engine.run().unwrap();
+        let q = &report.outcomes[0];
+        assert_eq!(q.frames_processed, 100);
+        assert_eq!(q.stop_reason, Some(StopReason::FrameBudgetExhausted));
+    }
+
+    #[test]
+    fn repository_exhaustion_stops_queries() {
+        let (chunking, _truth, detector) = setup(256, 4);
+        let mut engine = QueryEngine::new();
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+        engine
+            .push(
+                QuerySpec::new("q", Box::new(policy), &detector)
+                    .seed(7)
+                    .batch(32),
+            )
+            .unwrap();
+        let report = engine.run().unwrap();
+        let q = &report.outcomes[0];
+        assert_eq!(q.stop_reason, Some(StopReason::RepositoryExhausted));
+        assert_eq!(q.frames_processed, 256);
+    }
+
+    #[test]
+    fn coalescing_reduces_detector_work_but_not_outcomes() {
+        // Two identical uniform queries over a tiny repository *must* collide
+        // on frames within a stage once enough of the range is covered.
+        let (_chunking, _truth, detector) = setup(512, 4);
+        let run = |coalesce: bool| {
+            let mut engine = QueryEngine::new().coalesce(coalesce);
+            for (i, seed) in [11u64, 11, 13].iter().enumerate() {
+                engine
+                    .push(
+                        QuerySpec::new(
+                            format!("q{i}"),
+                            Box::new(FrameSamplerPolicy::uniform(512)),
+                            &detector,
+                        )
+                        .seed(*seed)
+                        .batch(64),
+                    )
+                    .unwrap();
+            }
+            engine.run().unwrap()
+        };
+        let coalesced = run(true);
+        let uncoalesced = run(false);
+        // Queries 0 and 1 share a seed, so their per-stage picks are identical
+        // and coalescing halves that part of the detector bill.
+        assert!(coalesced.detector_frames < coalesced.demanded_frames);
+        assert_eq!(uncoalesced.detector_frames, uncoalesced.demanded_frames);
+        assert_eq!(coalesced.demanded_frames, uncoalesced.demanded_frames);
+        assert!(coalesced.coalesced_savings() > 0);
+        // Outcomes are bit-identical either way.
+        for (a, b) in coalesced.outcomes.iter().zip(&uncoalesced.outcomes) {
+            assert_eq!(a.frames_processed, b.frames_processed);
+            assert_eq!(a.found_instances, b.found_instances);
+            assert_eq!(a.trajectory, b.trajectory);
+            assert_eq!(a.stop_reason, b.stop_reason);
+        }
+    }
+
+    #[test]
+    fn zero_batch_and_empty_engine_are_typed_errors() {
+        let (chunking, _truth, detector) = setup(256, 4);
+        let mut engine = QueryEngine::new();
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+        let err = engine
+            .push(QuerySpec::new("bad", Box::new(policy), &detector).batch(0))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ZeroBatch { .. }));
+        assert!(matches!(engine.run(), Err(EngineError::NoQueries)));
+    }
+
+    #[test]
+    fn queries_with_different_budgets_finish_independently() {
+        let (chunking, _truth, detector) = setup(40_000, 8);
+        let mut engine = QueryEngine::new();
+        for (label, budget) in [("short", 50u64), ("long", 400)] {
+            let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+            engine
+                .push(
+                    QuerySpec::new(label, Box::new(policy), &detector)
+                        .seed(17)
+                        .batch(25)
+                        .frame_budget(budget),
+                )
+                .unwrap();
+        }
+        let report = engine.run().unwrap();
+        assert_eq!(report.outcomes[0].frames_processed, 50);
+        assert_eq!(report.outcomes[1].frames_processed, 400);
+        // The long query keeps running after the short one stops.
+        assert!(report.stages >= 16);
+    }
+}

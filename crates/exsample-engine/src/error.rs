@@ -1,0 +1,102 @@
+//! Typed errors for the engine entry points.
+//!
+//! The seed implementation wired Algorithm 1 by hand and `assert!`ed its
+//! invariants (most notably the sampler-vs-chunking chunk-count agreement);
+//! since the engine is the seam a long-running multi-query service is built on,
+//! misconfiguration must surface as a recoverable [`EngineError`] instead of a
+//! panic.
+
+use std::fmt;
+
+/// A sampler was wired to a chunking with a different number of chunks.
+///
+/// Every per-chunk statistic of an ExSample sampler belongs to one chunk of a
+/// concrete chunking; pairing a sampler with a chunking of a different size
+/// would silently misattribute feedback, so adapter constructors (e.g.
+/// [`crate::ExSamplePolicy::from_sampler`]) return this typed error instead
+/// (historically this was an `assert_eq!`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkCountMismatch {
+    /// Number of chunks the sampler was built with.
+    pub sampler_chunks: usize,
+    /// Number of chunks in the chunking it was paired with.
+    pub chunking_chunks: usize,
+}
+
+impl fmt::Display for ChunkCountMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sampler and chunking disagree on the number of chunks: \
+             sampler has {}, chunking has {}",
+            self.sampler_chunks, self.chunking_chunks
+        )
+    }
+}
+
+impl std::error::Error for ChunkCountMismatch {}
+
+/// A configuration error detected by an engine entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A sampler was paired with a chunking holding a different number of
+    /// chunks (see [`ChunkCountMismatch`]).
+    ChunkCountMismatch(ChunkCountMismatch),
+    /// A query was submitted with a batch size of zero; the engine could never
+    /// make progress on it.
+    ZeroBatch {
+        /// Label of the offending query.
+        label: String,
+    },
+    /// [`crate::QueryEngine::run`] was called with no queries registered.
+    NoQueries,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ChunkCountMismatch(inner) => inner.fmt(f),
+            EngineError::ZeroBatch { label } => {
+                write!(f, "query `{label}` was submitted with batch size 0")
+            }
+            EngineError::NoQueries => write!(f, "the engine has no queries to run"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::ChunkCountMismatch(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChunkCountMismatch> for EngineError {
+    fn from(inner: ChunkCountMismatch) -> Self {
+        EngineError::ChunkCountMismatch(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        let mismatch = ChunkCountMismatch {
+            sampler_chunks: 4,
+            chunking_chunks: 8,
+        };
+        let err = EngineError::from(mismatch);
+        assert!(err.to_string().contains("disagree"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(EngineError::NoQueries.to_string().contains("no queries"));
+        let zero = EngineError::ZeroBatch {
+            label: "q0".to_string(),
+        };
+        assert!(zero.to_string().contains("q0"));
+        assert!(std::error::Error::source(&zero).is_none());
+    }
+}

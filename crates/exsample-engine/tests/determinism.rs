@@ -1,0 +1,327 @@
+//! Engine determinism guarantees, pinned down end to end:
+//!
+//! 1. a single-query engine at batch size 1 reproduces the legacy hand-written
+//!    `run_query` loop **pick for pick** under the same RNG seed (the legacy
+//!    loop is replicated faithfully here, since `run_query` itself is now a
+//!    wrapper over the engine); and
+//! 2. a multi-query run produces identical per-query outcomes for any stage
+//!    interleaving — solo vs. concurrent execution, coalescing on or off,
+//!    permuted registration order, extra companion queries.
+
+use exsample_core::{ExSample, ExSampleConfig};
+use exsample_detect::{
+    Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
+};
+use exsample_engine::{
+    run_query, ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, StopReason,
+};
+use exsample_track::{Discriminator, OracleDiscriminator};
+use exsample_video::{Chunking, ChunkingPolicy, FrameId, VideoRepository};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A detector that logs every frame it is asked about, in order.
+struct RecordingDetector<D: Detector> {
+    inner: D,
+    log: RefCell<Vec<FrameId>>,
+}
+
+impl<D: Detector> RecordingDetector<D> {
+    fn new(inner: D) -> Self {
+        RecordingDetector {
+            inner,
+            log: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl<D: Detector> Detector for RecordingDetector<D> {
+    fn detect(&self, frame: FrameId) -> FrameDetections {
+        self.log.borrow_mut().push(frame);
+        self.inner.detect(frame)
+    }
+
+    fn class(&self) -> &ObjectClass {
+        self.inner.class()
+    }
+}
+
+fn skewed_setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>) {
+    let repo = VideoRepository::single_clip(frames);
+    let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks });
+    let mut instances = Vec::new();
+    let start0 = frames * 4 / 5;
+    let span = (frames / 64).max(2);
+    for i in 0..15u64 {
+        let start = start0 + i * span;
+        if start >= frames {
+            break;
+        }
+        let end = (start + span * 3).min(frames - 1);
+        instances.push(ObjectInstance::simple(i, "car", start, end));
+    }
+    let truth = Arc::new(GroundTruth::from_instances(frames, instances));
+    (chunking, truth)
+}
+
+/// Faithful replica of the legacy hand-written Algorithm 1 loop, as it stood
+/// before the engine existed.  Kept as the equivalence baseline; do not
+/// "improve".
+fn legacy_run_query(
+    sampler: &mut ExSample,
+    chunking: &Chunking,
+    detector: &dyn Detector,
+    discriminator: &mut dyn Discriminator,
+    result_limit: usize,
+    frame_budget: Option<u64>,
+    rng: &mut StdRng,
+) -> (u64, StopReason, Vec<FrameId>) {
+    let mut frames_processed = 0u64;
+    let mut picked = Vec::new();
+    let stop_reason = loop {
+        if discriminator.distinct_count() >= result_limit {
+            break StopReason::ResultLimitReached;
+        }
+        if frame_budget.is_some_and(|budget| frames_processed >= budget) {
+            break StopReason::FrameBudgetExhausted;
+        }
+        let Some(pick) = sampler.next_frame(rng) else {
+            break StopReason::RepositoryExhausted;
+        };
+        let frame = chunking.chunks()[pick.chunk].start() + pick.offset;
+        picked.push(frame);
+        let detections = detector.detect(frame);
+        let outcome = discriminator.observe(&detections);
+        sampler.record(pick.chunk, outcome.n1_delta());
+        frames_processed += 1;
+    };
+    (frames_processed, stop_reason, picked)
+}
+
+fn assert_reports_equal(a: &QueryReport, b: &QueryReport, context: &str) {
+    assert_eq!(a.label, b.label, "{context}: label");
+    assert_eq!(
+        a.frames_processed, b.frames_processed,
+        "{context}: frames ({})",
+        a.label
+    );
+    assert_eq!(
+        a.distinct_found, b.distinct_found,
+        "{context}: distinct ({})",
+        a.label
+    );
+    assert_eq!(a.true_found, b.true_found, "{context}: true ({})", a.label);
+    assert_eq!(
+        a.found_instances, b.found_instances,
+        "{context}: instances ({})",
+        a.label
+    );
+    assert_eq!(
+        a.trajectory, b.trajectory,
+        "{context}: trajectory ({})",
+        a.label
+    );
+    assert_eq!(
+        a.stop_reason, b.stop_reason,
+        "{context}: stop reason ({})",
+        a.label
+    );
+}
+
+#[test]
+fn engine_batch_one_reproduces_the_legacy_loop_pick_for_pick() {
+    for (result_limit, frame_budget, seed) in [
+        (8, None, 101u64),
+        (1_000, Some(700), 102),
+        (1_000, None, 103),
+    ] {
+        let (chunking, truth) = skewed_setup(30_000, 12);
+        let class = ObjectClass::from("car");
+
+        // Legacy loop.
+        let legacy_detector =
+            RecordingDetector::new(PerfectDetector::new(Arc::clone(&truth), class.clone()));
+        let mut legacy_discriminator = OracleDiscriminator::new();
+        let mut legacy_sampler =
+            ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut legacy_rng = StdRng::seed_from_u64(seed);
+        let (legacy_frames, legacy_stop, legacy_picks) = legacy_run_query(
+            &mut legacy_sampler,
+            &chunking,
+            &legacy_detector,
+            &mut legacy_discriminator,
+            result_limit,
+            frame_budget,
+            &mut legacy_rng,
+        );
+
+        // Engine-backed run_query, same seed.
+        let engine_detector =
+            RecordingDetector::new(PerfectDetector::new(Arc::clone(&truth), class.clone()));
+        let mut engine_discriminator = OracleDiscriminator::new();
+        let mut engine_sampler =
+            ExSample::new(ExSampleConfig::default(), &chunking.chunk_lengths());
+        let mut engine_rng = StdRng::seed_from_u64(seed);
+        let outcome = run_query(
+            &mut engine_sampler,
+            &chunking,
+            &engine_detector,
+            &mut engine_discriminator,
+            result_limit,
+            frame_budget,
+            &mut engine_rng,
+        )
+        .expect("chunk counts match");
+
+        assert_eq!(
+            engine_detector.log.borrow().as_slice(),
+            legacy_picks.as_slice(),
+            "pick sequences diverged (limit {result_limit}, budget {frame_budget:?})"
+        );
+        assert_eq!(outcome.frames_processed, legacy_frames);
+        assert_eq!(outcome.stop_reason, legacy_stop);
+        assert_eq!(
+            outcome.distinct_found,
+            legacy_discriminator.distinct_count()
+        );
+        assert_eq!(
+            outcome.found_instances,
+            legacy_discriminator.found_instances()
+        );
+        assert_eq!(
+            outcome.samples_per_chunk,
+            legacy_sampler
+                .stats()
+                .all()
+                .iter()
+                .map(|s| s.samples())
+                .collect::<Vec<_>>()
+        );
+        // The two runs must also leave the caller-side RNGs in the same state.
+        use rand::RngCore;
+        assert_eq!(engine_rng.next_u64(), legacy_rng.next_u64());
+    }
+}
+
+/// Build the three standard test queries against `detector`.
+fn standard_specs<'a>(
+    chunking: &Chunking,
+    total_frames: u64,
+    detector: &'a dyn Detector,
+) -> Vec<QuerySpec<'a>> {
+    vec![
+        QuerySpec::new(
+            "exsample",
+            Box::new(ExSamplePolicy::new(ExSampleConfig::default(), chunking)),
+            detector,
+        )
+        .seed(201)
+        .batch(16)
+        .result_limit(10)
+        .frame_budget(1_200),
+        QuerySpec::new(
+            "random",
+            Box::new(FrameSamplerPolicy::uniform(total_frames)),
+            detector,
+        )
+        .seed(202)
+        .batch(4)
+        .frame_budget(500),
+        QuerySpec::new(
+            "random+",
+            Box::new(FrameSamplerPolicy::random_plus(total_frames)),
+            detector,
+        )
+        .seed(203)
+        .batch(32)
+        .true_limit(6),
+    ]
+}
+
+#[test]
+fn multi_query_outcomes_are_invariant_to_stage_interleaving() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 8);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // Baseline: each query runs alone in its own engine.
+    let mut solo: Vec<QueryReport> = Vec::new();
+    for spec in standard_specs(&chunking, frames, &detector) {
+        let mut engine = QueryEngine::new();
+        engine.push(spec).unwrap();
+        solo.push(engine.run().unwrap().outcomes.remove(0));
+    }
+    assert!(solo.iter().any(|r| r.true_found > 0), "setup finds nothing");
+
+    // Interleaving 1: all three concurrently, coalescing on.
+    let mut together = QueryEngine::new();
+    for spec in standard_specs(&chunking, frames, &detector) {
+        together.push(spec).unwrap();
+    }
+    let together = together.run().unwrap();
+    for (a, b) in together.outcomes.iter().zip(&solo) {
+        assert_reports_equal(a, b, "concurrent+coalesced vs solo");
+    }
+
+    // Interleaving 2: coalescing off.
+    let mut uncoalesced = QueryEngine::new().coalesce(false);
+    for spec in standard_specs(&chunking, frames, &detector) {
+        uncoalesced.push(spec).unwrap();
+    }
+    for (a, b) in uncoalesced.run().unwrap().outcomes.iter().zip(&solo) {
+        assert_reports_equal(a, b, "uncoalesced vs solo");
+    }
+
+    // Interleaving 3: registration order reversed.
+    let mut reversed = QueryEngine::new();
+    for spec in standard_specs(&chunking, frames, &detector)
+        .into_iter()
+        .rev()
+    {
+        reversed.push(spec).unwrap();
+    }
+    for (a, b) in reversed
+        .run()
+        .unwrap()
+        .outcomes
+        .iter()
+        .zip(solo.iter().rev())
+    {
+        assert_reports_equal(a, b, "reversed registration vs solo");
+    }
+
+    // Interleaving 4: an extra companion query changes the stage pattern but
+    // no existing query's outcome.  The companion is a same-seed twin of the
+    // `random` query, so its per-stage picks are identical to that query's
+    // while both run — guaranteeing the coalescer genuinely shares detector
+    // results between queries in this test.
+    let mut crowded = QueryEngine::new();
+    for spec in standard_specs(&chunking, frames, &detector) {
+        crowded.push(spec).unwrap();
+    }
+    crowded
+        .push(
+            QuerySpec::new(
+                "companion",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(202)
+            .batch(4)
+            .frame_budget(500),
+        )
+        .unwrap();
+    let crowded = crowded.run().unwrap();
+    for (a, b) in crowded.outcomes.iter().zip(&solo) {
+        assert_reports_equal(a, b, "with companion vs solo");
+    }
+    // The twin demanded 500 frames that were all already demanded by
+    // `random` in the same stages: coalescing must have absorbed them.
+    assert!(
+        crowded.coalesced_savings() >= 500,
+        "expected the same-seed twin to be fully coalesced, saved only {}",
+        crowded.coalesced_savings()
+    );
+}

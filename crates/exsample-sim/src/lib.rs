@@ -10,7 +10,10 @@
 //!   (scan at ~100 fps, sampled processing at ~20 fps) plus Table-I-style duration
 //!   formatting (`"1m37s"`, `"2h58m"`).
 //! * [`runner`] — [`runner::QueryRunner`]: configure a query (dataset, class, stop
-//!   condition, detector noise, discriminator) and run any [`exsample_baselines::SamplingMethod`].
+//!   condition, detector noise, discriminator) and run any
+//!   [`exsample_baselines::SamplingMethod`].  Execution happens on a
+//!   single-query `exsample-engine` `QueryEngine` (batch 1), with the virtual
+//!   clock charged from the engine's per-stage accounting hook.
 //! * [`metrics`] — recall trajectories, frames-to-recall, savings ratios, and
 //!   aggregation of trajectories across trials.
 //! * [`sweep`] — run many trials (optionally in parallel) and collect their

@@ -4,23 +4,27 @@
 //! it with any sampling method, producing a [`RunResult`] with the full recall
 //! trajectory and virtual time accounting.  This is the harness every experiment
 //! binary and integration test is built on.
+//!
+//! Execution is delegated to `exsample-engine`: the runner translates its stop
+//! condition into engine limits, wraps the method in a
+//! [`exsample_engine::MethodPolicy`], and runs a single-query engine at batch
+//! size 1 — the configuration that consumes the RNG stream exactly as the
+//! historical hand-written pick→detect→record loop did.  The virtual clock is
+//! charged from the engine's per-stage cost-accounting hook.
 
 use crate::clock::VirtualClock;
 use exsample_baselines::{
-    ExSampleMethod, ProxyBaseline, ProxyConfig, RandomPlusSampler, RandomSampler, SamplingMethod,
-    SequentialScan,
+    ProxyBaseline, ProxyConfig, RandomPlusSampler, RandomSampler, SamplingMethod, SequentialScan,
 };
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_data::Dataset;
 use exsample_detect::{
     Detector, DetectorNoise, InstanceId, ObjectClass, PerfectDetector, SimulatedDetector,
 };
+use exsample_engine::{ExSamplePolicy, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy};
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
 use exsample_video::DecodeCostModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashSet;
 use std::sync::Arc;
 
 /// When to stop a query run.
@@ -65,15 +69,7 @@ pub enum MethodKind {
     Proxy(ProxyConfig),
 }
 
-/// One point of a recall trajectory: after `frames` detector invocations, `found`
-/// distinct ground-truth instances had been found.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TrajectoryPoint {
-    /// Frames processed through the detector when the point was recorded.
-    pub frames: u64,
-    /// Distinct ground-truth instances found at that moment.
-    pub found: usize,
-}
+pub use exsample_engine::TrajectoryPoint;
 
 /// The result of one query run.
 #[derive(Debug, Clone)]
@@ -225,9 +221,15 @@ impl<'a> QueryRunner<'a> {
 
     /// Run with a pre-built ExSample sampler (constructed over
     /// `dataset.chunk_lengths()`).
+    ///
+    /// # Panics
+    /// Panics if the sampler's chunk count does not match the dataset's
+    /// chunking (the mismatch surfaces as a typed
+    /// [`exsample_engine::EngineError`] first).
     pub fn run_exsample(self, sampler: ExSample) -> RunResult {
-        let mut method = ExSampleMethod::from_sampler(sampler, self.dataset.chunking());
-        self.run_method(&mut method)
+        let policy = ExSamplePolicy::from_sampler(sampler, self.dataset.chunking())
+            .unwrap_or_else(|mismatch| panic!("{mismatch}"));
+        self.run_policy("exsample".to_string(), 0, Box::new(policy))
     }
 
     /// Run one of the built-in methods.
@@ -235,8 +237,8 @@ impl<'a> QueryRunner<'a> {
         let total = self.dataset.total_frames();
         match kind {
             MethodKind::ExSample(config) => {
-                let mut method = ExSampleMethod::new(config, self.dataset.chunking());
-                self.run_method(&mut method)
+                let policy = ExSamplePolicy::new(config, self.dataset.chunking());
+                self.run_policy("exsample".to_string(), 0, Box::new(policy))
             }
             MethodKind::Random => self.run_method(&mut RandomSampler::new(total)),
             MethodKind::RandomPlus => self.run_method(&mut RandomPlusSampler::new(total)),
@@ -252,9 +254,29 @@ impl<'a> QueryRunner<'a> {
     }
 
     /// Run an arbitrary sampling method.
+    ///
+    /// The run is delegated to a single-query [`QueryEngine`] at batch size 1,
+    /// which reproduces the historical per-frame loop pick for pick under the
+    /// same derived seed.
     pub fn run_method(self, method: &mut dyn SamplingMethod) -> RunResult {
+        let name = method.name().to_string();
+        let upfront_scan_frames = method.upfront_scan_frames();
+        self.run_policy(
+            name,
+            upfront_scan_frames,
+            Box::new(MethodPolicy::new(method)),
+        )
+    }
+
+    /// The shared execution core: run one sampling policy through a
+    /// single-query engine.
+    fn run_policy(
+        self,
+        name: String,
+        upfront_scan_frames: u64,
+        policy: Box<dyn SamplingPolicy + '_>,
+    ) -> RunResult {
         let seeds = SeedSequence::new(self.seed).derive("query-runner");
-        let mut rng = StdRng::seed_from_u64(seeds.derive("sampling").seed());
 
         let truth = Arc::clone(self.dataset.ground_truth());
         let total_instances = truth.count_of_class(&self.class);
@@ -270,7 +292,7 @@ impl<'a> QueryRunner<'a> {
             )),
         };
         // Discriminator.
-        let mut discriminator: Box<dyn Discriminator> = match self.discriminator {
+        let discriminator: Box<dyn Discriminator> = match self.discriminator {
             DiscriminatorKind::Oracle => Box::new(OracleDiscriminator::new()),
             DiscriminatorKind::Tracking => {
                 Box::new(TrackingDiscriminator::with_defaults(Arc::clone(&truth)))
@@ -278,61 +300,51 @@ impl<'a> QueryRunner<'a> {
         };
 
         let mut clock = VirtualClock::new(self.cost);
-        clock.charge_scan(method.upfront_scan_frames());
+        clock.charge_scan(upfront_scan_frames);
 
-        let mut found_true: HashSet<InstanceId> = HashSet::new();
-        let mut trajectory = Vec::new();
-        let mut frames_processed = 0u64;
-
-        let recall_target = |recall: f64| (recall * total_instances as f64).ceil() as usize;
-
-        loop {
-            // Stop conditions (checked before the next pick so a satisfied query
-            // does not pay for one more detector call).
-            let should_stop = match self.stop {
-                StopCondition::DistinctResults(limit) => discriminator.distinct_count() >= limit,
-                StopCondition::Recall(recall) => {
-                    total_instances > 0 && found_true.len() >= recall_target(recall)
-                }
-                StopCondition::FrameBudget(budget) => frames_processed >= budget,
-                StopCondition::Exhaustive => false,
-            };
-            if should_stop || self.frame_cap.is_some_and(|cap| frames_processed >= cap) {
-                break;
-            }
-            let Some(frame) = method.next_frame(&mut rng) else {
-                break;
-            };
-            let detections = detector.detect(frame);
-            let outcome = discriminator.observe(&detections);
-            method.record(frame, &outcome);
-            frames_processed += 1;
-            clock.charge_sampled(1);
-
-            for det in &outcome.new {
-                if let Some(id) = det.truth {
-                    if found_true.insert(id) {
-                        trajectory.push(TrajectoryPoint {
-                            frames: frames_processed,
-                            found: found_true.len(),
-                        });
-                    }
+        // Translate the stop condition into engine limits, on top of the
+        // always-on frame cap.
+        let mut spec = QuerySpec::new(name.clone(), policy, detector.as_ref())
+            .discriminator(discriminator)
+            .seed(seeds.derive("sampling").seed())
+            .batch(1);
+        let mut frame_budget = self.frame_cap;
+        match self.stop {
+            StopCondition::DistinctResults(limit) => spec = spec.result_limit(limit),
+            StopCondition::Recall(recall) => {
+                // A class with no instances can never reach a recall level;
+                // such queries run until another limit (or exhaustion) stops
+                // them, as the paper's evaluation assumes.
+                if total_instances > 0 {
+                    let target = (recall * total_instances as f64).ceil() as usize;
+                    spec = spec.true_limit(target);
                 }
             }
+            StopCondition::FrameBudget(budget) => {
+                frame_budget = Some(frame_budget.map_or(budget, |cap| cap.min(budget)));
+            }
+            StopCondition::Exhaustive => {}
+        }
+        if let Some(budget) = frame_budget {
+            spec = spec.frame_budget(budget);
         }
 
-        let mut found_instances: Vec<InstanceId> = found_true.iter().copied().collect();
-        found_instances.sort();
+        let mut engine = QueryEngine::new();
+        engine.push(spec).expect("batch size is non-zero");
+        let report = engine
+            .run_with(|stage| clock.charge_sampled(stage.detector_frames))
+            .expect("exactly one query was registered");
+        let outcome = report.outcomes.into_iter().next().expect("one query");
 
         RunResult {
-            method: method.name().to_string(),
-            frames_processed,
-            upfront_scan_frames: method.upfront_scan_frames(),
-            distinct_found: discriminator.distinct_count(),
-            true_found: found_true.len(),
+            method: name,
+            frames_processed: outcome.frames_processed,
+            upfront_scan_frames,
+            distinct_found: outcome.distinct_found,
+            true_found: outcome.true_found,
             total_instances,
-            found_instances,
-            trajectory,
+            found_instances: outcome.found_instances,
+            trajectory: outcome.trajectory,
             scan_secs: clock.scan_secs(),
             sample_secs: clock.sample_secs(),
         }

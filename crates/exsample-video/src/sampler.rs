@@ -16,6 +16,46 @@ use crate::FrameId;
 use rand::Rng;
 use std::collections::HashMap;
 
+/// Shared without-replacement progress bookkeeping.
+///
+/// Every [`FrameSampler`] must hand out each of its `len` offsets exactly once;
+/// the counters that enforce this (range length, draws so far, exhaustion) are
+/// identical across implementations, so they live here instead of being
+/// duplicated per sampler.  The strategy-specific part — *which* untaken offset
+/// the next draw returns — stays with the individual samplers.
+#[derive(Debug, Clone)]
+struct WithoutReplacement {
+    len: u64,
+    drawn: u64,
+}
+
+impl WithoutReplacement {
+    fn new(len: u64) -> Self {
+        WithoutReplacement { len, drawn: 0 }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn sampled(&self) -> u64 {
+        self.drawn
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.drawn >= self.len
+    }
+
+    /// Record one completed draw, returning its position in the output sequence
+    /// (which doubles as the sparse Fisher–Yates cursor).
+    fn note_drawn(&mut self) -> u64 {
+        debug_assert!(!self.is_exhausted());
+        let position = self.drawn;
+        self.drawn += 1;
+        position
+    }
+}
+
 /// A sampler producing frame offsets `0..len` in some order, without replacement.
 ///
 /// Offsets are relative to the start of the range being sampled (a chunk or the
@@ -50,8 +90,7 @@ pub trait FrameSampler {
 /// while queries typically sample only thousands.
 #[derive(Debug, Clone)]
 pub struct UniformSampler {
-    len: u64,
-    drawn: u64,
+    progress: WithoutReplacement,
     /// Sparse representation of the partially shuffled array.
     displaced: HashMap<u64, u64>,
 }
@@ -60,8 +99,7 @@ impl UniformSampler {
     /// Create a sampler over the range `0..len`.
     pub fn new(len: u64) -> Self {
         UniformSampler {
-            len,
-            drawn: 0,
+            progress: WithoutReplacement::new(len),
             displaced: HashMap::new(),
         }
     }
@@ -69,25 +107,25 @@ impl UniformSampler {
 
 impl FrameSampler for UniformSampler {
     fn len(&self) -> u64 {
-        self.len
+        self.progress.len()
     }
 
     fn sampled(&self) -> u64 {
-        self.drawn
+        self.progress.sampled()
     }
 
     fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FrameId> {
-        if self.drawn >= self.len {
+        if self.progress.is_exhausted() {
             return None;
         }
-        // Classic sparse Fisher-Yates: pick a position in [drawn, len), swap its
-        // value with position `drawn`, return the value that was at the picked slot.
-        let pick = rng.gen_range(self.drawn..self.len);
+        // Classic sparse Fisher-Yates: pick a position in [cursor, len), swap its
+        // value with the cursor position, return the value at the picked slot.
+        let cursor = self.progress.note_drawn();
+        let pick = rng.gen_range(cursor..self.progress.len());
         let picked_value = *self.displaced.get(&pick).unwrap_or(&pick);
-        let current_value = *self.displaced.get(&self.drawn).unwrap_or(&self.drawn);
+        let current_value = *self.displaced.get(&cursor).unwrap_or(&cursor);
         self.displaced.insert(pick, current_value);
-        self.displaced.remove(&self.drawn);
-        self.drawn += 1;
+        self.displaced.remove(&cursor);
         Some(picked_value)
     }
 }
@@ -101,8 +139,7 @@ impl FrameSampler for UniformSampler {
 /// draws can, while the eventual ordering still covers every frame exactly once.
 #[derive(Debug, Clone)]
 pub struct RandomPlusSampler {
-    len: u64,
-    drawn: u64,
+    progress: WithoutReplacement,
     /// Segments remaining to be visited in the current round, in randomised order.
     current_round: Vec<Segment>,
     /// Segments queued for the next round.
@@ -186,8 +223,7 @@ impl RandomPlusSampler {
             Vec::new()
         };
         RandomPlusSampler {
-            len,
-            drawn: 0,
+            progress: WithoutReplacement::new(len),
             current_round,
             next_round: Vec::new(),
         }
@@ -219,15 +255,15 @@ impl RandomPlusSampler {
 
 impl FrameSampler for RandomPlusSampler {
     fn len(&self) -> u64 {
-        self.len
+        self.progress.len()
     }
 
     fn sampled(&self) -> u64 {
-        self.drawn
+        self.progress.sampled()
     }
 
     fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<FrameId> {
-        if self.drawn >= self.len {
+        if self.progress.is_exhausted() {
             return None;
         }
         if self.current_round.is_empty() {
@@ -244,7 +280,7 @@ impl FrameSampler for RandomPlusSampler {
         if segment.available() > 0 {
             self.next_round.push(segment);
         }
-        self.drawn += 1;
+        self.progress.note_drawn();
         Some(offset)
     }
 }

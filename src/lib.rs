@@ -19,6 +19,9 @@
 //! * [`data`] — synthetic workloads and statistical dataset analogs.
 //! * [`core`] — the ExSample algorithm itself (Algorithm 1, Thompson sampling).
 //! * [`baselines`] — sequential scan, random, random+, BlazeIt-style proxy.
+//! * [`engine`] — the batched multi-query execution engine: the
+//!   `SamplingPolicy` trait unifying every sampling strategy, and the staged
+//!   pick/detect/record pipeline with cross-query frame coalescing.
 //! * [`opt`] — optimal static chunk-weight solver (Eq. IV.1) and skew metric.
 //! * [`sim`] — the query-runner harness, cost model, and experiment sweeps.
 //!
@@ -54,6 +57,7 @@ pub use exsample_baselines as baselines;
 pub use exsample_core as core;
 pub use exsample_data as data;
 pub use exsample_detect as detect;
+pub use exsample_engine as engine;
 pub use exsample_opt as opt;
 pub use exsample_rand as rand_ext;
 pub use exsample_sim as sim;
