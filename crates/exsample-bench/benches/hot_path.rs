@@ -329,10 +329,22 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_16_trials");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
-        b.iter(|| black_box(run_trials(16, false, run_one).len()))
+        b.iter(|| {
+            black_box(
+                run_trials(16, false, run_one)
+                    .expect("sweep succeeded")
+                    .len(),
+            )
+        })
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| black_box(run_trials(16, true, run_one).len()))
+        b.iter(|| {
+            black_box(
+                run_trials(16, true, run_one)
+                    .expect("sweep succeeded")
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

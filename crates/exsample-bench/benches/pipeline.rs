@@ -56,7 +56,8 @@ fn bench_short_queries(c: &mut Criterion) {
                 QueryRunner::new(&dataset)
                     .stop(StopCondition::FrameBudget(500))
                     .seed(seed)
-                    .run(MethodKind::ExSample(ExSampleConfig::default())),
+                    .run(MethodKind::ExSample(ExSampleConfig::default()))
+                    .expect("query run succeeded"),
             )
         });
     });
@@ -68,7 +69,8 @@ fn bench_short_queries(c: &mut Criterion) {
                 QueryRunner::new(&dataset)
                     .stop(StopCondition::FrameBudget(500))
                     .seed(seed)
-                    .run(MethodKind::Random),
+                    .run(MethodKind::Random)
+                    .expect("query run succeeded"),
             )
         });
     });

@@ -1,0 +1,144 @@
+//! Sharded engine throughput: 1, 2 and 8 shards × 1 and 8 concurrent
+//! queries over one repository, plus the report-merge overhead measured
+//! separately.
+//!
+//! Each iteration executes a full sharded `QueryEngine` run (contiguous-range
+//! chunk assignment).  Outcomes are bitwise-identical across shard counts —
+//! the determinism suite enforces that — so what this benchmark tracks is
+//! pure execution overhead: routing picks to shard workers, running one
+//! `detect_batch` per (detector group, shard) instead of per group, and the
+//! merge layer folding per-shard tallies back into a global report.  The
+//! printed table reports the physical-vs-logical invocation counts that
+//! dominate the real-world cost of sharding.
+//!
+//! `BENCH_QUICK=1` (the CI smoke configuration) shrinks the per-query budget.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsample_core::ExSampleConfig;
+use exsample_data::{Dataset, GridWorkload, SkewLevel};
+use exsample_detect::PerfectDetector;
+use exsample_engine::{ExSamplePolicy, QuerySpec, ShardedReport};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 8];
+const QUERY_COUNTS: [usize; 2] = [1, 8];
+
+fn budget() -> u64 {
+    if std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1") {
+        150
+    } else {
+        600
+    }
+}
+
+fn dataset() -> Dataset {
+    GridWorkload::builder()
+        .frames(200_000)
+        .instances(400)
+        .chunks(32)
+        .mean_duration(150.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(47)
+        .build()
+        .expect("valid workload")
+        .generate()
+}
+
+fn run_engine(
+    dataset: &Dataset,
+    detector: &PerfectDetector,
+    shards: u32,
+    queries: usize,
+    budget: u64,
+) -> ShardedReport {
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards);
+    for q in 0..queries {
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+        engine
+            .push(
+                QuerySpec::new(format!("q{q}"), Box::new(policy), detector)
+                    .seed(2000 + q as u64)
+                    .batch(16)
+                    .frame_budget(budget),
+            )
+            .expect("valid query spec");
+    }
+    let _ = engine.run().expect("queries registered");
+    engine.report_sharded()
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let dataset = dataset();
+    let detector = PerfectDetector::new(Arc::clone(dataset.ground_truth()), GridWorkload::class());
+    let budget = budget();
+
+    let mut group = c.benchmark_group("sharded_run");
+    group.sample_size(10);
+    for &queries in &QUERY_COUNTS {
+        for &shards in &SHARD_COUNTS {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{queries}q"), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| black_box(run_engine(&dataset, &detector, shards, queries, budget)));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Merge overhead, separately: building the merged report on an
+    // already-completed engine.  This measures report_sharded() end to end —
+    // global report construction (per-query clones and sorts) plus the
+    // merge_reports fold and cross-checks — which is the cost a caller
+    // actually pays per merged report; the fold alone is a fraction of it.
+    let mut merge_group = c.benchmark_group("report_sharded");
+    merge_group.sample_size(10);
+    for &shards in &SHARD_COUNTS {
+        let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards);
+        for q in 0..8usize {
+            let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+            engine
+                .push(
+                    QuerySpec::new(format!("q{q}"), Box::new(policy), &detector)
+                        .seed(3000 + q as u64)
+                        .batch(16)
+                        .frame_budget(budget),
+                )
+                .expect("valid query spec");
+        }
+        let _ = engine.run().expect("queries registered");
+        merge_group.bench_with_input(BenchmarkId::new("8q", shards), &shards, |b, _| {
+            b.iter(|| black_box(engine.report_sharded()));
+        });
+    }
+    merge_group.finish();
+
+    // The acceptance-relevant numbers: sharding never changes outcomes or the
+    // logical invocation count, only the physical per-shard bill.
+    println!("\n# sharded engine invocation counts (per-query budget {budget} frames)");
+    println!("# queries | shards | detector frames | logical calls | physical calls | overhead");
+    for &queries in &QUERY_COUNTS {
+        let baseline = run_engine(&dataset, &detector, 1, queries, budget);
+        for &shards in &SHARD_COUNTS {
+            let merged = run_engine(&dataset, &detector, shards, queries, budget);
+            assert_eq!(
+                merged.report.detector_frames,
+                baseline.report.detector_frames
+            );
+            assert_eq!(merged.report.detector_calls, baseline.report.detector_calls);
+            println!(
+                "# {:>7} | {:>6} | {:>15} | {:>13} | {:>14} | {:>8}",
+                queries,
+                shards,
+                merged.report.detector_frames,
+                merged.report.detector_calls,
+                merged.physical_detector_calls,
+                merged.shard_overhead_calls()
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -12,11 +12,11 @@
 //! batch size is the ablation variable — the hand-written pick→detect→record
 //! loop this binary used to carry is exactly what the engine now provides.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_detect::PerfectDetector;
-use exsample_engine::{ExSamplePolicy, QueryEngine, QuerySpec};
+use exsample_engine::{ExSamplePolicy, QuerySpec};
 use exsample_rand::{SeedSequence, Summary};
 use exsample_sim::Table;
 use exsample_video::DecodeCostModel;
@@ -48,7 +48,11 @@ fn main() {
     let truth = Arc::clone(dataset.ground_truth());
     let cost = DecodeCostModel::paper();
 
-    println!("# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials\n");
+    println!(
+        "# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials, {} engine shard{}\n",
+        options.shards,
+        if options.shards == 1 { "" } else { "s" }
+    );
 
     let mut table = Table::new(vec![
         "batch size",
@@ -68,7 +72,7 @@ fn main() {
                 .seed();
             let detector = PerfectDetector::new(Arc::clone(&truth), class.clone());
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
-            let mut engine = QueryEngine::new();
+            let mut engine = sharded_engine(dataset.chunking(), options.shards);
             engine
                 .push(
                     QuerySpec::new("batching", Box::new(policy), &detector)

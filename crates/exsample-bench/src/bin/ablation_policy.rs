@@ -11,11 +11,11 @@
 //! coalescing savings), while each query's private RNG stream keeps its
 //! outcome identical to a standalone run.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
 use exsample_core::{ChunkSelectionPolicy, ExSampleConfig};
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_detect::PerfectDetector;
-use exsample_engine::{ExSamplePolicy, QueryEngine, QuerySpec, TrajectoryPoint};
+use exsample_engine::{ExSamplePolicy, QuerySpec, TrajectoryPoint};
 use exsample_rand::{SeedSequence, Summary};
 use exsample_sim::{metrics, Table};
 use rayon::prelude::*;
@@ -45,7 +45,11 @@ fn main() {
     let detector = PerfectDetector::new(Arc::clone(dataset.ground_truth()), GridWorkload::class());
 
     println!("# workload: 2M frames, 2000 instances, 64 chunks, skew 1/32, budget {budget}, {trials} trials");
-    println!("# all four policies run as concurrent queries of one engine per trial\n");
+    println!(
+        "# all four policies run as concurrent queries of one engine per trial ({} shard{})\n",
+        options.shards,
+        if options.shards == 1 { "" } else { "s" }
+    );
 
     let policies = [
         ("thompson", ChunkSelectionPolicy::ThompsonSampling),
@@ -60,7 +64,7 @@ fn main() {
     let trial_runs: Vec<(Vec<Vec<TrajectoryPoint>>, u64, u64)> = (0..trials as u64)
         .into_par_iter()
         .map(|trial| {
-            let mut engine = QueryEngine::new();
+            let mut engine = sharded_engine(dataset.chunking(), options.shards);
             for (label, policy) in policies {
                 let config = ExSampleConfig::default().with_policy(policy);
                 engine

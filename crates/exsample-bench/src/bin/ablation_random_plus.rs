@@ -65,10 +65,12 @@ fn main() {
     for (label, kind) in configurations {
         let set = run_trials(trials, true, |trial| {
             QueryRunner::new(&dataset)
+                .shards(options.shards)
                 .stop(StopCondition::FrameBudget(budget))
                 .seed(seeds.derive(label).index(trial).seed())
                 .run(kind.clone())
-        });
+        })
+        .expect("sweep succeeded");
         let median_at = |frames: u64| -> f64 {
             let mut s = Summary::from_values(
                 set.results

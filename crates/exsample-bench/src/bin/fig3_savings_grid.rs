@@ -70,16 +70,20 @@ fn main() {
                 .derive(&skew.label());
             let exsample = run_trials(trials, true, |trial| {
                 QueryRunner::new(&dataset)
+                    .shards(options.shards)
                     .stop(StopCondition::FrameBudget(budget))
                     .seed(cell_seed.derive("exsample").index(trial).seed())
                     .run(MethodKind::ExSample(ExSampleConfig::default()))
-            });
+            })
+            .expect("sweep succeeded");
             let random = run_trials(trials, true, |trial| {
                 QueryRunner::new(&dataset)
+                    .shards(options.shards)
                     .stop(StopCondition::FrameBudget(budget))
                     .seed(cell_seed.derive("random").index(trial).seed())
                     .run(MethodKind::Random)
-            });
+            })
+            .expect("sweep succeeded");
 
             let savings: Vec<String> = targets
                 .iter()

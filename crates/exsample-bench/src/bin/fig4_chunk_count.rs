@@ -57,6 +57,7 @@ fn main() {
 
         let set = run_trials(trials, true, |trial| {
             QueryRunner::new(&dataset)
+                .shards(options.shards)
                 .stop(StopCondition::FrameBudget(budget))
                 .seed(
                     seeds
@@ -66,7 +67,8 @@ fn main() {
                         .seed(),
                 )
                 .run(MethodKind::ExSample(ExSampleConfig::default()))
-        });
+        })
+        .expect("sweep succeeded");
 
         // Median instances found at each checkpoint across trials.
         let mut row = vec![format!("{chunks}")];

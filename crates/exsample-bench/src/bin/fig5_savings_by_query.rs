@@ -50,20 +50,24 @@ fn main() {
             let cap = dataset.total_frames();
             let exsample = run_trials(trials, true, |trial| {
                 QueryRunner::new(&dataset)
+                    .shards(options.shards)
                     .class(class)
                     .stop(StopCondition::Recall(0.9))
                     .frame_cap(cap)
                     .seed(query_seed.derive("exsample").index(trial).seed())
                     .run(MethodKind::ExSample(ExSampleConfig::default()))
-            });
+            })
+            .expect("sweep succeeded");
             let random = run_trials(trials, true, |trial| {
                 QueryRunner::new(&dataset)
+                    .shards(options.shards)
                     .class(class)
                     .stop(StopCondition::Recall(0.9))
                     .frame_cap(cap)
                     .seed(query_seed.derive("random").index(trial).seed())
                     .run(MethodKind::Random)
-            });
+            })
+            .expect("sweep succeeded");
 
             let mut row = vec![spec.name.to_string(), class.to_string()];
             for (i, &recall) in recalls.iter().enumerate() {

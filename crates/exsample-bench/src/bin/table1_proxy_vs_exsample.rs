@@ -18,11 +18,11 @@
 //! scan time and ExSample's sampling time shrink proportionally, so the comparison
 //! is preserved); `--full` uses the full-size analogs.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::datasets::{all_datasets, DatasetAnalog};
 use exsample_detect::{ObjectClass, PerfectDetector};
-use exsample_engine::{ExSamplePolicy, QueryEngine, QuerySpec};
+use exsample_engine::{ExSamplePolicy, QuerySpec};
 use exsample_rand::SeedSequence;
 use exsample_sim::{format_duration, metrics, Table};
 use exsample_video::DecodeCostModel;
@@ -41,7 +41,11 @@ fn main() {
     let seeds = SeedSequence::new(options.seed).derive("table1");
 
     println!(
-        "# dataset scale: {scale} (times scale linearly with dataset size; the scan-vs-sample comparison is scale-invariant)\n"
+        "# dataset scale: {scale} (times scale linearly with dataset size; the scan-vs-sample comparison is scale-invariant)"
+    );
+    println!(
+        "# engine shards: {} (outcomes are shard-invariant; sharding only moves detector work)\n",
+        options.shards
     );
 
     let mut table = Table::new(vec![
@@ -77,7 +81,7 @@ fn main() {
             .iter()
             .map(|c| truth.count_of_class(&ObjectClass::from(c.class)))
             .collect();
-        let mut engine = QueryEngine::new();
+        let mut engine = sharded_engine(dataset.chunking(), options.shards);
         for ((class_spec, detector), &total) in spec.classes.iter().zip(&detectors).zip(&totals) {
             let class = class_spec.class;
             let target = (0.9 * total as f64).ceil() as usize;

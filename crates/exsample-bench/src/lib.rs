@@ -12,6 +12,9 @@
 //! * `--trials N` — override the number of trials.
 //! * `--scale X` — override the dataset scale factor (dataset-analog experiments).
 //! * `--seed N` — root seed (default 7).
+//! * `--shards N` — shard the engine's DETECT phase across N workers
+//!   (contiguous-range chunk assignment; results are bitwise-identical to the
+//!   unsharded run, only the per-shard cost breakdown changes).
 //! * `--csv` — emit CSV instead of aligned text tables.
 //!
 //! The binaries print the regenerated table/figure data to stdout; `EXPERIMENTS.md`
@@ -31,6 +34,8 @@ pub struct ExperimentOptions {
     pub scale: Option<f64>,
     /// Root seed.
     pub seed: u64,
+    /// Shard count for the engine's DETECT phase (1 = unsharded).
+    pub shards: u32,
     /// Emit CSV instead of plain tables.
     pub csv: bool,
 }
@@ -42,6 +47,7 @@ impl Default for ExperimentOptions {
             trials: None,
             scale: None,
             seed: 7,
+            shards: 1,
             csv: false,
         }
     }
@@ -80,9 +86,20 @@ impl ExperimentOptions {
                         .parse()
                         .map_err(|_| format!("bad --seed value: {value}"))?;
                 }
+                "--shards" => {
+                    let value = iter.next().ok_or("--shards requires a value")?;
+                    let shards: u32 = value
+                        .parse()
+                        .map_err(|_| format!("bad --shards value: {value}"))?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    options.shards = shards;
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "supported flags: --full --trials N --scale X --seed N --csv".to_string(),
+                        "supported flags: --full --trials N --scale X --seed N --shards N --csv"
+                            .to_string(),
                     )
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -113,6 +130,21 @@ impl ExperimentOptions {
     pub fn scale_or(&self, reduced: f64) -> f64 {
         self.scale.unwrap_or(if self.full { 1.0 } else { reduced })
     }
+}
+
+/// A fresh engine sharded across `shards` workers over `chunking`
+/// (contiguous-range chunk assignment), or an ordinary unsharded engine for
+/// `shards <= 1`.  Query outcomes are bitwise-identical either way; sharding
+/// only changes where the detector work executes and how costs break down.
+pub fn sharded_engine<'a>(
+    chunking: &exsample_video::Chunking,
+    shards: u32,
+) -> exsample_engine::QueryEngine<'a> {
+    let mut engine = exsample_engine::QueryEngine::new();
+    if shards > 1 {
+        engine = engine.sharded(exsample_engine::ShardRouter::contiguous(chunking, shards));
+    }
+    engine
 }
 
 /// Print a table in the format selected by the options.
@@ -179,5 +211,24 @@ mod tests {
         assert!(parse(&["--trials"]).is_err());
         assert!(parse(&["--trials", "abc"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().shards, 1);
+        assert_eq!(parse(&["--shards", "8"]).unwrap().shards, 8);
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
+    }
+
+    #[test]
+    fn sharded_engine_builds_for_any_shard_count() {
+        let repo = exsample_video::VideoRepository::single_clip(1_000);
+        let chunking = exsample_video::Chunking::new(
+            &repo,
+            exsample_video::ChunkingPolicy::FixedCount { chunks: 8 },
+        );
+        assert_eq!(sharded_engine(&chunking, 1).shard_count(), 1);
+        assert_eq!(sharded_engine(&chunking, 4).shard_count(), 4);
     }
 }

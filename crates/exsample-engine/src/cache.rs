@@ -1,0 +1,263 @@
+//! A bounded frame→detections cache.
+//!
+//! The engine already shares detector results across queries *within* a stage
+//! (coalescing); this cache is the cross-stage landing point the ROADMAP calls
+//! for: a long-running service keeps the detections of recently-processed
+//! frames so queries arriving later (or re-issued queries) pay zero detector
+//! cost for warm frames.  It is a capacity-limited map with
+//! least-recently-used eviction, keyed by `(detector, frame)` — the detector
+//! component matters because two detectors (different object classes) produce
+//! different detections for the same frame.
+//!
+//! Off by default: caching changes the engine's detector cost accounting (hits
+//! bypass `detect_batch`), so the bitwise cost-identity the determinism suite
+//! pins between sharded and unsharded runs is stated for cache-off engines.
+//! Query *outcomes* are unaffected either way, because detectors are pure
+//! functions of the frame id.
+//!
+//! The LRU order uses lazy deletion: every touch pushes a `(key, tick)` entry
+//! onto a queue, and eviction pops queue entries until one matches its key's
+//! current tick (stale entries — keys touched again later, or already evicted
+//! — are discarded).  This keeps both hit and insert O(1) amortised without an
+//! intrusive list.
+
+use exsample_detect::FrameDetections;
+use exsample_video::FrameId;
+use std::collections::{HashMap, VecDeque};
+
+/// Engine-internal identifier of a distinct detector instance (assigned in
+/// first-seen order; see `QueryEngine`'s detector registry).
+pub(crate) type DetectorSlot = u32;
+
+/// Cache hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the detector.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+struct CacheEntry {
+    detections: FrameDetections,
+    /// Tick of the entry's most recent touch; queue entries with an older
+    /// tick are stale.
+    tick: u64,
+}
+
+/// A bounded LRU map from `(detector, frame)` to detections.
+pub struct DetectionCache {
+    capacity: usize,
+    map: HashMap<(DetectorSlot, FrameId), CacheEntry>,
+    /// Touch log for lazy-deletion LRU: front = least recent candidate.
+    order: VecDeque<((DetectorSlot, FrameId), u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DetectionCache {
+    /// Create a cache holding at most `capacity` frame entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (use "no cache" instead of an empty one).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        DetectionCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+        }
+    }
+
+    /// Look up a frame's detections, refreshing its recency on a hit.
+    pub(crate) fn get(
+        &mut self,
+        detector: DetectorSlot,
+        frame: FrameId,
+    ) -> Option<&FrameDetections> {
+        self.compact_if_bloated();
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&(detector, frame)) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.order.push_back(((detector, frame), tick));
+                self.hits += 1;
+                Some(&entry.detections)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a frame's detections, evicting the least-recently-used entry if
+    /// the cache is full.  Inserting an already-resident key refreshes it.
+    pub(crate) fn insert(
+        &mut self,
+        detector: DetectorSlot,
+        frame: FrameId,
+        detections: FrameDetections,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self
+            .map
+            .insert((detector, frame), CacheEntry { detections, tick })
+            .is_none()
+            && self.map.len() > self.capacity
+        {
+            self.evict_one();
+        }
+        self.order.push_back(((detector, frame), tick));
+        self.compact_if_bloated();
+    }
+
+    /// Drop stale touch-log entries once the log outgrows the live map.
+    ///
+    /// The lazy-deletion scheme only pops the log on evictions, so a fully
+    /// warm, hit-dominated cache (the long-running-service shape) would
+    /// otherwise grow the log by one entry per lookup forever.  Each retained
+    /// entry's tick matches its key's current tick, so exactly one live log
+    /// entry per resident key survives; the O(len) sweep is amortised by the
+    /// 2× growth threshold.
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() <= self.capacity.max(self.map.len()) * 2 {
+            return;
+        }
+        let map = &self.map;
+        self.order
+            .retain(|(key, tick)| map.get(key).is_some_and(|entry| entry.tick == *tick));
+    }
+
+    /// Pop stale touch-log entries until one names the genuinely
+    /// least-recently-used resident entry, and evict it.
+    fn evict_one(&mut self) {
+        while let Some((key, tick)) = self.order.pop_front() {
+            let current = match self.map.get(&key) {
+                Some(entry) => entry.tick,
+                None => continue, // already evicted under a newer touch
+            };
+            if current != tick {
+                continue; // touched again later; a fresher log entry exists
+            }
+            self.map.remove(&key);
+            self.evictions += 1;
+            return;
+        }
+        unreachable!("an over-capacity cache always has an evictable entry");
+    }
+}
+
+impl std::fmt::Debug for DetectionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detections(frame: FrameId) -> FrameDetections {
+        // Only identity matters for these tests; an empty per-frame detection
+        // list is enough.
+        FrameDetections::empty(frame)
+    }
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let mut cache = DetectionCache::new(4);
+        assert!(cache.get(0, 7).is_none());
+        cache.insert(0, 7, detections(1));
+        assert!(cache.get(0, 7).is_some());
+        // Same frame under a different detector is a distinct key.
+        assert!(cache.get(1, 7).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 2, 1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let mut cache = DetectionCache::new(2);
+        cache.insert(0, 1, detections(1));
+        cache.insert(0, 2, detections(2));
+        // Touch frame 1 so frame 2 is now least recently used.
+        assert!(cache.get(0, 1).is_some());
+        cache.insert(0, 3, detections(3));
+        assert!(cache.get(0, 2).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_refreshes_without_eviction() {
+        let mut cache = DetectionCache::new(2);
+        cache.insert(0, 1, detections(1));
+        cache.insert(0, 2, detections(2));
+        cache.insert(0, 1, detections(1));
+        assert_eq!(cache.stats().evictions, 0);
+        // Frame 2 is now the LRU entry.
+        cache.insert(0, 3, detections(3));
+        assert!(cache.get(0, 2).is_none());
+        assert!(cache.get(0, 1).is_some());
+    }
+
+    #[test]
+    fn touch_log_stays_bounded_under_hit_dominated_load() {
+        // A fully warm cache never evicts, so without compaction the touch
+        // log would grow by one entry per hit forever.
+        let mut cache = DetectionCache::new(8);
+        for frame in 0..8u64 {
+            cache.insert(0, frame, detections(frame));
+        }
+        for round in 0..10_000u64 {
+            assert!(cache.get(0, round % 8).is_some());
+        }
+        assert!(
+            cache.order.len() <= cache.capacity * 2 + 1,
+            "touch log grew to {} entries",
+            cache.order.len()
+        );
+        assert_eq!(cache.stats().hits, 10_000);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DetectionCache::new(0);
+    }
+}

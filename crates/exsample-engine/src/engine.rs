@@ -1,42 +1,54 @@
 //! The batched multi-query execution engine.
 //!
 //! [`QueryEngine`] runs one or many concurrent distinct-object queries over a
-//! shared video repository in *stages*.  Each stage is a three-phase pipeline:
+//! shared (possibly sharded) video repository in *stages*.  Each stage is a
+//! four-phase pipeline:
 //!
 //! ```text
-//!          ┌────────────────────────────────────────────────────────┐
-//!  stage:  │ 1. PICK     every live query draws ≤ batch frame ids   │
-//!          │             from its SamplingPolicy (own RNG stream)   │
-//!          │ 2. DETECT   frame ids are coalesced across queries     │
-//!          │             sharing a detector (sorted, deduplicated)  │
-//!          │             and run through one batched invocation     │
-//!          │ 3. FAN-OUT  per query, in pick order: discriminator    │
-//!          │             observes the frame's detections, the       │
-//!          │             policy records the verdict, budgets and    │
-//!          │             trajectories advance                       │
-//!          └────────────────────────────────────────────────────────┘
+//!          ┌──────────────────────────────────────────────────────────┐
+//!  stage:  │ 1. SCHEDULE the StageScheduler allots each live query a  │
+//!          │             pick quota (default: its configured batch)   │
+//!          │ 2. PICK     every live query draws ≤ quota frame ids     │
+//!          │             from its SamplingPolicy (own RNG stream)     │
+//!          │ 3. DETECT   picks are grouped per shared detector and    │
+//!          │             routed to the shard owning each frame; one   │
+//!          │             shard worker per shard runs the batched      │
+//!          │             detector invocations for its frames          │
+//!          │ 4. FAN-OUT  per query, in pick order: discriminator      │
+//!          │             observes the frame's detections, the policy  │
+//!          │             records the verdict, budgets and             │
+//!          │             trajectories advance                         │
+//!          └──────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! Stages repeat until every query has a [`StopReason`].  The detector is the
-//! dominant cost in real deployments, so phase 2 is where multiplexing pays:
+//! dominant cost in real deployments, so phase 3 is where multiplexing pays:
 //! when several queries ask for the same frame in the same stage, the engine
 //! detects it once and fans the (deterministic) result out to each query's own
 //! discriminator.  See the crate docs for the exact coalescing semantics.
 //!
 //! Determinism: each query owns an RNG stream seeded from its
 //! [`QuerySpec::seed`], detectors are pure functions of the frame id, and
-//! phase 3 always visits queries in registration order — so per-query outcomes
+//! phase 4 always visits queries in registration order — so per-query outcomes
 //! are a function of the query's own spec, never of how stages interleave,
-//! which queries share the engine, or whether coalescing is enabled.
+//! which queries share the engine, whether coalescing is enabled, or how many
+//! shards the DETECT phase is split across.  A merged sharded run
+//! ([`QueryEngine::report_sharded`]) is bitwise-identical to the unsharded
+//! run for any shard count and partitioner — the determinism suite pins this
+//! for shard counts {1, 2, 3, 7}.
 
+use crate::cache::{CacheStats, DetectionCache};
 use crate::error::EngineError;
+use crate::merge::{self, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport};
 use crate::policy::SamplingPolicy;
+use crate::scheduler::{QueryLoad, RoundRobin, StageScheduler};
+use crate::shard::{ShardRouter, ShardWorker};
 use exsample_detect::{Detector, FrameDetections, InstanceId};
 use exsample_track::{Discriminator, OracleDiscriminator};
 use exsample_video::FrameId;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Why a query stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +147,8 @@ impl<'a> QuerySpec<'a> {
         self
     }
 
-    /// Number of frames the query requests per stage (its detector batch size).
+    /// Number of frames the query requests per stage (its detector batch
+    /// size).  The [`StageScheduler`] may grant fewer or more.
     pub fn batch(mut self, batch: usize) -> Self {
         self.batch = batch;
         self
@@ -152,9 +165,12 @@ pub struct StageStats {
     /// Frames demanded by the queries (what an uncoalesced execution would
     /// have run through detectors).
     pub demanded_frames: u64,
-    /// Frames actually run through detectors after coalescing.
+    /// Frames actually run through detectors after coalescing (and, when the
+    /// cross-stage cache is enabled, after cache hits).
     pub detector_frames: u64,
-    /// Batched detector invocations issued.
+    /// Logical batched detector invocations: one per detector group that
+    /// needed any detection this stage, regardless of how many shards the
+    /// group's frames were split across.
     pub detector_calls: u64,
 }
 
@@ -186,6 +202,7 @@ pub struct QueryReport {
 
 /// Aggregate result of an engine run.
 #[derive(Debug, Clone)]
+#[must_use = "an engine report carries the run's outcomes and cost accounting"]
 pub struct EngineReport {
     /// Per-query reports, in registration order.
     pub outcomes: Vec<QueryReport>,
@@ -195,12 +212,15 @@ pub struct EngineReport {
     pub demanded_frames: u64,
     /// Total frames run through detectors (coalesced detector work).
     pub detector_frames: u64,
-    /// Total batched detector invocations.
+    /// Total logical batched detector invocations (see
+    /// [`StageStats::detector_calls`]; the physical per-shard count lives in
+    /// [`ShardedReport::physical_detector_calls`]).
     pub detector_calls: u64,
 }
 
 impl EngineReport {
-    /// Detector invocations avoided by cross-query coalescing.
+    /// Detector invocations avoided by cross-query coalescing (plus, when
+    /// enabled, the cross-stage cache).
     pub fn coalesced_savings(&self) -> u64 {
         self.demanded_frames - self.detector_frames
     }
@@ -264,36 +284,44 @@ impl QueryState<'_> {
     }
 }
 
-/// One coalescing unit of a stage: the frames demanded from one detector.
-struct DetectorGroup {
-    /// Index of the first member query; the group's detector identity is that
-    /// query's detector reference.  Membership tests compare detector
-    /// references as *fat* pointers (`std::ptr::eq` on `&dyn Detector`
-    /// compares data address and vtable), so two distinct zero-sized detector
-    /// types at the same address can never be merged — a vtable mismatch can
-    /// only cost a missed coalescing opportunity, never correctness.
-    owner: usize,
-    frames: Vec<FrameId>,
-    results: HashMap<FrameId, FrameDetections>,
-}
-
 /// The batched multi-query execution engine.  See the module docs for the
 /// stage pipeline and determinism guarantees.
 pub struct QueryEngine<'a> {
     queries: Vec<QueryState<'a>>,
     coalesce: bool,
+    /// Per-stage batch allocation policy (default: [`RoundRobin`]).
+    scheduler: Box<dyn StageScheduler + 'a>,
+    /// Frame → shard routing; [`ShardRouter::single`] (one shard) by default.
+    router: ShardRouter,
+    /// One worker per shard, executing the DETECT phase for its frames.
+    workers: Vec<ShardWorker>,
+    /// Optional cross-stage frame→detections cache (off by default).
+    cache: Option<DetectionCache>,
+    /// Registry of distinct detectors seen, in first-seen order.  Membership
+    /// is by *fat* pointer (`std::ptr::eq` on `&dyn Detector` compares data
+    /// address and vtable), so two distinct zero-sized detector types at the
+    /// same address can never share a slot — an identity mismatch can only
+    /// cost a missed coalescing/caching opportunity, never correctness.
+    detector_slots: Vec<&'a dyn Detector>,
     stages: u64,
     demanded_frames: u64,
     detector_frames: u64,
     detector_calls: u64,
-    /// Reused per-stage scratch: detector groups (only the first `live_groups`
-    /// entries are meaningful in a stage; dead entries keep their allocations
-    /// for reuse), the query→group membership map, and the detect_batch
-    /// output buffer.
-    groups: Vec<DetectorGroup>,
-    live_groups: usize,
+    /// Reused per-stage scratch: the stage's logical detector groups (one
+    /// detector + registry slot per group), the query→group membership map,
+    /// the per-group detected-frame tally, the scheduler inputs/outputs, and
+    /// the detect_batch output buffer.
+    stage_detectors: Vec<&'a dyn Detector>,
+    stage_slots: Vec<u32>,
     membership: Vec<usize>,
+    lane_detected: Vec<u64>,
+    loads: Vec<QueryLoad>,
+    allocation: Vec<usize>,
     detections_buf: Vec<FrameDetections>,
+    /// The shard of every pick of the stage, flattened in (query, pick)
+    /// visitation order, so fan-out replays the routing pass's lookups
+    /// instead of re-resolving each frame's shard.
+    pick_shards: Vec<u32>,
 }
 
 impl Default for QueryEngine<'_> {
@@ -303,19 +331,29 @@ impl Default for QueryEngine<'_> {
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Create an engine with cross-query coalescing enabled.
+    /// Create an engine with cross-query coalescing enabled, a single shard,
+    /// the [`RoundRobin`] scheduler, and no cross-stage cache.
     pub fn new() -> Self {
         QueryEngine {
             queries: Vec::new(),
             coalesce: true,
+            scheduler: Box::new(RoundRobin),
+            router: ShardRouter::single(),
+            workers: vec![ShardWorker::new(0)],
+            cache: None,
+            detector_slots: Vec::new(),
             stages: 0,
             demanded_frames: 0,
             detector_frames: 0,
             detector_calls: 0,
-            groups: Vec::new(),
-            live_groups: 0,
+            stage_detectors: Vec::new(),
+            stage_slots: Vec::new(),
             membership: Vec::new(),
+            lane_detected: Vec::new(),
+            loads: Vec::new(),
+            allocation: Vec::new(),
             detections_buf: Vec::new(),
+            pick_shards: Vec::new(),
         }
     }
 
@@ -325,6 +363,50 @@ impl<'a> QueryEngine<'a> {
     pub fn coalesce(mut self, coalesce: bool) -> Self {
         self.coalesce = coalesce;
         self
+    }
+
+    /// Replace the per-stage batch allocation policy (default:
+    /// [`RoundRobin`], which reproduces the historical "one batch per live
+    /// query per stage" rule exactly).
+    pub fn scheduler(mut self, scheduler: Box<dyn StageScheduler + 'a>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Shard the DETECT phase across `router.shard_count()` workers, routing
+    /// every picked frame to the shard owning its chunk.  Query outcomes and
+    /// the merged report are bitwise-identical for any router (see the module
+    /// docs); only the per-shard breakdown and the physical invocation count
+    /// ([`QueryEngine::report_sharded`]) change.
+    pub fn sharded(mut self, router: ShardRouter) -> Self {
+        self.workers = (0..router.shard_count() as u32)
+            .map(ShardWorker::new)
+            .collect();
+        self.router = router;
+        self
+    }
+
+    /// Enable the bounded cross-stage frame→detections cache with the given
+    /// capacity (in frames).  Off by default: the cache never changes query
+    /// outcomes (detectors are pure functions of the frame id), but warm hits
+    /// bypass `detect_batch`, so the detector cost accounting of a cached run
+    /// is not comparable to an uncached one.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(DetectionCache::new(capacity));
+        self
+    }
+
+    /// Hit/miss/eviction counters of the cross-stage cache, if enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DetectionCache::stats)
+    }
+
+    /// Number of shards the DETECT phase is split across.
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Register a query; returns its index (reports come back in this order).
@@ -369,27 +451,59 @@ impl<'a> QueryEngine<'a> {
         self.detector_frames
     }
 
-    /// Execute one stage (pick → detect → fan-out) across all live queries.
+    /// The registry slot of `detector`, assigned in first-seen order.
+    fn detector_slot(slots: &mut Vec<&'a dyn Detector>, detector: &'a dyn Detector) -> u32 {
+        match slots.iter().position(|&d| std::ptr::eq(d, detector)) {
+            Some(slot) => slot as u32,
+            None => {
+                slots.push(detector);
+                (slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Execute one stage (schedule → pick → detect → fan-out) across all live
+    /// queries.
     ///
     /// Returns `None` once every query has stopped — after that the engine is
     /// finished and [`QueryEngine::report`] is stable.
     pub fn run_stage(&mut self) -> Option<StageStats> {
-        // Phase 1: stop checks and picks.
-        let mut active = 0usize;
-        let mut demanded = 0u64;
+        // Phase 1: stop checks and scheduling.
+        self.loads.clear();
         for q in &mut self.queries {
             q.picks.clear();
-            if q.stop.is_some() {
-                continue;
-            }
-            if let Some(reason) = q.stop_condition() {
+            let live = if q.stop.is_some() {
+                false
+            } else if let Some(reason) = q.stop_condition() {
                 q.stop = Some(reason);
+                false
+            } else {
+                true
+            };
+            self.loads.push(QueryLoad {
+                live,
+                batch: q.batch,
+                budget_left: q.frame_budget.map(|b| b - q.frames_processed.min(b)),
+            });
+        }
+        // Cleared defensively so a scheduler that appends without clearing
+        // (against the trait contract) cannot replay last stage's quotas.
+        self.allocation.clear();
+        self.scheduler
+            .allocate(self.stages, &self.loads, &mut self.allocation);
+
+        // Phase 2: picks.  The engine clamps every live allocation to
+        // `1..=budget_left` so no scheduler can livelock a run or overrun a
+        // budget.
+        let mut active = 0usize;
+        let mut demanded = 0u64;
+        for (i, q) in self.queries.iter_mut().enumerate() {
+            let load = self.loads[i];
+            if !load.live {
                 continue;
             }
-            let budget_left = q
-                .frame_budget
-                .map_or(u64::MAX, |b| b - q.frames_processed.min(b));
-            let want = (q.batch as u64).min(budget_left) as usize;
+            let granted = self.allocation.get(i).copied().unwrap_or(load.batch).max(1);
+            let want = (granted as u64).min(load.budget_left.unwrap_or(u64::MAX)) as usize;
             q.policy.next_batch_into(q.rng.as_mut(), want, &mut q.picks);
             if q.picks.is_empty() {
                 q.stop = Some(StopReason::RepositoryExhausted);
@@ -404,28 +518,39 @@ impl<'a> QueryEngine<'a> {
 
         let mut detector_frames = 0u64;
         let mut detector_calls = 0u64;
-        if active == 1 {
-            // Fast path for stages with a single picking query (the whole run,
-            // for a single-query engine — e.g. the per-frame sim runner at
-            // batch 1): no grouping, no result map, detections are consumed
-            // straight out of the batch buffer in pick order.
-            let q = self
+        // The fast path skips routing entirely, so it is only taken when the
+        // router has no bounds to enforce — a chunking-built router must see
+        // every frame to uphold its documented out-of-range panic.
+        if active == 1
+            && self.workers.len() == 1
+            && self.cache.is_none()
+            && !self.router.checks_bounds()
+        {
+            // Fast path for single-shard stages with a single picking query
+            // (the whole run, for a single-query engine — e.g. the per-frame
+            // sim runner at batch 1): no grouping, no result map, detections
+            // are consumed straight out of the batch buffer in pick order.
+            let index = self
                 .queries
-                .iter_mut()
-                .find(|q| !q.picks.is_empty())
+                .iter()
+                .position(|q| !q.picks.is_empty())
                 .expect("one query picked this stage");
+            let slot = Self::detector_slot(&mut self.detector_slots, self.queries[index].detector);
+            let q = &mut self.queries[index];
             let picks = std::mem::take(&mut q.picks);
             self.detections_buf.clear();
             q.detector.detect_batch(&picks, &mut self.detections_buf);
             detector_calls = 1;
             detector_frames = picks.len() as u64;
             for (&frame, detections) in picks.iter().zip(self.detections_buf.drain(..)) {
-                Self::observe_frame(q, frame, &detections);
+                let new_hits = Self::observe_frame(q, frame, &detections);
+                self.workers[0].record_observation(index, new_hits);
             }
             q.picks = picks;
             q.picks.clear();
+            self.workers[0].record_direct(slot, detector_frames, detector_calls);
         } else {
-            self.run_grouped_stage(&mut detector_frames, &mut detector_calls);
+            self.run_sharded_stage(&mut detector_frames, &mut detector_calls);
         }
 
         let stats = StageStats {
@@ -443,14 +568,18 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// One frame's fan-out for one query: discriminator verdict, policy
-    /// feedback, budget and trajectory bookkeeping.
-    fn observe_frame(q: &mut QueryState<'_>, frame: FrameId, detections: &FrameDetections) {
+    /// feedback, budget and trajectory bookkeeping.  Returns the number of
+    /// ground-truth instances first found on this frame (the per-shard hit
+    /// tally).
+    fn observe_frame(q: &mut QueryState<'_>, frame: FrameId, detections: &FrameDetections) -> u64 {
         let outcome = q.discriminator.observe(detections);
         q.policy.record(frame, &outcome);
         q.frames_processed += 1;
+        let mut new_hits = 0u64;
         for det in &outcome.new {
             if let Some(id) = det.truth {
                 if q.found_true.insert(id) {
+                    new_hits += 1;
                     q.trajectory.push(TrajectoryPoint {
                         frames: q.frames_processed,
                         found: q.found_true.len(),
@@ -458,75 +587,100 @@ impl<'a> QueryEngine<'a> {
                 }
             }
         }
+        new_hits
     }
 
-    /// Phases 2 and 3 of a stage with several picking queries: group demands
-    /// per detector, deduplicate when coalescing, issue one batched detector
-    /// invocation per group, then fan results back out per query in
-    /// registration order.  Group slots, the membership map and the detection
-    /// buffer are reused across stages (allocations amortise to zero in
-    /// steady state).
-    fn run_grouped_stage(&mut self, detector_frames: &mut u64, detector_calls: &mut u64) {
-        self.live_groups = 0;
+    /// Phases 3 and 4 of a stage: group demands per detector (the *logical*
+    /// groups), route every picked frame to the shard worker owning it, run
+    /// each worker's batched detector invocations, then fan results back out
+    /// per query in registration order.  Group slots, worker lanes, the
+    /// membership map and the detection buffer are reused across stages
+    /// (allocations amortise to zero in steady state).
+    fn run_sharded_stage(&mut self, detector_frames: &mut u64, detector_calls: &mut u64) {
+        // Logical grouping: one group per distinct detector among the picking
+        // queries (per picking query when coalescing is off).
+        self.stage_detectors.clear();
+        self.stage_slots.clear();
         self.membership.clear();
         for q in self.queries.iter() {
             if q.picks.is_empty() {
                 self.membership.push(usize::MAX);
                 continue;
             }
-            let group_index = if self.coalesce {
-                self.groups[..self.live_groups]
+            let group = if self.coalesce {
+                self.stage_detectors
                     .iter()
-                    .position(|g| std::ptr::eq(self.queries[g.owner].detector, q.detector))
+                    .position(|&d| std::ptr::eq(d, q.detector))
             } else {
                 None
             };
-            let group_index = group_index.unwrap_or_else(|| {
-                let owner = self.membership.len();
-                if self.live_groups == self.groups.len() {
-                    self.groups.push(DetectorGroup {
-                        owner,
-                        frames: Vec::new(),
-                        results: HashMap::new(),
-                    });
-                } else {
-                    let slot = &mut self.groups[self.live_groups];
-                    slot.owner = owner;
-                    slot.frames.clear();
-                    slot.results.clear();
-                }
-                self.live_groups += 1;
-                self.live_groups - 1
+            let group = group.unwrap_or_else(|| {
+                self.stage_detectors.push(q.detector);
+                self.stage_slots
+                    .push(Self::detector_slot(&mut self.detector_slots, q.detector));
+                self.stage_detectors.len() - 1
             });
-            self.groups[group_index].frames.extend_from_slice(&q.picks);
-            self.membership.push(group_index);
+            self.membership.push(group);
         }
-        for group in self.groups[..self.live_groups].iter_mut() {
-            if self.coalesce {
-                group.frames.sort_unstable();
-                group.frames.dedup();
-            }
-            let detector = self.queries[group.owner].detector;
-            self.detections_buf.clear();
-            detector.detect_batch(&group.frames, &mut self.detections_buf);
-            *detector_calls += 1;
-            *detector_frames += group.frames.len() as u64;
-            group.results.reserve(self.detections_buf.len());
-            for (frame, detections) in group.frames.iter().zip(self.detections_buf.drain(..)) {
-                group.results.insert(*frame, detections);
-            }
+        let groups = self.stage_detectors.len();
+        let queries = self.queries.len();
+        for worker in &mut self.workers {
+            worker.begin_stage(groups, queries);
         }
-        for (q, &group_index) in self.queries.iter_mut().zip(&self.membership) {
-            if q.picks.is_empty() {
+
+        // Route picks to the shard owning each frame, remembering each pick's
+        // shard so fan-out replays the lookups instead of repeating them.
+        self.pick_shards.clear();
+        for (q, &group) in self.queries.iter().zip(&self.membership) {
+            if group == usize::MAX {
                 continue;
             }
-            let results = &self.groups[group_index].results;
+            for &frame in &q.picks {
+                let shard = self.router.shard_of(frame);
+                self.pick_shards.push(shard as u32);
+                self.workers[shard].push_frame(group, frame);
+            }
+        }
+
+        // Per-shard DETECT.  Logical calls are counted once per group that
+        // needed any detection, regardless of how many shards its frames were
+        // split across; the workers keep the physical per-shard tallies.
+        self.lane_detected.clear();
+        self.lane_detected.resize(groups, 0);
+        for worker in &mut self.workers {
+            *detector_frames += worker.detect(
+                &self.stage_detectors,
+                &self.stage_slots,
+                self.coalesce,
+                self.cache.as_mut(),
+                &mut self.detections_buf,
+                &mut self.lane_detected,
+            );
+        }
+        *detector_calls += self.lane_detected.iter().filter(|&&n| n > 0).count() as u64;
+
+        // FAN-OUT in registration order, each query in its own pick order —
+        // the same (query, pick) order the routing pass walked, so the
+        // recorded shards line up one to one.
+        let mut routed = 0usize;
+        for i in 0..self.queries.len() {
+            let group = self.membership[i];
+            if group == usize::MAX {
+                continue;
+            }
+            let q = &mut self.queries[i];
             let picks = std::mem::take(&mut q.picks);
             for &frame in &picks {
-                let detections = results
-                    .get(&frame)
-                    .expect("every picked frame was detected this stage");
-                Self::observe_frame(q, frame, detections);
+                let shard = self.pick_shards[routed] as usize;
+                routed += 1;
+                let worker = &mut self.workers[shard];
+                let new_hits = {
+                    let detections = worker
+                        .result(group, frame)
+                        .expect("every picked frame was detected this stage");
+                    Self::observe_frame(q, frame, detections)
+                };
+                worker.record_observation(i, new_hits);
             }
             // Hand the buffer back so the next stage reuses its allocation.
             q.picks = picks;
@@ -562,6 +716,7 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Build the report for the engine's current state.
+    #[must_use = "an engine report carries the run's outcomes and cost accounting"]
     pub fn report(&self) -> EngineReport {
         EngineReport {
             outcomes: self.queries.iter().map(QueryState::report).collect(),
@@ -571,15 +726,58 @@ impl<'a> QueryEngine<'a> {
             detector_calls: self.detector_calls,
         }
     }
+
+    /// Build the merged report with its per-shard breakdown: the global
+    /// [`EngineReport`] (recomputed from and cross-checked against the
+    /// per-shard tallies by [`merge::merge_reports`]) plus one
+    /// [`ShardReport`] per shard.
+    #[must_use = "a sharded report carries the run's outcomes and cost accounting"]
+    pub fn report_sharded(&self) -> ShardedReport {
+        let queries = self.queries.len();
+        let shards = self
+            .workers
+            .iter()
+            .map(|worker| ShardReport {
+                shard: worker.shard(),
+                detector_frames: worker.detector_frames,
+                detector_calls: worker.detector_calls,
+                per_query: (0..queries)
+                    .map(|i| {
+                        let tally = worker.per_query.get(i).copied().unwrap_or_default();
+                        ShardQueryTally {
+                            frames: tally.frames,
+                            hits: tally.hits,
+                        }
+                    })
+                    .collect(),
+                per_detector: worker
+                    .per_detector
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, tally)| tally.frames > 0 || tally.calls > 0)
+                    .map(|(slot, tally)| DetectorInvocations {
+                        detector: slot as u32,
+                        class: self.detector_slots[slot].class().to_string(),
+                        frames: tally.frames,
+                        calls: tally.calls,
+                    })
+                    .collect(),
+            })
+            .collect();
+        merge::merge_reports(self.report(), shards)
+            .expect("per-shard tallies are maintained in lockstep with the stage loop")
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{ExSamplePolicy, FrameSamplerPolicy};
+    use crate::scheduler::BudgetProportional;
     use exsample_core::ExSampleConfig;
     use exsample_detect::{GroundTruth, ObjectClass, ObjectInstance, PerfectDetector};
-    use exsample_video::{Chunking, ChunkingPolicy, VideoRepository};
+    use exsample_video::{Chunking, ChunkingPolicy, ShardSpec, VideoRepository};
+    use std::cell::Cell;
     use std::sync::Arc;
 
     fn setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>, PerfectDetector) {
@@ -731,5 +929,194 @@ mod tests {
         assert_eq!(report.outcomes[1].frames_processed, 400);
         // The long query keeps running after the short one stops.
         assert!(report.stages >= 16);
+    }
+
+    #[test]
+    fn budget_proportional_scheduler_keeps_budgets_exact() {
+        let (chunking, _truth, detector) = setup(40_000, 8);
+        let run = |scheduler: Box<dyn StageScheduler>| {
+            let mut engine = QueryEngine::new().scheduler(scheduler);
+            for (label, budget) in [("heavy", 900u64), ("light", 60)] {
+                let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+                engine
+                    .push(
+                        QuerySpec::new(label, Box::new(policy), &detector)
+                            .seed(23)
+                            .batch(16)
+                            .frame_budget(budget),
+                    )
+                    .unwrap();
+            }
+            engine.run().unwrap()
+        };
+        let proportional = run(Box::new(BudgetProportional));
+        // Budgets are consumed exactly regardless of the allocation policy.
+        assert_eq!(proportional.outcomes[0].frames_processed, 900);
+        assert_eq!(proportional.outcomes[1].frames_processed, 60);
+        // The heavy query dominated stage bandwidth, so the run needs fewer
+        // stages than round-robin's max(900/16, 60/16) → 57.
+        let round_robin = run(Box::new(RoundRobin));
+        assert!(
+            proportional.stages < round_robin.stages,
+            "proportional {} vs round-robin {}",
+            proportional.stages,
+            round_robin.stages
+        );
+    }
+
+    #[test]
+    fn sharded_stage_loop_matches_unsharded_outcomes() {
+        let (chunking, _truth, detector) = setup(8_000, 8);
+        let run = |shards: Option<u32>| {
+            let mut engine = QueryEngine::new();
+            if let Some(shards) = shards {
+                let spec = ShardSpec::round_robin(chunking.len(), shards);
+                engine = engine.sharded(ShardRouter::new(&chunking, &spec).unwrap());
+            }
+            for (label, seed) in [("a", 31u64), ("b", 37)] {
+                let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+                engine
+                    .push(
+                        QuerySpec::new(label, Box::new(policy), &detector)
+                            .seed(seed)
+                            .batch(16)
+                            .frame_budget(300),
+                    )
+                    .unwrap();
+            }
+            let _ = engine.run().unwrap();
+            engine.report_sharded()
+        };
+        let unsharded = run(None);
+        let sharded = run(Some(4));
+        assert_eq!(sharded.shards.len(), 4);
+        assert_eq!(unsharded.shards.len(), 1);
+        for (a, b) in unsharded
+            .report
+            .outcomes
+            .iter()
+            .zip(&sharded.report.outcomes)
+        {
+            assert_eq!(a.frames_processed, b.frames_processed);
+            assert_eq!(a.found_instances, b.found_instances);
+            assert_eq!(a.trajectory, b.trajectory);
+            assert_eq!(a.stop_reason, b.stop_reason);
+        }
+        assert_eq!(unsharded.report.stages, sharded.report.stages);
+        assert_eq!(
+            unsharded.report.detector_frames,
+            sharded.report.detector_frames
+        );
+        assert_eq!(
+            unsharded.report.detector_calls,
+            sharded.report.detector_calls
+        );
+        // Splitting one detector group across shards costs extra physical
+        // invocations — that is the merge overhead, reported separately.
+        assert!(sharded.physical_detector_calls >= sharded.report.detector_calls);
+        assert_eq!(
+            unsharded.physical_detector_calls,
+            unsharded.report.detector_calls
+        );
+        // Every query's frames partition across the shards.
+        for i in 0..2 {
+            let routed: u64 = sharded.shards.iter().map(|s| s.per_query[i].frames).sum();
+            assert_eq!(routed, sharded.report.outcomes[i].frames_processed);
+        }
+    }
+
+    /// A detector that counts its batched invocations.
+    struct CountingDetector {
+        inner: PerfectDetector,
+        batch_calls: Cell<u64>,
+    }
+
+    impl Detector for CountingDetector {
+        fn detect(&self, frame: FrameId) -> FrameDetections {
+            self.inner.detect(frame)
+        }
+
+        fn detect_batch(&self, frames: &[FrameId], out: &mut Vec<FrameDetections>) {
+            self.batch_calls.set(self.batch_calls.get() + 1);
+            self.inner.detect_batch(frames, out);
+        }
+
+        fn class(&self) -> &ObjectClass {
+            self.inner.class()
+        }
+    }
+
+    #[test]
+    fn warm_cache_requery_issues_zero_detector_calls() {
+        let (_chunking, truth, _detector) = setup(256, 4);
+        let detector = CountingDetector {
+            inner: PerfectDetector::new(truth, ObjectClass::from("car")),
+            batch_calls: Cell::new(0),
+        };
+        let mut engine = QueryEngine::new().cache_capacity(1_024);
+        engine
+            .push(
+                QuerySpec::new(
+                    "cold",
+                    Box::new(FrameSamplerPolicy::uniform(256)),
+                    &detector,
+                )
+                .seed(41)
+                .batch(32),
+            )
+            .unwrap();
+        let cold = engine.run().unwrap();
+        assert_eq!(cold.outcomes[0].frames_processed, 256);
+        let cold_calls = detector.batch_calls.get();
+        let cold_frames = engine.detector_frames();
+        assert!(cold_calls > 0);
+
+        // A warm re-query over the same repository: every frame is cached, so
+        // not a single new detect_batch invocation is issued.
+        engine
+            .push(
+                QuerySpec::new(
+                    "warm",
+                    Box::new(FrameSamplerPolicy::uniform(256)),
+                    &detector,
+                )
+                .seed(43)
+                .batch(32),
+            )
+            .unwrap();
+        let warm = engine.run().unwrap();
+        assert_eq!(warm.outcomes[1].frames_processed, 256);
+        assert_eq!(
+            detector.batch_calls.get(),
+            cold_calls,
+            "warm re-query must be served entirely from the cache"
+        );
+        assert_eq!(engine.detector_frames(), cold_frames);
+        let stats = engine.cache_stats().expect("cache enabled");
+        assert!(stats.hits >= 256);
+        // Outcomes are identical to an uncached run of the same query.
+        let truth_check = {
+            let mut uncached = QueryEngine::new();
+            uncached
+                .push(
+                    QuerySpec::new(
+                        "warm",
+                        Box::new(FrameSamplerPolicy::uniform(256)),
+                        &detector,
+                    )
+                    .seed(43)
+                    .batch(32),
+                )
+                .unwrap();
+            uncached.run().unwrap()
+        };
+        assert_eq!(
+            warm.outcomes[1].found_instances,
+            truth_check.outcomes[0].found_instances
+        );
+        assert_eq!(
+            warm.outcomes[1].trajectory,
+            truth_check.outcomes[0].trajectory
+        );
     }
 }

@@ -50,6 +50,15 @@ pub enum EngineError {
     },
     /// [`crate::QueryEngine::run`] was called with no queries registered.
     NoQueries,
+    /// A shard spec was paired with a chunking holding a different number of
+    /// chunks: the chunk→shard assignment would be meaningless, so
+    /// [`crate::ShardRouter::new`] rejects the pair.
+    ShardSpecMismatch {
+        /// Number of chunks the shard spec covers.
+        spec_chunks: usize,
+        /// Number of chunks in the chunking it was paired with.
+        chunking_chunks: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +69,14 @@ impl fmt::Display for EngineError {
                 write!(f, "query `{label}` was submitted with batch size 0")
             }
             EngineError::NoQueries => write!(f, "the engine has no queries to run"),
+            EngineError::ShardSpecMismatch {
+                spec_chunks,
+                chunking_chunks,
+            } => write!(
+                f,
+                "shard spec and chunking disagree on the number of chunks: \
+                 spec covers {spec_chunks}, chunking has {chunking_chunks}"
+            ),
         }
     }
 }
@@ -98,5 +115,11 @@ mod tests {
         };
         assert!(zero.to_string().contains("q0"));
         assert!(std::error::Error::source(&zero).is_none());
+        let shard = EngineError::ShardSpecMismatch {
+            spec_chunks: 5,
+            chunking_chunks: 4,
+        };
+        assert!(shard.to_string().contains("spec covers 5"));
+        assert!(std::error::Error::source(&shard).is_none());
     }
 }

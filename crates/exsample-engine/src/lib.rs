@@ -51,23 +51,65 @@
 //! assert pick-for-pick equivalence against a faithful replica of the old
 //! loop.
 //!
+//! ## Sharded execution
+//!
+//! The DETECT phase of every stage can be split across shards
+//! ([`QueryEngine::sharded`] with a [`ShardRouter`] built from an
+//! `exsample-video` `ShardSpec`): each picked frame is routed to the shard
+//! owning its chunk, and one [`shard`] worker per shard runs the batched
+//! detector invocations for its frames, keeping per-shard cost and hit
+//! tallies.  PICK stays global (policies span the full chunk space and own
+//! their per-query RNG streams) and FAN-OUT stays in registration/pick order,
+//! so — detectors being pure functions of the frame id — the [`merge`] layer's
+//! combined report is **bitwise-identical to an unsharded run** for any shard
+//! count, any partitioner and any shard interleaving.  The only thing
+//! sharding changes is *physical* invocation counts (a detector group whose
+//! frames span shards needs one `detect_batch` per shard), which
+//! [`ShardedReport`] accounts separately from the logical counts.
+//!
+//! ## Scheduling
+//!
+//! How many frames each live query may pick per stage is delegated to an
+//! object-safe [`StageScheduler`]: [`RoundRobin`] (the default) grants every
+//! live query its configured batch — the historical behaviour, pick-for-pick
+//! — while [`BudgetProportional`] divides the stage's capacity in proportion
+//! to remaining per-query frame budgets.
+//!
+//! ## Caching
+//!
+//! An optional bounded frame→detections LRU cache
+//! ([`QueryEngine::cache_capacity`], off by default) carries detector results
+//! *across* stages and queries: a warm re-query over cached frames issues
+//! zero new `detect_batch` invocations.
+//!
 //! ## Errors
 //!
-//! Configuration mistakes (sampler/chunking chunk-count mismatch, zero batch
-//! sizes, running an empty engine) surface as typed [`EngineError`]s from the
-//! engine entry points instead of the seed implementation's panics.
+//! Configuration mistakes (sampler/chunking chunk-count mismatch, shard
+//! spec/chunking mismatch, zero batch sizes, running an empty engine) surface
+//! as typed [`EngineError`]s from the engine entry points instead of the seed
+//! implementation's panics.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod merge;
 pub mod policy;
+pub mod scheduler;
+pub mod shard;
 
+pub use cache::{CacheStats, DetectionCache};
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
     EngineReport, QueryEngine, QueryReport, QuerySpec, StageStats, StopReason, TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
+pub use merge::{
+    merge_reports, DetectorInvocations, MergeError, ShardQueryTally, ShardReport, ShardedReport,
+};
 pub use policy::{ExSamplePolicy, FrameSamplerPolicy, MethodPolicy, SamplingPolicy};
+pub use scheduler::{BudgetProportional, QueryLoad, RoundRobin, StageScheduler};
+pub use shard::ShardRouter;

@@ -1,0 +1,321 @@
+//! Combining per-shard reports into a global report.
+//!
+//! Each shard worker accumulates what *it* paid and saw: frames run through
+//! its detectors, physical `detect_batch` invocations, per-detector
+//! invocation tallies, and per-query frame/hit counts for the frames it
+//! owned.  [`merge_reports`] folds those [`ShardReport`]s into a
+//! [`ShardedReport`] whose embedded [`EngineReport`] is **bitwise-identical
+//! to an unsharded run** of the same queries (same per-query RNG streams),
+//! for any shard count and any shard interleaving:
+//!
+//! * per-query `frames_processed` is recomputed as the sum of the per-shard
+//!   tallies and cross-checked against the coordinator's own count — a
+//!   mismatch (a frame observed but never tallied to a shard, or vice versa)
+//!   is a typed [`MergeError`], not a silent wrong number;
+//! * hit counts are likewise summed and cross-checked against the
+//!   discriminators' global `true_found`;
+//! * `detector_frames` is the sum of the shards' detected frames (frames
+//!   never cross shards, so shard-local deduplication adds up to exactly the
+//!   global deduplicated count);
+//! * `detector_calls` stays *logical* (one per detector group per stage —
+//!   what an unsharded engine would issue), while the physical per-shard
+//!   invocation count, which grows with the shard count because one logical
+//!   group's frames split across shards, is reported separately as
+//!   [`ShardedReport::physical_detector_calls`] — that difference is the
+//!   merge overhead the sharded benchmark tracks.
+
+use crate::engine::EngineReport;
+use std::fmt;
+
+/// One query's tallies on one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardQueryTally {
+    /// Frames of this query that this shard owned (and detected or served
+    /// from cache).
+    pub frames: u64,
+    /// Ground-truth instances first found on this shard's frames.
+    pub hits: u64,
+}
+
+/// One detector's invocation tallies on one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorInvocations {
+    /// Engine-assigned detector slot (first-seen order; stable within a run).
+    pub detector: u32,
+    /// The detector's object class, for display.
+    pub class: String,
+    /// Frames run through this detector on this shard.
+    pub frames: u64,
+    /// Physical `detect_batch` invocations issued on this shard.
+    pub calls: u64,
+}
+
+/// Everything one shard worker accumulated over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard's index.
+    pub shard: u32,
+    /// Frames run through detectors on this shard (post-coalescing,
+    /// post-cache).
+    pub detector_frames: u64,
+    /// Physical `detect_batch` invocations issued by this shard.
+    pub detector_calls: u64,
+    /// Per-query tallies, indexed by query registration order.
+    pub per_query: Vec<ShardQueryTally>,
+    /// Per-detector invocation tallies, ordered by detector slot.
+    pub per_detector: Vec<DetectorInvocations>,
+}
+
+/// An inconsistency between the per-shard tallies and the coordinator's
+/// global state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A shard report covers a different number of queries than the global
+    /// report.
+    QueryCountMismatch {
+        /// The offending shard.
+        shard: u32,
+        /// Queries in the shard report.
+        shard_queries: usize,
+        /// Queries in the global report.
+        report_queries: usize,
+    },
+    /// The per-shard frame tallies of a query do not add up to its global
+    /// count.
+    FrameMismatch {
+        /// Query registration index.
+        query: usize,
+        /// Sum of the per-shard tallies.
+        merged: u64,
+        /// The coordinator's count.
+        reported: u64,
+    },
+    /// The per-shard hit tallies of a query do not add up to its global
+    /// count.
+    HitMismatch {
+        /// Query registration index.
+        query: usize,
+        /// Sum of the per-shard tallies.
+        merged: u64,
+        /// The coordinator's count.
+        reported: u64,
+    },
+    /// The shards' detected-frame counts do not add up to the engine total.
+    DetectorFrameMismatch {
+        /// Sum of the per-shard counts.
+        merged: u64,
+        /// The coordinator's count.
+        reported: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::QueryCountMismatch {
+                shard,
+                shard_queries,
+                report_queries,
+            } => write!(
+                f,
+                "shard {shard} tallies {shard_queries} queries but the report has {report_queries}"
+            ),
+            MergeError::FrameMismatch {
+                query,
+                merged,
+                reported,
+            } => write!(
+                f,
+                "query {query}: shard frame tallies sum to {merged} but the engine observed {reported}"
+            ),
+            MergeError::HitMismatch {
+                query,
+                merged,
+                reported,
+            } => write!(
+                f,
+                "query {query}: shard hit tallies sum to {merged} but the engine found {reported}"
+            ),
+            MergeError::DetectorFrameMismatch { merged, reported } => write!(
+                f,
+                "shard detector-frame tallies sum to {merged} but the engine paid {reported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A merged global report with its per-shard breakdown.
+#[derive(Debug, Clone)]
+#[must_use = "a sharded report carries the run's outcomes and cost accounting"]
+pub struct ShardedReport {
+    /// The global report — bitwise-identical to an unsharded run of the same
+    /// queries (cache off), for any shard count and partitioner.
+    pub report: EngineReport,
+    /// Per-shard breakdowns, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Physical `detect_batch` invocations summed over shards.  Exceeds
+    /// `report.detector_calls` (the logical count) when a stage's detector
+    /// group spans several shards.
+    pub physical_detector_calls: u64,
+}
+
+impl ShardedReport {
+    /// Extra detector invocations paid because detector groups split across
+    /// shards — the sharding overhead the merge layer exists to account for.
+    pub fn shard_overhead_calls(&self) -> u64 {
+        self.physical_detector_calls - self.report.detector_calls
+    }
+}
+
+/// Combine per-shard reports into a global [`ShardedReport`].
+///
+/// `report` is the coordinator's view (outcomes in registration order plus
+/// logical cost totals); `shards` are the per-shard tallies.  Per-query frame
+/// and hit counts and the global detected-frame total are recomputed from the
+/// shard tallies and cross-checked against the coordinator.
+///
+/// # Errors
+/// Returns a [`MergeError`] naming the first inconsistency found.
+pub fn merge_reports(
+    report: EngineReport,
+    shards: Vec<ShardReport>,
+) -> Result<ShardedReport, MergeError> {
+    let queries = report.outcomes.len();
+    for shard in &shards {
+        if shard.per_query.len() != queries {
+            return Err(MergeError::QueryCountMismatch {
+                shard: shard.shard,
+                shard_queries: shard.per_query.len(),
+                report_queries: queries,
+            });
+        }
+    }
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        let merged_frames: u64 = shards.iter().map(|s| s.per_query[i].frames).sum();
+        if merged_frames != outcome.frames_processed {
+            return Err(MergeError::FrameMismatch {
+                query: i,
+                merged: merged_frames,
+                reported: outcome.frames_processed,
+            });
+        }
+        let merged_hits: u64 = shards.iter().map(|s| s.per_query[i].hits).sum();
+        if merged_hits != outcome.true_found as u64 {
+            return Err(MergeError::HitMismatch {
+                query: i,
+                merged: merged_hits,
+                reported: outcome.true_found as u64,
+            });
+        }
+    }
+    let merged_detector_frames: u64 = shards.iter().map(|s| s.detector_frames).sum();
+    if merged_detector_frames != report.detector_frames {
+        return Err(MergeError::DetectorFrameMismatch {
+            merged: merged_detector_frames,
+            reported: report.detector_frames,
+        });
+    }
+    let physical_detector_calls = shards.iter().map(|s| s.detector_calls).sum();
+    Ok(ShardedReport {
+        report,
+        shards,
+        physical_detector_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryReport;
+
+    fn report(frames: &[u64], hits: &[usize], detector_frames: u64) -> EngineReport {
+        EngineReport {
+            outcomes: frames
+                .iter()
+                .zip(hits)
+                .enumerate()
+                .map(|(i, (&frames_processed, &true_found))| QueryReport {
+                    label: format!("q{i}"),
+                    policy: "test".to_string(),
+                    frames_processed,
+                    distinct_found: true_found,
+                    true_found,
+                    found_instances: Vec::new(),
+                    trajectory: Vec::new(),
+                    upfront_scan_frames: 0,
+                    stop_reason: None,
+                })
+                .collect(),
+            stages: 3,
+            demanded_frames: frames.iter().sum(),
+            detector_frames,
+            detector_calls: 3,
+        }
+    }
+
+    fn shard(shard: u32, per_query: &[(u64, u64)], frames: u64, calls: u64) -> ShardReport {
+        ShardReport {
+            shard,
+            detector_frames: frames,
+            detector_calls: calls,
+            per_query: per_query
+                .iter()
+                .map(|&(frames, hits)| ShardQueryTally { frames, hits })
+                .collect(),
+            per_detector: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn consistent_tallies_merge_and_report_overhead() {
+        let global = report(&[10, 6], &[3, 1], 14);
+        let merged = merge_reports(
+            global,
+            vec![
+                shard(0, &[(7, 2), (2, 0)], 9, 3),
+                shard(1, &[(3, 1), (4, 1)], 5, 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.physical_detector_calls, 5);
+        assert_eq!(merged.shard_overhead_calls(), 2);
+        assert_eq!(merged.shards.len(), 2);
+        assert_eq!(merged.report.outcomes[0].frames_processed, 10);
+    }
+
+    #[test]
+    fn frame_mismatch_is_detected() {
+        let global = report(&[10], &[0], 10);
+        let err = merge_reports(global, vec![shard(0, &[(9, 0)], 10, 1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::FrameMismatch {
+                query: 0,
+                merged: 9,
+                reported: 10
+            }
+        ));
+        assert!(err.to_string().contains("sum to 9"));
+    }
+
+    #[test]
+    fn hit_and_detector_frame_mismatches_are_detected() {
+        let global = report(&[4], &[2], 4);
+        let err = merge_reports(global.clone(), vec![shard(0, &[(4, 1)], 4, 1)]).unwrap_err();
+        assert!(matches!(err, MergeError::HitMismatch { .. }));
+        let err = merge_reports(global, vec![shard(0, &[(4, 2)], 3, 1)]).unwrap_err();
+        assert!(matches!(err, MergeError::DetectorFrameMismatch { .. }));
+    }
+
+    #[test]
+    fn query_count_mismatch_is_detected() {
+        let global = report(&[4, 4], &[0, 0], 8);
+        let err = merge_reports(global, vec![shard(1, &[(8, 0)], 8, 1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::QueryCountMismatch { shard: 1, .. }
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Pluggable per-stage batch allocation.
+//!
+//! Historically the engine hard-coded "every live query contributes one batch
+//! per stage".  That rule is now the default implementation of the
+//! [`StageScheduler`] trait: before each stage the engine describes every
+//! query's load ([`QueryLoad`]) and asks the scheduler how many frames each
+//! live query may pick this stage.  Two schedulers ship:
+//!
+//! * [`RoundRobin`] — every live query gets its configured batch size, exactly
+//!   the pre-scheduler behaviour (and therefore exactly the same per-query
+//!   pick sequences — the determinism suite pins this down).
+//! * [`BudgetProportional`] — the stage's total pick capacity (the sum of the
+//!   live queries' batch sizes) is divided in proportion to each query's
+//!   remaining frame budget, so queries with a lot of work left get bigger
+//!   batches and nearly-finished queries stop hogging stage bandwidth.
+//!
+//! Contract: schedulers are deterministic functions of `(stage, loads)`; the
+//! engine clamps every live query's allocation to at least one frame (a live
+//! query always makes progress, so no scheduler can livelock a run) and to the
+//! query's remaining frame budget (so no scheduler can overrun a budget).
+
+/// One query's scheduling inputs for a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLoad {
+    /// Whether the query still wants frames (not stopped before this stage).
+    /// Allocations for non-live queries are ignored.
+    pub live: bool,
+    /// The query's configured per-stage batch size.
+    pub batch: usize,
+    /// Frames left under the query's budget, or `None` if unbudgeted.
+    pub budget_left: Option<u64>,
+}
+
+/// An object-safe per-stage batch allocator.
+pub trait StageScheduler {
+    /// Short human-readable name ("round-robin", "budget-proportional").
+    fn name(&self) -> &'static str;
+
+    /// Clear `allocation` and push one entry per query in `loads` order: the
+    /// number of frames that query may pick this stage.  Entries for non-live
+    /// queries are ignored; live entries are clamped by the engine to
+    /// `1..=budget_left`.
+    fn allocate(&mut self, stage: u64, loads: &[QueryLoad], allocation: &mut Vec<usize>);
+}
+
+/// Today's default: every live query contributes one full batch per stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl StageScheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn allocate(&mut self, _stage: u64, loads: &[QueryLoad], allocation: &mut Vec<usize>) {
+        allocation.clear();
+        allocation.extend(loads.iter().map(|load| load.batch));
+    }
+}
+
+/// Stage allocation weighted by remaining per-query frame budget.
+///
+/// The stage's capacity is `Σ batch` over live queries; each live query
+/// receives `capacity * budget_left / Σ budget_left` frames (integer floor,
+/// minimum one), and any overage the 1-frame minimums introduce is clawed
+/// back from the largest allocations, so the total never exceeds the
+/// capacity unless the minimums alone do (more live queries than capacity).
+/// Unbudgeted queries weigh in at the largest live budget, so they are
+/// treated as "lots of work left" rather than starved or dominant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetProportional;
+
+impl StageScheduler for BudgetProportional {
+    fn name(&self) -> &'static str {
+        "budget-proportional"
+    }
+
+    fn allocate(&mut self, _stage: u64, loads: &[QueryLoad], allocation: &mut Vec<usize>) {
+        allocation.clear();
+        let capacity: u64 = loads
+            .iter()
+            .filter(|l| l.live)
+            .map(|l| l.batch as u64)
+            .sum();
+        let max_budget = loads
+            .iter()
+            .filter(|l| l.live)
+            .filter_map(|l| l.budget_left)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let weight = |load: &QueryLoad| load.budget_left.unwrap_or(max_budget).max(1);
+        let total_weight: u128 = loads
+            .iter()
+            .filter(|l| l.live)
+            .map(|l| u128::from(weight(l)))
+            .sum();
+        for load in loads {
+            if !load.live || total_weight == 0 {
+                allocation.push(load.batch);
+                continue;
+            }
+            let share = (u128::from(capacity) * u128::from(weight(load)) / total_weight) as usize;
+            allocation.push(share.max(1));
+        }
+        // Bumping zero shares to the 1-frame minimum can push the total past
+        // the stage capacity; claw the overage back from the largest
+        // allocations (deterministically: lowest index wins ties) so the
+        // stage never exceeds `capacity` unless the minimums alone do.
+        let mut total: u64 = loads
+            .iter()
+            .zip(allocation.iter())
+            .filter(|(l, _)| l.live)
+            .map(|(_, &a)| a as u64)
+            .sum();
+        while total > capacity {
+            let mut largest: Option<usize> = None;
+            for (i, load) in loads.iter().enumerate() {
+                if load.live
+                    && allocation[i] > 1
+                    && largest.is_none_or(|j| allocation[i] > allocation[j])
+                {
+                    largest = Some(i);
+                }
+            }
+            let Some(index) = largest else {
+                break; // every live query is at the 1-frame minimum
+            };
+            allocation[index] -= 1;
+            total -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(live: bool, batch: usize, budget_left: Option<u64>) -> QueryLoad {
+        QueryLoad {
+            live,
+            batch,
+            budget_left,
+        }
+    }
+
+    #[test]
+    fn round_robin_hands_every_query_its_batch() {
+        let mut scheduler = RoundRobin;
+        let mut allocation = Vec::new();
+        let loads = [
+            load(true, 16, Some(1_000)),
+            load(false, 8, None),
+            load(true, 4, None),
+        ];
+        scheduler.allocate(0, &loads, &mut allocation);
+        assert_eq!(allocation, vec![16, 8, 4]);
+        assert_eq!(scheduler.name(), "round-robin");
+    }
+
+    #[test]
+    fn budget_proportional_weights_by_remaining_budget() {
+        let mut scheduler = BudgetProportional;
+        let mut allocation = Vec::new();
+        // Capacity 32; budgets 900 vs 100 → shares 28 vs 3 (floors of 28.8/3.2).
+        let loads = [load(true, 16, Some(900)), load(true, 16, Some(100))];
+        scheduler.allocate(3, &loads, &mut allocation);
+        assert_eq!(allocation, vec![28, 3]);
+        let total: usize = allocation.iter().sum();
+        assert!(total <= 32);
+        assert_eq!(scheduler.name(), "budget-proportional");
+    }
+
+    #[test]
+    fn budget_proportional_never_starves_a_live_query() {
+        let mut scheduler = BudgetProportional;
+        let mut allocation = Vec::new();
+        let loads = [load(true, 16, Some(1_000_000)), load(true, 16, Some(1))];
+        scheduler.allocate(0, &loads, &mut allocation);
+        assert!(allocation[1] >= 1);
+        assert!(allocation[0] > allocation[1]);
+    }
+
+    #[test]
+    fn budget_proportional_treats_unbudgeted_queries_as_heaviest() {
+        let mut scheduler = BudgetProportional;
+        let mut allocation = Vec::new();
+        let loads = [load(true, 8, None), load(true, 8, Some(100))];
+        scheduler.allocate(0, &loads, &mut allocation);
+        // The unbudgeted query weighs as much as the largest budget (100), so
+        // the two split the capacity evenly.
+        assert_eq!(allocation, vec![8, 8]);
+    }
+
+    #[test]
+    fn budget_proportional_never_exceeds_stage_capacity() {
+        let mut scheduler = BudgetProportional;
+        let mut allocation = Vec::new();
+        // Capacity 6; the heavy query floors to 5 and the two 1-frame-budget
+        // queries round up to 1 each (total 7) — the clawback trims the
+        // largest allocation back so the stage stays within capacity.
+        let loads = [
+            load(true, 2, Some(1_000_000)),
+            load(true, 2, Some(1)),
+            load(true, 2, Some(1)),
+        ];
+        scheduler.allocate(0, &loads, &mut allocation);
+        assert_eq!(allocation, vec![4, 1, 1]);
+        // With more live queries than capacity, the 1-frame minimum wins.
+        let many: Vec<QueryLoad> = (0..5).map(|_| load(true, 1, Some(1))).collect();
+        scheduler.allocate(0, &many, &mut allocation);
+        assert_eq!(allocation, vec![1; 5]);
+    }
+
+    #[test]
+    fn budget_proportional_with_only_dead_queries_passes_batches_through() {
+        let mut scheduler = BudgetProportional;
+        let mut allocation = Vec::new();
+        let loads = [load(false, 8, None), load(false, 4, Some(10))];
+        scheduler.allocate(0, &loads, &mut allocation);
+        assert_eq!(allocation, vec![8, 4]);
+    }
+}

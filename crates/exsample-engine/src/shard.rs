@@ -1,0 +1,379 @@
+//! Shard routing and per-shard engine workers.
+//!
+//! A sharded engine splits the DETECT phase of every stage across shards: each
+//! query's picks are routed to the shard owning the picked frame's chunk (the
+//! [`ShardRouter`]), and each shard's [`ShardWorker`] runs the batched
+//! detector invocations for the frames routed to it, keeping its own cost and
+//! hit tallies.  PICK stays global (per-query policies span the full chunk
+//! space and own their RNG streams) and FAN-OUT stays in registration/pick
+//! order, which is what makes a merged sharded run bitwise-identical to the
+//! unsharded run — see the crate docs for the full determinism argument.
+//!
+//! Workers are engine-internal execution state; their accumulated tallies are
+//! published as [`crate::merge::ShardReport`]s and combined by the
+//! [`crate::merge`] layer.
+
+use crate::cache::{DetectionCache, DetectorSlot};
+use crate::error::EngineError;
+use exsample_detect::{Detector, FrameDetections};
+use exsample_video::{Chunking, FrameId, ShardSpec, ShardedRepository};
+use std::collections::HashMap;
+
+/// Routes global frame ids to the shard owning them.
+///
+/// Built from a [`ShardSpec`] over a [`Chunking`]: a frame's shard is the
+/// shard of its chunk.  The 1-shard router ([`ShardRouter::single`]) is the
+/// unsharded case and routes everything to shard 0 without a lookup.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// One-past-the-end frame id of each chunk (ascending).
+    bounds: Vec<FrameId>,
+    /// `shards[j]` = shard owning chunk `j`.
+    shards: Vec<u32>,
+    shard_count: usize,
+}
+
+impl ShardRouter {
+    /// The unsharded router: every frame belongs to shard 0.
+    pub fn single() -> Self {
+        ShardRouter {
+            bounds: Vec::new(),
+            shards: Vec::new(),
+            shard_count: 1,
+        }
+    }
+
+    /// Route frames according to `spec` over `chunking`.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ShardSpecMismatch`] if the spec's chunk count
+    /// does not match the chunking.
+    pub fn new(chunking: &Chunking, spec: &ShardSpec) -> Result<Self, EngineError> {
+        if spec.chunk_count() != chunking.len() {
+            return Err(EngineError::ShardSpecMismatch {
+                spec_chunks: spec.chunk_count(),
+                chunking_chunks: chunking.len(),
+            });
+        }
+        Ok(ShardRouter {
+            bounds: chunking.chunks().iter().map(|c| c.end()).collect(),
+            shards: spec.shard_assignment().to_vec(),
+            shard_count: spec.shard_count() as usize,
+        })
+    }
+
+    /// Route frames according to a bound [`ShardedRepository`] (whose spec and
+    /// chunking are consistent by construction).
+    pub fn from_repository(repo: &ShardedRepository) -> Self {
+        ShardRouter::new(repo.chunking(), repo.spec())
+            .expect("a ShardedRepository binds a spec to its own chunking")
+    }
+
+    /// The common construction in one call: a contiguous-range
+    /// [`ShardSpec`] over `chunking`, or the bounds-free
+    /// [`ShardRouter::single`] router for `shards <= 1` (the "one shard means
+    /// unsharded" convention every harness uses).
+    pub fn contiguous(chunking: &Chunking, shards: u32) -> Self {
+        if shards <= 1 {
+            return ShardRouter::single();
+        }
+        ShardRouter::new(chunking, &ShardSpec::contiguous(chunking.len(), shards))
+            .expect("the spec was built from this chunking")
+    }
+
+    /// Number of shards frames are routed across.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Whether this router validates frame ids against chunk bounds
+    /// (chunking-built routers do; [`ShardRouter::single`] cannot).
+    pub fn checks_bounds(&self) -> bool {
+        !self.bounds.is_empty()
+    }
+
+    /// The shard owning `frame`.
+    ///
+    /// # Panics
+    /// Panics if the router was built from a chunking and `frame` lies beyond
+    /// it (a policy produced a frame id outside the repository).  The
+    /// bounds-free [`ShardRouter::single`] router cannot perform this check —
+    /// any chunking-built router does, even at shard count 1.
+    #[inline]
+    pub fn shard_of(&self, frame: FrameId) -> usize {
+        if self.bounds.is_empty() {
+            return 0;
+        }
+        let chunk = self.bounds.partition_point(|&end| end <= frame);
+        assert!(
+            chunk < self.shards.len(),
+            "frame {frame} is beyond the sharded chunking"
+        );
+        self.shards[chunk] as usize
+    }
+}
+
+/// Cumulative per-query tallies kept by one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WorkerQueryTally {
+    /// Frames of this query observed on this shard.
+    pub frames: u64,
+    /// New ground-truth instances first observed on this shard's frames.
+    pub hits: u64,
+}
+
+/// Cumulative per-detector tallies kept by one worker (indexed by the
+/// engine's detector registry slot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WorkerDetectorTally {
+    pub frames: u64,
+    pub calls: u64,
+}
+
+/// One detector group's routed frames and results on one shard, for one
+/// stage.  Lanes are indexed by the stage's *logical* group index (the
+/// engine's cross-shard detector grouping), so the same logical group can
+/// have a lane on every shard; slots and their allocations are reused across
+/// stages.
+#[derive(Debug, Default)]
+struct Lane {
+    frames: Vec<FrameId>,
+    results: HashMap<FrameId, FrameDetections>,
+}
+
+/// Per-shard execution state: the frames routed to this shard in the current
+/// stage, plus the shard's cumulative cost and hit tallies.
+#[derive(Debug)]
+pub(crate) struct ShardWorker {
+    shard: u32,
+    lanes: Vec<Lane>,
+    /// Lanes in use this stage (dead slots keep their allocations).
+    live_lanes: usize,
+    /// Scratch: frames of a lane not answered by the cache.
+    miss_buf: Vec<FrameId>,
+    /// Cumulative frames actually run through detectors on this shard.
+    pub detector_frames: u64,
+    /// Cumulative physical `detect_batch` invocations issued by this shard.
+    pub detector_calls: u64,
+    /// Per-query tallies, indexed by query registration index.
+    pub per_query: Vec<WorkerQueryTally>,
+    /// Per-detector tallies, indexed by detector registry slot.
+    pub per_detector: Vec<WorkerDetectorTally>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(shard: u32) -> Self {
+        ShardWorker {
+            shard,
+            lanes: Vec::new(),
+            live_lanes: 0,
+            miss_buf: Vec::new(),
+            detector_frames: 0,
+            detector_calls: 0,
+            per_query: Vec::new(),
+            per_detector: Vec::new(),
+        }
+    }
+
+    pub(crate) fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Prepare for a stage with `groups` logical detector groups over
+    /// `queries` registered queries.
+    pub(crate) fn begin_stage(&mut self, groups: usize, queries: usize) {
+        while self.lanes.len() < groups {
+            self.lanes.push(Lane::default());
+        }
+        for lane in &mut self.lanes[..groups] {
+            lane.frames.clear();
+            lane.results.clear();
+        }
+        self.live_lanes = groups;
+        if self.per_query.len() < queries {
+            self.per_query.resize(queries, WorkerQueryTally::default());
+        }
+    }
+
+    /// Route one picked frame into the lane of logical group `group`.
+    #[inline]
+    pub(crate) fn push_frame(&mut self, group: usize, frame: FrameId) {
+        self.lanes[group].frames.push(frame);
+    }
+
+    /// Run the DETECT phase for every lane with routed frames.
+    ///
+    /// `detectors[g]` / `detector_slots[g]` give the logical group's detector
+    /// and its registry slot.  When `coalesce` is set, each lane's frames are
+    /// sorted and deduplicated first (queries on the same shard share the
+    /// detector bill).  A `cache` answers warm frames without a detector
+    /// invocation.  `lane_detected[g]` is incremented by the number of frames
+    /// this worker actually detected for group `g` (the engine uses the
+    /// cross-shard sum for its logical accounting).  Returns the frames
+    /// detected by this worker this stage.
+    pub(crate) fn detect(
+        &mut self,
+        detectors: &[&dyn Detector],
+        detector_slots: &[DetectorSlot],
+        coalesce: bool,
+        mut cache: Option<&mut DetectionCache>,
+        buf: &mut Vec<FrameDetections>,
+        lane_detected: &mut [u64],
+    ) -> u64 {
+        let mut stage_frames = 0u64;
+        for (g, lane) in self.lanes[..self.live_lanes].iter_mut().enumerate() {
+            if lane.frames.is_empty() {
+                continue;
+            }
+            if coalesce {
+                lane.frames.sort_unstable();
+                lane.frames.dedup();
+            }
+            let slot = detector_slots[g];
+            // Split the lane into cache hits (answered in place) and misses.
+            self.miss_buf.clear();
+            match cache.as_deref_mut() {
+                Some(cache) => {
+                    lane.results.reserve(lane.frames.len());
+                    for &frame in &lane.frames {
+                        match cache.get(slot, frame) {
+                            Some(detections) => {
+                                lane.results.insert(frame, detections.clone());
+                            }
+                            None => self.miss_buf.push(frame),
+                        }
+                    }
+                }
+                None => self.miss_buf.extend_from_slice(&lane.frames),
+            }
+            if self.miss_buf.is_empty() {
+                continue;
+            }
+            buf.clear();
+            detectors[g].detect_batch(&self.miss_buf, buf);
+            let detected = self.miss_buf.len() as u64;
+            self.detector_calls += 1;
+            self.detector_frames += detected;
+            stage_frames += detected;
+            lane_detected[g] += detected;
+            if self.per_detector.len() <= slot as usize {
+                self.per_detector
+                    .resize(slot as usize + 1, WorkerDetectorTally::default());
+            }
+            let tally = &mut self.per_detector[slot as usize];
+            tally.frames += detected;
+            tally.calls += 1;
+            lane.results.reserve(buf.len());
+            for (frame, detections) in self.miss_buf.iter().zip(buf.drain(..)) {
+                if let Some(cache) = cache.as_deref_mut() {
+                    cache.insert(slot, *frame, detections.clone());
+                }
+                lane.results.insert(*frame, detections);
+            }
+        }
+        stage_frames
+    }
+
+    /// The detections of `frame` for logical group `group`, if this worker
+    /// detected (or cache-answered) it this stage.
+    #[inline]
+    pub(crate) fn result(&self, group: usize, frame: FrameId) -> Option<&FrameDetections> {
+        self.lanes
+            .get(group)
+            .and_then(|lane| lane.results.get(&frame))
+    }
+
+    /// Record a direct (fast-path) detection that bypassed the lane
+    /// machinery: the single-active-query, single-shard stage.
+    pub(crate) fn record_direct(&mut self, slot: DetectorSlot, frames: u64, calls: u64) {
+        self.detector_frames += frames;
+        self.detector_calls += calls;
+        if self.per_detector.len() <= slot as usize {
+            self.per_detector
+                .resize(slot as usize + 1, WorkerDetectorTally::default());
+        }
+        let tally = &mut self.per_detector[slot as usize];
+        tally.frames += frames;
+        tally.calls += calls;
+    }
+
+    /// Record one observed frame (and any newly found instances) for query
+    /// `query` on this shard.
+    #[inline]
+    pub(crate) fn record_observation(&mut self, query: usize, new_hits: u64) {
+        if self.per_query.len() <= query {
+            self.per_query
+                .resize(query + 1, WorkerQueryTally::default());
+        }
+        let tally = &mut self.per_query[query];
+        tally.frames += 1;
+        tally.hits += new_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_video::{ChunkingPolicy, ShardPartitioner, VideoRepository};
+
+    fn chunking(frames: u64, chunks: u32) -> Chunking {
+        let repo = VideoRepository::single_clip(frames);
+        Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks })
+    }
+
+    #[test]
+    fn single_router_maps_everything_to_shard_zero() {
+        let router = ShardRouter::single();
+        assert_eq!(router.shard_count(), 1);
+        for frame in [0u64, 17, u64::MAX] {
+            assert_eq!(router.shard_of(frame), 0);
+        }
+    }
+
+    #[test]
+    fn router_agrees_with_the_sharded_repository() {
+        let repo = VideoRepository::single_clip(1_000);
+        let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks: 10 });
+        for p in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+            let spec = ShardSpec::new(p, chunking.len(), 3);
+            let router = ShardRouter::new(&chunking, &spec).unwrap();
+            let sharded = ShardedRepository::new(repo.clone(), chunking.clone(), spec);
+            for frame in 0..1_000 {
+                assert_eq!(
+                    router.shard_of(frame) as u32,
+                    sharded.shard_of_frame(frame).0,
+                    "{p:?} frame {frame}"
+                );
+            }
+            let via_repo = ShardRouter::from_repository(&sharded);
+            assert_eq!(via_repo.shard_of(999), router.shard_of(999));
+        }
+    }
+
+    #[test]
+    fn mismatched_spec_is_a_typed_error() {
+        let chunking = chunking(100, 4);
+        let spec = ShardSpec::contiguous(5, 2);
+        let err = ShardRouter::new(&chunking, &spec).unwrap_err();
+        assert!(matches!(err, EngineError::ShardSpecMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the sharded chunking")]
+    fn out_of_range_frame_panics() {
+        let chunking = chunking(100, 4);
+        let spec = ShardSpec::contiguous(4, 2);
+        let router = ShardRouter::new(&chunking, &spec).unwrap();
+        let _ = router.shard_of(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the sharded chunking")]
+    fn chunking_built_single_shard_router_still_checks_bounds() {
+        let chunking = chunking(100, 4);
+        let spec = ShardSpec::contiguous(4, 1);
+        let router = ShardRouter::new(&chunking, &spec).unwrap();
+        assert_eq!(router.shard_of(99), 0);
+        let _ = router.shard_of(100);
+    }
+}

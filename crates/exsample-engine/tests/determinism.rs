@@ -6,20 +6,28 @@
 //!    wrapper over the engine); and
 //! 2. a multi-query run produces identical per-query outcomes for any stage
 //!    interleaving — solo vs. concurrent execution, coalescing on or off,
-//!    permuted registration order, extra companion queries.
+//!    permuted registration order, extra companion queries; and
+//! 3. shard invariance: for shard counts {1, 2, 3, 7} and both partitioners,
+//!    the merged `EngineReport` and every query's pick sequence are identical
+//!    to the unsharded run — and the explicit `RoundRobin` scheduler is
+//!    pick-for-pick the default behaviour.
 
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    run_query, ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, StopReason,
+    run_query, EngineReport, ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QueryReport,
+    QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, StopReason,
 };
-use exsample_track::{Discriminator, OracleDiscriminator};
-use exsample_video::{Chunking, ChunkingPolicy, FrameId, VideoRepository};
+use exsample_track::{Discriminator, MatchOutcome, OracleDiscriminator};
+use exsample_video::{
+    Chunking, ChunkingPolicy, FrameId, ShardPartitioner, ShardSpec, VideoRepository,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// A detector that logs every frame it is asked about, in order.
@@ -324,4 +332,185 @@ fn multi_query_outcomes_are_invariant_to_stage_interleaving() {
         "expected the same-seed twin to be fully coalesced, saved only {}",
         crowded.coalesced_savings()
     );
+}
+
+/// A pass-through policy that logs every pick it hands to the engine, in
+/// production order — the per-query pick sequence the shard-invariance suite
+/// compares across shard counts.
+struct RecordingPolicy<'a> {
+    inner: Box<dyn SamplingPolicy + 'a>,
+    log: Rc<RefCell<Vec<FrameId>>>,
+}
+
+impl SamplingPolicy for RecordingPolicy<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn upfront_scan_frames(&self) -> u64 {
+        self.inner.upfront_scan_frames()
+    }
+
+    fn next_batch_into(&mut self, rng: &mut dyn RngCore, batch: usize, picks: &mut Vec<FrameId>) {
+        self.inner.next_batch_into(rng, batch, picks);
+        self.log.borrow_mut().extend_from_slice(picks);
+    }
+
+    fn record(&mut self, frame: FrameId, outcome: &MatchOutcome) {
+        self.inner.record(frame, outcome);
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        self.inner.remaining()
+    }
+}
+
+/// A shared pick log, one per recorded query.
+type PickLog = Rc<RefCell<Vec<FrameId>>>;
+
+/// The standard specs with pick logging attached to every query.
+fn recorded_specs<'a>(
+    chunking: &Chunking,
+    total_frames: u64,
+    detector: &'a dyn Detector,
+) -> (Vec<QuerySpec<'a>>, Vec<PickLog>) {
+    let inner: Vec<Box<dyn SamplingPolicy>> = vec![
+        Box::new(ExSamplePolicy::new(ExSampleConfig::default(), chunking)),
+        Box::new(FrameSamplerPolicy::uniform(total_frames)),
+        Box::new(FrameSamplerPolicy::random_plus(total_frames)),
+    ];
+    let mut specs = Vec::new();
+    let mut logs = Vec::new();
+    for (i, policy) in inner.into_iter().enumerate() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let recorded = RecordingPolicy {
+            inner: policy,
+            log: Rc::clone(&log),
+        };
+        let spec = match i {
+            0 => QuerySpec::new("exsample", Box::new(recorded), detector)
+                .seed(201)
+                .batch(16)
+                .result_limit(10)
+                .frame_budget(1_200),
+            1 => QuerySpec::new("random", Box::new(recorded), detector)
+                .seed(202)
+                .batch(4)
+                .frame_budget(500),
+            _ => QuerySpec::new("random+", Box::new(recorded), detector)
+                .seed(203)
+                .batch(32)
+                .true_limit(6),
+        };
+        specs.push(spec);
+        logs.push(log);
+    }
+    (specs, logs)
+}
+
+fn assert_engine_reports_equal(a: &EngineReport, b: &EngineReport, context: &str) {
+    assert_eq!(a.stages, b.stages, "{context}: stages");
+    assert_eq!(
+        a.demanded_frames, b.demanded_frames,
+        "{context}: demanded frames"
+    );
+    assert_eq!(
+        a.detector_frames, b.detector_frames,
+        "{context}: detector frames"
+    );
+    assert_eq!(
+        a.detector_calls, b.detector_calls,
+        "{context}: logical detector calls"
+    );
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query count");
+    for (qa, qb) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_reports_equal(qa, qb, context);
+    }
+}
+
+#[test]
+fn sharded_runs_are_bitwise_identical_to_unsharded() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // Baseline: the unsharded engine.
+    let (specs, baseline_logs) = recorded_specs(&chunking, frames, &detector);
+    let mut baseline = QueryEngine::new();
+    for spec in specs {
+        baseline.push(spec).unwrap();
+    }
+    let baseline_report = baseline.run().unwrap();
+    assert!(
+        baseline_report.outcomes.iter().any(|r| r.true_found > 0),
+        "setup finds nothing"
+    );
+    let baseline_picks: Vec<Vec<FrameId>> = baseline_logs
+        .iter()
+        .map(|log| log.borrow().clone())
+        .collect();
+
+    for shards in [1u32, 2, 3, 7] {
+        for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+            let context = format!("{partitioner:?}/{shards} shards");
+            let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+            let router = ShardRouter::new(&chunking, &spec).unwrap();
+            let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+            let mut engine = QueryEngine::new().sharded(router);
+            assert_eq!(engine.shard_count(), shards as usize);
+            for spec in specs {
+                engine.push(spec).unwrap();
+            }
+            let _ = engine.run().unwrap();
+            let merged = engine.report_sharded();
+
+            // The merged global report is bitwise-identical to the unsharded
+            // run: picks, hits, trajectories, stop reasons, stage counts and
+            // deduplicated detector work.
+            assert_engine_reports_equal(&merged.report, &baseline_report, &context);
+
+            // Every query's pick sequence is identical, frame for frame.
+            for (log, expected) in logs.iter().zip(&baseline_picks) {
+                assert_eq!(&*log.borrow(), expected, "{context}: pick sequence");
+            }
+
+            // The per-shard breakdown partitions every query's frames, and
+            // the physical invocation count only ever exceeds the logical
+            // one (the merge overhead).
+            assert_eq!(merged.shards.len(), shards as usize);
+            for (i, outcome) in merged.report.outcomes.iter().enumerate() {
+                let routed: u64 = merged.shards.iter().map(|s| s.per_query[i].frames).sum();
+                assert_eq!(routed, outcome.frames_processed, "{context}: routing");
+            }
+            assert!(merged.physical_detector_calls >= merged.report.detector_calls);
+            if shards == 1 {
+                assert_eq!(merged.physical_detector_calls, merged.report.detector_calls);
+            }
+        }
+    }
+}
+
+#[test]
+fn round_robin_scheduler_reproduces_the_default_pick_sequences() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 8);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    let run = |explicit: bool| {
+        let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+        let mut engine = QueryEngine::new();
+        if explicit {
+            engine = engine.scheduler(Box::new(RoundRobin));
+        }
+        for spec in specs {
+            engine.push(spec).unwrap();
+        }
+        let report = engine.run().unwrap();
+        let picks: Vec<Vec<FrameId>> = logs.iter().map(|log| log.borrow().clone()).collect();
+        (report, picks)
+    };
+    let (default_report, default_picks) = run(false);
+    let (explicit_report, explicit_picks) = run(true);
+    assert_engine_reports_equal(&explicit_report, &default_report, "explicit round-robin");
+    assert_eq!(explicit_picks, default_picks);
 }

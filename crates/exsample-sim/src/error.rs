@@ -1,0 +1,69 @@
+//! Typed errors for the simulation harness.
+//!
+//! The runner and sweep entry points historically `expect`ed their invariants
+//! (a dataset with at least one class, a successfully configured engine, a
+//! positive trial count).  Now that the engine reports typed
+//! [`EngineError`]s, the harness propagates them — and its own configuration
+//! mistakes — as [`SimError`]s instead of panicking.
+
+use exsample_engine::EngineError;
+use std::fmt;
+
+/// A configuration or execution error from the simulation harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The execution engine rejected the run's configuration.
+    Engine(EngineError),
+    /// A query was run over a dataset with no object classes and no explicit
+    /// query class.
+    NoClasses,
+    /// A sweep was requested with zero trials.
+    NoTrials,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Engine(inner) => inner.fmt(f),
+            SimError::NoClasses => write!(
+                f,
+                "the dataset has no object classes and no query class was chosen"
+            ),
+            SimError::NoTrials => write!(f, "a sweep needs at least one trial"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Engine(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(inner: EngineError) -> Self {
+        SimError::Engine(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        let err = SimError::from(EngineError::NoQueries);
+        assert!(err.to_string().contains("no queries"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(SimError::NoClasses
+            .to_string()
+            .contains("no object classes"));
+        assert!(SimError::NoTrials
+            .to_string()
+            .contains("at least one trial"));
+        assert!(std::error::Error::source(&SimError::NoTrials).is_none());
+    }
+}

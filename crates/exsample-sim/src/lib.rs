@@ -24,12 +24,14 @@
 #![deny(unsafe_code)]
 
 pub mod clock;
+pub mod error;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
 pub mod table;
 
 pub use clock::{format_duration, VirtualClock};
+pub use error::SimError;
 pub use metrics::{frames_to_count, savings_ratio, TrajectoryBand};
 pub use runner::{MethodKind, QueryRunner, RunResult, StopCondition, TrajectoryPoint};
 pub use sweep::{run_trials, TrialSet};

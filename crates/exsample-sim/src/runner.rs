@@ -10,9 +10,17 @@
 //! [`exsample_engine::MethodPolicy`], and runs a single-query engine at batch
 //! size 1 — the configuration that consumes the RNG stream exactly as the
 //! historical hand-written pick→detect→record loop did.  The virtual clock is
-//! charged from the engine's per-stage cost-accounting hook.
+//! charged from the engine's per-stage cost-accounting hook.  With
+//! [`QueryRunner::shards`] the engine's DETECT phase is partitioned across
+//! shard workers (contiguous-range chunk assignment); results are
+//! bitwise-identical to the unsharded run — sharding only changes where the
+//! detector work executes.
+//!
+//! Configuration and execution errors surface as typed [`SimError`]s instead
+//! of panics.
 
 use crate::clock::VirtualClock;
+use crate::error::SimError;
 use exsample_baselines::{
     ProxyBaseline, ProxyConfig, RandomPlusSampler, RandomSampler, SamplingMethod, SequentialScan,
 };
@@ -21,7 +29,9 @@ use exsample_data::Dataset;
 use exsample_detect::{
     Detector, DetectorNoise, InstanceId, ObjectClass, PerfectDetector, SimulatedDetector,
 };
-use exsample_engine::{ExSamplePolicy, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy};
+use exsample_engine::{
+    ExSamplePolicy, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy, ShardRouter,
+};
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
 use exsample_video::DecodeCostModel;
@@ -146,13 +156,16 @@ impl RunResult {
 #[derive(Debug, Clone)]
 pub struct QueryRunner<'a> {
     dataset: &'a Dataset,
-    class: ObjectClass,
+    /// The query class; resolved to the dataset's first class at run time if
+    /// unset ([`SimError::NoClasses`] if the dataset has none).
+    class: Option<ObjectClass>,
     stop: StopCondition,
     seed: u64,
     frame_cap: Option<u64>,
     detector_noise: Option<DetectorNoise>,
     discriminator: DiscriminatorKind,
     cost: DecodeCostModel,
+    shards: u32,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -160,26 +173,31 @@ impl<'a> QueryRunner<'a> {
     /// repository is exhausted, with a perfect detector and the oracle
     /// discriminator.
     pub fn new(dataset: &'a Dataset) -> Self {
-        let class = dataset
-            .classes()
-            .into_iter()
-            .next()
-            .expect("dataset has at least one class");
         QueryRunner {
             dataset,
-            class,
+            class: None,
             stop: StopCondition::Exhaustive,
             seed: 0,
             frame_cap: None,
             detector_noise: None,
             discriminator: DiscriminatorKind::Oracle,
             cost: DecodeCostModel::paper(),
+            shards: 1,
         }
     }
 
     /// Query a specific object class.
     pub fn class(mut self, class: impl Into<ObjectClass>) -> Self {
-        self.class = class.into();
+        self.class = Some(class.into());
+        self
+    }
+
+    /// Partition the engine's DETECT phase across this many shards
+    /// (contiguous-range chunk assignment).  Results are bitwise-identical to
+    /// the unsharded run for any shard count.  A value of 0 is treated as 1
+    /// (unsharded).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -219,21 +237,40 @@ impl<'a> QueryRunner<'a> {
         self
     }
 
+    /// The class this run queries: the explicitly chosen one, or the
+    /// dataset's first class.
+    ///
+    /// # Errors
+    /// Returns [`SimError::NoClasses`] if neither exists.
+    fn query_class(&self) -> Result<ObjectClass, SimError> {
+        match &self.class {
+            Some(class) => Ok(class.clone()),
+            None => self
+                .dataset
+                .classes()
+                .into_iter()
+                .next()
+                .ok_or(SimError::NoClasses),
+        }
+    }
+
     /// Run with a pre-built ExSample sampler (constructed over
     /// `dataset.chunk_lengths()`).
     ///
-    /// # Panics
-    /// Panics if the sampler's chunk count does not match the dataset's
-    /// chunking (the mismatch surfaces as a typed
-    /// [`exsample_engine::EngineError`] first).
-    pub fn run_exsample(self, sampler: ExSample) -> RunResult {
-        let policy = ExSamplePolicy::from_sampler(sampler, self.dataset.chunking())
-            .unwrap_or_else(|mismatch| panic!("{mismatch}"));
+    /// # Errors
+    /// Returns [`SimError::Engine`] if the sampler's chunk count does not
+    /// match the dataset's chunking.
+    pub fn run_exsample(self, sampler: ExSample) -> Result<RunResult, SimError> {
+        let policy = ExSamplePolicy::from_sampler(sampler, self.dataset.chunking())?;
         self.run_policy("exsample".to_string(), 0, Box::new(policy))
     }
 
     /// Run one of the built-in methods.
-    pub fn run(self, kind: MethodKind) -> RunResult {
+    ///
+    /// # Errors
+    /// Returns a [`SimError`] if the run is misconfigured (no query class,
+    /// engine configuration rejected).
+    pub fn run(self, kind: MethodKind) -> Result<RunResult, SimError> {
         let total = self.dataset.total_frames();
         match kind {
             MethodKind::ExSample(config) => {
@@ -246,8 +283,8 @@ impl<'a> QueryRunner<'a> {
                 self.run_method(&mut SequentialScan::with_stride(total, stride))
             }
             MethodKind::Proxy(config) => {
-                let mut method =
-                    ProxyBaseline::new(self.dataset.ground_truth(), &self.class, config);
+                let class = self.query_class()?;
+                let mut method = ProxyBaseline::new(self.dataset.ground_truth(), &class, config);
                 self.run_method(&mut method)
             }
         }
@@ -258,7 +295,10 @@ impl<'a> QueryRunner<'a> {
     /// The run is delegated to a single-query [`QueryEngine`] at batch size 1,
     /// which reproduces the historical per-frame loop pick for pick under the
     /// same derived seed.
-    pub fn run_method(self, method: &mut dyn SamplingMethod) -> RunResult {
+    ///
+    /// # Errors
+    /// Returns a [`SimError`] if the run is misconfigured.
+    pub fn run_method(self, method: &mut dyn SamplingMethod) -> Result<RunResult, SimError> {
         let name = method.name().to_string();
         let upfront_scan_frames = method.upfront_scan_frames();
         self.run_policy(
@@ -275,18 +315,19 @@ impl<'a> QueryRunner<'a> {
         name: String,
         upfront_scan_frames: u64,
         policy: Box<dyn SamplingPolicy + '_>,
-    ) -> RunResult {
+    ) -> Result<RunResult, SimError> {
         let seeds = SeedSequence::new(self.seed).derive("query-runner");
+        let class = self.query_class()?;
 
         let truth = Arc::clone(self.dataset.ground_truth());
-        let total_instances = truth.count_of_class(&self.class);
+        let total_instances = truth.count_of_class(&class);
 
         // Detector.
         let detector: Box<dyn Detector> = match self.detector_noise {
-            None => Box::new(PerfectDetector::new(Arc::clone(&truth), self.class.clone())),
+            None => Box::new(PerfectDetector::new(Arc::clone(&truth), class.clone())),
             Some(noise) => Box::new(SimulatedDetector::new(
                 Arc::clone(&truth),
-                self.class.clone(),
+                class.clone(),
                 noise,
                 seeds.derive("detector").seed(),
             )),
@@ -330,13 +371,21 @@ impl<'a> QueryRunner<'a> {
         }
 
         let mut engine = QueryEngine::new();
-        engine.push(spec).expect("batch size is non-zero");
-        let report = engine
-            .run_with(|stage| clock.charge_sampled(stage.detector_frames))
-            .expect("exactly one query was registered");
-        let outcome = report.outcomes.into_iter().next().expect("one query");
+        if self.shards > 1 {
+            engine = engine.sharded(ShardRouter::contiguous(
+                self.dataset.chunking(),
+                self.shards,
+            ));
+        }
+        engine.push(spec)?;
+        let report = engine.run_with(|stage| clock.charge_sampled(stage.detector_frames))?;
+        let outcome = report
+            .outcomes
+            .into_iter()
+            .next()
+            .ok_or(SimError::Engine(exsample_engine::EngineError::NoQueries))?;
 
-        RunResult {
+        Ok(RunResult {
             method: name,
             frames_processed: outcome.frames_processed,
             upfront_scan_frames,
@@ -347,7 +396,7 @@ impl<'a> QueryRunner<'a> {
             trajectory: outcome.trajectory,
             scan_secs: clock.scan_secs(),
             sample_secs: clock.sample_secs(),
-        }
+        })
     }
 }
 
@@ -375,7 +424,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::DistinctResults(25))
             .seed(1)
-            .run(MethodKind::ExSample(ExSampleConfig::default()));
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
         assert!(result.distinct_found >= 25);
         assert!(result.true_found >= 25);
         assert_eq!(result.total_instances, 400);
@@ -391,7 +441,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::Recall(0.5))
             .seed(2)
-            .run(MethodKind::Random);
+            .run(MethodKind::Random)
+            .expect("query run succeeded");
         assert!(result.recall() >= 0.5);
         // Trajectory is monotone in both coordinates and ends at the found count.
         assert!(result
@@ -411,7 +462,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(200))
             .seed(3)
-            .run(MethodKind::RandomPlus);
+            .run(MethodKind::RandomPlus)
+            .expect("query run succeeded");
         assert_eq!(result.frames_processed, 200);
         assert_eq!(result.method, "random+");
     }
@@ -423,11 +475,13 @@ mod tests {
         let ex = QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(5)
-            .run(MethodKind::ExSample(ExSampleConfig::default()));
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
         let rnd = QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(5)
-            .run(MethodKind::Random);
+            .run(MethodKind::Random)
+            .expect("query run succeeded");
         assert!(
             ex.true_found as f64 >= rnd.true_found as f64 * 1.2,
             "exsample {} vs random {}",
@@ -442,7 +496,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::DistinctResults(10))
             .seed(7)
-            .run(MethodKind::Proxy(ProxyConfig::default()));
+            .run(MethodKind::Proxy(ProxyConfig::default()))
+            .expect("query run succeeded");
         assert_eq!(result.upfront_scan_frames, dataset.total_frames());
         assert!(result.scan_secs > 0.0);
         // Time to any recall level includes the scan.
@@ -459,7 +514,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::DistinctResults(15))
             .seed(11)
-            .run_exsample(sampler);
+            .run_exsample(sampler)
+            .expect("query run succeeded");
         assert!(result.distinct_found >= 15);
     }
 
@@ -471,7 +527,8 @@ mod tests {
             .discriminator(DiscriminatorKind::Tracking)
             .detector_noise(DetectorNoise::default())
             .seed(13)
-            .run(MethodKind::ExSample(ExSampleConfig::default()));
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
         assert!(result.true_found > 0);
         // The tracking discriminator may create a handful of false-positive
         // objects; distinct_found can therefore exceed true_found but not wildly.
@@ -484,9 +541,31 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(100))
             .seed(17)
-            .run(MethodKind::Sequential { stride: 30 });
+            .run(MethodKind::Sequential { stride: 30 })
+            .expect("query run succeeded");
         assert_eq!(result.method, "sequential");
         assert_eq!(result.frames_processed, 100);
+    }
+
+    #[test]
+    fn sharded_runner_results_are_bitwise_identical() {
+        let dataset = skewed_dataset();
+        let run = |shards: u32| {
+            QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(19)
+                .shards(shards)
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded")
+        };
+        let unsharded = run(1);
+        for shards in [2u32, 3, 7] {
+            let sharded = run(shards);
+            assert_eq!(sharded.frames_processed, unsharded.frames_processed);
+            assert_eq!(sharded.found_instances, unsharded.found_instances);
+            assert_eq!(sharded.trajectory, unsharded.trajectory);
+            assert_eq!(sharded.sample_secs, unsharded.sample_secs);
+        }
     }
 
     #[test]
@@ -495,7 +574,8 @@ mod tests {
         let result = QueryRunner::new(&dataset)
             .class("unicorn")
             .stop(StopCondition::FrameBudget(50))
-            .run(MethodKind::Random);
+            .run(MethodKind::Random)
+            .expect("query run succeeded");
         assert_eq!(result.total_instances, 0);
         assert_eq!(result.recall(), 0.0);
         assert_eq!(result.true_found, 0);

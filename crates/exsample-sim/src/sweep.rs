@@ -11,7 +11,12 @@
 //! index (callers derive the trial RNG seed from it), and the parallel map
 //! assigns results back to their input slots, so [`run_trials`] returns bitwise
 //! identical `TrialSet`s for any thread count, including the sequential path.
+//!
+//! Trial closures return `Result` (the runner's entry points are fallible),
+//! and a zero-trial sweep is a typed [`SimError::NoTrials`] — the sweep layer
+//! propagates errors instead of panicking.
 
+use crate::error::SimError;
 use crate::runner::RunResult;
 use exsample_rand::{geometric_mean, Summary};
 use rayon::prelude::*;
@@ -84,19 +89,25 @@ impl TrialSet {
 /// the trials are distributed over up to `available_parallelism()` threads via an
 /// order-preserving parallel map; results are bitwise identical to the sequential
 /// path for any thread count.
-pub fn run_trials<F>(trials: usize, parallel: bool, run: F) -> TrialSet
+///
+/// # Errors
+/// Returns [`SimError::NoTrials`] for a zero-trial sweep, or the first (in
+/// trial order) error any trial produced.
+pub fn run_trials<F>(trials: usize, parallel: bool, run: F) -> Result<TrialSet, SimError>
 where
-    F: Fn(u64) -> RunResult + Sync,
+    F: Fn(u64) -> Result<RunResult, SimError> + Sync,
 {
-    assert!(trials > 0, "need at least one trial");
-    if !parallel || trials == 1 {
-        return TrialSet {
-            results: (0..trials as u64).map(run).collect(),
-        };
+    if trials == 0 {
+        return Err(SimError::NoTrials);
     }
-    TrialSet {
-        results: (0..trials as u64).into_par_iter().map(run).collect(),
-    }
+    let results: Vec<Result<RunResult, SimError>> = if !parallel || trials == 1 {
+        (0..trials as u64).map(run).collect()
+    } else {
+        (0..trials as u64).into_par_iter().map(run).collect()
+    };
+    Ok(TrialSet {
+        results: results.into_iter().collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 #[cfg(test)]
@@ -118,7 +129,7 @@ mod tests {
             .generate()
     }
 
-    fn run_one(dataset: &Dataset, trial: u64) -> RunResult {
+    fn run_one(dataset: &Dataset, trial: u64) -> Result<RunResult, SimError> {
         QueryRunner::new(dataset)
             .stop(StopCondition::FrameBudget(300))
             .seed(trial)
@@ -128,8 +139,8 @@ mod tests {
     #[test]
     fn sequential_and_parallel_give_identical_results() {
         let dataset = dataset();
-        let seq = run_trials(6, false, |t| run_one(&dataset, t));
-        let par = run_trials(6, true, |t| run_one(&dataset, t));
+        let seq = run_trials(6, false, |t| run_one(&dataset, t)).unwrap();
+        let par = run_trials(6, true, |t| run_one(&dataset, t)).unwrap();
         assert_eq!(seq.len(), 6);
         assert_eq!(par.len(), 6);
         for (a, b) in seq.results.iter().zip(&par.results) {
@@ -141,7 +152,7 @@ mod tests {
     #[test]
     fn different_trials_use_different_seeds() {
         let dataset = dataset();
-        let set = run_trials(4, false, |t| run_one(&dataset, t));
+        let set = run_trials(4, false, |t| run_one(&dataset, t)).unwrap();
         let founds: Vec<usize> = set.results.iter().map(|r| r.true_found).collect();
         // At least two trials should differ (they use different seeds).
         assert!(founds.windows(2).any(|w| w[0] != w[1]), "founds {founds:?}");
@@ -150,7 +161,7 @@ mod tests {
     #[test]
     fn median_frames_to_count_aggregates() {
         let dataset = dataset();
-        let set = run_trials(5, false, |t| run_one(&dataset, t));
+        let set = run_trials(5, false, |t| run_one(&dataset, t)).unwrap();
         let median = set.median_frames_to_count(1);
         assert!(median.is_some());
         assert!(median.unwrap() >= 1.0);
@@ -160,8 +171,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one trial")]
-    fn zero_trials_panics() {
-        let _ = run_trials(0, false, |_| unreachable!());
+    fn zero_trials_is_a_typed_error() {
+        let err = run_trials(0, false, |_| unreachable!()).unwrap_err();
+        assert_eq!(err, SimError::NoTrials);
+    }
+
+    #[test]
+    fn a_failing_trial_propagates_its_error() {
+        let dataset = dataset();
+        let err = run_trials(3, false, |t| {
+            if t == 1 {
+                Err(SimError::NoClasses)
+            } else {
+                run_one(&dataset, t)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::NoClasses);
     }
 }

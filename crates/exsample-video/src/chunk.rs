@@ -171,7 +171,8 @@ impl Chunking {
         let count = count.min(total);
         let mut chunks = Vec::with_capacity(count as usize);
         for i in 0..count {
-            // Evenly distribute remainder frames over the first chunks.
+            // Near-equal split: sizes differ by at most one, with the
+            // remainder frames landing on the later chunks.
             let start = i * total / count;
             let end = (i + 1) * total / count;
             let clip_index = repo.resolve(start).clip_index;

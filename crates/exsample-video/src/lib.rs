@@ -19,6 +19,11 @@
 //! * [`cost`] — the decode / IO cost model (sequential scan vs. random access).
 //! * [`sampler`] — within-chunk frame samplers: uniform-without-replacement and the
 //!   paper's `random+` hierarchical sampler (Section III-F).
+//! * [`shard`] — partitioning the chunk axis across shards: [`ShardSpec`]
+//!   (round-robin and contiguous-range partitioners with per-shard chunk index
+//!   remapping), [`ShardedRepository`], and the shard-agnostic
+//!   [`RepositoryAccess`] trait under which the monolithic repository is just
+//!   the 1-shard case.
 //!
 //! Everything is deterministic given a seed and completely independent of any real
 //! video codec: what matters for reproducing the paper is *which frame indexes are
@@ -32,12 +37,14 @@ pub mod clip;
 pub mod cost;
 pub mod repository;
 pub mod sampler;
+pub mod shard;
 
 pub use chunk::{Chunk, ChunkId, Chunking, ChunkingPolicy};
 pub use clip::{ClipId, VideoClip};
 pub use cost::{DecodeCostModel, FrameCost};
 pub use repository::{FrameRef, VideoRepository};
 pub use sampler::{FrameSampler, RandomPlusSampler, UniformSampler};
+pub use shard::{RepositoryAccess, ShardId, ShardPartitioner, ShardSpec, ShardedRepository};
 
 /// A global frame index into a [`VideoRepository`].
 ///

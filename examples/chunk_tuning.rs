@@ -39,7 +39,8 @@ fn main() {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(5)
-            .run(MethodKind::ExSample(ExSampleConfig::default()));
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
 
         // The optimal static allocation with perfect knowledge of instance placement.
         let intervals: Vec<(u64, u64)> = dataset

@@ -9,13 +9,69 @@
 //! in staged pick → detect → fan-out pipelines.  Frames that several queries
 //! request in the same stage are run through the detector once and the result
 //! is shared (coalescing), which is where a multi-query deployment saves real
-//! detector time.
+//! detector time.  The same run is then repeated on a 2-shard engine — the
+//! chunk axis split across two shard workers — to show that sharding changes
+//! *where* detector work executes (the per-shard breakdown) but not a single
+//! query outcome.
 
 use exsample::core::ExSampleConfig;
-use exsample::data::{GridWorkload, SkewLevel};
+use exsample::data::{Dataset, GridWorkload, SkewLevel};
 use exsample::detect::PerfectDetector;
-use exsample::engine::{ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QuerySpec};
+use exsample::engine::{ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter};
+use exsample::video::ShardSpec;
 use std::sync::Arc;
+
+/// Register the example's three concurrent queries on `engine`.
+fn push_queries<'a>(
+    engine: &mut QueryEngine<'a>,
+    dataset: &'a Dataset,
+    detector: &'a PerfectDetector,
+    limit: usize,
+    budget: u64,
+) {
+    engine
+        .push(
+            QuerySpec::new(
+                "exsample",
+                Box::new(ExSamplePolicy::new(
+                    ExSampleConfig::default(),
+                    dataset.chunking(),
+                )),
+                detector,
+            )
+            .seed(7)
+            .batch(16)
+            .result_limit(limit)
+            .frame_budget(budget),
+        )
+        .expect("valid spec");
+    engine
+        .push(
+            QuerySpec::new(
+                "random",
+                Box::new(FrameSamplerPolicy::uniform(dataset.total_frames())),
+                detector,
+            )
+            .seed(8)
+            .batch(16)
+            .result_limit(limit)
+            .frame_budget(budget),
+        )
+        .expect("valid spec");
+    engine
+        .push(
+            QuerySpec::new(
+                "random+",
+                Box::new(FrameSamplerPolicy::random_plus(dataset.total_frames())),
+                detector,
+            )
+            .seed(9)
+            .batch(16)
+            .result_limit(limit)
+            .frame_budget(budget),
+        )
+        .expect("valid spec");
+}
 
 fn main() {
     // 1. A synthetic repository: 60k frames, 16 chunks, instances skewed
@@ -44,48 +100,7 @@ fn main() {
     let budget = 2_000u64;
     let limit = 40usize;
     let mut engine = QueryEngine::new();
-    engine
-        .push(
-            QuerySpec::new(
-                "exsample",
-                Box::new(ExSamplePolicy::new(
-                    ExSampleConfig::default(),
-                    dataset.chunking(),
-                )),
-                &detector,
-            )
-            .seed(7)
-            .batch(16)
-            .result_limit(limit)
-            .frame_budget(budget),
-        )
-        .expect("valid spec");
-    engine
-        .push(
-            QuerySpec::new(
-                "random",
-                Box::new(FrameSamplerPolicy::uniform(dataset.total_frames())),
-                &detector,
-            )
-            .seed(8)
-            .batch(16)
-            .result_limit(limit)
-            .frame_budget(budget),
-        )
-        .expect("valid spec");
-    engine
-        .push(
-            QuerySpec::new(
-                "random+",
-                Box::new(FrameSamplerPolicy::random_plus(dataset.total_frames())),
-                &detector,
-            )
-            .seed(9)
-            .batch(16)
-            .result_limit(limit)
-            .frame_budget(budget),
-        )
-        .expect("valid spec");
+    push_queries(&mut engine, &dataset, &detector, limit, budget);
 
     // 3. One run executes all queries to completion in shared stages.
     let report = engine.run().expect("queries registered");
@@ -107,5 +122,38 @@ fn main() {
         report.demanded_frames,
         report.detector_frames,
         report.coalesced_savings()
+    );
+
+    // 4. The same three queries on a 2-shard engine: the chunk axis is split
+    //    into two contiguous ranges, each owned by a shard worker that runs
+    //    the detector invocations for its frames.  The merged report is
+    //    bitwise-identical to the unsharded run — only the per-shard
+    //    breakdown and the physical invocation count differ.
+    let spec = ShardSpec::contiguous(dataset.chunking().len(), 2);
+    let router = ShardRouter::new(dataset.chunking(), &spec).expect("spec matches chunking");
+    let mut sharded = QueryEngine::new().sharded(router);
+    push_queries(&mut sharded, &dataset, &detector, limit, budget);
+    let _ = sharded.run().expect("queries registered");
+    let merged = sharded.report_sharded();
+
+    println!("\n2-shard run (contiguous chunk ranges):");
+    for (a, b) in merged.report.outcomes.iter().zip(&report.outcomes) {
+        assert_eq!(a.frames_processed, b.frames_processed);
+        assert_eq!(a.found_instances, b.found_instances);
+        assert_eq!(a.stop_reason, b.stop_reason);
+    }
+    assert_eq!(merged.report.detector_frames, report.detector_frames);
+    println!("  every query outcome is bitwise-identical to the unsharded run");
+    for shard in &merged.shards {
+        println!(
+            "  shard {}: {} detector frames in {} batched invocations",
+            shard.shard, shard.detector_frames, shard.detector_calls
+        );
+    }
+    println!(
+        "  merge overhead: {} physical invocations vs {} logical ({} extra from splitting groups across shards)",
+        merged.physical_detector_calls,
+        merged.report.detector_calls,
+        merged.shard_overhead_calls()
     );
 }

@@ -37,13 +37,15 @@ fn main() {
     let exsample = QueryRunner::new(&dataset)
         .stop(StopCondition::DistinctResults(limit))
         .seed(7)
-        .run(MethodKind::ExSample(ExSampleConfig::default()));
+        .run(MethodKind::ExSample(ExSampleConfig::default()))
+        .expect("query run succeeded");
 
     // 3. The same query with the uniform random-sampling baseline.
     let random = QueryRunner::new(&dataset)
         .stop(StopCondition::DistinctResults(limit))
         .seed(7)
-        .run(MethodKind::Random);
+        .run(MethodKind::Random)
+        .expect("query run succeeded");
 
     println!("\nquery: find {limit} distinct objects");
     for result in [&exsample, &random] {

@@ -53,7 +53,8 @@ fn main() {
             .detector_noise(noise)
             .discriminator(DiscriminatorKind::Tracking)
             .seed(17)
-            .run(kind);
+            .run(kind)
+            .expect("query run succeeded");
         println!(
             "{label:<9} frames: {:>7}  recall: {:.2}  distinct objects reported: {:>4}  (of which {} are real)  time: {}",
             result.frames_processed,

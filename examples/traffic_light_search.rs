@@ -40,7 +40,8 @@ fn main() {
                 .class(class)
                 .stop(StopCondition::DistinctResults(limit))
                 .seed(3)
-                .run(MethodKind::ExSample(ExSampleConfig::default())),
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded"),
         ),
         (
             "random",
@@ -48,7 +49,8 @@ fn main() {
                 .class(class)
                 .stop(StopCondition::DistinctResults(limit))
                 .seed(3)
-                .run(MethodKind::Random),
+                .run(MethodKind::Random)
+                .expect("query run succeeded"),
         ),
         (
             "proxy (BlazeIt-style)",
@@ -56,7 +58,8 @@ fn main() {
                 .class(class)
                 .stop(StopCondition::DistinctResults(limit))
                 .seed(3)
-                .run(MethodKind::Proxy(ProxyConfig::default())),
+                .run(MethodKind::Proxy(ProxyConfig::default()))
+                .expect("query run succeeded"),
         ),
     ];
 

@@ -49,7 +49,8 @@
 //! let outcome = QueryRunner::new(&dataset)
 //!     .stop(StopCondition::DistinctResults(50))
 //!     .seed(11)
-//!     .run_exsample(sampler);
+//!     .run_exsample(sampler)
+//!     .expect("query run succeeded");
 //! assert!(outcome.distinct_found >= 50);
 //! ```
 

@@ -48,13 +48,15 @@ fn exsample_beats_random_on_skewed_data() {
             .stop(StopCondition::FrameBudget(budget))
             .seed(100 + trial)
             .run(MethodKind::ExSample(ExSampleConfig::default()))
-    });
+    })
+    .expect("sweep succeeded");
     let random = run_trials(trials, true, |trial| {
         QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(100 + trial)
             .run(MethodKind::Random)
-    });
+    })
+    .expect("sweep succeeded");
     let avg = |set: &exsample::sim::TrialSet| {
         set.results.iter().map(|r| r.true_found as f64).sum::<f64>() / set.len() as f64
     };
@@ -78,13 +80,15 @@ fn exsample_matches_random_without_skew() {
             .stop(StopCondition::FrameBudget(budget))
             .seed(200 + trial)
             .run(MethodKind::ExSample(ExSampleConfig::default()))
-    });
+    })
+    .expect("sweep succeeded");
     let random = run_trials(trials, true, |trial| {
         QueryRunner::new(&dataset)
             .stop(StopCondition::FrameBudget(budget))
             .seed(200 + trial)
             .run(MethodKind::Random)
-    });
+    })
+    .expect("sweep succeeded");
     let avg = |set: &exsample::sim::TrialSet| {
         set.results.iter().map(|r| r.true_found as f64).sum::<f64>() / set.len() as f64
     };
@@ -116,11 +120,13 @@ fn single_chunk_is_equivalent_to_random() {
     let ex = QueryRunner::new(&dataset)
         .stop(StopCondition::FrameBudget(budget))
         .seed(5)
-        .run(MethodKind::ExSample(ExSampleConfig::default()));
+        .run(MethodKind::ExSample(ExSampleConfig::default()))
+        .expect("query run succeeded");
     let rnd = QueryRunner::new(&dataset)
         .stop(StopCondition::FrameBudget(budget))
         .seed(5)
-        .run(MethodKind::Random);
+        .run(MethodKind::Random)
+        .expect("query run succeeded");
     let ratio = ex.true_found as f64 / rnd.true_found.max(1) as f64;
     assert!((0.8..=1.25).contains(&ratio), "ratio {ratio}");
 }
@@ -134,6 +140,7 @@ fn runs_are_deterministic_given_a_seed() {
             .stop(StopCondition::FrameBudget(800))
             .seed(seed)
             .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded")
     };
     let a = run(9);
     let b = run(9);
@@ -166,7 +173,8 @@ fn exhaustive_run_reaches_full_recall() {
         let result = QueryRunner::new(&dataset)
             .stop(StopCondition::Exhaustive)
             .seed(7)
-            .run(kind.clone());
+            .run(kind.clone())
+            .expect("query run succeeded");
         assert_eq!(result.frames_processed, 5_000, "{kind:?}");
         assert_eq!(result.true_found, 40, "{kind:?}");
         assert!((result.recall() - 1.0).abs() < 1e-12);
@@ -238,7 +246,8 @@ fn noisy_pipeline_reaches_recall_with_consistent_accounting() {
         .detector_noise(DetectorNoise::default())
         .discriminator(DiscriminatorKind::Tracking)
         .seed(12)
-        .run(MethodKind::ExSample(ExSampleConfig::default()));
+        .run(MethodKind::ExSample(ExSampleConfig::default()))
+        .expect("query run succeeded");
     assert!(result.recall() >= 0.3);
     // Time accounting: sample_secs equals the cost model applied to the frames.
     let expected = cost.sampled_processing_secs(result.frames_processed);
@@ -261,7 +270,8 @@ fn proxy_scan_alone_exceeds_exsample_query_time() {
         .stop(StopCondition::Recall(0.9))
         .frame_cap(dataset.total_frames())
         .seed(3)
-        .run(MethodKind::ExSample(ExSampleConfig::default()));
+        .run(MethodKind::ExSample(ExSampleConfig::default()))
+        .expect("query run succeeded");
     assert!(result.recall() >= 0.9);
     let exsample_time = cost.sampled_processing_secs(result.frames_processed);
     let scan_time = cost.proxy_scoring_secs(dataset.total_frames());
@@ -284,6 +294,7 @@ fn adaptive_policies_beat_uniform_policy() {
             .run(MethodKind::ExSample(
                 ExSampleConfig::default().with_policy(policy),
             ))
+            .expect("query run succeeded")
             .true_found
     };
     let thompson = found(ChunkSelectionPolicy::ThompsonSampling);
