@@ -1,15 +1,23 @@
 //! Sharded engine throughput: 1, 2 and 8 shards × 1 and 8 concurrent
-//! queries over one repository, plus the report-merge overhead measured
-//! separately.
+//! queries over one repository, a parallel-execution axis (serial vs 2 and 4
+//! worker threads at 2 and 8 shards), plus the report-merge overhead
+//! measured separately.
 //!
 //! Each iteration executes a full sharded `QueryEngine` run (contiguous-range
-//! chunk assignment).  Outcomes are bitwise-identical across shard counts —
-//! the determinism suite enforces that — so what this benchmark tracks is
-//! pure execution overhead: routing picks to shard workers, running one
-//! `detect_batch` per (detector group, shard) instead of per group, and the
-//! merge layer folding per-shard tallies back into a global report.  The
-//! printed table reports the physical-vs-logical invocation counts that
-//! dominate the real-world cost of sharding.
+//! chunk assignment).  Outcomes are bitwise-identical across shard counts,
+//! execution modes and thread counts — the determinism suite enforces that —
+//! so what this benchmark tracks is pure execution overhead: routing picks to
+//! shard workers, running one `detect_batch` per (detector group, shard)
+//! instead of per group, spawning scoped DETECT threads, and the merge layer
+//! folding per-shard tallies back into a global report.  The printed table
+//! reports the physical-vs-logical invocation counts that dominate the
+//! real-world cost of sharding.
+//!
+//! The parallel axis measures *overhead*, not speedup, on a 1-vCPU container:
+//! the simulated detector is microseconds-cheap, so scoped-thread dispatch
+//! can only cost time there.  On real hardware with a real (milliseconds)
+//! detector the same axis is where the speedup shows up; treat the committed
+//! baseline's parallel rows as a thread-dispatch overhead bound.
 //!
 //! `BENCH_QUICK=1` (the CI smoke configuration) shrinks the per-query budget.
 
@@ -22,6 +30,9 @@ use std::sync::Arc;
 
 const SHARD_COUNTS: [u32; 3] = [1, 2, 8];
 const QUERY_COUNTS: [usize; 2] = [1, 8];
+/// The parallel axis: worker threads (0 = serial) × shard counts.
+const THREAD_COUNTS: [usize; 3] = [0, 2, 4];
+const PARALLEL_SHARD_COUNTS: [u32; 2] = [2, 8];
 
 fn budget() -> u64 {
     if std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1") {
@@ -48,10 +59,11 @@ fn run_engine(
     dataset: &Dataset,
     detector: &PerfectDetector,
     shards: u32,
+    parallel: usize,
     queries: usize,
     budget: u64,
 ) -> ShardedReport {
-    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards);
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, parallel);
     for q in 0..queries {
         let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
         engine
@@ -80,12 +92,35 @@ fn bench_sharded(c: &mut Criterion) {
                 BenchmarkId::new(&format!("{queries}q"), shards),
                 &shards,
                 |b, &shards| {
-                    b.iter(|| black_box(run_engine(&dataset, &detector, shards, queries, budget)));
+                    b.iter(|| {
+                        black_box(run_engine(&dataset, &detector, shards, 0, queries, budget))
+                    });
                 },
             );
         }
     }
     group.finish();
+
+    // The parallel axis: serial vs 2/4 scoped worker threads at 2/8 shards,
+    // 8 concurrent queries.  Same work, different thread placement — the
+    // determinism suite guarantees identical outputs, so the delta is pure
+    // execution-mode overhead (or, with an expensive detector, speedup).
+    let mut parallel_group = c.benchmark_group("parallel_detect");
+    parallel_group.sample_size(10);
+    for &shards in &PARALLEL_SHARD_COUNTS {
+        for &threads in &THREAD_COUNTS {
+            parallel_group.bench_with_input(
+                BenchmarkId::new(&format!("{shards}s_8q"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        black_box(run_engine(&dataset, &detector, shards, threads, 8, budget))
+                    });
+                },
+            );
+        }
+    }
+    parallel_group.finish();
 
     // Merge overhead, separately: building the merged report on an
     // already-completed engine.  This measures report_sharded() end to end —
@@ -95,7 +130,7 @@ fn bench_sharded(c: &mut Criterion) {
     let mut merge_group = c.benchmark_group("report_sharded");
     merge_group.sample_size(10);
     for &shards in &SHARD_COUNTS {
-        let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards);
+        let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0);
         for q in 0..8usize {
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
             engine
@@ -115,27 +150,40 @@ fn bench_sharded(c: &mut Criterion) {
     merge_group.finish();
 
     // The acceptance-relevant numbers: sharding never changes outcomes or the
-    // logical invocation count, only the physical per-shard bill.
+    // logical invocation count, only the physical per-shard bill — and
+    // parallel execution changes nothing at all.
     println!("\n# sharded engine invocation counts (per-query budget {budget} frames)");
-    println!("# queries | shards | detector frames | logical calls | physical calls | overhead");
+    println!("# queries | shards | threads | detector frames | logical calls | physical calls | overhead");
     for &queries in &QUERY_COUNTS {
-        let baseline = run_engine(&dataset, &detector, 1, queries, budget);
+        let baseline = run_engine(&dataset, &detector, 1, 0, queries, budget);
         for &shards in &SHARD_COUNTS {
-            let merged = run_engine(&dataset, &detector, shards, queries, budget);
+            let serial = run_engine(&dataset, &detector, shards, 0, queries, budget);
             assert_eq!(
-                merged.report.detector_frames,
+                serial.report.detector_frames,
                 baseline.report.detector_frames
             );
-            assert_eq!(merged.report.detector_calls, baseline.report.detector_calls);
-            println!(
-                "# {:>7} | {:>6} | {:>15} | {:>13} | {:>14} | {:>8}",
-                queries,
-                shards,
-                merged.report.detector_frames,
-                merged.report.detector_calls,
-                merged.physical_detector_calls,
-                merged.shard_overhead_calls()
-            );
+            assert_eq!(serial.report.detector_calls, baseline.report.detector_calls);
+            for &threads in &THREAD_COUNTS {
+                let merged = run_engine(&dataset, &detector, shards, threads, queries, budget);
+                // Parallel runs are bitwise-identical to the serial sharded
+                // run, down to the physical per-shard invocation counts.
+                assert_eq!(merged.report.detector_frames, serial.report.detector_frames);
+                assert_eq!(merged.report.detector_calls, serial.report.detector_calls);
+                assert_eq!(
+                    merged.physical_detector_calls,
+                    serial.physical_detector_calls
+                );
+                println!(
+                    "# {:>7} | {:>6} | {:>7} | {:>15} | {:>13} | {:>14} | {:>8}",
+                    queries,
+                    shards,
+                    threads.max(1),
+                    merged.report.detector_frames,
+                    merged.report.detector_calls,
+                    merged.physical_detector_calls,
+                    merged.shard_overhead_calls()
+                );
+            }
         }
     }
 }

@@ -49,9 +49,11 @@ fn main() {
     let cost = DecodeCostModel::paper();
 
     println!(
-        "# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials, {} engine shard{}\n",
+        "# workload: 2M frames, 2000 instances, 128 chunks, skew 1/32, budget {budget} frames, {trials} trials, {} engine shard{}, {} worker thread{}\n",
         options.shards,
-        if options.shards == 1 { "" } else { "s" }
+        if options.shards == 1 { "" } else { "s" },
+        options.effective_threads(),
+        if options.effective_threads() == 1 { "" } else { "s" },
     );
 
     let mut table = Table::new(vec![
@@ -72,7 +74,7 @@ fn main() {
                 .seed();
             let detector = PerfectDetector::new(Arc::clone(&truth), class.clone());
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
-            let mut engine = sharded_engine(dataset.chunking(), options.shards);
+            let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
             engine
                 .push(
                     QuerySpec::new("batching", Box::new(policy), &detector)

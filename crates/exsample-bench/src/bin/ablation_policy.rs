@@ -46,9 +46,11 @@ fn main() {
 
     println!("# workload: 2M frames, 2000 instances, 64 chunks, skew 1/32, budget {budget}, {trials} trials");
     println!(
-        "# all four policies run as concurrent queries of one engine per trial ({} shard{})\n",
+        "# all four policies run as concurrent queries of one engine per trial ({} shard{}, {} worker thread{})\n",
         options.shards,
-        if options.shards == 1 { "" } else { "s" }
+        if options.shards == 1 { "" } else { "s" },
+        options.effective_threads(),
+        if options.effective_threads() == 1 { "" } else { "s" },
     );
 
     let policies = [
@@ -64,7 +66,7 @@ fn main() {
     let trial_runs: Vec<(Vec<Vec<TrajectoryPoint>>, u64, u64)> = (0..trials as u64)
         .into_par_iter()
         .map(|trial| {
-            let mut engine = sharded_engine(dataset.chunking(), options.shards);
+            let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
             for (label, policy) in policies {
                 let config = ExSampleConfig::default().with_policy(policy);
                 engine

@@ -44,8 +44,9 @@ fn main() {
         "# dataset scale: {scale} (times scale linearly with dataset size; the scan-vs-sample comparison is scale-invariant)"
     );
     println!(
-        "# engine shards: {} (outcomes are shard-invariant; sharding only moves detector work)\n",
-        options.shards
+        "# engine shards: {}, worker threads: {} (outcomes are invariant to both; they only move detector work)\n",
+        options.shards,
+        options.effective_threads(),
     );
 
     let mut table = Table::new(vec![
@@ -81,7 +82,7 @@ fn main() {
             .iter()
             .map(|c| truth.count_of_class(&ObjectClass::from(c.class)))
             .collect();
-        let mut engine = sharded_engine(dataset.chunking(), options.shards);
+        let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
         for ((class_spec, detector), &total) in spec.classes.iter().zip(&detectors).zip(&totals) {
             let class = class_spec.class;
             let target = (0.9 * total as f64).ceil() as usize;

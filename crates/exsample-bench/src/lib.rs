@@ -15,6 +15,10 @@
 //! * `--shards N` — shard the engine's DETECT phase across N workers
 //!   (contiguous-range chunk assignment; results are bitwise-identical to the
 //!   unsharded run, only the per-shard cost breakdown changes).
+//! * `--parallel N` — run the shard workers' detector invocations on up to N
+//!   scoped threads per stage (0, the default, is serial; thread counts
+//!   beyond the shard count are clamped by the engine; results are
+//!   bitwise-identical to serial execution).
 //! * `--csv` — emit CSV instead of aligned text tables.
 //!
 //! The binaries print the regenerated table/figure data to stdout; `EXPERIMENTS.md`
@@ -36,6 +40,8 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Shard count for the engine's DETECT phase (1 = unsharded).
     pub shards: u32,
+    /// Worker threads for the DETECT phase (0 = serial execution).
+    pub parallel: usize,
     /// Emit CSV instead of plain tables.
     pub csv: bool,
 }
@@ -48,6 +54,7 @@ impl Default for ExperimentOptions {
             scale: None,
             seed: 7,
             shards: 1,
+            parallel: 0,
             csv: false,
         }
     }
@@ -96,11 +103,16 @@ impl ExperimentOptions {
                     }
                     options.shards = shards;
                 }
+                "--parallel" => {
+                    let value = iter.next().ok_or("--parallel requires a value")?;
+                    options.parallel = value
+                        .parse()
+                        .map_err(|_| format!("bad --parallel value: {value}"))?;
+                }
                 "--help" | "-h" => {
-                    return Err(
-                        "supported flags: --full --trials N --scale X --seed N --shards N --csv"
-                            .to_string(),
-                    )
+                    return Err("supported flags: --full --trials N --scale X --seed N \
+                         --shards N --parallel N --csv"
+                        .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
             }
@@ -130,19 +142,41 @@ impl ExperimentOptions {
     pub fn scale_or(&self, reduced: f64) -> f64 {
         self.scale.unwrap_or(if self.full { 1.0 } else { reduced })
     }
+
+    /// The worker-thread count the engine will actually use for these
+    /// options: `--parallel` values of 0/1 mean serial execution, and the
+    /// engine clamps the thread count to one thread per shard — what the
+    /// experiment banners must report as provenance.
+    pub fn effective_threads(&self) -> usize {
+        if self.parallel > 1 {
+            exsample_engine::ExecutionMode::Parallel(self.parallel)
+                .effective_threads(self.shards as usize)
+        } else {
+            1
+        }
+    }
 }
 
 /// A fresh engine sharded across `shards` workers over `chunking`
 /// (contiguous-range chunk assignment), or an ordinary unsharded engine for
-/// `shards <= 1`.  Query outcomes are bitwise-identical either way; sharding
-/// only changes where the detector work executes and how costs break down.
+/// `shards <= 1`, with the workers' detector invocations run on up to
+/// `parallel` scoped threads per stage (0 or 1 = serial execution).  Query
+/// outcomes are bitwise-identical in every configuration; sharding and
+/// parallelism only change where the detector work executes and how costs
+/// break down.
 pub fn sharded_engine<'a>(
     chunking: &exsample_video::Chunking,
     shards: u32,
+    parallel: usize,
 ) -> exsample_engine::QueryEngine<'a> {
     let mut engine = exsample_engine::QueryEngine::new();
     if shards > 1 {
         engine = engine.sharded(exsample_engine::ShardRouter::contiguous(chunking, shards));
+    }
+    if parallel > 1 {
+        engine = engine
+            .execution(exsample_engine::ExecutionMode::Parallel(parallel))
+            .expect("a positive thread count is a valid execution mode");
     }
     engine
 }
@@ -222,13 +256,53 @@ mod tests {
     }
 
     #[test]
-    fn sharded_engine_builds_for_any_shard_count() {
+    fn parallel_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().parallel, 0);
+        assert_eq!(parse(&["--parallel", "4"]).unwrap().parallel, 4);
+        assert_eq!(parse(&["--parallel", "0"]).unwrap().parallel, 0);
+        assert!(parse(&["--parallel"]).is_err());
+        assert!(parse(&["--parallel", "abc"]).is_err());
+    }
+
+    #[test]
+    fn effective_threads_reports_the_clamped_count() {
+        assert_eq!(parse(&[]).unwrap().effective_threads(), 1);
+        assert_eq!(parse(&["--parallel", "1"]).unwrap().effective_threads(), 1);
+        // Clamped to one thread per shard (shards defaults to 1).
+        assert_eq!(parse(&["--parallel", "8"]).unwrap().effective_threads(), 1);
+        assert_eq!(
+            parse(&["--parallel", "8", "--shards", "4"])
+                .unwrap()
+                .effective_threads(),
+            4
+        );
+        assert_eq!(
+            parse(&["--parallel", "2", "--shards", "4"])
+                .unwrap()
+                .effective_threads(),
+            2
+        );
+    }
+
+    #[test]
+    fn sharded_engine_builds_for_any_shard_and_thread_count() {
         let repo = exsample_video::VideoRepository::single_clip(1_000);
         let chunking = exsample_video::Chunking::new(
             &repo,
             exsample_video::ChunkingPolicy::FixedCount { chunks: 8 },
         );
-        assert_eq!(sharded_engine(&chunking, 1).shard_count(), 1);
-        assert_eq!(sharded_engine(&chunking, 4).shard_count(), 4);
+        assert_eq!(sharded_engine(&chunking, 1, 0).shard_count(), 1);
+        assert_eq!(sharded_engine(&chunking, 4, 0).shard_count(), 4);
+        let parallel = sharded_engine(&chunking, 4, 2);
+        assert_eq!(parallel.shard_count(), 4);
+        assert_eq!(
+            parallel.execution_mode(),
+            exsample_engine::ExecutionMode::Parallel(2)
+        );
+        // 0/1 threads mean serial execution.
+        assert_eq!(
+            sharded_engine(&chunking, 4, 1).execution_mode(),
+            exsample_engine::ExecutionMode::Serial
+        );
     }
 }

@@ -30,7 +30,19 @@ use std::sync::Arc;
 /// Distinct-object queries target a single class ("find 20 traffic lights"), so the
 /// detector interface is parameterised the same way: implementations only report
 /// detections of the query class.
-pub trait Detector {
+///
+/// # Thread safety
+///
+/// `Detector` is `Send + Sync`: execution engines share one detector instance
+/// across concurrently running shard workers (scoped threads), so detection
+/// must be callable through `&self` from several threads at once.  Both
+/// simulated implementations satisfy this for free — they are pure functions
+/// of the frame id over immutable ground truth.  An implementation that keeps
+/// interior state (an invocation counter, a GPU handle) must synchronise it
+/// itself (atomics, a mutex); detection results must remain a deterministic
+/// function of the frame id regardless of invocation order, which is the
+/// property every engine determinism guarantee is built on.
+pub trait Detector: Send + Sync {
     /// Run the detector on `frame` and return its detections of the query class.
     fn detect(&self, frame: FrameId) -> FrameDetections;
 

@@ -21,9 +21,11 @@
 //!   over an interval of frames, with a simple motion model giving its box in each
 //!   frame where it is visible.
 //! * [`ground_truth`] — a queryable collection of instances with a temporal index.
-//! * [`detector`] — the [`detector::Detector`] trait plus [`detector::PerfectDetector`]
-//!   and [`detector::SimulatedDetector`] (configurable miss rate, false positives,
-//!   localisation noise; deterministic per frame).
+//! * [`detector`] — the [`detector::Detector`] trait (thread-safe: `Send + Sync`,
+//!   so engines can share one instance across concurrent shard workers) plus
+//!   [`detector::PerfectDetector`] and [`detector::SimulatedDetector`]
+//!   (configurable miss rate, false positives, localisation noise;
+//!   deterministic per frame).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -9,11 +9,19 @@
 //! component matters because two detectors (different object classes) produce
 //! different detections for the same frame.
 //!
+//! Entries are stored as `Arc<FrameDetections>` and handed out by reference:
+//! a warm hit costs the worker lane one `Arc::clone` (a reference-count bump),
+//! never a deep copy of the detection list — and the same `Arc` sharing is
+//! what will let one cache back several engines in the service shape.
+//!
 //! Off by default: caching changes the engine's detector cost accounting (hits
 //! bypass `detect_batch`), so the bitwise cost-identity the determinism suite
 //! pins between sharded and unsharded runs is stated for cache-off engines.
 //! Query *outcomes* are unaffected either way, because detectors are pure
-//! functions of the frame id.
+//! functions of the frame id.  The engine probes and fills the cache in a
+//! fixed order (worker-major, lane-major, frame order) in *every* execution
+//! mode, so cache state — and therefore the cost accounting of cached runs —
+//! is identical between serial and parallel execution.
 //!
 //! The LRU order uses lazy deletion: every touch pushes a `(key, tick)` entry
 //! onto a queue, and eviction pops queue entries until one matches its key's
@@ -24,6 +32,7 @@
 use exsample_detect::FrameDetections;
 use exsample_video::FrameId;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Engine-internal identifier of a distinct detector instance (assigned in
 /// first-seen order; see `QueryEngine`'s detector registry).
@@ -43,7 +52,7 @@ pub struct CacheStats {
 }
 
 struct CacheEntry {
-    detections: FrameDetections,
+    detections: Arc<FrameDetections>,
     /// Tick of the entry's most recent touch; queue entries with an older
     /// tick are stale.
     tick: u64,
@@ -95,11 +104,14 @@ impl DetectionCache {
     }
 
     /// Look up a frame's detections, refreshing its recency on a hit.
+    ///
+    /// Returns the shared handle so callers keep the detections with an
+    /// `Arc::clone` — a pointer bump, never a deep copy.
     pub(crate) fn get(
         &mut self,
         detector: DetectorSlot,
         frame: FrameId,
-    ) -> Option<&FrameDetections> {
+    ) -> Option<&Arc<FrameDetections>> {
         self.compact_if_bloated();
         self.tick += 1;
         let tick = self.tick;
@@ -123,7 +135,7 @@ impl DetectionCache {
         &mut self,
         detector: DetectorSlot,
         frame: FrameId,
-        detections: FrameDetections,
+        detections: Arc<FrameDetections>,
     ) {
         self.tick += 1;
         let tick = self.tick;
@@ -188,10 +200,31 @@ impl std::fmt::Debug for DetectionCache {
 mod tests {
     use super::*;
 
-    fn detections(frame: FrameId) -> FrameDetections {
+    fn detections(frame: FrameId) -> Arc<FrameDetections> {
         // Only identity matters for these tests; an empty per-frame detection
         // list is enough.
-        FrameDetections::empty(frame)
+        Arc::new(FrameDetections::empty(frame))
+    }
+
+    #[test]
+    fn warm_hit_shares_the_entry_instead_of_deep_copying() {
+        let mut cache = DetectionCache::new(4);
+        let original = detections(9);
+        cache.insert(0, 9, Arc::clone(&original));
+        assert_eq!(Arc::strong_count(&original), 2, "cache holds one handle");
+        // A hit hands back the same allocation; keeping it is a pointer bump.
+        let held = Arc::clone(cache.get(0, 9).expect("warm hit"));
+        assert!(
+            Arc::ptr_eq(&held, &original),
+            "hit must share the inserted allocation"
+        );
+        assert_eq!(
+            Arc::strong_count(&original),
+            3,
+            "hit cloned the handle, not the detections"
+        );
+        drop(held);
+        assert_eq!(Arc::strong_count(&original), 2);
     }
 
     #[test]

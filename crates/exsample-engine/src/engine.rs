@@ -13,7 +13,9 @@
 //!          │ 3. DETECT   picks are grouped per shared detector and    │
 //!          │             routed to the shard owning each frame; one   │
 //!          │             shard worker per shard runs the batched      │
-//!          │             detector invocations for its frames          │
+//!          │             detector invocations for its frames —        │
+//!          │             serially or, under ExecutionMode::Parallel,  │
+//!          │             on scoped worker threads                     │
 //!          │ 4. FAN-OUT  per query, in pick order: discriminator      │
 //!          │             observes the frame's detections, the policy  │
 //!          │             records the verdict, budgets and             │
@@ -31,11 +33,16 @@
 //! [`QuerySpec::seed`], detectors are pure functions of the frame id, and
 //! phase 4 always visits queries in registration order — so per-query outcomes
 //! are a function of the query's own spec, never of how stages interleave,
-//! which queries share the engine, whether coalescing is enabled, or how many
-//! shards the DETECT phase is split across.  A merged sharded run
-//! ([`QueryEngine::report_sharded`]) is bitwise-identical to the unsharded
-//! run for any shard count and partitioner — the determinism suite pins this
-//! for shard counts {1, 2, 3, 7}.
+//! which queries share the engine, whether coalescing is enabled, how many
+//! shards the DETECT phase is split across, or how many threads execute the
+//! shard workers.  A merged sharded run ([`QueryEngine::report_sharded`]) is
+//! bitwise-identical to the unsharded run for any shard count and partitioner
+//! — the determinism suite pins this for shard counts {1, 2, 3, 7}, and for
+//! parallel execution over threads {1, 2, 4} × shards {1, 3, 7}.  Parallelism
+//! only reorders *work*: the DETECT phase of each stage is data-independent
+//! per shard, the cache is probed and filled serially in a fixed order, and
+//! FAN-OUT always consumes results in registration/pick order, so no
+//! observable result ever depends on thread scheduling.
 
 use crate::cache::{CacheStats, DetectionCache};
 use crate::error::EngineError;
@@ -49,6 +56,43 @@ use exsample_video::FrameId;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::HashSet;
+
+/// How the DETECT phase's shard workers are executed.
+///
+/// Serial execution (the default) runs the workers one after another on the
+/// calling thread — pick-for-pick the engine's historical behaviour.
+/// Parallel execution distributes the workers' detect phases over scoped
+/// threads; because each worker's detect phase is pure per-shard computation
+/// (the cache is probed before and filled after, serially, in worker order),
+/// **every observable result — merged reports, pick sequences, cache state,
+/// cost accounting — is bitwise-identical between the two modes** for any
+/// thread count.  The determinism suite pins this for threads {1, 2, 4} ×
+/// shards {1, 3, 7} × both partitioners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Run shard workers one after another on the calling thread (default).
+    #[default]
+    Serial,
+    /// Run shard workers' detect phases on up to this many scoped threads.
+    ///
+    /// A thread count exceeding the shard count is clamped to one thread per
+    /// shard at stage time (extra threads would have no worker to run);
+    /// `Parallel(1)` is serial execution under another name.  A count of zero
+    /// is rejected by [`QueryEngine::execution`] as
+    /// [`EngineError::InvalidExecution`].
+    Parallel(usize),
+}
+
+impl ExecutionMode {
+    /// The number of threads this mode would actually use for `shards` shard
+    /// workers: 1 for serial, otherwise the clamped thread count.
+    pub fn effective_threads(&self, shards: usize) -> usize {
+        match *self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Parallel(threads) => threads.min(shards).max(1),
+        }
+    }
+}
 
 /// Why a query stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,6 +339,8 @@ pub struct QueryEngine<'a> {
     router: ShardRouter,
     /// One worker per shard, executing the DETECT phase for its frames.
     workers: Vec<ShardWorker>,
+    /// How the shard workers' detect phases run (serial by default).
+    execution: ExecutionMode,
     /// Optional cross-stage frame→detections cache (off by default).
     cache: Option<DetectionCache>,
     /// Registry of distinct detectors seen, in first-seen order.  Membership
@@ -340,6 +386,7 @@ impl<'a> QueryEngine<'a> {
             scheduler: Box::new(RoundRobin),
             router: ShardRouter::single(),
             workers: vec![ShardWorker::new(0)],
+            execution: ExecutionMode::Serial,
             cache: None,
             detector_slots: Vec::new(),
             stages: 0,
@@ -384,6 +431,31 @@ impl<'a> QueryEngine<'a> {
             .collect();
         self.router = router;
         self
+    }
+
+    /// Choose how the shard workers' detect phases execute (default:
+    /// [`ExecutionMode::Serial`], which is pick-for-pick the historical
+    /// behaviour).  Parallel execution never changes any observable result —
+    /// see [`ExecutionMode`] — only how many threads pay the detector bill.
+    ///
+    /// A thread count exceeding the shard count is clamped to one thread per
+    /// shard at stage time, so `Parallel(n)` composes safely with any
+    /// [`QueryEngine::sharded`] router.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidExecution`] for
+    /// [`ExecutionMode::Parallel`] with zero threads.
+    pub fn execution(mut self, mode: ExecutionMode) -> Result<Self, EngineError> {
+        if let ExecutionMode::Parallel(0) = mode {
+            return Err(EngineError::InvalidExecution { threads: 0 });
+        }
+        self.execution = mode;
+        Ok(self)
+    }
+
+    /// The engine's execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.execution
     }
 
     /// Enable the bounded cross-stage frame→detections cache with the given
@@ -592,10 +664,18 @@ impl<'a> QueryEngine<'a> {
 
     /// Phases 3 and 4 of a stage: group demands per detector (the *logical*
     /// groups), route every picked frame to the shard worker owning it, run
-    /// each worker's batched detector invocations, then fan results back out
-    /// per query in registration order.  Group slots, worker lanes, the
+    /// each worker's batched detector invocations — serially or on scoped
+    /// threads, per the engine's [`ExecutionMode`] — then fan results back
+    /// out per query in registration order.  Group slots, worker lanes, the
     /// membership map and the detection buffer are reused across stages
     /// (allocations amortise to zero in steady state).
+    ///
+    /// The DETECT phase itself is split in three so that parallelism can
+    /// never touch shared state: a serial cache-probe pass over the workers
+    /// (in worker order), the data-independent per-worker detect pass (the
+    /// only part that runs on threads), and a serial cache-commit pass (in
+    /// worker order again).  Serial mode runs the identical three passes on
+    /// one thread, which is why the two modes are bitwise-indistinguishable.
     fn run_sharded_stage(&mut self, detector_frames: &mut u64, detector_calls: &mut u64) {
         // Logical grouping: one group per distinct detector among the picking
         // queries (per picking query when coalescing is off).
@@ -642,20 +722,60 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        // Per-shard DETECT.  Logical calls are counted once per group that
-        // needed any detection, regardless of how many shards its frames were
-        // split across; the workers keep the physical per-shard tallies.
+        // Per-shard DETECT, in three passes (see the method docs).
+        //
+        // Pass 1 — serial cache probe, worker order: coalesce lanes, answer
+        // warm frames from the cache, leave the misses for the detectors.
+        for worker in &mut self.workers {
+            worker.probe(&self.stage_slots, self.coalesce, self.cache.as_mut());
+        }
+
+        // Pass 2 — detect the misses.  Each worker touches only its own lanes
+        // and tallies plus the shared `Send + Sync` detectors, so the workers
+        // are data-independent and parallel mode may run them on scoped
+        // threads (contiguous worker chunks, one per thread).  A fully
+        // cache-warm stage has nothing to detect; spawning threads for it
+        // would be pure overhead, so parallel mode falls back to the (no-op)
+        // serial loop unless some worker actually has work.
+        let share_lanes = self.cache.is_some();
+        let threads = self.execution.effective_threads(self.workers.len());
+        if threads <= 1 || !self.workers.iter().any(ShardWorker::has_misses) {
+            for worker in &mut self.workers {
+                worker.detect(&self.stage_detectors, &self.stage_slots, share_lanes);
+            }
+        } else {
+            let detectors = &self.stage_detectors;
+            let slots = &self.stage_slots;
+            let per_thread = self.workers.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for chunk in self.workers.chunks_mut(per_thread) {
+                    scope.spawn(move || {
+                        for worker in chunk {
+                            worker.detect(detectors, slots, share_lanes);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Pass 3 — serial cache commit, worker order: publish fresh results.
+        if let Some(cache) = self.cache.as_mut() {
+            for worker in &mut self.workers {
+                worker.commit_cache(&self.stage_slots, cache);
+            }
+        }
+
+        // Fold the per-worker tallies.  Logical calls are counted once per
+        // group that needed any detection, regardless of how many shards its
+        // frames were split across; the workers keep the physical per-shard
+        // tallies.
         self.lane_detected.clear();
         self.lane_detected.resize(groups, 0);
-        for worker in &mut self.workers {
-            *detector_frames += worker.detect(
-                &self.stage_detectors,
-                &self.stage_slots,
-                self.coalesce,
-                self.cache.as_mut(),
-                &mut self.detections_buf,
-                &mut self.lane_detected,
-            );
+        for worker in &self.workers {
+            *detector_frames += worker.stage_detected_frames();
+            for (total, &detected) in self.lane_detected.iter_mut().zip(&worker.lane_detected) {
+                *total += detected;
+            }
         }
         *detector_calls += self.lane_detected.iter().filter(|&&n| n > 0).count() as u64;
 
@@ -777,7 +897,7 @@ mod tests {
     use exsample_core::ExSampleConfig;
     use exsample_detect::{GroundTruth, ObjectClass, ObjectInstance, PerfectDetector};
     use exsample_video::{Chunking, ChunkingPolicy, ShardSpec, VideoRepository};
-    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     fn setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>, PerfectDetector) {
@@ -1025,10 +1145,126 @@ mod tests {
         }
     }
 
-    /// A detector that counts its batched invocations.
+    #[test]
+    fn invalid_execution_mode_is_a_typed_error() {
+        let err = QueryEngine::new()
+            .execution(ExecutionMode::Parallel(0))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidExecution { threads: 0 }));
+        // Valid modes build, and oversubscribed thread counts are clamped to
+        // one thread per shard rather than rejected.
+        let engine = QueryEngine::new()
+            .execution(ExecutionMode::Parallel(64))
+            .unwrap();
+        assert_eq!(engine.execution_mode(), ExecutionMode::Parallel(64));
+        assert_eq!(engine.execution_mode().effective_threads(1), 1);
+        assert_eq!(engine.execution_mode().effective_threads(4), 4);
+        assert_eq!(ExecutionMode::Serial.effective_threads(8), 1);
+        assert_eq!(ExecutionMode::Parallel(2).effective_threads(8), 2);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_bitwise() {
+        let (chunking, _truth, detector) = setup(8_000, 9);
+        let run = |mode: ExecutionMode| {
+            let spec = ShardSpec::round_robin(chunking.len(), 3);
+            let mut engine = QueryEngine::new()
+                .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+                .execution(mode)
+                .unwrap();
+            for (label, seed) in [("a", 61u64), ("b", 67)] {
+                let policy = ExSamplePolicy::new(ExSampleConfig::default(), &chunking);
+                engine
+                    .push(
+                        QuerySpec::new(label, Box::new(policy), &detector)
+                            .seed(seed)
+                            .batch(16)
+                            .frame_budget(400),
+                    )
+                    .unwrap();
+            }
+            let _ = engine.run().unwrap();
+            engine.report_sharded()
+        };
+        let serial = run(ExecutionMode::Serial);
+        for threads in [1usize, 2, 4, 16] {
+            let parallel = run(ExecutionMode::Parallel(threads));
+            assert_eq!(
+                parallel.physical_detector_calls, serial.physical_detector_calls,
+                "{threads} threads"
+            );
+            assert_eq!(parallel.shards, serial.shards, "{threads} threads");
+            for (a, b) in parallel.report.outcomes.iter().zip(&serial.report.outcomes) {
+                assert_eq!(a.frames_processed, b.frames_processed);
+                assert_eq!(a.found_instances, b.found_instances);
+                assert_eq!(a.trajectory, b.trajectory);
+                assert_eq!(a.stop_reason, b.stop_reason);
+            }
+            assert_eq!(parallel.report.stages, serial.report.stages);
+            assert_eq!(
+                parallel.report.detector_frames,
+                serial.report.detector_frames
+            );
+            assert_eq!(parallel.report.detector_calls, serial.report.detector_calls);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_with_cache_matches_serial_accounting() {
+        // The cache is probed and committed serially in worker order in both
+        // modes, so even the hit/miss accounting — not just query outcomes —
+        // is identical under parallel execution.
+        let (chunking, _truth, detector) = setup(2_000, 6);
+        let run = |mode: ExecutionMode| {
+            let spec = ShardSpec::round_robin(chunking.len(), 3);
+            let mut engine = QueryEngine::new()
+                .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+                .execution(mode)
+                .unwrap()
+                .cache_capacity(64);
+            for (label, seed) in [("a", 71u64), ("b", 71), ("c", 73)] {
+                engine
+                    .push(
+                        QuerySpec::new(
+                            label,
+                            Box::new(FrameSamplerPolicy::uniform(2_000)),
+                            &detector,
+                        )
+                        .seed(seed)
+                        .batch(32)
+                        .frame_budget(500),
+                    )
+                    .unwrap();
+            }
+            let _ = engine.run().unwrap();
+            let stats = engine.cache_stats().expect("cache enabled");
+            (engine.report_sharded(), stats)
+        };
+        let (serial, serial_stats) = run(ExecutionMode::Serial);
+        let (parallel, parallel_stats) = run(ExecutionMode::Parallel(3));
+        assert_eq!(parallel_stats, serial_stats, "cache accounting");
+        assert_eq!(
+            parallel.report.detector_frames,
+            serial.report.detector_frames
+        );
+        assert_eq!(
+            parallel.physical_detector_calls,
+            serial.physical_detector_calls
+        );
+        for (a, b) in parallel.report.outcomes.iter().zip(&serial.report.outcomes) {
+            assert_eq!(a.found_instances, b.found_instances);
+            assert_eq!(a.trajectory, b.trajectory);
+        }
+        assert!(serial_stats.hits > 0, "setup exercises the cache");
+    }
+
+    /// A detector that counts its batched invocations (atomically — the
+    /// `Detector` trait requires `Sync`, and parallel engines really do call
+    /// it from several worker threads).
     struct CountingDetector {
         inner: PerfectDetector,
-        batch_calls: Cell<u64>,
+        batch_calls: AtomicU64,
     }
 
     impl Detector for CountingDetector {
@@ -1037,7 +1273,7 @@ mod tests {
         }
 
         fn detect_batch(&self, frames: &[FrameId], out: &mut Vec<FrameDetections>) {
-            self.batch_calls.set(self.batch_calls.get() + 1);
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
             self.inner.detect_batch(frames, out);
         }
 
@@ -1047,11 +1283,67 @@ mod tests {
     }
 
     #[test]
+    fn uncoalesced_same_detector_lanes_share_through_the_cache_within_a_stage() {
+        // With coalescing off, two queries sharing a detector get separate
+        // lanes — but with the cache enabled, a (detector, frame) pair must
+        // still be detected at most once per shard per stage (the behaviour
+        // the serial interleaved cache path provided before the probe →
+        // detect → commit split, now restored worker-locally), in serial and
+        // parallel mode alike.
+        let (_chunking, truth, _detector) = setup(256, 4);
+        let detector = CountingDetector {
+            inner: PerfectDetector::new(truth, ObjectClass::from("car")),
+            batch_calls: AtomicU64::new(0),
+        };
+        let run = |mode: ExecutionMode| {
+            let mut engine = QueryEngine::new()
+                .coalesce(false)
+                .execution(mode)
+                .unwrap()
+                .cache_capacity(1_024);
+            // Same seed: the two queries pick identical frames every stage.
+            for label in ["twin-a", "twin-b"] {
+                engine
+                    .push(
+                        QuerySpec::new(
+                            label,
+                            Box::new(FrameSamplerPolicy::uniform(256)),
+                            &detector,
+                        )
+                        .seed(47)
+                        .batch(32),
+                    )
+                    .unwrap();
+            }
+            engine.run().unwrap()
+        };
+        let serial = run(ExecutionMode::Serial);
+        assert_eq!(serial.demanded_frames, 512);
+        assert_eq!(
+            serial.detector_frames, 256,
+            "every frame must be detected exactly once despite coalescing off"
+        );
+        let serial_calls = detector.batch_calls.load(Ordering::Relaxed);
+        assert_eq!(serial_calls, serial.stages, "one lane per stage detects");
+        let parallel = run(ExecutionMode::Parallel(2));
+        assert_eq!(parallel.detector_frames, serial.detector_frames);
+        assert_eq!(
+            detector.batch_calls.load(Ordering::Relaxed),
+            serial_calls * 2,
+            "parallel run issues the same invocations again"
+        );
+        for (a, b) in parallel.outcomes.iter().zip(&serial.outcomes) {
+            assert_eq!(a.found_instances, b.found_instances);
+            assert_eq!(a.trajectory, b.trajectory);
+        }
+    }
+
+    #[test]
     fn warm_cache_requery_issues_zero_detector_calls() {
         let (_chunking, truth, _detector) = setup(256, 4);
         let detector = CountingDetector {
             inner: PerfectDetector::new(truth, ObjectClass::from("car")),
-            batch_calls: Cell::new(0),
+            batch_calls: AtomicU64::new(0),
         };
         let mut engine = QueryEngine::new().cache_capacity(1_024);
         engine
@@ -1067,7 +1359,7 @@ mod tests {
             .unwrap();
         let cold = engine.run().unwrap();
         assert_eq!(cold.outcomes[0].frames_processed, 256);
-        let cold_calls = detector.batch_calls.get();
+        let cold_calls = detector.batch_calls.load(Ordering::Relaxed);
         let cold_frames = engine.detector_frames();
         assert!(cold_calls > 0);
 
@@ -1087,7 +1379,7 @@ mod tests {
         let warm = engine.run().unwrap();
         assert_eq!(warm.outcomes[1].frames_processed, 256);
         assert_eq!(
-            detector.batch_calls.get(),
+            detector.batch_calls.load(Ordering::Relaxed),
             cold_calls,
             "warm re-query must be served entirely from the cache"
         );

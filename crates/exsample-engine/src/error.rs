@@ -59,6 +59,14 @@ pub enum EngineError {
         /// Number of chunks in the chunking it was paired with.
         chunking_chunks: usize,
     },
+    /// An execution mode that can never make progress was requested —
+    /// `ExecutionMode::Parallel(0)` asks for a worker pool with no threads.
+    /// (A thread count *exceeding* the shard count is not an error: the
+    /// engine clamps it to one thread per shard, the documented rule.)
+    InvalidExecution {
+        /// The rejected thread count.
+        threads: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -76,6 +84,10 @@ impl fmt::Display for EngineError {
                 f,
                 "shard spec and chunking disagree on the number of chunks: \
                  spec covers {spec_chunks}, chunking has {chunking_chunks}"
+            ),
+            EngineError::InvalidExecution { threads } => write!(
+                f,
+                "parallel execution requires at least one thread (got {threads})"
             ),
         }
     }
@@ -121,5 +133,8 @@ mod tests {
         };
         assert!(shard.to_string().contains("spec covers 5"));
         assert!(std::error::Error::source(&shard).is_none());
+        let execution = EngineError::InvalidExecution { threads: 0 };
+        assert!(execution.to_string().contains("at least one thread"));
+        assert!(std::error::Error::source(&execution).is_none());
     }
 }

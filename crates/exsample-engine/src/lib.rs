@@ -67,6 +67,20 @@
 //! frames span shards needs one `detect_batch` per shard), which
 //! [`ShardedReport`] accounts separately from the logical counts.
 //!
+//! ## Parallel execution
+//!
+//! Shard workers' DETECT phases are data-independent (a frame belongs to
+//! exactly one shard, detectors are `Send + Sync` pure functions of the frame
+//! id), so [`QueryEngine::execution`] with [`ExecutionMode::Parallel`] runs
+//! them on `std::thread::scope` threads.  The stage's cache probe and cache
+//! commit passes stay serial in worker order in both modes, and FAN-OUT stays
+//! in registration/pick order — parallelism reorders *work*, never observable
+//! results, so parallel runs are bitwise-identical to serial ones (pinned for
+//! threads {1, 2, 4} × shards {1, 3, 7} × both partitioners).  Serial remains
+//! the default; thread counts exceeding the shard count are clamped to one
+//! thread per shard, and `Parallel(0)` is a typed
+//! [`error::EngineError::InvalidExecution`].
+//!
 //! ## Scheduling
 //!
 //! How many frames each live query may pick per stage is delegated to an
@@ -104,7 +118,8 @@ pub mod shard;
 pub use cache::{CacheStats, DetectionCache};
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
-    EngineReport, QueryEngine, QueryReport, QuerySpec, StageStats, StopReason, TrajectoryPoint,
+    EngineReport, ExecutionMode, QueryEngine, QueryReport, QuerySpec, StageStats, StopReason,
+    TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
 pub use merge::{

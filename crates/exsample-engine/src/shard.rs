@@ -9,6 +9,28 @@
 //! order, which is what makes a merged sharded run bitwise-identical to the
 //! unsharded run — see the crate docs for the full determinism argument.
 //!
+//! A worker's stage work is split into three phases so that the middle one can
+//! run on a scoped thread when the engine executes shards in parallel:
+//!
+//! 1. [`ShardWorker::probe`] (serial, worker order) — coalesce each lane's
+//!    frames and answer what it can from the shared cross-stage cache;
+//! 2. [`ShardWorker::detect`] (serial **or** parallel) — run the batched
+//!    detector invocations for the cache misses.  This phase touches only the
+//!    worker's own lanes and tallies plus the shared `&dyn Detector`s
+//!    (`Send + Sync` by trait bound), so workers are data-independent and the
+//!    engine may run them on `std::thread::scope` threads in any order;
+//! 3. [`ShardWorker::commit_cache`] (serial, worker order) — publish the new
+//!    results into the shared cache.
+//!
+//! Because phases 1 and 3 always run serially in worker order and phase 2 is
+//! pure per-worker computation, the phase split — not locking — is what makes
+//! parallel execution bitwise-identical to serial execution, cache on or off.
+//!
+//! Lane results are held as `Arc<FrameDetections>`: a cache hit keeps the
+//! cached allocation with a reference-count bump instead of deep-copying the
+//! detection list, and the same handles are shared back into the cache on
+//! commit.
+//!
 //! Workers are engine-internal execution state; their accumulated tallies are
 //! published as [`crate::merge::ShardReport`]s and combined by the
 //! [`crate::merge`] layer.
@@ -18,6 +40,7 @@ use crate::error::EngineError;
 use exsample_detect::{Detector, FrameDetections};
 use exsample_video::{Chunking, FrameId, ShardSpec, ShardedRepository};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Routes global frame ids to the shard owning them.
 ///
@@ -134,23 +157,35 @@ pub(crate) struct WorkerDetectorTally {
 /// stage.  Lanes are indexed by the stage's *logical* group index (the
 /// engine's cross-shard detector grouping), so the same logical group can
 /// have a lane on every shard; slots and their allocations are reused across
-/// stages.
+/// stages.  Results are shared handles: a cache hit is an `Arc` clone of the
+/// cached entry, a fresh detection is wrapped once and later shared back into
+/// the cache the same way.
 #[derive(Debug, Default)]
 struct Lane {
     frames: Vec<FrameId>,
-    results: HashMap<FrameId, FrameDetections>,
+    /// Frames of this lane not answered by the cache ([`ShardWorker::probe`]),
+    /// in lane order — the exact batch [`ShardWorker::detect`] runs.
+    misses: Vec<FrameId>,
+    results: HashMap<FrameId, Arc<FrameDetections>>,
 }
 
 /// Per-shard execution state: the frames routed to this shard in the current
 /// stage, plus the shard's cumulative cost and hit tallies.
+///
+/// All scratch is worker-owned (detection buffer, per-group detected counts),
+/// so [`ShardWorker::detect`] needs no shared mutable state and the engine
+/// can run workers' detect phases on scoped threads.
 #[derive(Debug)]
 pub(crate) struct ShardWorker {
     shard: u32,
     lanes: Vec<Lane>,
     /// Lanes in use this stage (dead slots keep their allocations).
     live_lanes: usize,
-    /// Scratch: frames of a lane not answered by the cache.
-    miss_buf: Vec<FrameId>,
+    /// Scratch for `detect_batch` output (reused across lanes and stages).
+    detect_buf: Vec<FrameDetections>,
+    /// Frames this worker detected for each logical group this stage; the
+    /// engine folds the cross-shard sums into its logical accounting.
+    pub lane_detected: Vec<u64>,
     /// Cumulative frames actually run through detectors on this shard.
     pub detector_frames: u64,
     /// Cumulative physical `detect_batch` invocations issued by this shard.
@@ -167,7 +202,8 @@ impl ShardWorker {
             shard,
             lanes: Vec::new(),
             live_lanes: 0,
-            miss_buf: Vec::new(),
+            detect_buf: Vec::new(),
+            lane_detected: Vec::new(),
             detector_frames: 0,
             detector_calls: 0,
             per_query: Vec::new(),
@@ -187,9 +223,12 @@ impl ShardWorker {
         }
         for lane in &mut self.lanes[..groups] {
             lane.frames.clear();
+            lane.misses.clear();
             lane.results.clear();
         }
         self.live_lanes = groups;
+        self.lane_detected.clear();
+        self.lane_detected.resize(groups, 0);
         if self.per_query.len() < queries {
             self.per_query.resize(queries, WorkerQueryTally::default());
         }
@@ -201,26 +240,22 @@ impl ShardWorker {
         self.lanes[group].frames.push(frame);
     }
 
-    /// Run the DETECT phase for every lane with routed frames.
+    /// Phase 1 of the worker's stage: coalesce each lane and split it into
+    /// cache hits (answered in place with an `Arc` clone of the cached entry)
+    /// and misses (left for [`ShardWorker::detect`]).
     ///
-    /// `detectors[g]` / `detector_slots[g]` give the logical group's detector
-    /// and its registry slot.  When `coalesce` is set, each lane's frames are
-    /// sorted and deduplicated first (queries on the same shard share the
-    /// detector bill).  A `cache` answers warm frames without a detector
-    /// invocation.  `lane_detected[g]` is incremented by the number of frames
-    /// this worker actually detected for group `g` (the engine uses the
-    /// cross-shard sum for its logical accounting).  Returns the frames
-    /// detected by this worker this stage.
-    pub(crate) fn detect(
+    /// When `coalesce` is set, each lane's frames are sorted and deduplicated
+    /// first (queries on the same shard share the detector bill).  Runs
+    /// serially, in worker order, in every execution mode — it is the only
+    /// phase that *reads* the shared cache, so probing order (and with it the
+    /// cache's hit/miss accounting) never depends on how the detect phase is
+    /// scheduled.
+    pub(crate) fn probe(
         &mut self,
-        detectors: &[&dyn Detector],
         detector_slots: &[DetectorSlot],
         coalesce: bool,
         mut cache: Option<&mut DetectionCache>,
-        buf: &mut Vec<FrameDetections>,
-        lane_detected: &mut [u64],
-    ) -> u64 {
-        let mut stage_frames = 0u64;
+    ) {
         for (g, lane) in self.lanes[..self.live_lanes].iter_mut().enumerate() {
             if lane.frames.is_empty() {
                 continue;
@@ -229,33 +264,94 @@ impl ShardWorker {
                 lane.frames.sort_unstable();
                 lane.frames.dedup();
             }
-            let slot = detector_slots[g];
-            // Split the lane into cache hits (answered in place) and misses.
-            self.miss_buf.clear();
             match cache.as_deref_mut() {
                 Some(cache) => {
+                    let slot = detector_slots[g];
                     lane.results.reserve(lane.frames.len());
                     for &frame in &lane.frames {
                         match cache.get(slot, frame) {
                             Some(detections) => {
-                                lane.results.insert(frame, detections.clone());
+                                lane.results.insert(frame, Arc::clone(detections));
                             }
-                            None => self.miss_buf.push(frame),
+                            None => lane.misses.push(frame),
                         }
                     }
                 }
-                None => self.miss_buf.extend_from_slice(&lane.frames),
+                None => lane.misses.extend_from_slice(&lane.frames),
             }
-            if self.miss_buf.is_empty() {
+        }
+    }
+
+    /// Phase 2 of the worker's stage: run the batched detector invocations
+    /// for every lane with cache misses.
+    ///
+    /// `detectors[g]` / `detector_slots[g]` give the logical group's detector
+    /// and its registry slot.  Touches only this worker's own lanes, scratch
+    /// and tallies plus the shared (`Send + Sync`) detectors — no cache, no
+    /// engine state — so the engine may run workers' detect phases
+    /// concurrently on scoped threads without changing any observable result.
+    ///
+    /// When the cross-stage cache is enabled and coalescing is off, two lanes
+    /// of the same stage can carry the same detector (each picking query gets
+    /// its own group); lanes are processed in order and a later lane reuses
+    /// any frame an earlier same-slot lane already resolved this stage, so a
+    /// (detector, frame) pair is detected at most once per shard per stage —
+    /// the worker-local, execution-mode-independent replacement for the
+    /// intra-stage sharing that interleaving cache inserts with probes used
+    /// to provide.  Without a cache, uncoalesced lanes deliberately pay the
+    /// full bill (that is what "uncoalesced detector work" measures), exactly
+    /// as before.
+    pub(crate) fn detect(
+        &mut self,
+        detectors: &[&dyn Detector],
+        detector_slots: &[DetectorSlot],
+        share_lanes: bool,
+    ) {
+        for g in 0..self.live_lanes {
+            let (earlier, rest) = self.lanes.split_at_mut(g);
+            let lane = &mut rest[0];
+            if lane.misses.is_empty() {
                 continue;
             }
-            buf.clear();
-            detectors[g].detect_batch(&self.miss_buf, buf);
-            let detected = self.miss_buf.len() as u64;
+            // Reuse results from earlier lanes sharing this lane's detector
+            // slot.  The scan only arms on the cache-on, coalesce-off
+            // configuration with genuinely duplicated detectors; the common
+            // paths pay one slice scan per lane at most.
+            let slot = detector_slots[g];
+            if share_lanes && detector_slots[..g].contains(&slot) {
+                let Lane {
+                    misses, results, ..
+                } = lane;
+                misses.retain(|&frame| {
+                    let reused =
+                        detector_slots[..g]
+                            .iter()
+                            .zip(earlier.iter())
+                            .find_map(|(&s, other)| {
+                                if s == slot {
+                                    other.results.get(&frame)
+                                } else {
+                                    None
+                                }
+                            });
+                    match reused {
+                        Some(detections) => {
+                            results.insert(frame, Arc::clone(detections));
+                            false
+                        }
+                        None => true,
+                    }
+                });
+                if lane.misses.is_empty() {
+                    continue;
+                }
+            }
+            self.detect_buf.clear();
+            detectors[g].detect_batch(&lane.misses, &mut self.detect_buf);
+            let detected = lane.misses.len() as u64;
             self.detector_calls += 1;
             self.detector_frames += detected;
-            stage_frames += detected;
-            lane_detected[g] += detected;
+            self.lane_detected[g] += detected;
             if self.per_detector.len() <= slot as usize {
                 self.per_detector
                     .resize(slot as usize + 1, WorkerDetectorTally::default());
@@ -263,15 +359,47 @@ impl ShardWorker {
             let tally = &mut self.per_detector[slot as usize];
             tally.frames += detected;
             tally.calls += 1;
-            lane.results.reserve(buf.len());
-            for (frame, detections) in self.miss_buf.iter().zip(buf.drain(..)) {
-                if let Some(cache) = cache.as_deref_mut() {
-                    cache.insert(slot, *frame, detections.clone());
-                }
-                lane.results.insert(*frame, detections);
+            lane.results.reserve(self.detect_buf.len());
+            for (&frame, detections) in lane.misses.iter().zip(self.detect_buf.drain(..)) {
+                lane.results.insert(frame, Arc::new(detections));
             }
         }
-        stage_frames
+    }
+
+    /// Phase 3 of the worker's stage: share this stage's fresh detections
+    /// into the cross-stage cache (an `Arc` clone per miss, no deep copy).
+    ///
+    /// Runs serially, in worker order, in every execution mode — it is the
+    /// only phase that *writes* the shared cache, so insertion order (and
+    /// with it LRU eviction) never depends on how the detect phase is
+    /// scheduled.
+    pub(crate) fn commit_cache(
+        &mut self,
+        detector_slots: &[DetectorSlot],
+        cache: &mut DetectionCache,
+    ) {
+        for (g, lane) in self.lanes[..self.live_lanes].iter_mut().enumerate() {
+            let slot = detector_slots[g];
+            for &frame in &lane.misses {
+                let detections = &lane.results[&frame];
+                cache.insert(slot, frame, Arc::clone(detections));
+            }
+        }
+    }
+
+    /// Frames this worker ran through detectors this stage (the sum of its
+    /// per-group detected counts).
+    pub(crate) fn stage_detected_frames(&self) -> u64 {
+        self.lane_detected.iter().sum()
+    }
+
+    /// Whether any lane has unresolved frames for [`ShardWorker::detect`]
+    /// this stage (false on e.g. a fully cache-warm stage, letting the
+    /// engine skip thread spawns that would only run no-ops).
+    pub(crate) fn has_misses(&self) -> bool {
+        self.lanes[..self.live_lanes]
+            .iter()
+            .any(|lane| !lane.misses.is_empty())
     }
 
     /// The detections of `frame` for logical group `group`, if this worker
@@ -281,6 +409,7 @@ impl ShardWorker {
         self.lanes
             .get(group)
             .and_then(|lane| lane.results.get(&frame))
+            .map(Arc::as_ref)
     }
 
     /// Record a direct (fast-path) detection that bypassed the lane

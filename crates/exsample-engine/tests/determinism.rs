@@ -10,15 +10,20 @@
 //! 3. shard invariance: for shard counts {1, 2, 3, 7} and both partitioners,
 //!    the merged `EngineReport` and every query's pick sequence are identical
 //!    to the unsharded run — and the explicit `RoundRobin` scheduler is
-//!    pick-for-pick the default behaviour.
+//!    pick-for-pick the default behaviour; and
+//! 4. execution-mode invariance: parallel DETECT execution
+//!    (`ExecutionMode::Parallel`) is bitwise-identical to serial execution —
+//!    merged reports, per-query pick sequences, and logical *and* physical
+//!    invocation counts — over the full matrix of threads {1, 2, 4} ×
+//!    shards {1, 3, 7} × both partitioners.
 
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    run_query, EngineReport, ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QueryReport,
-    QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, StopReason,
+    run_query, EngineReport, ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine,
+    QueryReport, QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, ShardedReport, StopReason,
 };
 use exsample_track::{Discriminator, MatchOutcome, OracleDiscriminator};
 use exsample_video::{
@@ -28,26 +33,28 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// A detector that logs every frame it is asked about, in order.
+/// A detector that logs every frame it is asked about, in order.  The log is
+/// behind a `Mutex` because `Detector` is `Send + Sync` — parallel engines
+/// genuinely share one instance across worker threads.
 struct RecordingDetector<D: Detector> {
     inner: D,
-    log: RefCell<Vec<FrameId>>,
+    log: Mutex<Vec<FrameId>>,
 }
 
 impl<D: Detector> RecordingDetector<D> {
     fn new(inner: D) -> Self {
         RecordingDetector {
             inner,
-            log: RefCell::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
         }
     }
 }
 
 impl<D: Detector> Detector for RecordingDetector<D> {
     fn detect(&self, frame: FrameId) -> FrameDetections {
-        self.log.borrow_mut().push(frame);
+        self.log.lock().unwrap().push(frame);
         self.inner.detect(frame)
     }
 
@@ -184,7 +191,7 @@ fn engine_batch_one_reproduces_the_legacy_loop_pick_for_pick() {
         .expect("chunk counts match");
 
         assert_eq!(
-            engine_detector.log.borrow().as_slice(),
+            engine_detector.log.lock().unwrap().as_slice(),
             legacy_picks.as_slice(),
             "pick sequences diverged (limit {result_limit}, budget {frame_budget:?})"
         );
@@ -485,6 +492,91 @@ fn sharded_runs_are_bitwise_identical_to_unsharded() {
             assert!(merged.physical_detector_calls >= merged.report.detector_calls);
             if shards == 1 {
                 assert_eq!(merged.physical_detector_calls, merged.report.detector_calls);
+            }
+        }
+    }
+}
+
+/// Everything a sharded report carries, compared bitwise: the embedded global
+/// report, the per-shard breakdowns (frames, hits, physical invocations,
+/// per-detector tallies) and the physical invocation total.
+fn assert_sharded_reports_equal(a: &ShardedReport, b: &ShardedReport, context: &str) {
+    assert_engine_reports_equal(&a.report, &b.report, context);
+    assert_eq!(a.shards, b.shards, "{context}: per-shard breakdowns");
+    assert_eq!(
+        a.physical_detector_calls, b.physical_detector_calls,
+        "{context}: physical detector calls"
+    );
+}
+
+#[test]
+fn parallel_execution_matrix_is_bitwise_identical_to_serial() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // Baseline: the unsharded, serial engine.
+    let (specs, baseline_logs) = recorded_specs(&chunking, frames, &detector);
+    let mut baseline = QueryEngine::new();
+    for spec in specs {
+        baseline.push(spec).unwrap();
+    }
+    let _ = baseline.run().unwrap();
+    let baseline_merged = baseline.report_sharded();
+    assert!(
+        baseline_merged
+            .report
+            .outcomes
+            .iter()
+            .any(|r| r.true_found > 0),
+        "setup finds nothing"
+    );
+    let baseline_picks: Vec<Vec<FrameId>> = baseline_logs
+        .iter()
+        .map(|log| log.borrow().clone())
+        .collect();
+
+    for shards in [1u32, 3, 7] {
+        for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+            let run = |mode: ExecutionMode| {
+                let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                let router = ShardRouter::new(&chunking, &spec).unwrap();
+                let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+                let mut engine = QueryEngine::new()
+                    .sharded(router)
+                    .execution(mode)
+                    .expect("valid execution mode");
+                for spec in specs {
+                    engine.push(spec).unwrap();
+                }
+                let _ = engine.run().unwrap();
+                let picks: Vec<Vec<FrameId>> =
+                    logs.iter().map(|log| log.borrow().clone()).collect();
+                (engine.report_sharded(), picks)
+            };
+
+            // The serial sharded run is the reference the parallel runs must
+            // reproduce *including* the per-shard physical breakdown (which
+            // legitimately differs from the 1-shard baseline's).
+            let (serial, serial_picks) = run(ExecutionMode::Serial);
+            assert_eq!(serial_picks, baseline_picks);
+            assert_engine_reports_equal(
+                &serial.report,
+                &baseline_merged.report,
+                &format!("{partitioner:?}/{shards} shards serial vs unsharded"),
+            );
+
+            for threads in [1usize, 2, 4] {
+                let context = format!("{partitioner:?}/{shards} shards/{threads} threads");
+                let (parallel, parallel_picks) = run(ExecutionMode::Parallel(threads));
+                // Per-query pick sequences, frame for frame.
+                assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
+                // Merged report, per-shard breakdowns and physical invocation
+                // counts, all bitwise against the serial sharded run …
+                assert_sharded_reports_equal(&parallel, &serial, &context);
+                // … and the logical view bitwise against the unsharded run.
+                assert_engine_reports_equal(&parallel.report, &baseline_merged.report, &context);
+                assert!(parallel.physical_detector_calls >= parallel.report.detector_calls);
             }
         }
     }

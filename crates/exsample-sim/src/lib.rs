@@ -13,7 +13,10 @@
 //!   condition, detector noise, discriminator) and run any
 //!   [`exsample_baselines::SamplingMethod`].  Execution happens on a
 //!   single-query `exsample-engine` `QueryEngine` (batch 1), with the virtual
-//!   clock charged from the engine's per-stage accounting hook.
+//!   clock charged from the engine's per-stage accounting hook; `shards(n)`
+//!   partitions the DETECT phase across shard workers and `parallel(n)` runs
+//!   those workers on scoped threads, both bitwise-identical to the serial
+//!   unsharded run.
 //! * [`metrics`] — recall trajectories, frames-to-recall, savings ratios, and
 //!   aggregation of trajectories across trials.
 //! * [`sweep`] — run many trials (optionally in parallel) and collect their

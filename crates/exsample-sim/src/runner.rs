@@ -12,9 +12,11 @@
 //! historical hand-written pick→detect→record loop did.  The virtual clock is
 //! charged from the engine's per-stage cost-accounting hook.  With
 //! [`QueryRunner::shards`] the engine's DETECT phase is partitioned across
-//! shard workers (contiguous-range chunk assignment); results are
-//! bitwise-identical to the unsharded run — sharding only changes where the
-//! detector work executes.
+//! shard workers (contiguous-range chunk assignment), and with
+//! [`QueryRunner::parallel`] those workers' detector invocations run on
+//! scoped threads; results are bitwise-identical to the unsharded serial run
+//! either way — sharding and parallelism only change where the detector work
+//! executes.
 //!
 //! Configuration and execution errors surface as typed [`SimError`]s instead
 //! of panics.
@@ -30,7 +32,8 @@ use exsample_detect::{
     Detector, DetectorNoise, InstanceId, ObjectClass, PerfectDetector, SimulatedDetector,
 };
 use exsample_engine::{
-    ExSamplePolicy, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy, ShardRouter,
+    ExSamplePolicy, ExecutionMode, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy,
+    ShardRouter,
 };
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
@@ -166,6 +169,7 @@ pub struct QueryRunner<'a> {
     discriminator: DiscriminatorKind,
     cost: DecodeCostModel,
     shards: u32,
+    parallel: usize,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -183,6 +187,7 @@ impl<'a> QueryRunner<'a> {
             discriminator: DiscriminatorKind::Oracle,
             cost: DecodeCostModel::paper(),
             shards: 1,
+            parallel: 0,
         }
     }
 
@@ -198,6 +203,15 @@ impl<'a> QueryRunner<'a> {
     /// (unsharded).
     pub fn shards(mut self, shards: u32) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Run the shard workers' detector invocations on up to this many scoped
+    /// threads per stage (thread counts beyond the shard count are clamped by
+    /// the engine).  Results are bitwise-identical to serial execution for
+    /// any thread count.  Values 0 and 1 mean serial execution, the default.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = threads;
         self
     }
 
@@ -376,6 +390,9 @@ impl<'a> QueryRunner<'a> {
                 self.dataset.chunking(),
                 self.shards,
             ));
+        }
+        if self.parallel > 1 {
+            engine = engine.execution(ExecutionMode::Parallel(self.parallel))?;
         }
         engine.push(spec)?;
         let report = engine.run_with(|stage| clock.charge_sampled(stage.detector_frames))?;
@@ -565,6 +582,28 @@ mod tests {
             assert_eq!(sharded.found_instances, unsharded.found_instances);
             assert_eq!(sharded.trajectory, unsharded.trajectory);
             assert_eq!(sharded.sample_secs, unsharded.sample_secs);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_results_are_bitwise_identical() {
+        let dataset = skewed_dataset();
+        let run = |shards: u32, parallel: usize| {
+            QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(23)
+                .shards(shards)
+                .parallel(parallel)
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded")
+        };
+        let serial = run(1, 0);
+        for (shards, parallel) in [(2u32, 2usize), (3, 2), (3, 4), (7, 4), (2, 64)] {
+            let threaded = run(shards, parallel);
+            assert_eq!(threaded.frames_processed, serial.frames_processed);
+            assert_eq!(threaded.found_instances, serial.found_instances);
+            assert_eq!(threaded.trajectory, serial.trajectory);
+            assert_eq!(threaded.sample_secs, serial.sample_secs);
         }
     }
 

@@ -12,12 +12,16 @@
 //! detector time.  The same run is then repeated on a 2-shard engine — the
 //! chunk axis split across two shard workers — to show that sharding changes
 //! *where* detector work executes (the per-shard breakdown) but not a single
-//! query outcome.
+//! query outcome, and once more with the two shard workers' DETECT phases
+//! running on scoped threads (`ExecutionMode::Parallel`), which changes
+//! nothing observable at all.
 
 use exsample::core::ExSampleConfig;
 use exsample::data::{Dataset, GridWorkload, SkewLevel};
 use exsample::detect::PerfectDetector;
-use exsample::engine::{ExSamplePolicy, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter};
+use exsample::engine::{
+    ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
+};
 use exsample::video::ShardSpec;
 use std::sync::Arc;
 
@@ -156,4 +160,36 @@ fn main() {
         merged.report.detector_calls,
         merged.shard_overhead_calls()
     );
+
+    // 5. The same 2-shard run with the workers' DETECT phases on two scoped
+    //    threads.  Parallel execution reorders *work*, never results: the
+    //    merged report — outcomes, per-shard breakdown, physical invocation
+    //    counts — is bitwise-identical to the serial sharded run.
+    let router = ShardRouter::new(dataset.chunking(), &spec).expect("spec matches chunking");
+    let mut parallel = QueryEngine::new()
+        .sharded(router)
+        .execution(ExecutionMode::Parallel(2))
+        .expect("a positive thread count is valid");
+    push_queries(&mut parallel, &dataset, &detector, limit, budget);
+    let _ = parallel.run().expect("queries registered");
+    let parallel_merged = parallel.report_sharded();
+
+    println!("\n2-shard run with 2 DETECT worker threads:");
+    for (a, b) in parallel_merged
+        .report
+        .outcomes
+        .iter()
+        .zip(&merged.report.outcomes)
+    {
+        assert_eq!(a.frames_processed, b.frames_processed);
+        assert_eq!(a.found_instances, b.found_instances);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.stop_reason, b.stop_reason);
+    }
+    assert_eq!(parallel_merged.shards, merged.shards);
+    assert_eq!(
+        parallel_merged.physical_detector_calls,
+        merged.physical_detector_calls
+    );
+    println!("  bitwise-identical to the serial sharded run, down to the per-shard breakdown");
 }
