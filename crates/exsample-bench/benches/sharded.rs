@@ -1,23 +1,29 @@
 //! Sharded engine throughput: 1, 2 and 8 shards × 1 and 8 concurrent
 //! queries over one repository, a parallel-execution axis (serial vs 2 and 4
-//! worker threads at 2 and 8 shards), plus the report-merge overhead
-//! measured separately.
+//! worker threads at 2 and 8 shards) measured under **both dispatch
+//! runtimes** — the persistent per-run worker pool (`parallel_detect`, the
+//! engine default) and the legacy per-stage scoped spawn
+//! (`parallel_detect_scoped`) — plus the report-merge overhead measured
+//! separately.
 //!
 //! Each iteration executes a full sharded `QueryEngine` run (contiguous-range
 //! chunk assignment).  Outcomes are bitwise-identical across shard counts,
-//! execution modes and thread counts — the determinism suite enforces that —
-//! so what this benchmark tracks is pure execution overhead: routing picks to
-//! shard workers, running one `detect_batch` per (detector group, shard)
-//! instead of per group, spawning scoped DETECT threads, and the merge layer
-//! folding per-shard tallies back into a global report.  The printed table
-//! reports the physical-vs-logical invocation counts that dominate the
-//! real-world cost of sharding.
+//! execution modes, thread counts and dispatch runtimes — the determinism
+//! suite enforces that — so what this benchmark tracks is pure execution
+//! overhead: routing picks to shard workers, running one `detect_batch` per
+//! (detector group, shard) instead of per group, dispatching DETECT threads
+//! (a channel wake per stage for the pool, a thread spawn+join per stage for
+//! the scoped runtime), and the merge layer folding per-shard tallies back
+//! into a global report.  The printed table reports the physical-vs-logical
+//! invocation counts that dominate the real-world cost of sharding.
 //!
-//! The parallel axis measures *overhead*, not speedup, on a 1-vCPU container:
-//! the simulated detector is microseconds-cheap, so scoped-thread dispatch
-//! can only cost time there.  On real hardware with a real (milliseconds)
-//! detector the same axis is where the speedup shows up; treat the committed
-//! baseline's parallel rows as a thread-dispatch overhead bound.
+//! The parallel axes measure *overhead*, not speedup, on a 1-vCPU container:
+//! the simulated detector is microseconds-cheap, so any thread dispatch can
+//! only cost time there.  The pooled-vs-scoped delta is exactly the
+//! per-stage dispatch cost the persistent runtime eliminates.  On real
+//! hardware with a real (milliseconds) detector the same axes are where the
+//! speedup shows up; treat the committed baseline's parallel rows as a
+//! dispatch overhead bound.
 //!
 //! `BENCH_QUICK=1` (the CI smoke configuration) shrinks the per-query budget.
 
@@ -25,13 +31,15 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use exsample_core::ExSampleConfig;
 use exsample_data::{Dataset, GridWorkload, SkewLevel};
 use exsample_detect::PerfectDetector;
-use exsample_engine::{ExSamplePolicy, QuerySpec, ShardedReport};
+use exsample_engine::{Dispatch, ExSamplePolicy, QuerySpec, ShardedReport};
 use std::sync::Arc;
 
 const SHARD_COUNTS: [u32; 3] = [1, 2, 8];
 const QUERY_COUNTS: [usize; 2] = [1, 8];
 /// The parallel axis: worker threads (0 = serial) × shard counts.
 const THREAD_COUNTS: [usize; 3] = [0, 2, 4];
+/// The scoped-dispatch comparison rows (serial is dispatch-independent).
+const SCOPED_THREAD_COUNTS: [usize; 2] = [2, 4];
 const PARALLEL_SHARD_COUNTS: [u32; 2] = [2, 8];
 
 fn budget() -> u64 {
@@ -60,10 +68,12 @@ fn run_engine(
     detector: &PerfectDetector,
     shards: u32,
     parallel: usize,
+    dispatch: Dispatch,
     queries: usize,
     budget: u64,
 ) -> ShardedReport {
-    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, parallel);
+    let mut engine =
+        exsample_bench::sharded_engine(dataset.chunking(), shards, parallel).dispatch(dispatch);
     for q in 0..queries {
         let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
         engine
@@ -93,7 +103,15 @@ fn bench_sharded(c: &mut Criterion) {
                 &shards,
                 |b, &shards| {
                     b.iter(|| {
-                        black_box(run_engine(&dataset, &detector, shards, 0, queries, budget))
+                        black_box(run_engine(
+                            &dataset,
+                            &detector,
+                            shards,
+                            0,
+                            Dispatch::Pooled,
+                            queries,
+                            budget,
+                        ))
                     });
                 },
             );
@@ -101,10 +119,12 @@ fn bench_sharded(c: &mut Criterion) {
     }
     group.finish();
 
-    // The parallel axis: serial vs 2/4 scoped worker threads at 2/8 shards,
+    // The parallel axis: serial vs 2/4 pooled worker threads at 2/8 shards,
     // 8 concurrent queries.  Same work, different thread placement — the
     // determinism suite guarantees identical outputs, so the delta is pure
     // execution-mode overhead (or, with an expensive detector, speedup).
+    // These rows use the engine's default persistent worker pool: thread
+    // dispatch costs a channel wake per stage, not a spawn.
     let mut parallel_group = c.benchmark_group("parallel_detect");
     parallel_group.sample_size(10);
     for &shards in &PARALLEL_SHARD_COUNTS {
@@ -114,13 +134,50 @@ fn bench_sharded(c: &mut Criterion) {
                 &threads,
                 |b, &threads| {
                     b.iter(|| {
-                        black_box(run_engine(&dataset, &detector, shards, threads, 8, budget))
+                        black_box(run_engine(
+                            &dataset,
+                            &detector,
+                            shards,
+                            threads,
+                            Dispatch::Pooled,
+                            8,
+                            budget,
+                        ))
                     });
                 },
             );
         }
     }
     parallel_group.finish();
+
+    // The same parallel rows under the legacy per-stage scoped spawn+join —
+    // the dispatch overhead baseline the persistent runtime replaces.  The
+    // pooled-vs-scoped delta at a given (shards, threads) point is the
+    // per-run cost of per-stage thread spawning.
+    let mut scoped_group = c.benchmark_group("parallel_detect_scoped");
+    scoped_group.sample_size(10);
+    for &shards in &PARALLEL_SHARD_COUNTS {
+        for &threads in &SCOPED_THREAD_COUNTS {
+            scoped_group.bench_with_input(
+                BenchmarkId::new(&format!("{shards}s_8q"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        black_box(run_engine(
+                            &dataset,
+                            &detector,
+                            shards,
+                            threads,
+                            Dispatch::Scoped,
+                            8,
+                            budget,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    scoped_group.finish();
 
     // Merge overhead, separately: building the merged report on an
     // already-completed engine.  This measures report_sharded() end to end —
@@ -130,7 +187,8 @@ fn bench_sharded(c: &mut Criterion) {
     let mut merge_group = c.benchmark_group("report_sharded");
     merge_group.sample_size(10);
     for &shards in &SHARD_COUNTS {
-        let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0);
+        let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+            .dispatch(Dispatch::Pooled);
         for q in 0..8usize {
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
             engine
@@ -151,28 +209,62 @@ fn bench_sharded(c: &mut Criterion) {
 
     // The acceptance-relevant numbers: sharding never changes outcomes or the
     // logical invocation count, only the physical per-shard bill — and
-    // parallel execution changes nothing at all.
+    // parallel execution changes nothing at all, under either dispatch
+    // runtime.
     println!("\n# sharded engine invocation counts (per-query budget {budget} frames)");
     println!("# queries | shards | threads | detector frames | logical calls | physical calls | overhead");
     for &queries in &QUERY_COUNTS {
-        let baseline = run_engine(&dataset, &detector, 1, 0, queries, budget);
+        let baseline = run_engine(&dataset, &detector, 1, 0, Dispatch::Pooled, queries, budget);
         for &shards in &SHARD_COUNTS {
-            let serial = run_engine(&dataset, &detector, shards, 0, queries, budget);
+            let serial = run_engine(
+                &dataset,
+                &detector,
+                shards,
+                0,
+                Dispatch::Pooled,
+                queries,
+                budget,
+            );
             assert_eq!(
                 serial.report.detector_frames,
                 baseline.report.detector_frames
             );
             assert_eq!(serial.report.detector_calls, baseline.report.detector_calls);
             for &threads in &THREAD_COUNTS {
-                let merged = run_engine(&dataset, &detector, shards, threads, queries, budget);
+                let merged = run_engine(
+                    &dataset,
+                    &detector,
+                    shards,
+                    threads,
+                    Dispatch::Pooled,
+                    queries,
+                    budget,
+                );
                 // Parallel runs are bitwise-identical to the serial sharded
-                // run, down to the physical per-shard invocation counts.
+                // run, down to the physical per-shard invocation counts —
+                // and the scoped dispatch runtime to the pooled one.
                 assert_eq!(merged.report.detector_frames, serial.report.detector_frames);
                 assert_eq!(merged.report.detector_calls, serial.report.detector_calls);
                 assert_eq!(
                     merged.physical_detector_calls,
                     serial.physical_detector_calls
                 );
+                if threads > 0 {
+                    let scoped = run_engine(
+                        &dataset,
+                        &detector,
+                        shards,
+                        threads,
+                        Dispatch::Scoped,
+                        queries,
+                        budget,
+                    );
+                    assert_eq!(scoped.shards, merged.shards);
+                    assert_eq!(
+                        scoped.physical_detector_calls,
+                        merged.physical_detector_calls
+                    );
+                }
                 println!(
                     "# {:>7} | {:>6} | {:>7} | {:>15} | {:>13} | {:>14} | {:>8}",
                     queries,

@@ -16,8 +16,9 @@
 //!   (contiguous-range chunk assignment; results are bitwise-identical to the
 //!   unsharded run, only the per-shard cost breakdown changes).
 //! * `--parallel N` — run the shard workers' detector invocations on up to N
-//!   scoped threads per stage (0, the default, is serial; thread counts
-//!   beyond the shard count are clamped by the engine; results are
+//!   worker-pool threads per stage (no flag = serial; `--parallel 0` is
+//!   rejected with the engine's typed `InvalidExecution` message; thread
+//!   counts beyond the shard count are clamped by the engine; results are
 //!   bitwise-identical to serial execution).
 //! * `--csv` — emit CSV instead of aligned text tables.
 //!
@@ -40,7 +41,10 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Shard count for the engine's DETECT phase (1 = unsharded).
     pub shards: u32,
-    /// Worker threads for the DETECT phase (0 = serial execution).
+    /// Worker threads for the DETECT phase.  The default (no `--parallel`
+    /// flag) is serial execution; `--parallel 0` is rejected at parse time
+    /// with the engine's typed `InvalidExecution` message, and `--parallel 1`
+    /// is serial execution under another name.
     pub parallel: usize,
     /// Emit CSV instead of plain tables.
     pub csv: bool,
@@ -105,9 +109,19 @@ impl ExperimentOptions {
                 }
                 "--parallel" => {
                     let value = iter.next().ok_or("--parallel requires a value")?;
-                    options.parallel = value
+                    let parallel: usize = value
                         .parse()
                         .map_err(|_| format!("bad --parallel value: {value}"))?;
+                    if parallel == 0 {
+                        // Surface the engine's typed error text instead of
+                        // silently treating 0 as serial (or letting the
+                        // engine reject it deep inside a run).
+                        return Err(format!(
+                            "--parallel 0: {}",
+                            exsample_engine::EngineError::InvalidExecution { threads: 0 }
+                        ));
+                    }
+                    options.parallel = parallel;
                 }
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
@@ -160,10 +174,13 @@ impl ExperimentOptions {
 /// A fresh engine sharded across `shards` workers over `chunking`
 /// (contiguous-range chunk assignment), or an ordinary unsharded engine for
 /// `shards <= 1`, with the workers' detector invocations run on up to
-/// `parallel` scoped threads per stage (0 or 1 = serial execution).  Query
-/// outcomes are bitwise-identical in every configuration; sharding and
-/// parallelism only change where the detector work executes and how costs
-/// break down.
+/// `parallel` worker threads per stage (0 or 1 = serial execution; parallel
+/// runs use the engine's default persistent per-run worker pool — pass the
+/// engine through [`exsample_engine::QueryEngine::dispatch`] to select the
+/// legacy per-stage scoped spawn instead, as the `sharded` bench's dispatch
+/// axis does).  Query outcomes are bitwise-identical in every configuration;
+/// sharding, parallelism and dispatch only change where the detector work
+/// executes and how costs break down.
 pub fn sharded_engine<'a>(
     chunking: &exsample_video::Chunking,
     shards: u32,
@@ -256,10 +273,15 @@ mod tests {
     }
 
     #[test]
-    fn parallel_flag_parses() {
+    fn parallel_flag_parses_and_rejects_zero() {
         assert_eq!(parse(&[]).unwrap().parallel, 0);
         assert_eq!(parse(&["--parallel", "4"]).unwrap().parallel, 4);
-        assert_eq!(parse(&["--parallel", "0"]).unwrap().parallel, 0);
+        assert_eq!(parse(&["--parallel", "1"]).unwrap().parallel, 1);
+        // `--parallel 0` surfaces the engine's typed InvalidExecution text
+        // instead of silently running serial.
+        let err = parse(&["--parallel", "0"]).unwrap_err();
+        assert!(err.contains("--parallel 0"), "message: {err}");
+        assert!(err.contains("at least one worker thread"), "message: {err}");
         assert!(parse(&["--parallel"]).is_err());
         assert!(parse(&["--parallel", "abc"]).is_err());
     }

@@ -21,7 +21,11 @@
 //! functions of the frame id.  The engine probes and fills the cache in a
 //! fixed order (worker-major, lane-major, frame order) in *every* execution
 //! mode, so cache state — and therefore the cost accounting of cached runs —
-//! is identical between serial and parallel execution.
+//! is identical between serial and parallel execution (either dispatch
+//! runtime).  A stage whose every frame is answered by the probe also skips
+//! worker-thread dispatch entirely — no pool wake, no thread spawn — so a
+//! warm engine pays nothing for having parallel execution enabled (pinned by
+//! the runtime lifecycle tests).
 //!
 //! The LRU order uses lazy deletion: every touch pushes a `(key, tick)` entry
 //! onto a queue, and eviction pops queue entries until one matches its key's
@@ -39,6 +43,13 @@ use std::sync::Arc;
 pub(crate) type DetectorSlot = u32;
 
 /// Cache hit/miss/eviction counters.
+///
+/// Counted at the serial probe pass only.  One consequence of the probe →
+/// detect → commit phase split: with coalescing *off*, two same-stage lanes
+/// sharing a detector both probe before either detects, so a frame they have
+/// in common counts as two misses even though it is detected only once (the
+/// lanes share results directly, not through the cache).  Hit-rate telemetry
+/// should therefore be read against coalesced (default) engines.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.

@@ -15,7 +15,7 @@
 //!          │             shard worker per shard runs the batched      │
 //!          │             detector invocations for its frames —        │
 //!          │             serially or, under ExecutionMode::Parallel,  │
-//!          │             on scoped worker threads                     │
+//!          │             on the run's persistent worker pool          │
 //!          │ 4. FAN-OUT  per query, in pick order: discriminator      │
 //!          │             observes the frame's detections, the policy  │
 //!          │             records the verdict, budgets and             │
@@ -48,6 +48,7 @@ use crate::cache::{CacheStats, DetectionCache};
 use crate::error::EngineError;
 use crate::merge::{self, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport};
 use crate::policy::SamplingPolicy;
+use crate::runtime::{Dispatch, StageCtx, WorkerPool};
 use crate::scheduler::{QueryLoad, RoundRobin, StageScheduler};
 use crate::shard::{ShardRouter, ShardWorker};
 use exsample_detect::{Detector, FrameDetections, InstanceId};
@@ -61,8 +62,11 @@ use std::collections::HashSet;
 ///
 /// Serial execution (the default) runs the workers one after another on the
 /// calling thread — pick-for-pick the engine's historical behaviour.
-/// Parallel execution distributes the workers' detect phases over scoped
-/// threads; because each worker's detect phase is pure per-shard computation
+/// Parallel execution distributes the workers' detect phases over worker
+/// threads — by default the [`crate::runtime`] module's persistent per-run
+/// pool (spawned once per run, woken per stage; see [`Dispatch`]), optionally
+/// the legacy per-stage scoped spawn;
+/// because each worker's detect phase is pure per-shard computation
 /// (the cache is probed before and filled after, serially, in worker order),
 /// **every observable result — merged reports, pick sequences, cache state,
 /// cost accounting — is bitwise-identical between the two modes** for any
@@ -73,7 +77,9 @@ pub enum ExecutionMode {
     /// Run shard workers one after another on the calling thread (default).
     #[default]
     Serial,
-    /// Run shard workers' detect phases on up to this many scoped threads.
+    /// Run shard workers' detect phases on up to this many worker threads
+    /// (the run's persistent pool under the default [`Dispatch::Pooled`],
+    /// per-stage scoped threads under [`Dispatch::Scoped`]).
     ///
     /// A thread count exceeding the shard count is clamped to one thread per
     /// shard at stage time (extra threads would have no worker to run);
@@ -341,6 +347,16 @@ pub struct QueryEngine<'a> {
     workers: Vec<ShardWorker>,
     /// How the shard workers' detect phases run (serial by default).
     execution: ExecutionMode,
+    /// How parallel stages hand work to threads (persistent pool by default).
+    dispatch: Dispatch,
+    /// The run's worker pool: `Some` only while [`QueryEngine::run_with`] is
+    /// executing a pooled parallel run (the threads live in that call's
+    /// `std::thread::scope`, and the pool — whose job senders are their
+    /// shutdown signal — is dropped before the scope closes on every path).
+    pool: Option<WorkerPool<'a>>,
+    /// Stages that dispatched work to the pool (cumulative across runs).
+    /// Fully cache-warm stages skip dispatch entirely and don't count.
+    pooled_dispatches: u64,
     /// Optional cross-stage frame→detections cache (off by default).
     cache: Option<DetectionCache>,
     /// Registry of distinct detectors seen, in first-seen order.  Membership
@@ -387,6 +403,9 @@ impl<'a> QueryEngine<'a> {
             router: ShardRouter::single(),
             workers: vec![ShardWorker::new(0)],
             execution: ExecutionMode::Serial,
+            dispatch: Dispatch::Pooled,
+            pool: None,
+            pooled_dispatches: 0,
             cache: None,
             detector_slots: Vec::new(),
             stages: 0,
@@ -456,6 +475,32 @@ impl<'a> QueryEngine<'a> {
     /// The engine's execution mode.
     pub fn execution_mode(&self) -> ExecutionMode {
         self.execution
+    }
+
+    /// Choose how parallel stages hand DETECT work to threads (default:
+    /// [`Dispatch::Pooled`] — a persistent worker pool spawned once per run).
+    /// [`Dispatch::Scoped`] restores the legacy per-stage
+    /// `std::thread::scope` spawn+join, kept selectable as the dispatch
+    /// overhead baseline the `sharded` bench tracks.  Both modes are
+    /// bitwise-identical in every observable result; serial execution ignores
+    /// the knob entirely.
+    pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The engine's dispatch mode.
+    pub fn dispatch_mode(&self) -> Dispatch {
+        self.dispatch
+    }
+
+    /// Number of stages, across all of this engine's runs, that dispatched
+    /// DETECT work to the persistent worker pool.  Serial stages, scoped
+    /// stages and fully cache-warm stages (which skip dispatch entirely — no
+    /// channel send, no wake) don't count; the runtime lifecycle tests use
+    /// this to pin the warm-skip down.
+    pub fn pooled_stage_dispatches(&self) -> u64 {
+        self.pooled_dispatches
     }
 
     /// Enable the bounded cross-stage frame→detections cache with the given
@@ -539,7 +584,26 @@ impl<'a> QueryEngine<'a> {
     ///
     /// Returns `None` once every query has stopped — after that the engine is
     /// finished and [`QueryEngine::report`] is stable.
+    ///
+    /// Manual stage calls always execute outside a pooled run (the worker
+    /// pool exists only inside [`QueryEngine::run_with`]), so the fallible
+    /// pooled dispatch path — the only way a stage can fail — is unreachable
+    /// here and this wrapper over [`QueryEngine::try_run_stage`] cannot
+    /// actually panic.
     pub fn run_stage(&mut self) -> Option<StageStats> {
+        self.try_run_stage()
+            .expect("stage execution cannot fail outside a pooled run")
+    }
+
+    /// [`QueryEngine::run_stage`], surfacing pooled-runtime failures.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::WorkerPanicked`] if a worker lane's detect pass
+    /// panicked during a pooled parallel stage (possible only inside
+    /// [`QueryEngine::run_with`], where the pool is live).  The stage is
+    /// abandoned: reports and cost accounting are unspecified after this
+    /// error, and the run that observed it has already returned it.
+    pub fn try_run_stage(&mut self) -> Result<Option<StageStats>, EngineError> {
         // Phase 1: stop checks and scheduling.
         self.loads.clear();
         for q in &mut self.queries {
@@ -585,7 +649,7 @@ impl<'a> QueryEngine<'a> {
             demanded += q.picks.len() as u64;
         }
         if active == 0 {
-            return None;
+            return Ok(None);
         }
 
         let mut detector_frames = 0u64;
@@ -622,7 +686,7 @@ impl<'a> QueryEngine<'a> {
             q.picks.clear();
             self.workers[0].record_direct(slot, detector_frames, detector_calls);
         } else {
-            self.run_sharded_stage(&mut detector_frames, &mut detector_calls);
+            self.run_sharded_stage(&mut detector_frames, &mut detector_calls)?;
         }
 
         let stats = StageStats {
@@ -636,7 +700,7 @@ impl<'a> QueryEngine<'a> {
         self.demanded_frames += demanded;
         self.detector_frames += detector_frames;
         self.detector_calls += detector_calls;
-        Some(stats)
+        Ok(Some(stats))
     }
 
     /// One frame's fan-out for one query: discriminator verdict, policy
@@ -664,8 +728,9 @@ impl<'a> QueryEngine<'a> {
 
     /// Phases 3 and 4 of a stage: group demands per detector (the *logical*
     /// groups), route every picked frame to the shard worker owning it, run
-    /// each worker's batched detector invocations — serially or on scoped
-    /// threads, per the engine's [`ExecutionMode`] — then fan results back
+    /// each worker's batched detector invocations — serially, on the run's
+    /// persistent worker pool, or on per-stage scoped threads, per the
+    /// engine's [`ExecutionMode`] and [`Dispatch`] — then fan results back
     /// out per query in registration order.  Group slots, worker lanes, the
     /// membership map and the detection buffer are reused across stages
     /// (allocations amortise to zero in steady state).
@@ -675,8 +740,16 @@ impl<'a> QueryEngine<'a> {
     /// (in worker order), the data-independent per-worker detect pass (the
     /// only part that runs on threads), and a serial cache-commit pass (in
     /// worker order again).  Serial mode runs the identical three passes on
-    /// one thread, which is why the two modes are bitwise-indistinguishable.
-    fn run_sharded_stage(&mut self, detector_frames: &mut u64, detector_calls: &mut u64) {
+    /// one thread, which is why all the modes are bitwise-indistinguishable.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::WorkerPanicked`] if a pooled detect lane
+    /// panicked; the stage is abandoned before its cache commit and fan-out.
+    fn run_sharded_stage(
+        &mut self,
+        detector_frames: &mut u64,
+        detector_calls: &mut u64,
+    ) -> Result<(), EngineError> {
         // Logical grouping: one group per distinct detector among the picking
         // queries (per picking query when coalescing is off).
         self.stage_detectors.clear();
@@ -732,18 +805,36 @@ impl<'a> QueryEngine<'a> {
 
         // Pass 2 — detect the misses.  Each worker touches only its own lanes
         // and tallies plus the shared `Send + Sync` detectors, so the workers
-        // are data-independent and parallel mode may run them on scoped
-        // threads (contiguous worker chunks, one per thread).  A fully
-        // cache-warm stage has nothing to detect; spawning threads for it
-        // would be pure overhead, so parallel mode falls back to the (no-op)
-        // serial loop unless some worker actually has work.
+        // are data-independent and parallel mode may run them concurrently
+        // (contiguous worker chunks, one per thread).  A fully cache-warm
+        // stage has nothing to detect; dispatching it would be pure overhead
+        // (a thread spawn in scoped mode, a channel wake in pooled mode), so
+        // parallel mode falls back to the (no-op) serial loop unless some
+        // worker actually has work.
         let share_lanes = self.cache.is_some();
         let threads = self.execution.effective_threads(self.workers.len());
         if threads <= 1 || !self.workers.iter().any(ShardWorker::has_misses) {
             for worker in &mut self.workers {
                 worker.detect(&self.stage_detectors, &self.stage_slots, share_lanes);
             }
+        } else if self.pool.is_some() {
+            // Pooled dispatch: hand contiguous worker chunks to the run's
+            // already-parked helper threads (the coordinator detects the
+            // first chunk inline).  Worker lanes and scratch ride along by
+            // value and come back with the results, so their allocations are
+            // recycled across stages.
+            let ctx = StageCtx {
+                detectors: self.stage_detectors.clone(),
+                slots: self.stage_slots.clone(),
+                share_lanes,
+            };
+            let pool = self.pool.as_mut().expect("pool presence checked above");
+            pool.run_stage(&mut self.workers, threads, ctx)?;
+            self.pooled_dispatches += 1;
         } else {
+            // Legacy scoped dispatch (`Dispatch::Scoped`, or a manual
+            // `run_stage` call outside a pooled run): spawn and join fresh
+            // scoped threads for this stage.
             let detectors = &self.stage_detectors;
             let slots = &self.stage_slots;
             let per_thread = self.workers.len().div_ceil(threads);
@@ -806,14 +897,27 @@ impl<'a> QueryEngine<'a> {
             q.picks = picks;
             q.picks.clear();
         }
+        Ok(())
     }
 
     /// Run every query to completion, invoking `on_stage` after each stage
     /// (the per-stage cost-accounting hook `exsample-sim` charges its virtual
     /// clock from).
     ///
+    /// Under [`ExecutionMode::Parallel`] with [`Dispatch::Pooled`] (the
+    /// default dispatch), this is where the persistent worker runtime lives:
+    /// one `std::thread::scope` wraps the whole stage loop, `n - 1` helper
+    /// threads are spawned into it once, and every parallel stage wakes them
+    /// over channels instead of spawning fresh threads.  The pool is dropped
+    /// — and with it every helper's shutdown signal sent — before the scope
+    /// closes on *every* path out of the loop (completion, a stage error,
+    /// even a panicking `on_stage` hook), and the scope then joins the
+    /// helpers, so a run can neither leak nor deadlock its threads.
+    ///
     /// # Errors
-    /// Returns [`EngineError::NoQueries`] if no query was registered.
+    /// Returns [`EngineError::NoQueries`] if no query was registered, and
+    /// [`EngineError::WorkerPanicked`] if a pooled worker lane's detector
+    /// panicked (the run stops at the offending stage).
     pub fn run_with<F: FnMut(&StageStats)>(
         &mut self,
         mut on_stage: F,
@@ -821,7 +925,32 @@ impl<'a> QueryEngine<'a> {
         if self.queries.is_empty() {
             return Err(EngineError::NoQueries);
         }
-        while let Some(stats) = self.run_stage() {
+        let threads = self.execution.effective_threads(self.workers.len());
+        if self.dispatch == Dispatch::Pooled && threads > 1 {
+            return std::thread::scope(|scope| {
+                self.pool = Some(WorkerPool::spawn(scope, threads - 1));
+                // Clears the pool on unwind too: dropping the job senders is
+                // what lets the scoped helpers exit, so the scope's implicit
+                // join cannot hang even if `on_stage` panics mid-run.
+                struct PoolGuard<'g, 'a>(&'g mut QueryEngine<'a>);
+                impl Drop for PoolGuard<'_, '_> {
+                    fn drop(&mut self) {
+                        self.0.pool = None;
+                    }
+                }
+                let guard = PoolGuard(self);
+                guard.0.drive(&mut on_stage)
+            });
+        }
+        self.drive(&mut on_stage)
+    }
+
+    /// The stage loop shared by pooled and unpooled runs.
+    fn drive<F: FnMut(&StageStats)>(
+        &mut self,
+        on_stage: &mut F,
+    ) -> Result<EngineReport, EngineError> {
+        while let Some(stats) = self.try_run_stage()? {
             on_stage(&stats);
         }
         Ok(self.report())

@@ -67,6 +67,18 @@ pub enum EngineError {
         /// The rejected thread count.
         threads: usize,
     },
+    /// A worker lane's detect pass panicked during a pooled parallel stage.
+    ///
+    /// The persistent worker runtime catches detector panics on every lane
+    /// (helper threads and the coordinator's inline lane alike) and surfaces
+    /// them as this typed error instead of unwinding the coordinator or —
+    /// worse — leaving it blocked on a completion channel.  The run stops at
+    /// the offending stage; the engine's reports and cost accounting are
+    /// unspecified after this error.
+    WorkerPanicked {
+        /// The panic message of the first lane (in chunk order) that failed.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -87,7 +99,12 @@ impl fmt::Display for EngineError {
             ),
             EngineError::InvalidExecution { threads } => write!(
                 f,
-                "parallel execution requires at least one thread (got {threads})"
+                "parallel execution requires at least one worker thread (got {threads}); \
+                 use 1 thread (or serial mode) for single-threaded execution"
+            ),
+            EngineError::WorkerPanicked { message } => write!(
+                f,
+                "a DETECT worker lane panicked during a pooled parallel stage: {message}"
             ),
         }
     }
@@ -134,7 +151,14 @@ mod tests {
         assert!(shard.to_string().contains("spec covers 5"));
         assert!(std::error::Error::source(&shard).is_none());
         let execution = EngineError::InvalidExecution { threads: 0 };
-        assert!(execution.to_string().contains("at least one thread"));
+        assert!(execution.to_string().contains("at least one worker thread"));
+        assert!(execution.to_string().contains("got 0"));
         assert!(std::error::Error::source(&execution).is_none());
+        let panicked = EngineError::WorkerPanicked {
+            message: "detector exploded".to_string(),
+        };
+        assert!(panicked.to_string().contains("detector exploded"));
+        assert!(panicked.to_string().contains("worker lane panicked"));
+        assert!(std::error::Error::source(&panicked).is_none());
     }
 }

@@ -72,14 +72,25 @@
 //! Shard workers' DETECT phases are data-independent (a frame belongs to
 //! exactly one shard, detectors are `Send + Sync` pure functions of the frame
 //! id), so [`QueryEngine::execution`] with [`ExecutionMode::Parallel`] runs
-//! them on `std::thread::scope` threads.  The stage's cache probe and cache
-//! commit passes stay serial in worker order in both modes, and FAN-OUT stays
-//! in registration/pick order — parallelism reorders *work*, never observable
-//! results, so parallel runs are bitwise-identical to serial ones (pinned for
-//! threads {1, 2, 4} × shards {1, 3, 7} × both partitioners).  Serial remains
-//! the default; thread counts exceeding the shard count are clamped to one
-//! thread per shard, and `Parallel(0)` is a typed
-//! [`error::EngineError::InvalidExecution`].
+//! them on worker threads.  By default ([`Dispatch::Pooled`]) those threads
+//! form the [`runtime`] module's **persistent worker pool**: spawned once per
+//! engine run, parked on blocking channels between stages, woken by a channel
+//! send per parallel stage, joined when the run ends — never spawned per
+//! stage (the legacy per-stage `std::thread::scope` behaviour remains
+//! selectable as [`Dispatch::Scoped`], and is what a manual
+//! [`QueryEngine::run_stage`] call outside a run uses).  Worker lanes and
+//! detect scratch travel to the pool by value and come back with the results,
+//! so their allocations are recycled across stages.  The stage's cache probe
+//! and cache commit passes stay serial in worker order in every mode, and
+//! FAN-OUT stays in registration/pick order — parallelism reorders *work*,
+//! never observable results, so parallel runs are bitwise-identical to serial
+//! ones (pinned for threads {1, 2, 4} × shards {1, 3, 7} × both partitioners
+//! × both dispatch modes).  Serial remains the default; thread counts
+//! exceeding the shard count are clamped to one thread per shard, and
+//! `Parallel(0)` is a typed [`error::EngineError::InvalidExecution`].  A
+//! detector panic on any pooled lane surfaces as a typed
+//! [`error::EngineError::WorkerPanicked`] — never a deadlocked coordinator or
+//! a leaked thread.
 //!
 //! ## Scheduling
 //!
@@ -112,6 +123,7 @@ pub mod engine;
 pub mod error;
 pub mod merge;
 pub mod policy;
+pub mod runtime;
 pub mod scheduler;
 pub mod shard;
 
@@ -126,5 +138,6 @@ pub use merge::{
     merge_reports, DetectorInvocations, MergeError, ShardQueryTally, ShardReport, ShardedReport,
 };
 pub use policy::{ExSamplePolicy, FrameSamplerPolicy, MethodPolicy, SamplingPolicy};
+pub use runtime::{live_worker_threads, spawned_worker_threads, Dispatch};
 pub use scheduler::{BudgetProportional, QueryLoad, RoundRobin, StageScheduler};
 pub use shard::ShardRouter;

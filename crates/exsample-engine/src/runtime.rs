@@ -1,0 +1,649 @@
+//! The persistent worker-pool execution runtime.
+//!
+//! PR 4 ran the DETECT phase of a parallel stage on `std::thread::scope`
+//! threads spawned — and joined — *inside every stage*.  On the bench host
+//! that dispatch overhead dominated the simulated detector entirely: the
+//! `parallel_detect` rows of `BENCH_sharded.json` ran ~23–34% slower than
+//! serial, purely from per-stage thread spawn+join.  This module replaces
+//! per-stage spawning with a [`WorkerPool`] of long-lived worker threads
+//! created **once per engine run** and reused by every parallel stage of that
+//! run:
+//!
+//! * **Spawn once, dispatch many.**  [`crate::QueryEngine::run_with`] (and
+//!   [`crate::QueryEngine::run`]) open one `std::thread::scope` around the
+//!   whole stage loop and spawn `n - 1` helper threads into it (the calling
+//!   thread itself is the `n`-th lane — it detects the first worker chunk
+//!   inline instead of sleeping on a channel).  Each stage then queues work
+//!   on the already-running helpers' Mutex+Condvar **turnstiles** — a condvar
+//!   wake, not a thread spawn.  No busy-waiting anywhere: idle helpers are
+//!   parked in `Condvar::wait`.
+//! * **Help-first reclaim.**  After detecting its own chunk, the coordinator
+//!   *reclaims* any queued chunk whose helper has not started it and runs it
+//!   inline.  On a saturated or single-vCPU host — where a helper wake could
+//!   only add scheduling latency — the whole handoff therefore collapses to
+//!   two uncontended mutex operations and the stage never blocks; on idle
+//!   multicore hardware the helpers win the race and the chunks execute
+//!   genuinely in parallel.  Which side runs a chunk affects wall-clock
+//!   placement only, never results.
+//! * **Worker-resident lanes.**  The per-shard [`ShardWorker`]s — lanes,
+//!   result maps, detect scratch — are *moved* into the stage's jobs and
+//!   moved back with the results, so every allocation they carry is recycled
+//!   across stages and across runs; nothing is rebuilt per stage, and no
+//!   `unsafe` is needed to share them (ownership transfer, not aliasing).
+//!   The chunk buffers that carry workers through the channels are recycled
+//!   by the pool itself ([`WorkerPool::spare`]).
+//! * **Phase structure preserved.**  Only the pure per-worker *detect* phase
+//!   is dispatched; the serial cache probe/commit passes and the
+//!   registration-order fan-out run on the coordinator exactly as in serial
+//!   mode, which is why pooled execution stays bitwise-identical to serial
+//!   (the determinism suite pins threads {1, 2, 4} × shards {1, 3, 7} × both
+//!   partitioners × both dispatch modes).
+//! * **Clean shutdown, typed panics.**  Helpers exit when the pool (and with
+//!   it every job `Sender`) is dropped — the engine guarantees this happens
+//!   before the scope closes, even if a stage errors or a caller hook panics,
+//!   so a run can never leak or deadlock its threads, and the scope joins
+//!   every helper before `run` returns.  A detector panic inside any lane
+//!   (helper *or* the coordinator's inline lane) is caught, the affected
+//!   workers are returned to the engine, and the stage surfaces
+//!   [`EngineError::WorkerPanicked`] instead of unwinding or hanging.
+//!
+//! [`Dispatch::Scoped`] keeps the legacy per-stage `std::thread::scope`
+//! behaviour selectable, so the `sharded` bench can track the dispatch
+//! overhead delta between the two runtimes.
+
+use crate::error::EngineError;
+use crate::shard::ShardWorker;
+use exsample_detect::Detector;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Scope;
+
+/// How a parallel stage hands DETECT work to threads.
+///
+/// Orthogonal to [`crate::ExecutionMode`]: the execution mode says *how many*
+/// threads run the shard workers' detect phases, the dispatch mode says *how
+/// work reaches them*.  Both modes are bitwise-identical in every observable
+/// result — the determinism suite pins pooled and scoped dispatch against
+/// serial execution over the full thread/shard/partitioner matrix — so the
+/// only difference is dispatch overhead, which the `sharded` bench's
+/// `parallel_detect` (pooled) vs `parallel_detect_scoped` (scoped) axes
+/// track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Dispatch stages to a persistent [`WorkerPool`] spawned once per engine
+    /// run (the default).  Per-stage dispatch cost is a turnstile hand-off —
+    /// a mutex-guarded job slot and a condvar wake — per helper thread, and
+    /// chunks a helper has not started are reclaimed and run inline by the
+    /// coordinator.
+    #[default]
+    Pooled,
+    /// Spawn and join a fresh set of `std::thread::scope` threads in every
+    /// stage — the pre-runtime behaviour, kept selectable as the overhead
+    /// baseline.  A detector panic propagates as a panic (the scope rethrows
+    /// it on join) instead of the pooled runtime's typed
+    /// [`EngineError::WorkerPanicked`].
+    Scoped,
+}
+
+/// Live pool helper threads in this process (across all engines).
+///
+/// Incremented when a helper thread starts and decremented when it exits; the
+/// runtime lifecycle tests assert this returns to zero after every run, which
+/// is the "no leaked threads" guarantee made observable.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pool helper threads ever spawned in this process (cumulative).
+static SPAWNED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of pool helper threads currently alive in this process.
+///
+/// Diagnostic for tests and telemetry: pools live only for the duration of an
+/// engine run, so outside any [`crate::QueryEngine::run`] call this is zero —
+/// repeated runs cannot accumulate threads.
+pub fn live_worker_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Cumulative number of pool helper threads ever spawned in this process.
+///
+/// Diagnostic for tests and telemetry: an `n`-way parallel run grows this by
+/// exactly `n - 1` — once per run, regardless of how many stages the run
+/// executes — which is the runtime lifecycle tests' proof that per-stage
+/// thread spawning is gone.
+pub fn spawned_worker_threads() -> usize {
+    SPAWNED_WORKERS.load(Ordering::SeqCst)
+}
+
+/// RAII tally of a helper thread's lifetime in [`LIVE_WORKERS`].
+struct LiveGuard;
+
+impl LiveGuard {
+    fn new() -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        SPAWNED_WORKERS.fetch_add(1, Ordering::SeqCst);
+        LiveGuard
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The immutable per-stage context every lane needs to run its detect phase:
+/// the stage's logical detector groups, their registry slots, and whether
+/// same-slot lanes share results (cache on, coalescing off).  Shared across
+/// lanes behind one `Arc` per stage.
+pub(crate) struct StageCtx<'a> {
+    pub(crate) detectors: Vec<&'a dyn Detector>,
+    pub(crate) slots: Vec<u32>,
+    pub(crate) share_lanes: bool,
+}
+
+/// One stage's work for one helper lane: the contiguous chunk of shard
+/// workers it owns this stage (by value — ownership transfer is what makes
+/// the handoff safe without locks) plus the shared stage context.
+struct Job<'a> {
+    /// Index of this chunk in the stage's worker partition (chunk 0 is the
+    /// coordinator's inline lane and never crosses a channel).
+    chunk: usize,
+    ctx: Arc<StageCtx<'a>>,
+    workers: Vec<ShardWorker>,
+}
+
+/// A lane's completed stage work, sent back to the coordinator.
+struct Done {
+    chunk: usize,
+    /// The chunk's workers, returned even when the lane panicked (their
+    /// buffers are recycled into the next stage; a panicked stage's tallies
+    /// are unspecified, but the run is erroring out anyway).
+    workers: Vec<ShardWorker>,
+    /// The panic message, if the lane's detect pass panicked.
+    panic: Option<String>,
+}
+
+/// Render a caught panic payload as the message carried by
+/// [`EngineError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
+    }
+}
+
+/// Run one lane's detect pass, catching panics so a poisoned detector can
+/// never strand the coordinator (the lane always reports back).
+fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> Option<String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        for worker in workers.iter_mut() {
+            worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes);
+        }
+    }))
+    .err()
+    .map(panic_message)
+}
+
+/// One helper lane's handoff turnstile: a `Mutex`-guarded job slot plus the
+/// `Condvar` its helper thread blocks on between stages.
+///
+/// The turnstile — rather than a plain channel — exists for one reason: the
+/// coordinator can **reclaim** a job the helper has not started yet
+/// ([`LaneState::Ready`] → taken back) and run it inline.  On a saturated or
+/// single-vCPU host the helper often is not scheduled before the coordinator
+/// finishes its own chunk, so reclaiming collapses the entire per-stage
+/// handoff (wake, block, wake) into two uncontended mutex operations; on real
+/// hardware the helper wins the race, marks the lane [`LaneState::Running`],
+/// and the chunks genuinely execute in parallel.  Either way the same chunk
+/// is detected with the same worker-resident state, so the race affects
+/// wall-clock only — never results.
+struct LaneSlot<'a> {
+    state: Mutex<LaneState<'a>>,
+    turnstile: Condvar,
+}
+
+/// State of one lane's turnstile.
+enum LaneState<'a> {
+    /// No job queued; the helper is (or will be) blocked on the condvar.
+    Idle,
+    /// A job is queued and may be taken by the helper *or* reclaimed by the
+    /// coordinator — whichever locks the slot first.
+    Ready(Job<'a>),
+    /// The helper took the job and is detecting; the coordinator must await
+    /// its [`Done`] on the completion channel.
+    Running,
+    /// The pool is shutting down; the helper exits on observing this.
+    Shutdown,
+}
+
+/// A persistent pool of DETECT helper threads, spawned once per engine run
+/// into the run's `std::thread::scope` and reused by every parallel stage.
+///
+/// The pool owns one [`LaneSlot`] per helper plus the shared completion
+/// channel.  Dropping the pool flips every slot to [`LaneState::Shutdown`]
+/// and wakes its helper, which exits and is joined by the enclosing scope.
+/// The engine drops its pool before the scope closes on every path — normal
+/// completion, stage error, or a panicking caller hook — so shutdown can
+/// never hang.
+pub(crate) struct WorkerPool<'a> {
+    /// One turnstile per helper thread; helper `i` serves chunk `i + 1` of
+    /// each dispatched stage (chunk 0 runs inline on the coordinator).
+    lanes: Vec<Arc<LaneSlot<'a>>>,
+    /// Consecutive chunks of each helper reclaimed by the coordinator — the
+    /// wake-stickiness state: a helper at or past [`DISENGAGE_AFTER`] misses
+    /// is not woken per stage, its queued chunks are simply reclaimed.
+    consecutive_misses: Vec<u32>,
+    /// Stages dispatched so far (drives periodic re-engagement).
+    dispatched_stages: u64,
+    /// Per-stage panic scratch, indexed by chunk (chunk 0 is the inline
+    /// lane), so the reported panic is the first in *chunk* order no matter
+    /// in which order helper completions arrive.
+    lane_panics: Vec<Option<String>>,
+    /// Completion channel shared by all helpers (used only for jobs a helper
+    /// actually ran; reclaimed jobs never touch it).
+    done_rx: Receiver<Done>,
+    /// Recycled chunk buffers: the `Vec<ShardWorker>`s that carry workers
+    /// through the turnstiles, reused across stages so steady-state dispatch
+    /// allocates nothing but one `Arc<StageCtx>` per stage.
+    spare: Vec<Vec<ShardWorker>>,
+    /// Per-stage reassembly scratch, indexed by chunk.
+    returned: Vec<Option<Vec<ShardWorker>>>,
+}
+
+/// Disengage a helper after this many *consecutive* reclaimed chunks.
+///
+/// One lost race must not cost a multicore host its parallelism — a helper
+/// can lose a single race to a transient OS stall — so a helper is only
+/// stopped being woken once the coordinator has reclaimed its chunk this
+/// many stages in a row (the pattern of a host that is not scheduling it at
+/// all, e.g. one vCPU).  Any chunk the helper does run resets its count.
+const DISENGAGE_AFTER: u32 = 2;
+
+/// Wake disengaged helpers every this many dispatched stages.
+///
+/// A helper whose last [`DISENGAGE_AFTER`] chunks were all reclaimed is
+/// probably not getting scheduled (the host is saturated, or has one vCPU);
+/// waking it again every stage would buy a context switch and nothing else,
+/// so its queued chunks go un-notified — still reclaimable — until the next
+/// re-engagement stage offers it work again.  On an idle multicore host a
+/// helper re-engages within one period of a (multi-stage) stall — and with a
+/// detector expensive enough for parallelism to matter, helpers win their
+/// races and never disengage in the first place; on a 1-vCPU host the
+/// steady state is one wake per helper per period instead of per stage.
+const REENGAGE_PERIOD: u64 = 32;
+
+impl Drop for WorkerPool<'_> {
+    fn drop(&mut self) {
+        for lane in &self.lanes {
+            {
+                let mut state = lane.state.lock().expect("lane mutex is never poisoned");
+                *state = LaneState::Shutdown;
+            }
+            lane.turnstile.notify_one();
+        }
+    }
+}
+
+impl<'a> WorkerPool<'a> {
+    /// Spawn `helpers` long-lived worker threads into `scope`.
+    ///
+    /// The pool supports stages of up to `helpers + 1` lanes: the calling
+    /// thread always executes the first chunk inline, so an engine running
+    /// `n`-way parallel stages spawns `n - 1` helpers.
+    pub(crate) fn spawn<'scope, 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        helpers: usize,
+    ) -> WorkerPool<'a>
+    where
+        'a: 'scope,
+    {
+        let (done_tx, done_rx) = channel::<Done>();
+        let lanes = (0..helpers)
+            .map(|lane| {
+                let slot = Arc::new(LaneSlot {
+                    state: Mutex::new(LaneState::Idle),
+                    turnstile: Condvar::new(),
+                });
+                let helper_slot = Arc::clone(&slot);
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("exsample-detect-{lane}"))
+                    .spawn_scoped(scope, move || helper_loop(&helper_slot, &done_tx))
+                    .expect("spawn DETECT pool worker thread");
+                slot
+            })
+            .collect();
+        WorkerPool {
+            consecutive_misses: vec![0; helpers],
+            lanes,
+            dispatched_stages: 0,
+            lane_panics: Vec::new(),
+            done_rx,
+            spare: Vec::new(),
+            returned: Vec::new(),
+        }
+    }
+
+    /// Execute one stage's detect pass across the pool: partition `workers`
+    /// into `threads` contiguous chunks, queue chunks `1..` on the helper
+    /// turnstiles, run chunk 0 inline on the calling thread, reclaim and run
+    /// any queued chunk its helper has not started, then reassemble `workers`
+    /// in shard order.
+    ///
+    /// `workers` is left in its original order with every worker's detect
+    /// pass executed — exactly what the serial loop and the scoped spawn
+    /// produce — so pooled dispatch is observably identical to both.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::WorkerPanicked`] if any lane's detect pass
+    /// panicked (the first panic in chunk order wins).  All workers are
+    /// reassembled into `workers` even on error; the stage they carry is
+    /// incomplete, so the engine abandons it and surfaces the error.
+    pub(crate) fn run_stage(
+        &mut self,
+        workers: &mut Vec<ShardWorker>,
+        threads: usize,
+        ctx: StageCtx<'a>,
+    ) -> Result<(), EngineError> {
+        let total = workers.len();
+        let per_chunk = total.div_ceil(threads);
+        let chunks = total.div_ceil(per_chunk);
+        debug_assert!(
+            chunks <= self.lanes.len() + 1,
+            "stage needs {chunks} lanes but the pool has {} helpers + 1 inline",
+            self.lanes.len()
+        );
+        let ctx = Arc::new(ctx);
+        self.dispatched_stages += 1;
+        let reengage = self.dispatched_stages.is_multiple_of(REENGAGE_PERIOD);
+
+        // Carve chunks 1.. off the tail (cheap: draining a suffix shifts
+        // nothing) and queue them on their helper turnstiles; chunk 0 stays
+        // in `workers`.  Every queued lane was left Idle by the previous
+        // stage (its Done was collected, or the coordinator reclaimed it).
+        for chunk in (1..chunks).rev() {
+            let mut buf = self.spare.pop().unwrap_or_default();
+            buf.extend(workers.drain(chunk * per_chunk..));
+            let slot = &self.lanes[chunk - 1];
+            {
+                let mut state = slot.state.lock().expect("lane mutex is never poisoned");
+                debug_assert!(matches!(*state, LaneState::Idle));
+                *state = LaneState::Ready(Job {
+                    chunk,
+                    ctx: Arc::clone(&ctx),
+                    workers: buf,
+                });
+            }
+            // Wake the helper — with the mutex released, so it never stalls
+            // on a lock the coordinator still holds.  Disengaged helpers
+            // (their last DISENGAGE_AFTER chunks were all reclaimed, so
+            // waking them only buys a context switch on a host that isn't
+            // scheduling them anyway) are left parked except on
+            // re-engagement stages; their queued chunk is picked up by the
+            // reclaim pass below.
+            if self.consecutive_misses[chunk - 1] < DISENGAGE_AFTER || reengage {
+                slot.turnstile.notify_one();
+            }
+        }
+
+        // The coordinator is the first lane: detect chunk 0 inline instead of
+        // sleeping until the helpers finish.  Panics are caught exactly like
+        // a helper's, so a poisoned detector surfaces as a typed error no
+        // matter which shard it lives on.
+        self.lane_panics.clear();
+        self.lane_panics.resize_with(chunks, || None);
+        self.lane_panics[0] = detect_chunk(workers, &ctx);
+
+        // Reclaim pass: any queued chunk whose helper has not started yet is
+        // taken back and detected right here.  On a busy or single-vCPU host
+        // this is the common case — the handoff collapses to two mutex
+        // operations and the stage never blocks — while on idle multicore
+        // hardware the helpers have already flipped their lanes to Running
+        // and the chunks are executing concurrently.
+        self.returned.clear();
+        self.returned.resize_with(chunks, || None);
+        let mut outstanding = 0usize;
+        for chunk in 1..chunks {
+            let slot = &self.lanes[chunk - 1];
+            let reclaimed = {
+                let mut state = slot.state.lock().expect("lane mutex is never poisoned");
+                match std::mem::replace(&mut *state, LaneState::Idle) {
+                    LaneState::Ready(job) => Some(job),
+                    other => {
+                        *state = other;
+                        None
+                    }
+                }
+            };
+            match reclaimed {
+                Some(mut job) => {
+                    self.consecutive_misses[chunk - 1] =
+                        self.consecutive_misses[chunk - 1].saturating_add(1);
+                    self.lane_panics[job.chunk] = detect_chunk(&mut job.workers, &job.ctx);
+                    self.returned[job.chunk] = Some(job.workers);
+                }
+                None => {
+                    self.consecutive_misses[chunk - 1] = 0;
+                    outstanding += 1;
+                }
+            }
+        }
+
+        // Await the chunks a helper genuinely ran, then splice everything
+        // back in shard order.
+        for _ in 0..outstanding {
+            let done = self
+                .done_rx
+                .recv()
+                .expect("every running lane reports back, panicked or not");
+            self.lane_panics[done.chunk] = done.panic;
+            self.returned[done.chunk] = Some(done.workers);
+        }
+        for slot in &mut self.returned[1..] {
+            let mut buf = slot.take().expect("every chunk was collected");
+            workers.append(&mut buf);
+            self.spare.push(buf);
+        }
+
+        // Completion order is scheduler-dependent, chunk order is not: the
+        // reported panic is deterministically the first in chunk order.
+        match self.lane_panics.iter_mut().find_map(Option::take) {
+            Some(message) => Err(EngineError::WorkerPanicked { message }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A helper thread's lifetime: block on the turnstile until a job is queued
+/// (or shutdown is signalled), run it, report the result, repeat.
+fn helper_loop(slot: &LaneSlot<'_>, done_tx: &Sender<Done>) {
+    let _live = LiveGuard::new();
+    loop {
+        let Job {
+            chunk,
+            ctx,
+            mut workers,
+        } = {
+            let mut state = slot.state.lock().expect("lane mutex is never poisoned");
+            loop {
+                match std::mem::replace(&mut *state, LaneState::Idle) {
+                    // Won the race against a coordinator reclaim: mark the
+                    // lane Running so the coordinator awaits our Done.
+                    LaneState::Ready(job) => {
+                        *state = LaneState::Running;
+                        break job;
+                    }
+                    LaneState::Shutdown => {
+                        *state = LaneState::Shutdown;
+                        return;
+                    }
+                    // Idle (including spurious wakeups and reclaimed jobs):
+                    // park on the turnstile — a condvar block, no busy-wait.
+                    LaneState::Idle | LaneState::Running => {
+                        state = slot
+                            .turnstile
+                            .wait(state)
+                            .expect("lane mutex is never poisoned");
+                    }
+                }
+            }
+        };
+        let panic = detect_chunk(&mut workers, &ctx);
+        {
+            let mut state = slot.state.lock().expect("lane mutex is never poisoned");
+            if !matches!(*state, LaneState::Shutdown) {
+                *state = LaneState::Idle;
+            }
+        }
+        if done_tx
+            .send(Done {
+                chunk,
+                workers,
+                panic,
+            })
+            .is_err()
+        {
+            // Coordinator gone (it only drops the completion receiver with
+            // the whole pool).
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_detect::{FrameDetections, ObjectClass};
+    use exsample_video::FrameId;
+
+    struct NoopDetector(ObjectClass);
+
+    impl Detector for NoopDetector {
+        fn detect(&self, frame: FrameId) -> FrameDetections {
+            FrameDetections::empty(frame)
+        }
+
+        fn class(&self) -> &ObjectClass {
+            &self.0
+        }
+    }
+
+    struct BombDetector(ObjectClass);
+
+    impl Detector for BombDetector {
+        fn detect(&self, frame: FrameId) -> FrameDetections {
+            panic!("bomb detector refuses frame {frame}")
+        }
+
+        fn class(&self) -> &ObjectClass {
+            &self.0
+        }
+    }
+
+    /// A worker with `frames` routed into one lane of group 0, ready for a
+    /// detect pass.
+    fn loaded_worker(shard: u32, frames: &[FrameId]) -> ShardWorker {
+        let mut worker = ShardWorker::new(shard);
+        worker.begin_stage(1, 1);
+        for &frame in frames {
+            worker.push_frame(0, frame);
+        }
+        worker.probe(&[0], true, None);
+        worker
+    }
+
+    #[test]
+    fn pool_round_trips_workers_and_recycles_buffers() {
+        let detector = NoopDetector(ObjectClass::from("car"));
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::spawn(scope, 2);
+            assert_eq!(pool.lanes.len(), 2);
+            let mut workers: Vec<ShardWorker> = (0..3)
+                .map(|s| loaded_worker(s, &[s as u64, 10 + s as u64]))
+                .collect();
+            for _stage in 0..4 {
+                let ctx = StageCtx {
+                    detectors: vec![&detector, &detector, &detector],
+                    slots: vec![0, 0, 0],
+                    share_lanes: false,
+                };
+                pool.run_stage(&mut workers, 3, ctx).expect("no panics");
+                // Shard order is restored exactly.
+                let shards: Vec<u32> = workers.iter().map(ShardWorker::shard).collect();
+                assert_eq!(shards, vec![0, 1, 2]);
+                for worker in &mut workers {
+                    let shard = worker.shard();
+                    worker.begin_stage(1, 1);
+                    worker.push_frame(0, shard as u64);
+                    worker.probe(&[0], true, None);
+                }
+            }
+            // Chunk buffers were recycled, not re-allocated per stage.
+            assert!(pool.spare.len() <= 2);
+            drop(pool);
+        });
+        assert_eq!(live_worker_threads(), 0);
+    }
+
+    #[test]
+    fn helper_lane_panic_is_typed_and_workers_come_back() {
+        let noop = NoopDetector(ObjectClass::from("car"));
+        let bomb = BombDetector(ObjectClass::from("car"));
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::spawn(scope, 1);
+            // Chunk 0 (inline) uses the noop detector; chunk 1 (helper) gets
+            // the bomb via its own worker's lane.
+            let mut workers = vec![loaded_worker(0, &[1]), loaded_worker(1, &[2])];
+            let ctx = StageCtx {
+                detectors: vec![&noop as &dyn Detector, &bomb],
+                slots: vec![0, 1],
+                share_lanes: false,
+            };
+            // Shard 1's frames went to group 0's lane above; re-load shard 1
+            // so its lane belongs to the bomb's group instead.
+            workers[1] = {
+                let mut worker = ShardWorker::new(1);
+                worker.begin_stage(2, 1);
+                worker.push_frame(1, 2);
+                worker.probe(&[0, 1], true, None);
+                worker
+            };
+            let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
+            match err {
+                EngineError::WorkerPanicked { message } => {
+                    assert!(message.contains("bomb detector"), "message: {message}")
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            // Both workers were reassembled despite the panic.
+            assert_eq!(workers.len(), 2);
+            assert_eq!(workers[0].shard(), 0);
+            assert_eq!(workers[1].shard(), 1);
+            drop(pool);
+        });
+        assert_eq!(live_worker_threads(), 0);
+    }
+
+    #[test]
+    fn inline_lane_panic_is_typed_too() {
+        let bomb = BombDetector(ObjectClass::from("car"));
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::spawn(scope, 1);
+            let mut workers = vec![loaded_worker(0, &[7]), loaded_worker(1, &[8])];
+            let ctx = StageCtx {
+                detectors: vec![&bomb as &dyn Detector],
+                slots: vec![0],
+                share_lanes: false,
+            };
+            let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
+            assert!(matches!(err, EngineError::WorkerPanicked { .. }));
+            drop(pool);
+        });
+        assert_eq!(live_worker_threads(), 0);
+    }
+}

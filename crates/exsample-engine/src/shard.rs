@@ -10,7 +10,7 @@
 //! unsharded run — see the crate docs for the full determinism argument.
 //!
 //! A worker's stage work is split into three phases so that the middle one can
-//! run on a scoped thread when the engine executes shards in parallel:
+//! run on a worker thread when the engine executes shards in parallel:
 //!
 //! 1. [`ShardWorker::probe`] (serial, worker order) — coalesce each lane's
 //!    frames and answer what it can from the shared cross-stage cache;
@@ -18,7 +18,11 @@
 //!    detector invocations for the cache misses.  This phase touches only the
 //!    worker's own lanes and tallies plus the shared `&dyn Detector`s
 //!    (`Send + Sync` by trait bound), so workers are data-independent and the
-//!    engine may run them on `std::thread::scope` threads in any order;
+//!    engine may run them concurrently in any order — on the persistent
+//!    per-run worker pool (`crate::runtime`, the default, where whole
+//!    `ShardWorker`s travel to the pool's lanes by value and their buffers
+//!    are recycled across stages) or on legacy per-stage
+//!    `std::thread::scope` threads;
 //! 3. [`ShardWorker::commit_cache`] (serial, worker order) — publish the new
 //!    results into the shared cache.
 //!

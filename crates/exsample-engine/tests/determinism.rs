@@ -15,15 +15,18 @@
 //!    (`ExecutionMode::Parallel`) is bitwise-identical to serial execution —
 //!    merged reports, per-query pick sequences, and logical *and* physical
 //!    invocation counts — over the full matrix of threads {1, 2, 4} ×
-//!    shards {1, 3, 7} × both partitioners.
+//!    shards {1, 3, 7} × both partitioners × both dispatch runtimes (the
+//!    persistent per-run worker pool, `Dispatch::Pooled`, and the legacy
+//!    per-stage scoped spawn, `Dispatch::Scoped`).
 
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    run_query, EngineReport, ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine,
-    QueryReport, QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, ShardedReport, StopReason,
+    run_query, Dispatch, EngineReport, ExSamplePolicy, ExecutionMode, FrameSamplerPolicy,
+    QueryEngine, QueryReport, QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, ShardedReport,
+    StopReason,
 };
 use exsample_track::{Discriminator, MatchOutcome, OracleDiscriminator};
 use exsample_video::{
@@ -538,14 +541,15 @@ fn parallel_execution_matrix_is_bitwise_identical_to_serial() {
 
     for shards in [1u32, 3, 7] {
         for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
-            let run = |mode: ExecutionMode| {
+            let run = |mode: ExecutionMode, dispatch: Dispatch| {
                 let spec = ShardSpec::new(partitioner, chunking.len(), shards);
                 let router = ShardRouter::new(&chunking, &spec).unwrap();
                 let (specs, logs) = recorded_specs(&chunking, frames, &detector);
                 let mut engine = QueryEngine::new()
                     .sharded(router)
                     .execution(mode)
-                    .expect("valid execution mode");
+                    .expect("valid execution mode")
+                    .dispatch(dispatch);
                 for spec in specs {
                     engine.push(spec).unwrap();
                 }
@@ -558,7 +562,7 @@ fn parallel_execution_matrix_is_bitwise_identical_to_serial() {
             // The serial sharded run is the reference the parallel runs must
             // reproduce *including* the per-shard physical breakdown (which
             // legitimately differs from the 1-shard baseline's).
-            let (serial, serial_picks) = run(ExecutionMode::Serial);
+            let (serial, serial_picks) = run(ExecutionMode::Serial, Dispatch::Pooled);
             assert_eq!(serial_picks, baseline_picks);
             assert_engine_reports_equal(
                 &serial.report,
@@ -567,16 +571,26 @@ fn parallel_execution_matrix_is_bitwise_identical_to_serial() {
             );
 
             for threads in [1usize, 2, 4] {
-                let context = format!("{partitioner:?}/{shards} shards/{threads} threads");
-                let (parallel, parallel_picks) = run(ExecutionMode::Parallel(threads));
-                // Per-query pick sequences, frame for frame.
-                assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
-                // Merged report, per-shard breakdowns and physical invocation
-                // counts, all bitwise against the serial sharded run …
-                assert_sharded_reports_equal(&parallel, &serial, &context);
-                // … and the logical view bitwise against the unsharded run.
-                assert_engine_reports_equal(&parallel.report, &baseline_merged.report, &context);
-                assert!(parallel.physical_detector_calls >= parallel.report.detector_calls);
+                for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                    let context =
+                        format!("{partitioner:?}/{shards} shards/{threads} threads/{dispatch:?}");
+                    let (parallel, parallel_picks) =
+                        run(ExecutionMode::Parallel(threads), dispatch);
+                    // Per-query pick sequences, frame for frame.
+                    assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
+                    // Merged report, per-shard breakdowns and physical
+                    // invocation counts, all bitwise against the serial
+                    // sharded run …
+                    assert_sharded_reports_equal(&parallel, &serial, &context);
+                    // … and the logical view bitwise against the unsharded
+                    // run.
+                    assert_engine_reports_equal(
+                        &parallel.report,
+                        &baseline_merged.report,
+                        &context,
+                    );
+                    assert!(parallel.physical_detector_calls >= parallel.report.detector_calls);
+                }
             }
         }
     }

@@ -1,0 +1,326 @@
+//! Lifecycle guarantees of the persistent worker-pool runtime:
+//!
+//! 1. pool helper threads are spawned once per run — not per stage — and live
+//!    exactly as long as the run that spawned them: repeated pooled runs and
+//!    engine drops leak no threads (observable via [`live_worker_threads`] /
+//!    [`spawned_worker_threads`], which count helpers process-wide);
+//! 2. a panicking detector on any lane — a helper thread *or* the
+//!    coordinator's inline lane — surfaces as a typed
+//!    [`EngineError::WorkerPanicked`] carrying the panic message, never a
+//!    deadlock, an unwinding coordinator, or a leaked thread; and
+//! 3. a fully cache-warm stage skips pool dispatch entirely (no channel send,
+//!    no helper wake), pinned via [`QueryEngine::pooled_stage_dispatches`].
+//!
+//! Every test in this file takes the local [`POOL_LOCK`] mutex: the
+//! spawn/live counters are process-wide, so any test that runs a pooled
+//! engine could otherwise perturb a concurrently-running test's assertions.
+
+use exsample_detect::{
+    Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
+};
+use exsample_engine::{
+    live_worker_threads, spawned_worker_threads, Dispatch, EngineError, ExecutionMode,
+    FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
+};
+use exsample_video::{Chunking, ChunkingPolicy, FrameId, ShardSpec, VideoRepository};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serialises the tests that read the process-wide live-helper counter.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>) {
+    let repo = VideoRepository::single_clip(frames);
+    let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks });
+    let mut instances = Vec::new();
+    let span = (frames / 32).max(2);
+    for i in 0..6u64 {
+        let start = frames / 2 + i * span;
+        if start >= frames {
+            break;
+        }
+        instances.push(ObjectInstance::simple(
+            i,
+            "car",
+            start,
+            (start + span).min(frames - 1),
+        ));
+    }
+    let truth = Arc::new(GroundTruth::from_instances(frames, instances));
+    (chunking, truth)
+}
+
+/// A detector that counts its batched invocations.
+struct ObservantDetector {
+    inner: PerfectDetector,
+    batch_calls: AtomicU64,
+}
+
+impl ObservantDetector {
+    fn new(truth: Arc<GroundTruth>) -> Self {
+        ObservantDetector {
+            inner: PerfectDetector::new(truth, ObjectClass::from("car")),
+            batch_calls: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Detector for ObservantDetector {
+    fn detect(&self, frame: FrameId) -> FrameDetections {
+        self.inner.detect(frame)
+    }
+
+    fn detect_batch(&self, frames: &[FrameId], out: &mut Vec<FrameDetections>) {
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.detect_batch(frames, out);
+    }
+
+    fn class(&self) -> &ObjectClass {
+        self.inner.class()
+    }
+}
+
+/// A detector that panics on frames at or beyond a threshold.
+struct BombDetector {
+    inner: PerfectDetector,
+    panic_at: FrameId,
+}
+
+impl Detector for BombDetector {
+    fn detect(&self, frame: FrameId) -> FrameDetections {
+        assert!(frame < self.panic_at, "bomb detector refuses frame {frame}");
+        self.inner.detect(frame)
+    }
+
+    fn class(&self) -> &ObjectClass {
+        self.inner.class()
+    }
+}
+
+fn pooled_engine<'a>(chunking: &Chunking, shards: u32, threads: usize) -> QueryEngine<'a> {
+    let spec = ShardSpec::contiguous(chunking.len(), shards);
+    QueryEngine::new()
+        .sharded(ShardRouter::new(chunking, &spec).unwrap())
+        .execution(ExecutionMode::Parallel(threads))
+        .unwrap()
+}
+
+#[test]
+fn repeated_pooled_runs_leak_no_threads() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 2_000u64;
+    let (chunking, truth) = setup(frames, 9);
+    assert_eq!(live_worker_threads(), 0, "helpers alive before any run");
+    for round in 0..5 {
+        let detector = ObservantDetector::new(Arc::clone(&truth));
+        let mut engine = pooled_engine(&chunking, 3, 3);
+        for (label, seed) in [("a", 40u64 + round), ("b", 50 + round)] {
+            engine
+                .push(
+                    QuerySpec::new(
+                        label,
+                        Box::new(FrameSamplerPolicy::uniform(frames)),
+                        &detector,
+                    )
+                    .seed(seed)
+                    .batch(16)
+                    .frame_budget(200),
+                )
+                .unwrap();
+        }
+        let spawned_before = spawned_worker_threads();
+        let report = engine.run().unwrap();
+        let stages = report.stages;
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(detector.batch_calls.load(Ordering::SeqCst) > 0);
+        assert!(engine.pooled_stage_dispatches() > 0, "pool was never used");
+        assert!(
+            stages > 1,
+            "the spawn-per-run check needs a multi-stage run"
+        );
+        // Exactly n - 1 = 2 helpers were spawned for the whole run — once per
+        // run, NOT once per stage (the per-stage scoped runtime this replaces
+        // would have spawned ~3 × stages threads here).
+        assert_eq!(
+            spawned_worker_threads() - spawned_before,
+            2,
+            "round {round}: expected one helper spawn set per run ({stages} stages)"
+        );
+        // The run's scope joined its helpers before `run` returned.
+        assert_eq!(
+            live_worker_threads(),
+            0,
+            "round {round} leaked pool threads past run()"
+        );
+        drop(engine);
+        assert_eq!(live_worker_threads(), 0, "round {round} leaked on drop");
+    }
+}
+
+#[test]
+fn helper_lane_detector_panic_is_a_typed_error() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 3_000u64;
+    let (chunking, truth) = setup(frames, 9);
+    // Contiguous 3-shard split: the last third of the frame range lives on
+    // shard 2, which a 3-thread stage hands to a pool helper (the
+    // coordinator's inline lane is shard 0's chunk).
+    let detector = BombDetector {
+        inner: PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car")),
+        panic_at: frames * 2 / 3,
+    };
+    let mut engine = pooled_engine(&chunking, 3, 3);
+    engine
+        .push(
+            QuerySpec::new(
+                "doomed",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(7)
+            .batch(64)
+            .frame_budget(500),
+        )
+        .unwrap();
+    let err = engine.run().unwrap_err();
+    match err {
+        EngineError::WorkerPanicked { ref message } => {
+            assert!(
+                message.contains("bomb detector refuses frame"),
+                "unexpected message: {message}"
+            );
+        }
+        ref other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert!(err.to_string().contains("worker lane panicked"));
+    drop(engine);
+    assert_eq!(live_worker_threads(), 0, "panic leaked pool threads");
+}
+
+#[test]
+fn inline_lane_detector_panic_is_a_typed_error() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 3_000u64;
+    let (chunking, truth) = setup(frames, 9);
+    // Panic on the *first* third of the range: shard 0, the coordinator's
+    // inline lane.  The runtime catches it exactly like a helper panic.
+    let detector = BombDetector {
+        inner: PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car")),
+        panic_at: 1,
+    };
+    let mut engine = pooled_engine(&chunking, 3, 3);
+    engine
+        .push(
+            QuerySpec::new(
+                "doomed",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(11)
+            .batch(64)
+            .frame_budget(500),
+        )
+        .unwrap();
+    let err = engine.run().unwrap_err();
+    assert!(
+        matches!(err, EngineError::WorkerPanicked { .. }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+    drop(engine);
+    assert_eq!(live_worker_threads(), 0, "panic leaked pool threads");
+}
+
+#[test]
+fn fully_cache_warm_stages_skip_pool_dispatch() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 400u64;
+    let (chunking, truth) = setup(frames, 9);
+    let detector = ObservantDetector::new(Arc::clone(&truth));
+    let mut engine = pooled_engine(&chunking, 3, 3).cache_capacity(4_096);
+    engine
+        .push(
+            QuerySpec::new(
+                "cold",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(3)
+            .batch(32),
+        )
+        .unwrap();
+    let cold = engine.run().unwrap();
+    assert_eq!(cold.outcomes[0].frames_processed, frames);
+    let cold_dispatches = engine.pooled_stage_dispatches();
+    let cold_calls = detector.batch_calls.load(Ordering::SeqCst);
+    assert!(cold_dispatches > 0, "cold run never used the pool");
+    assert!(cold_calls > 0);
+
+    // The warm re-query finds every frame in the cache: zero detector
+    // invocations *and* zero pool dispatches — warm stages never pay even a
+    // channel wake.
+    engine
+        .push(
+            QuerySpec::new(
+                "warm",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(5)
+            .batch(32),
+        )
+        .unwrap();
+    let warm = engine.run().unwrap();
+    assert_eq!(warm.outcomes[1].frames_processed, frames);
+    assert_eq!(
+        detector.batch_calls.load(Ordering::SeqCst),
+        cold_calls,
+        "warm re-query must be served entirely from the cache"
+    );
+    assert_eq!(
+        engine.pooled_stage_dispatches(),
+        cold_dispatches,
+        "cache-warm stages must skip pool dispatch entirely"
+    );
+}
+
+#[test]
+fn pooled_and_scoped_dispatch_agree_and_default_is_pooled() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 2_000u64;
+    let (chunking, truth) = setup(frames, 9);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+    let run = |dispatch: Dispatch| {
+        let mut engine = pooled_engine(&chunking, 3, 2).dispatch(dispatch);
+        assert_eq!(engine.dispatch_mode(), dispatch);
+        engine
+            .push(
+                QuerySpec::new(
+                    "q",
+                    Box::new(FrameSamplerPolicy::uniform(frames)),
+                    &detector,
+                )
+                .seed(13)
+                .batch(16)
+                .frame_budget(300),
+            )
+            .unwrap();
+        let _ = engine.run().unwrap();
+        (engine.report_sharded(), engine.pooled_stage_dispatches())
+    };
+    assert_eq!(QueryEngine::new().dispatch_mode(), Dispatch::Pooled);
+    let (pooled, pooled_dispatches) = run(Dispatch::Pooled);
+    let (scoped, scoped_dispatches) = run(Dispatch::Scoped);
+    assert!(pooled_dispatches > 0, "default dispatch must use the pool");
+    assert_eq!(scoped_dispatches, 0, "scoped dispatch must bypass the pool");
+    assert_eq!(pooled.shards, scoped.shards);
+    assert_eq!(
+        pooled.physical_detector_calls,
+        scoped.physical_detector_calls
+    );
+    for (a, b) in pooled.report.outcomes.iter().zip(&scoped.report.outcomes) {
+        assert_eq!(a.frames_processed, b.frames_processed);
+        assert_eq!(a.found_instances, b.found_instances);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.stop_reason, b.stop_reason);
+    }
+}

@@ -15,8 +15,9 @@
 //!   single-query `exsample-engine` `QueryEngine` (batch 1), with the virtual
 //!   clock charged from the engine's per-stage accounting hook; `shards(n)`
 //!   partitions the DETECT phase across shard workers and `parallel(n)` runs
-//!   those workers on scoped threads, both bitwise-identical to the serial
-//!   unsharded run.
+//!   those workers on the engine's persistent per-run worker pool, both
+//!   bitwise-identical to the serial unsharded run (`parallel(0)` is the
+//!   engine's typed `InvalidExecution` error).
 //! * [`metrics`] — recall trajectories, frames-to-recall, savings ratios, and
 //!   aggregation of trajectories across trials.
 //! * [`sweep`] — run many trials (optionally in parallel) and collect their

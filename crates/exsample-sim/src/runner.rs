@@ -13,10 +13,10 @@
 //! charged from the engine's per-stage cost-accounting hook.  With
 //! [`QueryRunner::shards`] the engine's DETECT phase is partitioned across
 //! shard workers (contiguous-range chunk assignment), and with
-//! [`QueryRunner::parallel`] those workers' detector invocations run on
-//! scoped threads; results are bitwise-identical to the unsharded serial run
-//! either way — sharding and parallelism only change where the detector work
-//! executes.
+//! [`QueryRunner::parallel`] those workers' detector invocations run on the
+//! engine's persistent worker pool (spawned once per run, woken per stage);
+//! results are bitwise-identical to the unsharded serial run either way —
+//! sharding and parallelism only change where the detector work executes.
 //!
 //! Configuration and execution errors surface as typed [`SimError`]s instead
 //! of panics.
@@ -169,7 +169,10 @@ pub struct QueryRunner<'a> {
     discriminator: DiscriminatorKind,
     cost: DecodeCostModel,
     shards: u32,
-    parallel: usize,
+    /// `None` = serial execution (never requested); `Some(n)` is validated by
+    /// the engine at run time (`Some(0)` is the typed
+    /// `EngineError::InvalidExecution`).
+    parallel: Option<usize>,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -187,7 +190,7 @@ impl<'a> QueryRunner<'a> {
             discriminator: DiscriminatorKind::Oracle,
             cost: DecodeCostModel::paper(),
             shards: 1,
-            parallel: 0,
+            parallel: None,
         }
     }
 
@@ -206,12 +209,16 @@ impl<'a> QueryRunner<'a> {
         self
     }
 
-    /// Run the shard workers' detector invocations on up to this many scoped
-    /// threads per stage (thread counts beyond the shard count are clamped by
-    /// the engine).  Results are bitwise-identical to serial execution for
-    /// any thread count.  Values 0 and 1 mean serial execution, the default.
+    /// Run the shard workers' detector invocations on up to this many
+    /// persistent worker-pool threads per stage (thread counts beyond the
+    /// shard count are clamped by the engine).  Results are bitwise-identical
+    /// to serial execution for any thread count.  A value of 1 means serial
+    /// execution (the default when this method is never called); a value of
+    /// 0 asks for a worker pool with no threads and surfaces the engine's
+    /// typed `EngineError::InvalidExecution` (wrapped in
+    /// [`SimError::Engine`]) when the run starts.
     pub fn parallel(mut self, threads: usize) -> Self {
-        self.parallel = threads;
+        self.parallel = Some(threads);
         self
     }
 
@@ -391,8 +398,14 @@ impl<'a> QueryRunner<'a> {
                 self.shards,
             ));
         }
-        if self.parallel > 1 {
-            engine = engine.execution(ExecutionMode::Parallel(self.parallel))?;
+        match self.parallel {
+            // 1 is serial execution under another name; skip the mode change
+            // so the engine stays on its historical default.
+            None | Some(1) => {}
+            // Everything else — including the invalid 0, which the engine
+            // rejects with the typed InvalidExecution error — goes through
+            // the engine's own validation.
+            Some(threads) => engine = engine.execution(ExecutionMode::Parallel(threads))?,
         }
         engine.push(spec)?;
         let report = engine.run_with(|stage| clock.charge_sampled(stage.detector_frames))?;
@@ -588,23 +601,44 @@ mod tests {
     #[test]
     fn parallel_runner_results_are_bitwise_identical() {
         let dataset = skewed_dataset();
-        let run = |shards: u32, parallel: usize| {
-            QueryRunner::new(&dataset)
+        let run = |shards: u32, parallel: Option<usize>| {
+            let mut runner = QueryRunner::new(&dataset)
                 .stop(StopCondition::FrameBudget(600))
                 .seed(23)
-                .shards(shards)
-                .parallel(parallel)
+                .shards(shards);
+            if let Some(threads) = parallel {
+                runner = runner.parallel(threads);
+            }
+            runner
                 .run(MethodKind::ExSample(ExSampleConfig::default()))
                 .expect("query run succeeded")
         };
-        let serial = run(1, 0);
-        for (shards, parallel) in [(2u32, 2usize), (3, 2), (3, 4), (7, 4), (2, 64)] {
-            let threaded = run(shards, parallel);
+        let serial = run(1, None);
+        for (shards, parallel) in [(2u32, 1usize), (2, 2), (3, 2), (3, 4), (7, 4), (2, 64)] {
+            let threaded = run(shards, Some(parallel));
             assert_eq!(threaded.frames_processed, serial.frames_processed);
             assert_eq!(threaded.found_instances, serial.found_instances);
             assert_eq!(threaded.trajectory, serial.trajectory);
             assert_eq!(threaded.sample_secs, serial.sample_secs);
         }
+    }
+
+    #[test]
+    fn parallel_zero_is_a_typed_invalid_execution_error() {
+        let dataset = skewed_dataset();
+        let err = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(50))
+            .parallel(0)
+            .run(MethodKind::Random)
+            .unwrap_err();
+        match err {
+            SimError::Engine(exsample_engine::EngineError::InvalidExecution { threads }) => {
+                assert_eq!(threads, 0);
+            }
+            other => panic!("expected InvalidExecution, got {other:?}"),
+        }
+        // The message tells the caller how to ask for serial execution.
+        assert!(err.to_string().contains("at least one worker thread"));
     }
 
     #[test]

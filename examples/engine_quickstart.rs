@@ -20,7 +20,8 @@ use exsample::core::ExSampleConfig;
 use exsample::data::{Dataset, GridWorkload, SkewLevel};
 use exsample::detect::PerfectDetector;
 use exsample::engine::{
-    ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
+    Dispatch, ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec,
+    ShardRouter,
 };
 use exsample::video::ShardSpec;
 use std::sync::Arc;
@@ -161,35 +162,49 @@ fn main() {
         merged.shard_overhead_calls()
     );
 
-    // 5. The same 2-shard run with the workers' DETECT phases on two scoped
-    //    threads.  Parallel execution reorders *work*, never results: the
-    //    merged report — outcomes, per-shard breakdown, physical invocation
-    //    counts — is bitwise-identical to the serial sharded run.
-    let router = ShardRouter::new(dataset.chunking(), &spec).expect("spec matches chunking");
-    let mut parallel = QueryEngine::new()
-        .sharded(router)
-        .execution(ExecutionMode::Parallel(2))
-        .expect("a positive thread count is valid");
-    push_queries(&mut parallel, &dataset, &detector, limit, budget);
-    let _ = parallel.run().expect("queries registered");
-    let parallel_merged = parallel.report_sharded();
-
+    // 5. The same 2-shard run with the workers' DETECT phases on two worker
+    //    threads — under the default persistent per-run worker pool, and
+    //    again under the legacy per-stage scoped spawn.  Parallel execution
+    //    reorders *work*, never results: either way the merged report —
+    //    outcomes, per-shard breakdown, physical invocation counts — is
+    //    bitwise-identical to the serial sharded run.
     println!("\n2-shard run with 2 DETECT worker threads:");
-    for (a, b) in parallel_merged
-        .report
-        .outcomes
-        .iter()
-        .zip(&merged.report.outcomes)
-    {
-        assert_eq!(a.frames_processed, b.frames_processed);
-        assert_eq!(a.found_instances, b.found_instances);
-        assert_eq!(a.trajectory, b.trajectory);
-        assert_eq!(a.stop_reason, b.stop_reason);
+    for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+        let router = ShardRouter::new(dataset.chunking(), &spec).expect("spec matches chunking");
+        let mut parallel = QueryEngine::new()
+            .sharded(router)
+            .execution(ExecutionMode::Parallel(2))
+            .expect("a positive thread count is valid")
+            .dispatch(dispatch);
+        push_queries(&mut parallel, &dataset, &detector, limit, budget);
+        let _ = parallel.run().expect("queries registered");
+        let parallel_merged = parallel.report_sharded();
+
+        for (a, b) in parallel_merged
+            .report
+            .outcomes
+            .iter()
+            .zip(&merged.report.outcomes)
+        {
+            assert_eq!(a.frames_processed, b.frames_processed);
+            assert_eq!(a.found_instances, b.found_instances);
+            assert_eq!(a.trajectory, b.trajectory);
+            assert_eq!(a.stop_reason, b.stop_reason);
+        }
+        assert_eq!(parallel_merged.shards, merged.shards);
+        assert_eq!(
+            parallel_merged.physical_detector_calls,
+            merged.physical_detector_calls
+        );
+        match dispatch {
+            Dispatch::Pooled => assert!(
+                parallel.pooled_stage_dispatches() > 0,
+                "the default dispatch runs stages on the persistent pool"
+            ),
+            Dispatch::Scoped => assert_eq!(parallel.pooled_stage_dispatches(), 0),
+        }
+        println!(
+            "  {dispatch:?} dispatch: bitwise-identical to the serial sharded run, down to the per-shard breakdown"
+        );
     }
-    assert_eq!(parallel_merged.shards, merged.shards);
-    assert_eq!(
-        parallel_merged.physical_detector_calls,
-        merged.physical_detector_calls
-    );
-    println!("  bitwise-identical to the serial sharded run, down to the per-shard breakdown");
 }

@@ -14,7 +14,13 @@
 //!
 //! * `BENCH_QUICK=1` shrinks the measurement budget (used by CI smoke runs);
 //! * `BENCH_JSON=<path>` appends one JSON line per benchmark, which is how the
-//!   committed `BENCH_*.json` baselines are produced.
+//!   committed `BENCH_*.json` baselines are produced.  A relative path is
+//!   resolved against the **workspace root** (the nearest ancestor of the
+//!   running package's manifest directory whose `Cargo.toml` declares
+//!   `[workspace]`), so `BENCH_JSON=BENCH_foo.json cargo bench -p
+//!   exsample-bench` writes next to the committed baselines no matter which
+//!   directory cargo runs the bench binary from.  Absolute paths are used
+//!   verbatim.
 
 #![deny(unsafe_code)]
 
@@ -23,7 +29,43 @@ pub use std::hint::black_box;
 use std::fmt::Display;
 use std::fs::OpenOptions;
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// Resolve a `BENCH_JSON` value: absolute paths pass through, relative paths
+/// land in the workspace root so the committed `BENCH_*.json` baselines can
+/// be regenerated without worrying about which directory cargo runs the
+/// bench binary from (cargo sets the bench process's working directory — and
+/// `CARGO_MANIFEST_DIR` — to the *package*, not the workspace).
+fn bench_json_path(raw: &str) -> PathBuf {
+    let path = Path::new(raw);
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    match workspace_root() {
+        Some(root) => root.join(path),
+        None => path.to_path_buf(),
+    }
+}
+
+/// The nearest ancestor of the running package's manifest directory (falling
+/// back to the current directory) whose `Cargo.toml` declares a
+/// `[workspace]` section.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    loop {
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
 
 /// Measurement configuration shared by all benchmarks of a binary.
 pub struct Criterion {
@@ -215,7 +257,7 @@ impl Bencher {
             let _ = OpenOptions::new()
                 .create(true)
                 .append(true)
-                .open(&path)
+                .open(bench_json_path(&path))
                 .and_then(|mut f| f.write_all(line.as_bytes()));
         }
     }
@@ -253,6 +295,28 @@ mod tests {
         let mut x = 0u64;
         c.bench_function("trivial", |b| b.iter(|| x = x.wrapping_add(1)));
         assert!(x > 0);
+    }
+
+    #[test]
+    fn relative_bench_json_paths_resolve_to_the_workspace_root() {
+        // The shim's own CARGO_MANIFEST_DIR is shims/criterion; the workspace
+        // root is two levels up and declares [workspace].
+        let root = workspace_root().expect("the shim lives inside a workspace");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(
+            std::fs::read_to_string(root.join("Cargo.toml"))
+                .unwrap()
+                .contains("[workspace]"),
+            "workspace_root found a non-workspace manifest at {root:?}"
+        );
+        assert_eq!(bench_json_path("BENCH_x.json"), root.join("BENCH_x.json"));
+        assert_eq!(
+            bench_json_path("sub/BENCH_x.json"),
+            root.join("sub/BENCH_x.json")
+        );
+        // Absolute paths pass through untouched.
+        let absolute = root.join("BENCH_abs.json");
+        assert_eq!(bench_json_path(absolute.to_str().unwrap()), absolute);
     }
 
     #[test]
