@@ -30,8 +30,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use exsample_core::ExSampleConfig;
 use exsample_data::{Dataset, GridWorkload, SkewLevel};
-use exsample_detect::PerfectDetector;
-use exsample_engine::{Dispatch, ExSamplePolicy, QuerySpec, ShardedReport};
+use exsample_detect::{Detector, FaultInjectingDetector, FaultPlan, GroundTruth, PerfectDetector};
+use exsample_engine::{
+    Dispatch, ExSamplePolicy, FailureMode, QuerySpec, RetryPolicy, ShardedReport,
+};
 use std::sync::Arc;
 
 const SHARD_COUNTS: [u32; 3] = [1, 2, 8];
@@ -89,6 +91,45 @@ fn run_engine(
     engine.report_sharded()
 }
 
+/// A full engine run with the fault-tolerance machinery fully armed — the
+/// detector wrapped in a zero-rate fault injector, retries and drop-frame
+/// degradation enabled — but nothing ever failing.  The `faulty_detect` axis
+/// compares this against the plain `sharded_run` rows: the failure path must
+/// cost nothing (be within noise) when nothing fails.
+fn run_engine_guarded(
+    dataset: &Dataset,
+    truth: &Arc<GroundTruth>,
+    shards: u32,
+    queries: usize,
+    budget: u64,
+) -> ShardedReport {
+    // Fresh wrapper per run: its per-frame attempt counters are run-local.
+    let detector = FaultInjectingDetector::new(
+        Box::new(PerfectDetector::new(
+            Arc::clone(truth),
+            GridWorkload::class(),
+        )) as Box<dyn Detector>,
+        FaultPlan::new(4_747),
+    );
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+        .dispatch(Dispatch::Pooled)
+        .retry_policy(RetryPolicy::new(3).backoff_cost(1))
+        .failure_mode(FailureMode::DropFrames);
+    for q in 0..queries {
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+        engine
+            .push(
+                QuerySpec::new(format!("q{q}"), Box::new(policy), &detector)
+                    .seed(2000 + q as u64)
+                    .batch(16)
+                    .frame_budget(budget),
+            )
+            .expect("valid query spec");
+    }
+    let _ = engine.run().expect("queries registered");
+    engine.report_sharded()
+}
+
 fn bench_sharded(c: &mut Criterion) {
     let dataset = dataset();
     let detector = PerfectDetector::new(Arc::clone(dataset.ground_truth()), GridWorkload::class());
@@ -118,6 +159,21 @@ fn bench_sharded(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // The fault-tolerance overhead axis: the same runs with the failure path
+    // armed end to end (zero-rate fault injector, retries + drop-frame mode
+    // on) but never exercised.  Compare against the matching `sharded_run`
+    // rows — the delta is the standing cost of fault tolerance when nothing
+    // fails, which must stay within noise.
+    let truth = Arc::clone(dataset.ground_truth());
+    let mut faulty_group = c.benchmark_group("faulty_detect");
+    faulty_group.sample_size(10);
+    for &shards in &SHARD_COUNTS {
+        faulty_group.bench_with_input(BenchmarkId::new("8q", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(run_engine_guarded(&dataset, &truth, shards, 8, budget)));
+        });
+    }
+    faulty_group.finish();
 
     // The parallel axis: serial vs 2/4 pooled worker threads at 2/8 shards,
     // 8 concurrent queries.  Same work, different thread placement — the
@@ -277,6 +333,21 @@ fn bench_sharded(c: &mut Criterion) {
                 );
             }
         }
+    }
+
+    // Fault machinery is bitwise-invisible when nothing fails: the guarded
+    // run matches the plain run frame for frame, with zero fault counters.
+    for &shards in &SHARD_COUNTS {
+        let plain = run_engine(&dataset, &detector, shards, 0, Dispatch::Pooled, 8, budget);
+        let guarded = run_engine_guarded(&dataset, &truth, shards, 8, budget);
+        assert_eq!(guarded.report.detector_frames, plain.report.detector_frames);
+        assert_eq!(guarded.report.detector_calls, plain.report.detector_calls);
+        assert_eq!(
+            guarded.physical_detector_calls,
+            plain.physical_detector_calls
+        );
+        assert_eq!(guarded.report.detect_retries, 0);
+        assert_eq!(guarded.report.failed_frames, 0);
     }
 }
 

@@ -12,7 +12,7 @@
 //! batch size is the ablation variable — the hand-written pick→detect→record
 //! loop this binary used to carry is exactly what the engine now provides.
 
-use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
+use exsample_bench::{banner, experiment_engine, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_detect::PerfectDetector;
@@ -72,18 +72,21 @@ fn main() {
                 .index(batch as u64)
                 .index(trial as u64)
                 .seed();
-            let detector = PerfectDetector::new(Arc::clone(&truth), class.clone());
+            let detector = options.faulty_detector(Box::new(PerfectDetector::new(
+                Arc::clone(&truth),
+                class.clone(),
+            )));
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
-            let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
+            let mut engine = experiment_engine(dataset.chunking(), &options);
             engine
                 .push(
-                    QuerySpec::new("batching", Box::new(policy), &detector)
+                    QuerySpec::new("batching", Box::new(policy), detector.as_ref())
                         .seed(seed)
                         .batch(batch)
                         .frame_budget(budget),
                 )
                 .expect("batch size is non-zero");
-            let report = engine.run().expect("one query registered");
+            let report = ok_or_exit(engine.run());
             founds.push(report.outcomes[0].distinct_found as f64);
         }
         // Batched inference speedup model: throughput improves with batch size and

@@ -11,7 +11,7 @@
 //! coalescing savings), while each query's private RNG stream keeps its
 //! outcome identical to a standalone run.
 
-use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
+use exsample_bench::{banner, experiment_engine, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::{ChunkSelectionPolicy, ExSampleConfig};
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_detect::PerfectDetector;
@@ -42,7 +42,7 @@ fn main() {
         .build()
         .expect("valid workload")
         .generate();
-    let detector = PerfectDetector::new(Arc::clone(dataset.ground_truth()), GridWorkload::class());
+    let truth = Arc::clone(dataset.ground_truth());
 
     println!("# workload: 2M frames, 2000 instances, 64 chunks, skew 1/32, budget {budget}, {trials} trials");
     println!(
@@ -66,7 +66,13 @@ fn main() {
     let trial_runs: Vec<(Vec<Vec<TrajectoryPoint>>, u64, u64)> = (0..trials as u64)
         .into_par_iter()
         .map(|trial| {
-            let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
+            // Fresh per-trial detector: the fault injector's attempt counters
+            // are run-local state, so trials must not share one.
+            let detector = options.faulty_detector(Box::new(PerfectDetector::new(
+                Arc::clone(&truth),
+                GridWorkload::class(),
+            )));
+            let mut engine = experiment_engine(dataset.chunking(), &options);
             for (label, policy) in policies {
                 let config = ExSampleConfig::default().with_policy(policy);
                 engine
@@ -74,7 +80,7 @@ fn main() {
                         QuerySpec::new(
                             label,
                             Box::new(ExSamplePolicy::new(config, dataset.chunking())),
-                            &detector,
+                            detector.as_ref(),
                         )
                         .seed(seeds.derive(label).index(trial).seed())
                         .batch(16)
@@ -82,7 +88,7 @@ fn main() {
                     )
                     .expect("valid query spec");
             }
-            let report = engine.run().expect("queries registered");
+            let report = ok_or_exit(engine.run());
             (
                 report.outcomes.into_iter().map(|o| o.trajectory).collect(),
                 report.demanded_frames,

@@ -6,7 +6,7 @@
 //! stand-alone random+, ExSample with uniform within-chunk sampling, and ExSample
 //! with random+ within chunks (the paper's default).
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::{ExSampleConfig, WithinChunkSampling};
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_rand::{SeedSequence, Summary};
@@ -63,14 +63,13 @@ fn main() {
     ]);
 
     for (label, kind) in configurations {
-        let set = run_trials(trials, true, |trial| {
-            QueryRunner::new(&dataset)
-                .shards(options.shards)
+        let set = ok_or_exit(run_trials(trials, true, |trial| {
+            options
+                .apply_to_runner(QueryRunner::new(&dataset))
                 .stop(StopCondition::FrameBudget(budget))
                 .seed(seeds.derive(label).index(trial).seed())
                 .run(kind.clone())
-        })
-        .expect("sweep succeeded");
+        }));
         let median_at = |frames: u64| -> f64 {
             let mut s = Summary::from_values(
                 set.results

@@ -12,7 +12,7 @@
 //! the whole grid runs in seconds while preserving that shape; `--full` restores
 //! the paper-scale workload.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_rand::SeedSequence;
@@ -68,22 +68,20 @@ fn main() {
                 .derive("cell")
                 .index(duration as u64)
                 .derive(&skew.label());
-            let exsample = run_trials(trials, true, |trial| {
-                QueryRunner::new(&dataset)
-                    .shards(options.shards)
+            let exsample = ok_or_exit(run_trials(trials, true, |trial| {
+                options
+                    .apply_to_runner(QueryRunner::new(&dataset))
                     .stop(StopCondition::FrameBudget(budget))
                     .seed(cell_seed.derive("exsample").index(trial).seed())
                     .run(MethodKind::ExSample(ExSampleConfig::default()))
-            })
-            .expect("sweep succeeded");
-            let random = run_trials(trials, true, |trial| {
-                QueryRunner::new(&dataset)
-                    .shards(options.shards)
+            }));
+            let random = ok_or_exit(run_trials(trials, true, |trial| {
+                options
+                    .apply_to_runner(QueryRunner::new(&dataset))
                     .stop(StopCondition::FrameBudget(budget))
                     .seed(cell_seed.derive("random").index(trial).seed())
                     .run(MethodKind::Random)
-            })
-            .expect("sweep succeeded");
+            }));
 
             let savings: Vec<String> = targets
                 .iter()

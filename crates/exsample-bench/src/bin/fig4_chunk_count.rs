@@ -7,7 +7,7 @@
 //! the benefit is non-monotonic.  The dashed reference is the optimal static
 //! allocation of Eq. IV.1, computed here with the `exsample-opt` solver.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_opt::{optimal_weights, InstanceChunkProbabilities, SolverOptions};
@@ -55,9 +55,9 @@ fn main() {
             .expect("valid workload");
         let dataset = workload.generate();
 
-        let set = run_trials(trials, true, |trial| {
-            QueryRunner::new(&dataset)
-                .shards(options.shards)
+        let set = ok_or_exit(run_trials(trials, true, |trial| {
+            options
+                .apply_to_runner(QueryRunner::new(&dataset))
                 .stop(StopCondition::FrameBudget(budget))
                 .seed(
                     seeds
@@ -67,8 +67,7 @@ fn main() {
                         .seed(),
                 )
                 .run(MethodKind::ExSample(ExSampleConfig::default()))
-        })
-        .expect("sweep succeeded");
+        }));
 
         // Median instances found at each checkpoint across trials.
         let mut row = vec![format!("{chunks}")];

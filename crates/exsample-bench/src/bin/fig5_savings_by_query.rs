@@ -7,7 +7,7 @@
 //! (amsterdam/boat), and a geometric mean of 1.9x across all queries and recall
 //! levels.
 
-use exsample_bench::{banner, print_table, ExperimentOptions};
+use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::datasets::{all_datasets, DatasetAnalog};
 use exsample_rand::{geometric_mean, SeedSequence, Summary};
@@ -48,26 +48,24 @@ fn main() {
             // Run both methods to 90% recall (with a cap at the dataset size) and
             // read every recall level off the trajectories.
             let cap = dataset.total_frames();
-            let exsample = run_trials(trials, true, |trial| {
-                QueryRunner::new(&dataset)
-                    .shards(options.shards)
+            let exsample = ok_or_exit(run_trials(trials, true, |trial| {
+                options
+                    .apply_to_runner(QueryRunner::new(&dataset))
                     .class(class)
                     .stop(StopCondition::Recall(0.9))
                     .frame_cap(cap)
                     .seed(query_seed.derive("exsample").index(trial).seed())
                     .run(MethodKind::ExSample(ExSampleConfig::default()))
-            })
-            .expect("sweep succeeded");
-            let random = run_trials(trials, true, |trial| {
-                QueryRunner::new(&dataset)
-                    .shards(options.shards)
+            }));
+            let random = ok_or_exit(run_trials(trials, true, |trial| {
+                options
+                    .apply_to_runner(QueryRunner::new(&dataset))
                     .class(class)
                     .stop(StopCondition::Recall(0.9))
                     .frame_cap(cap)
                     .seed(query_seed.derive("random").index(trial).seed())
                     .run(MethodKind::Random)
-            })
-            .expect("sweep succeeded");
+            }));
 
             let mut row = vec![spec.name.to_string(), class.to_string()];
             for (i, &recall) in recalls.iter().enumerate() {

@@ -18,10 +18,10 @@
 //! scan time and ExSample's sampling time shrink proportionally, so the comparison
 //! is preserved); `--full` uses the full-size analogs.
 
-use exsample_bench::{banner, print_table, sharded_engine, ExperimentOptions};
+use exsample_bench::{banner, experiment_engine, ok_or_exit, print_table, ExperimentOptions};
 use exsample_core::ExSampleConfig;
 use exsample_data::datasets::{all_datasets, DatasetAnalog};
-use exsample_detect::{ObjectClass, PerfectDetector};
+use exsample_detect::{Detector, ObjectClass, PerfectDetector};
 use exsample_engine::{ExSamplePolicy, QuerySpec};
 use exsample_rand::SeedSequence;
 use exsample_sim::{format_duration, metrics, Table};
@@ -72,17 +72,22 @@ fn main() {
 
         // One engine for the whole dataset: every class query runs
         // concurrently over the shared repository.
-        let detectors: Vec<PerfectDetector> = spec
+        let detectors: Vec<Box<dyn Detector>> = spec
             .classes
             .iter()
-            .map(|c| PerfectDetector::new(Arc::clone(truth), ObjectClass::from(c.class)))
+            .map(|c| {
+                options.faulty_detector(Box::new(PerfectDetector::new(
+                    Arc::clone(truth),
+                    ObjectClass::from(c.class),
+                )))
+            })
             .collect();
         let totals: Vec<usize> = spec
             .classes
             .iter()
             .map(|c| truth.count_of_class(&ObjectClass::from(c.class)))
             .collect();
-        let mut engine = sharded_engine(dataset.chunking(), options.shards, options.parallel);
+        let mut engine = experiment_engine(dataset.chunking(), &options);
         for ((class_spec, detector), &total) in spec.classes.iter().zip(&detectors).zip(&totals) {
             let class = class_spec.class;
             let target = (0.9 * total as f64).ceil() as usize;
@@ -92,7 +97,7 @@ fn main() {
                     ExSampleConfig::default(),
                     dataset.chunking(),
                 )),
-                detector,
+                detector.as_ref(),
             )
             .seed(seeds.derive(spec.name).derive(class).seed())
             .batch(8)
@@ -102,7 +107,7 @@ fn main() {
             }
             engine.push(query).expect("valid query spec");
         }
-        let report = engine.run().expect("dataset has queries");
+        let report = ok_or_exit(engine.run());
 
         for (outcome, &total) in report.outcomes.iter().zip(&totals) {
             // The run to 90% recall yields the whole trajectory, from which the

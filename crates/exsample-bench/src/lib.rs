@@ -20,6 +20,13 @@
 //!   rejected with the engine's typed `InvalidExecution` message; thread
 //!   counts beyond the shard count are clamped by the engine; results are
 //!   bitwise-identical to serial execution).
+//! * `--retries N` — allow N retries per frame whose detect attempt failed
+//!   (0 = off, the default; backoff is charged as deterministic stage cost).
+//! * `--fault-rate X` — wrap every detector in a seeded deterministic fault
+//!   injector with transient-fault probability X per (frame, attempt); the
+//!   run degrades by dropping frames that exhaust their attempts (tallied in
+//!   the report) instead of aborting.  Same seed + same rate ⇒ bitwise-identical
+//!   degraded results, regardless of `--shards`/`--parallel`.
 //! * `--csv` — emit CSV instead of aligned text tables.
 //!
 //! The binaries print the regenerated table/figure data to stdout; `EXPERIMENTS.md`
@@ -46,6 +53,11 @@ pub struct ExperimentOptions {
     /// with the engine's typed `InvalidExecution` message, and `--parallel 1`
     /// is serial execution under another name.
     pub parallel: usize,
+    /// Retries allowed per frame whose detect attempt failed (0 = off).
+    pub retries: u32,
+    /// Transient-fault probability per (frame, attempt) for the deterministic
+    /// fault injector (0.0 = no injection, the default).
+    pub fault_rate: f64,
     /// Emit CSV instead of plain tables.
     pub csv: bool,
 }
@@ -59,6 +71,8 @@ impl Default for ExperimentOptions {
             seed: 7,
             shards: 1,
             parallel: 0,
+            retries: 0,
+            fault_rate: 0.0,
             csv: false,
         }
     }
@@ -123,9 +137,27 @@ impl ExperimentOptions {
                     }
                     options.parallel = parallel;
                 }
+                "--retries" => {
+                    let value = iter.next().ok_or("--retries requires a value")?;
+                    options.retries = value
+                        .parse()
+                        .map_err(|_| format!("bad --retries value: {value}"))?;
+                }
+                "--fault-rate" => {
+                    let value = iter.next().ok_or("--fault-rate requires a value")?;
+                    let rate: f64 = value
+                        .parse()
+                        .map_err(|_| format!("bad --fault-rate value: {value}"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!(
+                            "--fault-rate must be a probability in [0, 1], got {value}"
+                        ));
+                    }
+                    options.fault_rate = rate;
+                }
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
-                         --shards N --parallel N --csv"
+                         --shards N --parallel N --retries N --fault-rate X --csv"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -169,6 +201,106 @@ impl ExperimentOptions {
             1
         }
     }
+
+    /// The retry policy implied by `--retries`: `--retries N` grants each
+    /// failing frame N retries on top of its first attempt (so the engine's
+    /// attempt budget is N+1), each charged one unit of exponential backoff
+    /// as deterministic stage cost.  `--retries 0` (the default) is
+    /// [`exsample_engine::RetryPolicy::none`].
+    pub fn retry_policy(&self) -> exsample_engine::RetryPolicy {
+        if self.retries == 0 {
+            exsample_engine::RetryPolicy::none()
+        } else {
+            exsample_engine::RetryPolicy::new(self.retries + 1).backoff_cost(1)
+        }
+    }
+
+    /// The failure mode implied by the options: fault-injecting runs degrade
+    /// by dropping frames that exhaust their attempts (so a `--fault-rate`
+    /// experiment completes with tallied losses), fault-free runs keep the
+    /// engine's fail-fast default.
+    pub fn failure_mode(&self) -> exsample_engine::FailureMode {
+        if self.fault_rate > 0.0 {
+            exsample_engine::FailureMode::DropFrames
+        } else {
+            exsample_engine::FailureMode::FailFast
+        }
+    }
+
+    /// The deterministic fault plan implied by `--fault-rate` (None when the
+    /// rate is zero).  The plan is seeded from `--seed`, so a degraded run is
+    /// reproducible end to end.
+    pub fn fault_plan(&self) -> Option<exsample_detect::FaultPlan> {
+        (self.fault_rate > 0.0).then(|| {
+            let seed = exsample_rand::SeedSequence::new(self.seed)
+                .derive("fault-plan")
+                .seed();
+            exsample_detect::FaultPlan::new(seed).transient_rate(self.fault_rate)
+        })
+    }
+
+    /// Apply the options' engine-shape and failure-model knobs (`--shards`,
+    /// `--parallel`, `--retries`, `--fault-rate`) to a simulation
+    /// [`exsample_sim::QueryRunner`] — the single place the runner-driven
+    /// experiment bins pick them up.
+    pub fn apply_to_runner<'d>(
+        &self,
+        runner: exsample_sim::QueryRunner<'d>,
+    ) -> exsample_sim::QueryRunner<'d> {
+        let mut runner = runner
+            .shards(self.shards)
+            .retry_policy(self.retry_policy())
+            .failure_mode(self.failure_mode());
+        if self.parallel > 1 {
+            runner = runner.parallel(self.parallel);
+        }
+        if let Some(plan) = self.fault_plan() {
+            runner = runner.fault_plan(plan);
+        }
+        runner
+    }
+
+    /// Wrap a detector in the options' fault injector, or return it unchanged
+    /// when `--fault-rate` is zero.  Experiment bins route every detector
+    /// they build through this before registering queries.
+    pub fn faulty_detector(
+        &self,
+        detector: Box<dyn exsample_detect::Detector>,
+    ) -> Box<dyn exsample_detect::Detector> {
+        match self.fault_plan() {
+            None => detector,
+            Some(plan) => Box::new(exsample_detect::FaultInjectingDetector::new(detector, plan)),
+        }
+    }
+}
+
+/// Print `error` and its full `source()` chain as one line on stderr and exit
+/// nonzero — the experiment bins' replacement for `expect` on fallible runs,
+/// so a failing detector produces a typed one-liner instead of a panic
+/// backtrace.
+pub fn exit_with_error_chain(error: &dyn std::error::Error) -> ! {
+    eprintln!("error: {}", format_error_chain(error));
+    std::process::exit(1);
+}
+
+/// Render `error` and its `source()` chain as a single `: `-separated line.
+pub fn format_error_chain(error: &dyn std::error::Error) -> String {
+    let mut message = error.to_string();
+    let mut cursor = error.source();
+    while let Some(next) = cursor {
+        message.push_str(": ");
+        message.push_str(&next.to_string());
+        cursor = next.source();
+    }
+    message
+}
+
+/// Unwrap `result`, exiting with the error's full chain on failure.
+pub fn ok_or_exit<T, E: std::error::Error>(result: Result<T, E>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(error) => exit_with_error_chain(&error),
+    }
 }
 
 /// A fresh engine sharded across `shards` workers over `chunking`
@@ -198,6 +330,18 @@ pub fn sharded_engine<'a>(
     engine
 }
 
+/// [`sharded_engine`] with the options' retry policy and failure mode
+/// applied — the engine constructor the experiment bins use, so `--retries`
+/// and `--fault-rate` reach every engine-driven experiment the same way.
+pub fn experiment_engine<'a>(
+    chunking: &exsample_video::Chunking,
+    options: &ExperimentOptions,
+) -> exsample_engine::QueryEngine<'a> {
+    sharded_engine(chunking, options.shards, options.parallel)
+        .retry_policy(options.retry_policy())
+        .failure_mode(options.failure_mode())
+}
+
 /// Print a table in the format selected by the options.
 pub fn print_table(options: &ExperimentOptions, table: &exsample_sim::Table) {
     if options.csv {
@@ -219,6 +363,13 @@ pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
         },
         options.seed
     );
+    if options.fault_rate > 0.0 {
+        println!(
+            "# fault injection: transient rate {} per (frame, attempt), retries {} \
+             (seeded from --seed; frames that exhaust their attempts are dropped and tallied)",
+            options.fault_rate, options.retries
+        );
+    }
     println!();
 }
 
@@ -304,6 +455,78 @@ mod tests {
                 .effective_threads(),
             2
         );
+    }
+
+    #[test]
+    fn retries_and_fault_rate_flags_parse_and_validate() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.retries, 0);
+        assert_eq!(defaults.fault_rate, 0.0);
+        assert_eq!(
+            defaults.retry_policy(),
+            exsample_engine::RetryPolicy::none()
+        );
+        assert_eq!(
+            defaults.failure_mode(),
+            exsample_engine::FailureMode::FailFast
+        );
+        assert!(defaults.fault_plan().is_none());
+
+        let faulty = parse(&["--retries", "2", "--fault-rate", "0.1"]).unwrap();
+        assert_eq!(faulty.retries, 2);
+        assert_eq!(faulty.fault_rate, 0.1);
+        // --retries N means N retries on top of the first attempt.
+        assert_eq!(faulty.retry_policy().max_attempts(), 3);
+        assert_eq!(
+            faulty.failure_mode(),
+            exsample_engine::FailureMode::DropFrames
+        );
+        assert!(faulty.fault_plan().is_some());
+        // The plan is a pure function of the seed: same seed, same plan.
+        assert_eq!(faulty.fault_plan(), faulty.fault_plan());
+        let reseeded = parse(&["--fault-rate", "0.1", "--seed", "9"]).unwrap();
+        assert_ne!(reseeded.fault_plan(), faulty.fault_plan());
+
+        assert!(parse(&["--retries"]).is_err());
+        assert!(parse(&["--retries", "abc"]).is_err());
+        assert!(parse(&["--fault-rate"]).is_err());
+        assert!(parse(&["--fault-rate", "1.5"]).is_err());
+        assert!(parse(&["--fault-rate", "-0.1"]).is_err());
+    }
+
+    #[test]
+    fn faulty_detector_wraps_only_under_a_nonzero_rate() {
+        let truth = std::sync::Arc::new(exsample_detect::GroundTruth::default());
+        let detector = |options: &ExperimentOptions| {
+            options.faulty_detector(Box::new(exsample_detect::PerfectDetector::new(
+                std::sync::Arc::clone(&truth),
+                exsample_detect::ObjectClass::from("car"),
+            )))
+        };
+        // With a zero rate the detector passes through untouched; with a
+        // nonzero rate it still reports the same class through the wrapper.
+        let plain = detector(&parse(&[]).unwrap());
+        let wrapped = detector(&parse(&["--fault-rate", "0.2"]).unwrap());
+        assert_eq!(plain.class().to_string(), "car");
+        assert_eq!(wrapped.class().to_string(), "car");
+    }
+
+    #[test]
+    fn format_error_chain_walks_every_source() {
+        let source = exsample_detect::DetectError::Permanent {
+            frame: 7,
+            message: "backend rejected the frame".to_string(),
+        };
+        let error = exsample_engine::EngineError::DetectorFailed {
+            class: "car".to_string(),
+            frame: 7,
+            attempts: 2,
+            source,
+        };
+        let line = format_error_chain(&error);
+        assert!(line.contains("car"), "chain: {line}");
+        assert!(line.contains("backend rejected the frame"), "chain: {line}");
+        assert!(!line.contains('\n'), "chain must be one line: {line}");
     }
 
     #[test]

@@ -23,7 +23,69 @@ use exsample_rand::SeedSequence;
 use exsample_video::FrameId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use std::sync::Arc;
+
+/// A typed detection failure from the fallible [`Detector::try_detect_batch`]
+/// entry point.
+///
+/// Real inference backends fail in two qualitatively different ways, and the
+/// retry machinery upstream needs to tell them apart:
+///
+/// * [`DetectError::Transient`] — the *call* failed (a timeout, an exhausted
+///   queue, a dropped connection).  Retrying the same frame may succeed.
+/// * [`DetectError::Permanent`] — the *frame* fails (corrupt input, an
+///   unservable request).  Every retry will fail the same way; callers should
+///   give up on the frame immediately.
+///
+/// Both variants name the offending frame so engines can attribute the
+/// failure, retry at frame granularity, and report degraded runs precisely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// A transient failure: retrying the same frame may succeed.
+    Transient {
+        /// The frame whose detection attempt failed.
+        frame: FrameId,
+        /// Backend-specific description of the failure.
+        message: String,
+    },
+    /// A permanent failure: retrying the same frame will fail again.
+    Permanent {
+        /// The frame whose detection attempt failed.
+        frame: FrameId,
+        /// Backend-specific description of the failure.
+        message: String,
+    },
+}
+
+impl DetectError {
+    /// The frame whose detection attempt failed.
+    pub fn frame(&self) -> FrameId {
+        match self {
+            DetectError::Transient { frame, .. } | DetectError::Permanent { frame, .. } => *frame,
+        }
+    }
+
+    /// Whether retrying the same frame may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DetectError::Transient { .. })
+    }
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Transient { frame, message } => {
+                write!(f, "transient detection failure on frame {frame}: {message}")
+            }
+            DetectError::Permanent { frame, message } => {
+                write!(f, "permanent detection failure on frame {frame}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
 
 /// An object detector restricted to one class of interest.
 ///
@@ -61,8 +123,58 @@ pub trait Detector: Send + Sync {
         }
     }
 
+    /// Fallible batched detection: the entry point execution engines use.
+    ///
+    /// A real inference backend can fail — a timeout, a lost connection, a
+    /// corrupt frame — and a panic is the wrong vocabulary for that.  This
+    /// method surfaces such failures as typed [`DetectError`]s so engines can
+    /// retry, drop the frame, or quarantine the detector.  The default
+    /// implementation wraps the infallible [`Detector::detect_batch`] path and
+    /// never fails, so existing detectors keep working unchanged.
+    ///
+    /// On `Err` the contents of `out` are unspecified; callers must clear or
+    /// discard the buffer before reusing it.  Implementations must stay
+    /// deterministic: for a fixed internal state, whether a given
+    /// (frame, attempt) fails may not depend on wall-clock time or on which
+    /// thread issued the call (see [`crate::fault::FaultInjectingDetector`]
+    /// for the reference fault schedule shape).
+    fn try_detect_batch(
+        &self,
+        frames: &[FrameId],
+        out: &mut Vec<FrameDetections>,
+    ) -> Result<(), DetectError> {
+        self.detect_batch(frames, out);
+        Ok(())
+    }
+
     /// The class this detector instance reports.
     fn class(&self) -> &ObjectClass;
+}
+
+/// Boxed detectors forward every method — including the fallible entry point
+/// — so wrapping a `Box<dyn Detector>` (e.g. in a
+/// [`crate::fault::FaultInjectingDetector`]) never silently reverts a method
+/// to its infallible default.
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn detect(&self, frame: FrameId) -> FrameDetections {
+        (**self).detect(frame)
+    }
+
+    fn detect_batch(&self, frames: &[FrameId], out: &mut Vec<FrameDetections>) {
+        (**self).detect_batch(frames, out);
+    }
+
+    fn try_detect_batch(
+        &self,
+        frames: &[FrameId],
+        out: &mut Vec<FrameDetections>,
+    ) -> Result<(), DetectError> {
+        (**self).try_detect_batch(frames, out)
+    }
+
+    fn class(&self) -> &ObjectClass {
+        (**self).class()
+    }
 }
 
 /// A detector that reports the ground truth exactly.

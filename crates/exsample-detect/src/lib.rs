@@ -25,7 +25,14 @@
 //!   so engines can share one instance across concurrent shard workers) plus
 //!   [`detector::PerfectDetector`] and [`detector::SimulatedDetector`]
 //!   (configurable miss rate, false positives, localisation noise;
-//!   deterministic per frame).
+//!   deterministic per frame).  Detection can fail: the fallible
+//!   [`detector::Detector::try_detect_batch`] entry point returns typed
+//!   [`detector::DetectError`]s (transient vs permanent) instead of panicking.
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   schedules transient errors, permanent failures and slow calls per
+//!   `(frame, attempt)`, and [`fault::FaultInjectingDetector`] wraps any
+//!   detector with that schedule — reproducible faults for testing
+//!   fault-tolerant engines.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,12 +41,14 @@ pub mod bbox;
 pub mod class;
 pub mod detection;
 pub mod detector;
+pub mod fault;
 pub mod ground_truth;
 pub mod instance;
 
 pub use bbox::BBox;
 pub use class::ObjectClass;
 pub use detection::{Detection, FrameDetections};
-pub use detector::{Detector, DetectorNoise, PerfectDetector, SimulatedDetector};
+pub use detector::{DetectError, Detector, DetectorNoise, PerfectDetector, SimulatedDetector};
+pub use fault::{FaultInjectingDetector, FaultPlan};
 pub use ground_truth::GroundTruth;
 pub use instance::{InstanceId, MotionModel, ObjectInstance};

@@ -48,10 +48,10 @@ use crate::cache::{CacheStats, DetectionCache};
 use crate::error::EngineError;
 use crate::merge::{self, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport};
 use crate::policy::SamplingPolicy;
-use crate::runtime::{Dispatch, StageCtx, WorkerPool};
+use crate::runtime::{self, Dispatch, StageCtx, WorkerPool};
 use crate::scheduler::{QueryLoad, RoundRobin, StageScheduler};
-use crate::shard::{ShardRouter, ShardWorker};
-use exsample_detect::{Detector, FrameDetections, InstanceId};
+use crate::shard::{DetectPolicy, ShardRouter, ShardWorker};
+use exsample_detect::{DetectError, Detector, FrameDetections, InstanceId};
 use exsample_track::{Discriminator, OracleDiscriminator};
 use exsample_video::FrameId;
 use rand::rngs::StdRng;
@@ -110,6 +110,93 @@ pub enum StopReason {
     FrameBudgetExhausted,
     /// The query's policy ran out of frames to produce.
     RepositoryExhausted,
+    /// The query's detector was quarantined: under
+    /// [`FailureMode::Quarantine`], a detector whose cumulative failed-frame
+    /// count exceeded the failure threshold is disabled for the rest of the
+    /// run, and every query bound to it stops with this reason at the next
+    /// stage boundary.
+    DetectorQuarantined,
+}
+
+/// How (and whether) the engine retries a frame whose detect attempt failed.
+///
+/// Off by default ([`RetryPolicy::none`]): a run with retries disabled is
+/// pick-for-pick identical to the pre-fault-tolerance engine.  When enabled,
+/// a frame that fails with a transient [`DetectError`] is retried up to the
+/// attempt budget; permanent errors are never retried.  Each retry is charged
+/// a *deterministic* backoff cost — the `k`-th retry of a frame costs
+/// `backoff_cost * 2^(k-1)` cost units — accounted as stage cost
+/// ([`StageStats::backoff_cost`]) instead of wall-clock sleeping, so retrying
+/// runs stay bitwise-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    backoff_cost: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries (the default): a frame gets exactly one recovery attempt
+    /// after a failed batch probe, and a transient fault that persists past
+    /// it fails the frame.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_cost: 0,
+        }
+    }
+
+    /// Retry each failing frame until it has been attempted `max_attempts`
+    /// times (batch probes excluded), with no backoff cost.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts` is zero.
+    pub fn new(max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "retry policy needs at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            backoff_cost: 0,
+        }
+    }
+
+    /// Charge this many cost units for a frame's first retry (doubling per
+    /// further retry — deterministic exponential backoff).
+    pub fn backoff_cost(mut self, cost: u64) -> Self {
+        self.backoff_cost = cost;
+        self
+    }
+
+    /// The per-frame attempt budget.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+}
+
+/// What the engine does when a frame's detect attempts are exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureMode {
+    /// Abort the run with a typed [`EngineError::DetectorFailed`] carrying
+    /// the detector class, frame and attempt count (the default).
+    #[default]
+    FailFast,
+    /// Degrade: exclude failed frames from fan-out (no query observes them,
+    /// they are never cached) and tally them in the reports
+    /// ([`EngineReport::failed_frames`], [`QueryReport::dropped_frames`]).
+    DropFrames,
+    /// Degrade like [`FailureMode::DropFrames`], and additionally disable any
+    /// detector whose cumulative failed-frame count *exceeds* the threshold:
+    /// its queries stop with [`StopReason::DetectorQuarantined`] at the next
+    /// stage boundary and it is never invoked again this run.
+    Quarantine {
+        /// Cumulative failed frames a detector may accrue before being
+        /// disabled (`0` quarantines on the first failure).
+        failure_threshold: u64,
+    },
 }
 
 /// One point of a recall trajectory: after `frames` detector invocations paid
@@ -222,6 +309,15 @@ pub struct StageStats {
     /// needed any detection this stage, regardless of how many shards the
     /// group's frames were split across.
     pub detector_calls: u64,
+    /// Per-frame retry attempts issued this stage (0 on fault-free stages).
+    pub retries: u64,
+    /// Frames whose detect attempts were exhausted this stage (degraded
+    /// failure modes only; fail-fast aborts instead of counting).
+    pub failed_frames: u64,
+    /// Deterministic backoff cost charged for this stage's retries (see
+    /// [`RetryPolicy::backoff_cost`]) — cost-accounting hooks should bill it
+    /// alongside `detector_frames`.
+    pub backoff_cost: u64,
 }
 
 /// Final report for one query.
@@ -243,6 +339,9 @@ pub struct QueryReport {
     pub trajectory: Vec<TrajectoryPoint>,
     /// Frames the policy had to scan upfront (proxy-style policies only).
     pub upfront_scan_frames: u64,
+    /// Picks of this query dropped from fan-out because their detection
+    /// failed (degraded failure modes only; always 0 under fail-fast).
+    pub dropped_frames: u64,
     /// Why the query stopped, or `None` if it is still running (possible only
     /// in reports taken via [`QueryEngine::report`] between manual
     /// [`QueryEngine::run_stage`] calls; after a completed
@@ -266,6 +365,16 @@ pub struct EngineReport {
     /// [`StageStats::detector_calls`]; the physical per-shard count lives in
     /// [`ShardedReport::physical_detector_calls`]).
     pub detector_calls: u64,
+    /// Total per-frame retry attempts issued by the run (0 when fault-free).
+    pub detect_retries: u64,
+    /// Total frames whose detect attempts were exhausted (degraded failure
+    /// modes only).
+    pub failed_frames: u64,
+    /// Total deterministic backoff cost charged for retries.
+    pub backoff_cost: u64,
+    /// Class labels of detectors quarantined during the run, in registry
+    /// (first-seen) order.  Empty unless [`FailureMode::Quarantine`] tripped.
+    pub quarantined_detectors: Vec<String>,
 }
 
 impl EngineReport {
@@ -290,6 +399,8 @@ struct QueryState<'a> {
     found_true: HashSet<InstanceId>,
     trajectory: Vec<TrajectoryPoint>,
     stop: Option<StopReason>,
+    /// Picks dropped from fan-out because their detection failed.
+    dropped_frames: u64,
     /// This stage's picks (reused buffer).
     picks: Vec<FrameId>,
 }
@@ -329,6 +440,7 @@ impl QueryState<'_> {
             found_instances,
             trajectory: self.trajectory.clone(),
             upfront_scan_frames: self.policy.upfront_scan_frames(),
+            dropped_frames: self.dropped_frames,
             stop_reason: self.stop,
         }
     }
@@ -359,6 +471,20 @@ pub struct QueryEngine<'a> {
     pooled_dispatches: u64,
     /// Optional cross-stage frame→detections cache (off by default).
     cache: Option<DetectionCache>,
+    /// Retry policy for failed detect attempts (off by default).
+    retry: RetryPolicy,
+    /// What happens when a frame's attempts are exhausted (fail-fast by
+    /// default).
+    failure: FailureMode,
+    /// Cumulative failed frames per detector registry slot (drives
+    /// [`FailureMode::Quarantine`]).
+    slot_failures: Vec<u64>,
+    /// Quarantined detector registry slots.
+    quarantined: Vec<bool>,
+    /// Run totals of the fault telemetry (see [`EngineReport`]).
+    detect_retries: u64,
+    failed_frames: u64,
+    backoff_total: u64,
     /// Registry of distinct detectors seen, in first-seen order.  Membership
     /// is by *fat* pointer (`std::ptr::eq` on `&dyn Detector` compares data
     /// address and vtable), so two distinct zero-sized detector types at the
@@ -407,6 +533,13 @@ impl<'a> QueryEngine<'a> {
             pool: None,
             pooled_dispatches: 0,
             cache: None,
+            retry: RetryPolicy::none(),
+            failure: FailureMode::FailFast,
+            slot_failures: Vec::new(),
+            quarantined: Vec::new(),
+            detect_retries: 0,
+            failed_frames: 0,
+            backoff_total: 0,
             detector_slots: Vec::new(),
             stages: 0,
             demanded_frames: 0,
@@ -521,6 +654,30 @@ impl<'a> QueryEngine<'a> {
         self.cache.as_ref().map(DetectionCache::stats)
     }
 
+    /// Set the retry policy for failed detect attempts (default:
+    /// [`RetryPolicy::none`]).  With retries off, a fault-free run is
+    /// pick-for-pick identical to the pre-fault-tolerance engine.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Choose what happens when a frame's detect attempts are exhausted
+    /// (default: [`FailureMode::FailFast`]).
+    pub fn failure_mode(mut self, failure: FailureMode) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// The flattened per-lane fault-handling policy for this engine.
+    fn detect_policy(&self) -> DetectPolicy {
+        DetectPolicy {
+            max_attempts: self.retry.max_attempts,
+            backoff_cost: self.retry.backoff_cost,
+            fail_fast: matches!(self.failure, FailureMode::FailFast),
+        }
+    }
+
     /// Number of shards the DETECT phase is split across.
     pub fn shard_count(&self) -> usize {
         self.workers.len()
@@ -548,6 +705,7 @@ impl<'a> QueryEngine<'a> {
             found_true: HashSet::new(),
             trajectory: Vec::new(),
             stop: None,
+            dropped_frames: 0,
             picks: Vec::new(),
         });
         Ok(self.queries.len() - 1)
@@ -585,33 +743,46 @@ impl<'a> QueryEngine<'a> {
     /// Returns `None` once every query has stopped — after that the engine is
     /// finished and [`QueryEngine::report`] is stable.
     ///
-    /// Manual stage calls always execute outside a pooled run (the worker
-    /// pool exists only inside [`QueryEngine::run_with`]), so the fallible
-    /// pooled dispatch path — the only way a stage can fail — is unreachable
-    /// here and this wrapper over [`QueryEngine::try_run_stage`] cannot
-    /// actually panic.
+    /// # Panics
+    /// Panics if the stage fails — a worker lane panicked, or a fallible
+    /// detector failed under [`FailureMode::FailFast`].  Engines running
+    /// fallible detectors should call [`QueryEngine::try_run_stage`] (or
+    /// [`QueryEngine::run`]) and handle the typed error instead.
     pub fn run_stage(&mut self) -> Option<StageStats> {
         self.try_run_stage()
-            .expect("stage execution cannot fail outside a pooled run")
+            .expect("stage execution failed; use try_run_stage with fallible detectors")
     }
 
-    /// [`QueryEngine::run_stage`], surfacing pooled-runtime failures.
+    /// [`QueryEngine::run_stage`], surfacing stage failures.
     ///
     /// # Errors
     /// Returns [`EngineError::WorkerPanicked`] if a worker lane's detect pass
-    /// panicked during a pooled parallel stage (possible only inside
-    /// [`QueryEngine::run_with`], where the pool is live).  The stage is
-    /// abandoned: reports and cost accounting are unspecified after this
-    /// error, and the run that observed it has already returned it.
+    /// panicked during a parallel stage (either dispatch runtime), and
+    /// [`EngineError::DetectorFailed`] if a detector exhausted a frame's
+    /// attempts under [`FailureMode::FailFast`].  The stage is abandoned
+    /// before its cache commit and fan-out: reports and cost accounting are
+    /// unspecified after this error, and the run that observed it has already
+    /// returned it.
     pub fn try_run_stage(&mut self) -> Result<Option<StageStats>, EngineError> {
-        // Phase 1: stop checks and scheduling.
+        // Phase 1: stop checks and scheduling.  A quarantined detector stops
+        // its queries here, at the stage boundary after the quarantine
+        // decision — deterministically, regardless of sharding or threading.
         self.loads.clear();
         for q in &mut self.queries {
             q.picks.clear();
+            let quarantined = !self.quarantined.is_empty()
+                && self
+                    .detector_slots
+                    .iter()
+                    .position(|&d| std::ptr::eq(d, q.detector))
+                    .is_some_and(|slot| self.quarantined.get(slot).copied().unwrap_or(false));
             let live = if q.stop.is_some() {
                 false
             } else if let Some(reason) = q.stop_condition() {
                 q.stop = Some(reason);
+                false
+            } else if quarantined {
+                q.stop = Some(StopReason::DetectorQuarantined);
                 false
             } else {
                 true
@@ -654,6 +825,9 @@ impl<'a> QueryEngine<'a> {
 
         let mut detector_frames = 0u64;
         let mut detector_calls = 0u64;
+        let mut stage_retries = 0u64;
+        let mut stage_failed = 0u64;
+        let mut stage_backoff = 0u64;
         // The fast path skips routing entirely, so it is only taken when the
         // router has no bounds to enforce — a chunking-built router must see
         // every frame to uphold its documented out-of-range panic.
@@ -672,22 +846,111 @@ impl<'a> QueryEngine<'a> {
                 .position(|q| !q.picks.is_empty())
                 .expect("one query picked this stage");
             let slot = Self::detector_slot(&mut self.detector_slots, self.queries[index].detector);
+            let policy = self.detect_policy();
             let q = &mut self.queries[index];
             let picks = std::mem::take(&mut q.picks);
             self.detections_buf.clear();
-            q.detector.detect_batch(&picks, &mut self.detections_buf);
-            detector_calls = 1;
-            detector_frames = picks.len() as u64;
-            for (&frame, detections) in picks.iter().zip(self.detections_buf.drain(..)) {
-                let new_hits = Self::observe_frame(q, frame, &detections);
-                self.workers[0].record_observation(index, new_hits);
+            match q
+                .detector
+                .try_detect_batch(&picks, &mut self.detections_buf)
+            {
+                Ok(()) => {
+                    // Fault-free path: identical to the pre-fault-tolerance
+                    // engine, one batch probe and straight-line fan-out.
+                    detector_calls = 1;
+                    detector_frames = picks.len() as u64;
+                    for (&frame, detections) in picks.iter().zip(self.detections_buf.drain(..)) {
+                        let new_hits = Self::observe_frame(q, frame, &detections);
+                        self.workers[0].record_observation(index, new_hits);
+                    }
+                    self.workers[0].record_direct(slot, detector_frames, detector_calls);
+                }
+                Err(_) => {
+                    // Per-frame recovery in pick order — the same attempt
+                    // semantics as `ShardWorker::detect`, so fast-path runs
+                    // stay bitwise-identical to lane-path runs under faults.
+                    let max_attempts = policy.max_attempts.max(1);
+                    let mut physical_calls = 1u64; // the failed probe
+                    let mut fatal: Option<(FrameId, u32, DetectError)> = None;
+                    for &frame in &picks {
+                        let mut attempts = 0u32;
+                        let outcome: Result<FrameDetections, DetectError> = loop {
+                            attempts += 1;
+                            self.detections_buf.clear();
+                            match q.detector.try_detect_batch(
+                                std::slice::from_ref(&frame),
+                                &mut self.detections_buf,
+                            ) {
+                                Ok(()) => {
+                                    break Ok(self
+                                        .detections_buf
+                                        .pop()
+                                        .expect("one detection set per detected frame"));
+                                }
+                                Err(err) => {
+                                    if !err.is_transient() || attempts >= max_attempts {
+                                        break Err(err);
+                                    }
+                                    stage_retries += 1;
+                                    stage_backoff += policy
+                                        .backoff_cost
+                                        .saturating_mul(1u64 << u64::from(attempts - 1).min(62));
+                                }
+                            }
+                        };
+                        physical_calls += u64::from(attempts);
+                        match outcome {
+                            Ok(detections) => {
+                                detector_frames += 1;
+                                let new_hits = Self::observe_frame(q, frame, &detections);
+                                self.workers[0].record_observation(index, new_hits);
+                            }
+                            Err(error) => {
+                                stage_failed += 1;
+                                if policy.fail_fast {
+                                    fatal = Some((frame, attempts + 1, error));
+                                    break;
+                                }
+                                q.dropped_frames += 1;
+                                self.workers[0].record_dropped(index);
+                            }
+                        }
+                    }
+                    detector_calls = u64::from(detector_frames > 0);
+                    self.workers[0].record_direct(slot, detector_frames, physical_calls);
+                    self.workers[0].record_direct_faults(
+                        slot,
+                        stage_retries,
+                        stage_backoff,
+                        stage_failed,
+                    );
+                    if let Some((frame, attempts, source)) = fatal {
+                        let class = self.detector_slots[slot as usize].class().to_string();
+                        return Err(EngineError::DetectorFailed {
+                            class,
+                            frame,
+                            attempts,
+                            source,
+                        });
+                    }
+                    if stage_failed > 0 {
+                        self.record_slot_failures(slot as usize, stage_failed);
+                    }
+                }
             }
+            let q = &mut self.queries[index];
             q.picks = picks;
             q.picks.clear();
-            self.workers[0].record_direct(slot, detector_frames, detector_calls);
         } else {
-            self.run_sharded_stage(&mut detector_frames, &mut detector_calls)?;
+            self.run_sharded_stage(
+                &mut detector_frames,
+                &mut detector_calls,
+                &mut stage_retries,
+                &mut stage_failed,
+                &mut stage_backoff,
+            )?;
         }
+        self.apply_quarantine();
 
         let stats = StageStats {
             stage: self.stages,
@@ -695,12 +958,45 @@ impl<'a> QueryEngine<'a> {
             demanded_frames: demanded,
             detector_frames,
             detector_calls,
+            retries: stage_retries,
+            failed_frames: stage_failed,
+            backoff_cost: stage_backoff,
         };
         self.stages += 1;
         self.demanded_frames += demanded;
         self.detector_frames += detector_frames;
         self.detector_calls += detector_calls;
+        self.detect_retries += stage_retries;
+        self.failed_frames += stage_failed;
+        self.backoff_total += stage_backoff;
         Ok(Some(stats))
+    }
+
+    /// Accrue `failures` failed frames against registry slot `slot`.
+    fn record_slot_failures(&mut self, slot: usize, failures: u64) {
+        if self.slot_failures.len() <= slot {
+            self.slot_failures.resize(slot + 1, 0);
+        }
+        self.slot_failures[slot] += failures;
+    }
+
+    /// Quarantine every detector whose cumulative failed-frame count exceeds
+    /// the threshold (no-op in the other failure modes).  Decided at the
+    /// stage boundary from the logical per-detector failure counts, so the
+    /// decision is identical across shard counts, thread counts and dispatch
+    /// runtimes.
+    fn apply_quarantine(&mut self) {
+        let FailureMode::Quarantine { failure_threshold } = self.failure else {
+            return;
+        };
+        for (slot, &failures) in self.slot_failures.iter().enumerate() {
+            if failures > failure_threshold {
+                if self.quarantined.len() <= slot {
+                    self.quarantined.resize(slot + 1, false);
+                }
+                self.quarantined[slot] = true;
+            }
+        }
     }
 
     /// One frame's fan-out for one query: discriminator verdict, policy
@@ -743,12 +1039,17 @@ impl<'a> QueryEngine<'a> {
     /// one thread, which is why all the modes are bitwise-indistinguishable.
     ///
     /// # Errors
-    /// Returns [`EngineError::WorkerPanicked`] if a pooled detect lane
-    /// panicked; the stage is abandoned before its cache commit and fan-out.
+    /// Returns [`EngineError::WorkerPanicked`] if a detect lane panicked
+    /// under either dispatch runtime, and [`EngineError::DetectorFailed`] if
+    /// a detector failed terminally under [`FailureMode::FailFast`]; in both
+    /// cases the stage is abandoned before its cache commit and fan-out.
     fn run_sharded_stage(
         &mut self,
         detector_frames: &mut u64,
         detector_calls: &mut u64,
+        stage_retries: &mut u64,
+        stage_failed: &mut u64,
+        stage_backoff: &mut u64,
     ) -> Result<(), EngineError> {
         // Logical grouping: one group per distinct detector among the picking
         // queries (per picking query when coalescing is off).
@@ -812,10 +1113,16 @@ impl<'a> QueryEngine<'a> {
         // parallel mode falls back to the (no-op) serial loop unless some
         // worker actually has work.
         let share_lanes = self.cache.is_some();
+        let policy = self.detect_policy();
         let threads = self.execution.effective_threads(self.workers.len());
         if threads <= 1 || !self.workers.iter().any(ShardWorker::has_misses) {
             for worker in &mut self.workers {
-                worker.detect(&self.stage_detectors, &self.stage_slots, share_lanes);
+                worker.detect(
+                    &self.stage_detectors,
+                    &self.stage_slots,
+                    share_lanes,
+                    policy,
+                );
             }
         } else if self.pool.is_some() {
             // Pooled dispatch: hand contiguous worker chunks to the run's
@@ -827,6 +1134,7 @@ impl<'a> QueryEngine<'a> {
                 detectors: self.stage_detectors.clone(),
                 slots: self.stage_slots.clone(),
                 share_lanes,
+                policy,
             };
             let pool = self.pool.as_mut().expect("pool presence checked above");
             pool.run_stage(&mut self.workers, threads, ctx)?;
@@ -834,18 +1142,58 @@ impl<'a> QueryEngine<'a> {
         } else {
             // Legacy scoped dispatch (`Dispatch::Scoped`, or a manual
             // `run_stage` call outside a pooled run): spawn and join fresh
-            // scoped threads for this stage.
-            let detectors = &self.stage_detectors;
-            let slots = &self.stage_slots;
+            // scoped threads for this stage.  Each thread runs the same
+            // panic-catching lane as the pooled runtime, so a poisoned
+            // detector surfaces as a typed error here too instead of
+            // unwinding out of the scope.
+            let ctx = StageCtx {
+                detectors: self.stage_detectors.clone(),
+                slots: self.stage_slots.clone(),
+                share_lanes,
+                policy,
+            };
             let per_thread = self.workers.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for chunk in self.workers.chunks_mut(per_thread) {
-                    scope.spawn(move || {
-                        for worker in chunk {
-                            worker.detect(detectors, slots, share_lanes);
-                        }
-                    });
-                }
+            let first_panic = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .chunks_mut(per_thread)
+                    .map(|chunk| scope.spawn(|| runtime::detect_chunk(chunk, &ctx)))
+                    .collect();
+                // Join in spawn (= chunk) order so the reported panic is the
+                // first lane's, matching the pooled runtime's contract.
+                handles
+                    .into_iter()
+                    .filter_map(|handle| match handle.join() {
+                        Ok(outcome) => outcome,
+                        Err(payload) => Some(runtime::panic_message(payload)),
+                    })
+                    .next()
+            });
+            if let Some(message) = first_panic {
+                return Err(EngineError::WorkerPanicked { message });
+            }
+        }
+
+        // Fail-fast scan, shard order: a worker that hit a terminal detect
+        // failure under `FailureMode::FailFast` parked it on its lane; the
+        // first one (in shard order) aborts the stage *before* the cache
+        // commit, so no result from the doomed stage is ever published.
+        let mut fatal = None;
+        for worker in &mut self.workers {
+            let failure = worker.fatal.take();
+            if fatal.is_none() {
+                fatal = failure;
+            }
+        }
+        if let Some(failure) = fatal {
+            let class = self.detector_slots[failure.slot as usize]
+                .class()
+                .to_string();
+            return Err(EngineError::DetectorFailed {
+                class,
+                frame: failure.frame,
+                attempts: failure.attempts,
+                source: failure.error,
             });
         }
 
@@ -864,11 +1212,25 @@ impl<'a> QueryEngine<'a> {
         self.lane_detected.resize(groups, 0);
         for worker in &self.workers {
             *detector_frames += worker.stage_detected_frames();
+            *stage_retries += worker.stage_retries;
+            *stage_backoff += worker.stage_backoff;
             for (total, &detected) in self.lane_detected.iter_mut().zip(&worker.lane_detected) {
                 *total += detected;
             }
         }
         *detector_calls += self.lane_detected.iter().filter(|&&n| n > 0).count() as u64;
+
+        // Logical per-detector failure counts: summed per group across the
+        // shards (shard-count invariant), then charged to the group's
+        // registry slot so quarantine decisions see the run-cumulative view.
+        for g in 0..groups {
+            let failures: u64 = self.workers.iter().map(|w| w.lane_failed[g]).sum();
+            if failures > 0 {
+                *stage_failed += failures;
+                let slot = self.stage_slots[g] as usize;
+                self.record_slot_failures(slot, failures);
+            }
+        }
 
         // FAN-OUT in registration order, each query in its own pick order —
         // the same (query, pick) order the routing pass walked, so the
@@ -885,13 +1247,20 @@ impl<'a> QueryEngine<'a> {
                 let shard = self.pick_shards[routed] as usize;
                 routed += 1;
                 let worker = &mut self.workers[shard];
-                let new_hits = {
-                    let detections = worker
-                        .result(group, frame)
-                        .expect("every picked frame was detected this stage");
-                    Self::observe_frame(q, frame, detections)
-                };
-                worker.record_observation(i, new_hits);
+                // A pick with no result was dropped by the failure policy
+                // (every terminal failure under `FailFast` aborted the stage
+                // above): the query simply never observes the frame, and the
+                // degradation is tallied instead.
+                match worker.result(group, frame) {
+                    Some(detections) => {
+                        let new_hits = Self::observe_frame(q, frame, detections);
+                        worker.record_observation(i, new_hits);
+                    }
+                    None => {
+                        q.dropped_frames += 1;
+                        worker.record_dropped(i);
+                    }
+                }
             }
             // Hand the buffer back so the next stage reuses its allocation.
             q.picks = picks;
@@ -973,6 +1342,16 @@ impl<'a> QueryEngine<'a> {
             demanded_frames: self.demanded_frames,
             detector_frames: self.detector_frames,
             detector_calls: self.detector_calls,
+            detect_retries: self.detect_retries,
+            failed_frames: self.failed_frames,
+            backoff_cost: self.backoff_total,
+            quarantined_detectors: self
+                .quarantined
+                .iter()
+                .enumerate()
+                .filter(|&(_, &quarantined)| quarantined)
+                .map(|(slot, _)| self.detector_slots[slot].class().to_string())
+                .collect(),
         }
     }
 
@@ -990,12 +1369,16 @@ impl<'a> QueryEngine<'a> {
                 shard: worker.shard(),
                 detector_frames: worker.detector_frames,
                 detector_calls: worker.detector_calls,
+                retries: worker.retries,
+                backoff_cost: worker.backoff,
+                failed_frames: worker.failed_frames,
                 per_query: (0..queries)
                     .map(|i| {
                         let tally = worker.per_query.get(i).copied().unwrap_or_default();
                         ShardQueryTally {
                             frames: tally.frames,
                             hits: tally.hits,
+                            dropped: tally.dropped,
                         }
                     })
                     .collect(),
@@ -1003,12 +1386,13 @@ impl<'a> QueryEngine<'a> {
                     .per_detector
                     .iter()
                     .enumerate()
-                    .filter(|(_, tally)| tally.frames > 0 || tally.calls > 0)
+                    .filter(|(_, tally)| tally.frames > 0 || tally.calls > 0 || tally.failures > 0)
                     .map(|(slot, tally)| DetectorInvocations {
                         detector: slot as u32,
                         class: self.detector_slots[slot].class().to_string(),
                         frames: tally.frames,
                         calls: tally.calls,
+                        failures: tally.failures,
                     })
                     .collect(),
             })

@@ -6,6 +6,8 @@
 //! misconfiguration must surface as a recoverable [`EngineError`] instead of a
 //! panic.
 
+use exsample_detect::DetectError;
+use exsample_video::FrameId;
 use std::fmt;
 
 /// A sampler was wired to a chunking with a different number of chunks.
@@ -67,14 +69,35 @@ pub enum EngineError {
         /// The rejected thread count.
         threads: usize,
     },
-    /// A worker lane's detect pass panicked during a pooled parallel stage.
+    /// A detector's fallible detect path failed and the engine is running in
+    /// fail-fast mode (the default [`crate::FailureMode::FailFast`]).
     ///
-    /// The persistent worker runtime catches detector panics on every lane
-    /// (helper threads and the coordinator's inline lane alike) and surfaces
-    /// them as this typed error instead of unwinding the coordinator or —
-    /// worse — leaving it blocked on a completion channel.  The run stops at
-    /// the offending stage; the engine's reports and cost accounting are
-    /// unspecified after this error.
+    /// The retry policy (if any) was exhausted before this error was raised:
+    /// `attempts` counts every attempt made on the frame during the stage,
+    /// including the failed batch probe.  The underlying
+    /// [`DetectError`] is preserved and surfaced through
+    /// [`std::error::Error::source`].  The run stops at the offending stage;
+    /// the engine's reports and cost accounting are unspecified after this
+    /// error.
+    DetectorFailed {
+        /// Class label of the failing detector (as registered with the engine).
+        class: String,
+        /// The frame whose detection could not be completed.
+        frame: FrameId,
+        /// Total attempts made on the frame this stage (batch probe included).
+        attempts: u32,
+        /// The final error returned by the detector.
+        source: DetectError,
+    },
+    /// A worker lane's detect pass panicked during a parallel stage.
+    ///
+    /// Both dispatch runtimes catch detector panics on every lane (the pooled
+    /// runtime on helper threads and the coordinator's inline lane alike, the
+    /// scoped runtime on each spawned scope thread) and surface them as this
+    /// typed error instead of unwinding the coordinator or — worse — leaving
+    /// it blocked on a completion channel.  The run stops at the offending
+    /// stage; the engine's reports and cost accounting are unspecified after
+    /// this error.
     WorkerPanicked {
         /// The panic message of the first lane (in chunk order) that failed.
         message: String,
@@ -102,9 +125,18 @@ impl fmt::Display for EngineError {
                 "parallel execution requires at least one worker thread (got {threads}); \
                  use 1 thread (or serial mode) for single-threaded execution"
             ),
+            EngineError::DetectorFailed {
+                class,
+                frame,
+                attempts,
+                ..
+            } => write!(
+                f,
+                "the `{class}` detector failed on frame {frame} after {attempts} attempt(s)"
+            ),
             EngineError::WorkerPanicked { message } => write!(
                 f,
-                "a DETECT worker lane panicked during a pooled parallel stage: {message}"
+                "a DETECT worker lane panicked during a parallel stage: {message}"
             ),
         }
     }
@@ -114,6 +146,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::ChunkCountMismatch(inner) => Some(inner),
+            EngineError::DetectorFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -160,5 +193,24 @@ mod tests {
         assert!(panicked.to_string().contains("detector exploded"));
         assert!(panicked.to_string().contains("worker lane panicked"));
         assert!(std::error::Error::source(&panicked).is_none());
+    }
+
+    #[test]
+    fn detector_failed_chains_its_source() {
+        let inner = DetectError::Transient {
+            frame: 41,
+            message: "socket reset".to_string(),
+        };
+        let err = EngineError::DetectorFailed {
+            class: "car".to_string(),
+            frame: 41,
+            attempts: 3,
+            source: inner.clone(),
+        };
+        assert!(err.to_string().contains("`car`"));
+        assert!(err.to_string().contains("frame 41"));
+        assert!(err.to_string().contains("3 attempt(s)"));
+        let source = std::error::Error::source(&err).expect("DetectorFailed must chain its source");
+        assert_eq!(source.to_string(), inner.to_string());
     }
 }

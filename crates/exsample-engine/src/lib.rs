@@ -88,9 +88,29 @@
 //! × both dispatch modes).  Serial remains the default; thread counts
 //! exceeding the shard count are clamped to one thread per shard, and
 //! `Parallel(0)` is a typed [`error::EngineError::InvalidExecution`].  A
-//! detector panic on any pooled lane surfaces as a typed
-//! [`error::EngineError::WorkerPanicked`] — never a deadlocked coordinator or
-//! a leaked thread.
+//! detector panic on any lane — under either dispatch runtime — surfaces as
+//! a typed [`error::EngineError::WorkerPanicked`], never a deadlocked
+//! coordinator, a leaked thread or an unwinding stage loop.
+//!
+//! ## Failure model
+//!
+//! Detectors can *fail*, not just panic: the engine drives the fallible
+//! `Detector::try_detect_batch` entry point and reacts per its configured
+//! [`RetryPolicy`] and [`FailureMode`].  Retries are off by default (a
+//! fault-free run is pick-for-pick and bitwise identical to the
+//! pre-fault-tolerance engine); when enabled, each failed frame is retried
+//! individually up to the attempt budget with deterministic exponential
+//! backoff charged as *stage cost units* — never wall-clock sleeps — so
+//! degraded runs stay reproducible.  Terminal failures are then handled per
+//! [`FailureMode`]: fail fast with a typed
+//! [`error::EngineError::DetectorFailed`] (the default), drop the frame and
+//! tally the degradation ([`QueryReport::dropped_frames`]), or quarantine
+//! the offending detector for the rest of the run
+//! ([`StopReason::DetectorQuarantined`]).  Failed frames are never committed
+//! to the detection cache, and fault telemetry (retries, backoff cost,
+//! failed/dropped frames, quarantined detectors) flows through the per-shard
+//! reports and the [`merge`] layer with the same bitwise-determinism
+//! guarantee as every other tally.
 //!
 //! ## Scheduling
 //!
@@ -130,8 +150,8 @@ pub mod shard;
 pub use cache::{CacheStats, DetectionCache};
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
-    EngineReport, ExecutionMode, QueryEngine, QueryReport, QuerySpec, StageStats, StopReason,
-    TrajectoryPoint,
+    EngineReport, ExecutionMode, FailureMode, QueryEngine, QueryReport, QuerySpec, RetryPolicy,
+    StageStats, StopReason, TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
 pub use merge::{

@@ -22,7 +22,11 @@
 //!   invocation count, which grows with the shard count because one logical
 //!   group's frames split across shards, is reported separately as
 //!   [`ShardedReport::physical_detector_calls`] — that difference is the
-//!   merge overhead the sharded benchmark tracks.
+//!   merge overhead the sharded benchmark tracks;
+//! * fault telemetry (retries, exhausted frames, backoff cost, per-query
+//!   dropped frames) is summed over the shards in shard order and
+//!   cross-checked against the coordinator's totals the same way, so a
+//!   degraded run's report is exactly as deterministic as a clean one.
 
 use crate::engine::EngineReport;
 use std::fmt;
@@ -35,6 +39,11 @@ pub struct ShardQueryTally {
     pub frames: u64,
     /// Ground-truth instances first found on this shard's frames.
     pub hits: u64,
+    /// Picked frames of this query that this shard dropped after their
+    /// detection failed terminally (only under
+    /// [`crate::FailureMode::DropFrames`] or
+    /// [`crate::FailureMode::Quarantine`]).
+    pub dropped: u64,
 }
 
 /// One detector's invocation tallies on one shard.
@@ -44,10 +53,14 @@ pub struct DetectorInvocations {
     pub detector: u32,
     /// The detector's object class, for display.
     pub class: String,
-    /// Frames run through this detector on this shard.
+    /// Frames successfully run through this detector on this shard.
     pub frames: u64,
-    /// Physical `detect_batch` invocations issued on this shard.
+    /// Physical detect invocations issued on this shard (batch probes plus
+    /// per-frame recovery attempts).
     pub calls: u64,
+    /// Frames whose detection by this detector failed terminally on this
+    /// shard (retry budget exhausted or permanent error).
+    pub failures: u64,
 }
 
 /// Everything one shard worker accumulated over a run.
@@ -60,6 +73,12 @@ pub struct ShardReport {
     pub detector_frames: u64,
     /// Physical `detect_batch` invocations issued by this shard.
     pub detector_calls: u64,
+    /// Detect attempts this shard retried after a transient failure.
+    pub retries: u64,
+    /// Deterministic backoff cost units this shard charged for its retries.
+    pub backoff_cost: u64,
+    /// Frames whose detection failed terminally on this shard.
+    pub failed_frames: u64,
     /// Per-query tallies, indexed by query registration order.
     pub per_query: Vec<ShardQueryTally>,
     /// Per-detector invocation tallies, ordered by detector slot.
@@ -107,6 +126,27 @@ pub enum MergeError {
         /// The coordinator's count.
         reported: u64,
     },
+    /// The per-shard dropped-frame tallies of a query do not add up to its
+    /// global count.
+    DroppedMismatch {
+        /// Query registration index.
+        query: usize,
+        /// Sum of the per-shard tallies.
+        merged: u64,
+        /// The coordinator's count.
+        reported: u64,
+    },
+    /// A summed per-shard fault tally (retries, backoff cost or failed
+    /// frames) disagrees with the coordinator's total.
+    FaultTallyMismatch {
+        /// Which tally disagreed: `"retries"`, `"backoff_cost"` or
+        /// `"failed_frames"`.
+        field: &'static str,
+        /// Sum of the per-shard tallies.
+        merged: u64,
+        /// The coordinator's total.
+        reported: u64,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -139,6 +179,23 @@ impl fmt::Display for MergeError {
             MergeError::DetectorFrameMismatch { merged, reported } => write!(
                 f,
                 "shard detector-frame tallies sum to {merged} but the engine paid {reported}"
+            ),
+            MergeError::DroppedMismatch {
+                query,
+                merged,
+                reported,
+            } => write!(
+                f,
+                "query {query}: shard dropped-frame tallies sum to {merged} but the engine \
+                 dropped {reported}"
+            ),
+            MergeError::FaultTallyMismatch {
+                field,
+                merged,
+                reported,
+            } => write!(
+                f,
+                "shard {field} tallies sum to {merged} but the engine recorded {reported}"
             ),
         }
     }
@@ -209,6 +266,14 @@ pub fn merge_reports(
                 reported: outcome.true_found as u64,
             });
         }
+        let merged_dropped: u64 = shards.iter().map(|s| s.per_query[i].dropped).sum();
+        if merged_dropped != outcome.dropped_frames {
+            return Err(MergeError::DroppedMismatch {
+                query: i,
+                merged: merged_dropped,
+                reported: outcome.dropped_frames,
+            });
+        }
     }
     let merged_detector_frames: u64 = shards.iter().map(|s| s.detector_frames).sum();
     if merged_detector_frames != report.detector_frames {
@@ -216,6 +281,22 @@ pub fn merge_reports(
             merged: merged_detector_frames,
             reported: report.detector_frames,
         });
+    }
+    type ShardTally = fn(&ShardReport) -> u64;
+    let fault_tallies: [(&'static str, ShardTally, u64); 3] = [
+        ("retries", |s| s.retries, report.detect_retries),
+        ("backoff_cost", |s| s.backoff_cost, report.backoff_cost),
+        ("failed_frames", |s| s.failed_frames, report.failed_frames),
+    ];
+    for (field, shard_tally, reported) in fault_tallies {
+        let merged: u64 = shards.iter().map(shard_tally).sum();
+        if merged != reported {
+            return Err(MergeError::FaultTallyMismatch {
+                field,
+                merged,
+                reported,
+            });
+        }
     }
     let physical_detector_calls = shards.iter().map(|s| s.detector_calls).sum();
     Ok(ShardedReport {
@@ -245,6 +326,7 @@ mod tests {
                     found_instances: Vec::new(),
                     trajectory: Vec::new(),
                     upfront_scan_frames: 0,
+                    dropped_frames: 0,
                     stop_reason: None,
                 })
                 .collect(),
@@ -252,6 +334,10 @@ mod tests {
             demanded_frames: frames.iter().sum(),
             detector_frames,
             detector_calls: 3,
+            detect_retries: 0,
+            failed_frames: 0,
+            backoff_cost: 0,
+            quarantined_detectors: Vec::new(),
         }
     }
 
@@ -260,9 +346,16 @@ mod tests {
             shard,
             detector_frames: frames,
             detector_calls: calls,
+            retries: 0,
+            backoff_cost: 0,
+            failed_frames: 0,
             per_query: per_query
                 .iter()
-                .map(|&(frames, hits)| ShardQueryTally { frames, hits })
+                .map(|&(frames, hits)| ShardQueryTally {
+                    frames,
+                    hits,
+                    dropped: 0,
+                })
                 .collect(),
             per_detector: Vec::new(),
         }
@@ -307,6 +400,53 @@ mod tests {
         assert!(matches!(err, MergeError::HitMismatch { .. }));
         let err = merge_reports(global, vec![shard(0, &[(4, 2)], 3, 1)]).unwrap_err();
         assert!(matches!(err, MergeError::DetectorFrameMismatch { .. }));
+    }
+
+    #[test]
+    fn fault_tallies_merge_and_mismatches_are_detected() {
+        // A degraded run: 2 retries, backoff 12, one failed frame, one
+        // dropped pick on query 0 — split across two shards.
+        let mut global = report(&[10, 6], &[3, 1], 14);
+        global.detect_retries = 2;
+        global.backoff_cost = 12;
+        global.failed_frames = 1;
+        global.outcomes[0].dropped_frames = 1;
+        let mut a = shard(0, &[(7, 2), (2, 0)], 9, 3);
+        a.retries = 2;
+        a.backoff_cost = 12;
+        a.failed_frames = 1;
+        a.per_query[0].dropped = 1;
+        let b = shard(1, &[(3, 1), (4, 1)], 5, 2);
+        let merged = merge_reports(global.clone(), vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.report.detect_retries, 2);
+        assert_eq!(merged.report.failed_frames, 1);
+
+        // Shard retry tallies that don't add up are a typed error…
+        let mut bad = a.clone();
+        bad.retries = 1;
+        let err = merge_reports(global.clone(), vec![bad, b.clone()]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::FaultTallyMismatch {
+                field: "retries",
+                merged: 1,
+                reported: 2
+            }
+        ));
+        assert!(err.to_string().contains("retries"));
+
+        // …and so are per-query dropped tallies.
+        let mut bad = a;
+        bad.per_query[0].dropped = 0;
+        let err = merge_reports(global, vec![bad, b]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::DroppedMismatch {
+                query: 0,
+                merged: 0,
+                reported: 1
+            }
+        ));
     }
 
     #[test]

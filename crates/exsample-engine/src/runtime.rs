@@ -52,7 +52,7 @@
 //! overhead delta between the two runtimes.
 
 use crate::error::EngineError;
-use crate::shard::ShardWorker;
+use crate::shard::{DetectPolicy, ShardWorker};
 use exsample_detect::Detector;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,9 +81,9 @@ pub enum Dispatch {
     Pooled,
     /// Spawn and join a fresh set of `std::thread::scope` threads in every
     /// stage — the pre-runtime behaviour, kept selectable as the overhead
-    /// baseline.  A detector panic propagates as a panic (the scope rethrows
-    /// it on join) instead of the pooled runtime's typed
-    /// [`EngineError::WorkerPanicked`].
+    /// baseline.  A detector panic is caught on each scope thread and
+    /// surfaces as the same typed [`EngineError::WorkerPanicked`] the pooled
+    /// runtime reports (first panic in chunk order).
     Scoped,
 }
 
@@ -134,13 +134,14 @@ impl Drop for LiveGuard {
 }
 
 /// The immutable per-stage context every lane needs to run its detect phase:
-/// the stage's logical detector groups, their registry slots, and whether
-/// same-slot lanes share results (cache on, coalescing off).  Shared across
-/// lanes behind one `Arc` per stage.
+/// the stage's logical detector groups, their registry slots, whether
+/// same-slot lanes share results (cache on, coalescing off), and the stage's
+/// fault-handling policy.  Shared across lanes behind one `Arc` per stage.
 pub(crate) struct StageCtx<'a> {
     pub(crate) detectors: Vec<&'a dyn Detector>,
     pub(crate) slots: Vec<u32>,
     pub(crate) share_lanes: bool,
+    pub(crate) policy: DetectPolicy,
 }
 
 /// One stage's work for one helper lane: the contiguous chunk of shard
@@ -167,7 +168,7 @@ struct Done {
 
 /// Render a caught panic payload as the message carried by
 /// [`EngineError::WorkerPanicked`].
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(message) => *message,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -178,11 +179,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Run one lane's detect pass, catching panics so a poisoned detector can
-/// never strand the coordinator (the lane always reports back).
-fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> Option<String> {
+/// never strand the coordinator (the lane always reports back).  Typed
+/// detect failures are *not* errors here: they land on the workers
+/// themselves (tallies and [`ShardWorker::fatal`]) and the engine inspects
+/// them after the stage's detect pass — shared by both dispatch runtimes.
+pub(crate) fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> Option<String> {
     catch_unwind(AssertUnwindSafe(|| {
         for worker in workers.iter_mut() {
-            worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes);
+            worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes, ctx.policy);
         }
     }))
     .err()
@@ -571,6 +575,7 @@ mod tests {
                     detectors: vec![&detector, &detector, &detector],
                     slots: vec![0, 0, 0],
                     share_lanes: false,
+                    policy: DetectPolicy::infallible(),
                 };
                 pool.run_stage(&mut workers, 3, ctx).expect("no panics");
                 // Shard order is restored exactly.
@@ -603,6 +608,7 @@ mod tests {
                 detectors: vec![&noop as &dyn Detector, &bomb],
                 slots: vec![0, 1],
                 share_lanes: false,
+                policy: DetectPolicy::infallible(),
             };
             // Shard 1's frames went to group 0's lane above; re-load shard 1
             // so its lane belongs to the bomb's group instead.
@@ -639,6 +645,7 @@ mod tests {
                 detectors: vec![&bomb as &dyn Detector],
                 slots: vec![0],
                 share_lanes: false,
+                policy: DetectPolicy::infallible(),
             };
             let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
             assert!(matches!(err, EngineError::WorkerPanicked { .. }));

@@ -41,10 +41,59 @@
 
 use crate::cache::{DetectionCache, DetectorSlot};
 use crate::error::EngineError;
-use exsample_detect::{Detector, FrameDetections};
+use exsample_detect::{DetectError, Detector, FrameDetections};
 use exsample_video::{Chunking, FrameId, ShardSpec, ShardedRepository};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// How a worker's detect phase handles detector failures — the engine's
+/// [`crate::RetryPolicy`] and [`crate::FailureMode`] flattened into the
+/// `Copy` form every lane carries.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DetectPolicy {
+    /// Per-frame attempt budget (batch probe excluded); `1` means no retries.
+    pub max_attempts: u32,
+    /// Cost units charged for the `k`-th retry of a frame:
+    /// `backoff_cost * 2^(k-1)` (deterministic exponential backoff).
+    pub backoff_cost: u64,
+    /// Whether an exhausted frame aborts the stage (fail-fast) instead of
+    /// being dropped from fan-out and tallied.
+    pub fail_fast: bool,
+}
+
+impl DetectPolicy {
+    /// The pre-fault-tolerance behaviour: no retries, first failure is fatal.
+    #[cfg(test)]
+    pub(crate) fn infallible() -> Self {
+        DetectPolicy {
+            max_attempts: 1,
+            backoff_cost: 0,
+            fail_fast: true,
+        }
+    }
+
+    /// Backoff cost of the `retry`-th retry (1-based) of one frame.
+    #[inline]
+    fn retry_cost(&self, retry: u32) -> u64 {
+        self.backoff_cost
+            .saturating_mul(1u64 << u64::from(retry - 1).min(62))
+    }
+}
+
+/// A fatal detect failure recorded by a worker under fail-fast: the engine
+/// surfaces the first one in shard order as
+/// [`EngineError::DetectorFailed`].
+#[derive(Debug)]
+pub(crate) struct DetectFailure {
+    /// Registry slot of the failing detector.
+    pub slot: DetectorSlot,
+    /// The frame whose attempts were exhausted.
+    pub frame: FrameId,
+    /// Total attempts on the frame this stage, batch probe included.
+    pub attempts: u32,
+    /// The final error the detector returned.
+    pub error: DetectError,
+}
 
 /// Routes global frame ids to the shard owning them.
 ///
@@ -147,6 +196,9 @@ pub(crate) struct WorkerQueryTally {
     pub frames: u64,
     /// New ground-truth instances first observed on this shard's frames.
     pub hits: u64,
+    /// Picks of this query dropped from fan-out because their detection
+    /// failed (degraded failure modes only).
+    pub dropped: u64,
 }
 
 /// Cumulative per-detector tallies kept by one worker (indexed by the
@@ -155,6 +207,8 @@ pub(crate) struct WorkerQueryTally {
 pub(crate) struct WorkerDetectorTally {
     pub frames: u64,
     pub calls: u64,
+    /// Frames whose detect attempts were exhausted without success.
+    pub failures: u64,
 }
 
 /// One detector group's routed frames and results on one shard, for one
@@ -190,10 +244,29 @@ pub(crate) struct ShardWorker {
     /// Frames this worker detected for each logical group this stage; the
     /// engine folds the cross-shard sums into its logical accounting.
     pub lane_detected: Vec<u64>,
+    /// Frames this worker *failed* for each logical group this stage (after
+    /// exhausting retries); the engine folds these into its per-detector
+    /// quarantine accounting.
+    pub lane_failed: Vec<u64>,
     /// Cumulative frames actually run through detectors on this shard.
     pub detector_frames: u64,
     /// Cumulative physical `detect_batch` invocations issued by this shard.
     pub detector_calls: u64,
+    /// Cumulative per-frame retry attempts issued on this shard.
+    pub retries: u64,
+    /// Cumulative backoff cost units charged on this shard.
+    pub backoff: u64,
+    /// Cumulative frames whose detect attempts were exhausted on this shard.
+    pub failed_frames: u64,
+    /// This stage's retry attempts (reset by [`ShardWorker::begin_stage`]).
+    pub stage_retries: u64,
+    /// This stage's backoff cost units (reset by
+    /// [`ShardWorker::begin_stage`]).
+    pub stage_backoff: u64,
+    /// The first fatal failure recorded under fail-fast, if any; the engine
+    /// checks workers in shard order after every detect pass and aborts the
+    /// stage on the first one it finds.
+    pub fatal: Option<DetectFailure>,
     /// Per-query tallies, indexed by query registration index.
     pub per_query: Vec<WorkerQueryTally>,
     /// Per-detector tallies, indexed by detector registry slot.
@@ -208,8 +281,15 @@ impl ShardWorker {
             live_lanes: 0,
             detect_buf: Vec::new(),
             lane_detected: Vec::new(),
+            lane_failed: Vec::new(),
             detector_frames: 0,
             detector_calls: 0,
+            retries: 0,
+            backoff: 0,
+            failed_frames: 0,
+            stage_retries: 0,
+            stage_backoff: 0,
+            fatal: None,
             per_query: Vec::new(),
             per_detector: Vec::new(),
         }
@@ -233,6 +313,10 @@ impl ShardWorker {
         self.live_lanes = groups;
         self.lane_detected.clear();
         self.lane_detected.resize(groups, 0);
+        self.lane_failed.clear();
+        self.lane_failed.resize(groups, 0);
+        self.stage_retries = 0;
+        self.stage_backoff = 0;
         if self.per_query.len() < queries {
             self.per_query.resize(queries, WorkerQueryTally::default());
         }
@@ -295,6 +379,21 @@ impl ShardWorker {
     /// engine state — so the engine may run workers' detect phases
     /// concurrently on scoped threads without changing any observable result.
     ///
+    /// Detection may fail.  Each lane is first probed with one batched
+    /// [`Detector::try_detect_batch`] call — the fault-free path, identical
+    /// in cost and behaviour to the pre-fault-tolerance engine.  If the probe
+    /// errs, the lane falls back to per-frame recovery: every miss is
+    /// attempted individually up to `policy.max_attempts` times (a permanent
+    /// error stops retrying immediately), retries and their deterministic
+    /// backoff cost are tallied per frame, and a frame whose attempts are
+    /// exhausted is *removed from the lane's misses* — it gains no result, is
+    /// never committed to the cache, and (under fail-fast) is recorded in
+    /// [`ShardWorker::fatal`] and aborts this worker's detect pass.  Because
+    /// every frame's attempt history depends only on its own schedule (one
+    /// probe plus its own per-frame tries), the per-frame tallies are
+    /// independent of how frames are batched into shards — the engine's
+    /// fault determinism guarantee.
+    ///
     /// When the cross-stage cache is enabled and coalescing is off, two lanes
     /// of the same stage can carry the same detector (each picking query gets
     /// its own group); lanes are processed in order and a later lane reuses
@@ -310,6 +409,7 @@ impl ShardWorker {
         detectors: &[&dyn Detector],
         detector_slots: &[DetectorSlot],
         share_lanes: bool,
+        policy: DetectPolicy,
     ) {
         for g in 0..self.live_lanes {
             let (earlier, rest) = self.lanes.split_at_mut(g);
@@ -351,21 +451,119 @@ impl ShardWorker {
                 }
             }
             self.detect_buf.clear();
-            detectors[g].detect_batch(&lane.misses, &mut self.detect_buf);
-            let detected = lane.misses.len() as u64;
-            self.detector_calls += 1;
-            self.detector_frames += detected;
-            self.lane_detected[g] += detected;
-            if self.per_detector.len() <= slot as usize {
-                self.per_detector
-                    .resize(slot as usize + 1, WorkerDetectorTally::default());
-            }
-            let tally = &mut self.per_detector[slot as usize];
-            tally.frames += detected;
-            tally.calls += 1;
-            lane.results.reserve(self.detect_buf.len());
-            for (&frame, detections) in lane.misses.iter().zip(self.detect_buf.drain(..)) {
-                lane.results.insert(frame, Arc::new(detections));
+            match detectors[g].try_detect_batch(&lane.misses, &mut self.detect_buf) {
+                Ok(()) => {
+                    // Fault-free path: identical bookkeeping to the
+                    // pre-fault-tolerance engine.
+                    let detected = lane.misses.len() as u64;
+                    self.detector_calls += 1;
+                    self.detector_frames += detected;
+                    self.lane_detected[g] += detected;
+                    if self.per_detector.len() <= slot as usize {
+                        self.per_detector
+                            .resize(slot as usize + 1, WorkerDetectorTally::default());
+                    }
+                    let tally = &mut self.per_detector[slot as usize];
+                    tally.frames += detected;
+                    tally.calls += 1;
+                    lane.results.reserve(self.detect_buf.len());
+                    for (&frame, detections) in lane.misses.iter().zip(self.detect_buf.drain(..)) {
+                        lane.results.insert(frame, Arc::new(detections));
+                    }
+                }
+                Err(_) => {
+                    // The batch probe failed somewhere in the lane: fall back
+                    // to per-frame recovery.  Each frame's attempt history is
+                    // one probe plus its own per-frame tries, so tallies are
+                    // independent of lane/shard composition.
+                    let max_attempts = policy.max_attempts.max(1);
+                    let mut physical_calls = 1u64; // the failed probe
+                    let mut ok_frames = 0u64;
+                    let mut lane_retries = 0u64;
+                    let mut lane_backoff = 0u64;
+                    let mut lane_failures = 0u64;
+                    let mut fatal: Option<DetectFailure> = None;
+                    let mut kept = 0usize;
+                    for idx in 0..lane.misses.len() {
+                        let frame = lane.misses[idx];
+                        let mut attempts = 0u32;
+                        let mut outcome: Result<FrameDetections, DetectError>;
+                        loop {
+                            attempts += 1;
+                            self.detect_buf.clear();
+                            match detectors[g].try_detect_batch(
+                                std::slice::from_ref(&frame),
+                                &mut self.detect_buf,
+                            ) {
+                                Ok(()) => {
+                                    outcome = Ok(self
+                                        .detect_buf
+                                        .pop()
+                                        .expect("one detection set per detected frame"));
+                                    break;
+                                }
+                                Err(err) => {
+                                    let transient = err.is_transient();
+                                    outcome = Err(err);
+                                    if !transient || attempts >= max_attempts {
+                                        break;
+                                    }
+                                    // The upcoming try is retry number
+                                    // `attempts` (1-based) for this frame.
+                                    lane_retries += 1;
+                                    lane_backoff += policy.retry_cost(attempts);
+                                }
+                            }
+                        }
+                        physical_calls += u64::from(attempts);
+                        match outcome {
+                            Ok(detections) => {
+                                lane.results.insert(frame, Arc::new(detections));
+                                lane.misses[kept] = frame;
+                                kept += 1;
+                                ok_frames += 1;
+                            }
+                            Err(error) => {
+                                lane_failures += 1;
+                                if policy.fail_fast {
+                                    fatal = Some(DetectFailure {
+                                        slot,
+                                        frame,
+                                        // Batch probe + per-frame tries.
+                                        attempts: attempts + 1,
+                                        error,
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Failed (and, under fail-fast, unprocessed) frames leave
+                    // the miss list so they can never be committed to the
+                    // cache or fanned out.
+                    lane.misses.truncate(kept);
+                    self.detector_calls += physical_calls;
+                    self.detector_frames += ok_frames;
+                    self.lane_detected[g] += ok_frames;
+                    self.lane_failed[g] += lane_failures;
+                    self.stage_retries += lane_retries;
+                    self.retries += lane_retries;
+                    self.stage_backoff += lane_backoff;
+                    self.backoff += lane_backoff;
+                    self.failed_frames += lane_failures;
+                    if self.per_detector.len() <= slot as usize {
+                        self.per_detector
+                            .resize(slot as usize + 1, WorkerDetectorTally::default());
+                    }
+                    let tally = &mut self.per_detector[slot as usize];
+                    tally.frames += ok_frames;
+                    tally.calls += physical_calls;
+                    tally.failures += lane_failures;
+                    if fatal.is_some() {
+                        self.fatal = fatal;
+                        return;
+                    }
+                }
             }
         }
     }
@@ -377,6 +575,11 @@ impl ShardWorker {
     /// only phase that *writes* the shared cache, so insertion order (and
     /// with it LRU eviction) never depends on how the detect phase is
     /// scheduled.
+    ///
+    /// Cache hygiene under faults: a frame whose detect attempts failed was
+    /// removed from the lane's miss list by [`ShardWorker::detect`], so a
+    /// failed attempt can never be committed here — only frames with an
+    /// actual result reach the LRU, and each exactly once per stage.
     pub(crate) fn commit_cache(
         &mut self,
         detector_slots: &[DetectorSlot],
@@ -395,6 +598,13 @@ impl ShardWorker {
     /// per-group detected counts).
     pub(crate) fn stage_detected_frames(&self) -> u64 {
         self.lane_detected.iter().sum()
+    }
+
+    /// Frames this worker failed this stage (the sum of its per-group failed
+    /// counts).
+    #[cfg(test)]
+    pub(crate) fn stage_failed_frames(&self) -> u64 {
+        self.lane_failed.iter().sum()
     }
 
     /// Whether any lane has unresolved frames for [`ShardWorker::detect`]
@@ -430,6 +640,27 @@ impl ShardWorker {
         tally.calls += calls;
     }
 
+    /// Record fault telemetry for a direct (fast-path) detection that
+    /// bypassed the lane machinery.
+    pub(crate) fn record_direct_faults(
+        &mut self,
+        slot: DetectorSlot,
+        retries: u64,
+        backoff: u64,
+        failures: u64,
+    ) {
+        self.stage_retries += retries;
+        self.retries += retries;
+        self.stage_backoff += backoff;
+        self.backoff += backoff;
+        self.failed_frames += failures;
+        if self.per_detector.len() <= slot as usize {
+            self.per_detector
+                .resize(slot as usize + 1, WorkerDetectorTally::default());
+        }
+        self.per_detector[slot as usize].failures += failures;
+    }
+
     /// Record one observed frame (and any newly found instances) for query
     /// `query` on this shard.
     #[inline]
@@ -442,16 +673,219 @@ impl ShardWorker {
         tally.frames += 1;
         tally.hits += new_hits;
     }
+
+    /// Record one pick of query `query` dropped from fan-out because its
+    /// detection failed (degraded failure modes).
+    #[inline]
+    pub(crate) fn record_dropped(&mut self, query: usize) {
+        if self.per_query.len() <= query {
+            self.per_query
+                .resize(query + 1, WorkerQueryTally::default());
+        }
+        self.per_query[query].dropped += 1;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::DetectionCache;
+    use exsample_detect::ObjectClass;
     use exsample_video::{ChunkingPolicy, ShardPartitioner, VideoRepository};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     fn chunking(frames: u64, chunks: u32) -> Chunking {
         let repo = VideoRepository::single_clip(frames);
         Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks })
+    }
+
+    /// A detector with hand-placed faults: each listed transient frame fails
+    /// its first `n` attempts, each permanent frame fails every attempt.
+    /// Every `try_detect_batch` call charges one attempt to every frame in
+    /// the batch, exactly like `FaultInjectingDetector`.
+    struct FlakyDetector {
+        class: ObjectClass,
+        attempts: Mutex<HashMap<FrameId, u32>>,
+        transient_until: Vec<(FrameId, u32)>,
+        permanent: Vec<FrameId>,
+        calls: AtomicU64,
+    }
+
+    impl FlakyDetector {
+        fn new(transient_until: Vec<(FrameId, u32)>, permanent: Vec<FrameId>) -> Self {
+            FlakyDetector {
+                class: ObjectClass::from("car"),
+                attempts: Mutex::new(HashMap::new()),
+                transient_until,
+                permanent,
+                calls: AtomicU64::new(0),
+            }
+        }
+
+        fn attempts_on(&self, frame: FrameId) -> u32 {
+            *self.attempts.lock().unwrap().get(&frame).unwrap_or(&0)
+        }
+    }
+
+    impl Detector for FlakyDetector {
+        fn detect(&self, frame: FrameId) -> FrameDetections {
+            FrameDetections::empty(frame)
+        }
+
+        fn class(&self) -> &ObjectClass {
+            &self.class
+        }
+
+        fn try_detect_batch(
+            &self,
+            frames: &[FrameId],
+            out: &mut Vec<FrameDetections>,
+        ) -> Result<(), exsample_detect::DetectError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let mut attempts = self.attempts.lock().unwrap();
+            let mut first: Option<exsample_detect::DetectError> = None;
+            for &frame in frames {
+                let counter = attempts.entry(frame).or_insert(0);
+                let current = *counter;
+                *counter += 1;
+                if first.is_none() {
+                    if self.permanent.contains(&frame) {
+                        first = Some(exsample_detect::DetectError::Permanent {
+                            frame,
+                            message: "weights corrupted".to_string(),
+                        });
+                    } else if self
+                        .transient_until
+                        .iter()
+                        .any(|&(f, until)| f == frame && current < until)
+                    {
+                        first = Some(exsample_detect::DetectError::Transient {
+                            frame,
+                            message: "timeout".to_string(),
+                        });
+                    }
+                }
+            }
+            match first {
+                Some(err) => Err(err),
+                None => {
+                    out.extend(frames.iter().map(|&f| FrameDetections::empty(f)));
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// A worker with `frames` routed into group 0 and probed against `cache`.
+    fn faulty_stage_worker(frames: &[FrameId], cache: &mut DetectionCache) -> ShardWorker {
+        let mut worker = ShardWorker::new(0);
+        worker.begin_stage(1, 1);
+        for &frame in frames {
+            worker.push_frame(0, frame);
+        }
+        // Coalescing off keeps the lane in insertion order, so the tests can
+        // pin exactly which frames are attempted before a fail-fast abort.
+        worker.probe(&[0], false, Some(cache));
+        worker
+    }
+
+    #[test]
+    fn failed_frames_are_never_cached_and_a_recovered_retry_commits_once() {
+        // Frame 5 fails its first two attempts (batch probe + first per-frame
+        // try), frame 9 fails permanently, frame 1 is healthy.
+        let detector = FlakyDetector::new(vec![(5, 2)], vec![9]);
+        let mut cache = DetectionCache::new(8);
+        let mut worker = faulty_stage_worker(&[1, 5, 9], &mut cache);
+        let policy = DetectPolicy {
+            max_attempts: 3,
+            backoff_cost: 4,
+            fail_fast: false,
+        };
+        worker.detect(&[&detector], &[0], false, policy);
+
+        // Frame 5 recovered on its retry; frame 9 exhausted its attempts.
+        assert!(worker.result(0, 1).is_some());
+        assert!(worker.result(0, 5).is_some());
+        assert!(worker.result(0, 9).is_none());
+        assert_eq!(worker.stage_detected_frames(), 2);
+        assert_eq!(worker.stage_failed_frames(), 1);
+        assert_eq!(worker.stage_retries, 1, "frame 5 needed one retry");
+        assert_eq!(
+            worker.stage_backoff, 4,
+            "first retry costs backoff_cost * 1"
+        );
+        assert_eq!(worker.failed_frames, 1);
+        assert_eq!(worker.per_detector[0].failures, 1);
+        // Permanent errors stop retrying immediately: probe + one per-frame
+        // try, despite the 3-attempt budget.
+        assert_eq!(detector.attempts_on(9), 2);
+
+        // Cache hygiene: the failed frame is never committed; the recovered
+        // one is committed exactly once.
+        worker.commit_cache(&[0], &mut cache);
+        assert!(cache.get(0, 9).is_none(), "failed frame must not be cached");
+        let held = Arc::clone(cache.get(0, 5).expect("recovered frame is cached"));
+        // Cache entry + lane result + our handle.
+        assert_eq!(Arc::strong_count(&held), 3);
+        // Releasing the lane leaves exactly one committed handle (plus ours):
+        // the retry committed once, not once per attempt.
+        worker.begin_stage(1, 1);
+        assert_eq!(Arc::strong_count(&held), 2);
+        assert_eq!(cache.stats().len, 2);
+
+        // A follow-up stage over the same frames re-detects only frame 9.
+        let calls_before = detector.calls.load(Ordering::SeqCst);
+        let mut worker = faulty_stage_worker(&[1, 5, 9], &mut cache);
+        worker.detect(&[&detector], &[0], false, policy);
+        assert!(
+            detector.calls.load(Ordering::SeqCst) > calls_before,
+            "frame 9 still misses the cache"
+        );
+        assert_eq!(worker.stage_detected_frames(), 0, "only frame 9 was missed");
+        assert_eq!(worker.stage_failed_frames(), 1);
+    }
+
+    #[test]
+    fn fail_fast_records_the_first_failure_and_stops_the_lane() {
+        let detector = FlakyDetector::new(Vec::new(), vec![9]);
+        let mut cache = DetectionCache::new(8);
+        let mut worker = faulty_stage_worker(&[2, 9, 4], &mut cache);
+        worker.detect(&[&detector], &[0], false, DetectPolicy::infallible());
+        let fatal = worker
+            .fatal
+            .as_ref()
+            .expect("fail-fast records the failure");
+        assert_eq!(fatal.frame, 9);
+        assert_eq!(fatal.slot, 0);
+        assert_eq!(fatal.attempts, 2, "batch probe + one per-frame try");
+        assert!(!fatal.error.is_transient());
+        // The lane stopped at the failure: frame 4 was never attempted
+        // per-frame (only the probe charged it) and nothing after the
+        // failure can reach the cache.
+        assert_eq!(detector.attempts_on(4), 1);
+        worker.commit_cache(&[0], &mut cache);
+        assert!(cache.get(0, 9).is_none());
+        assert!(cache.get(0, 4).is_none());
+    }
+
+    #[test]
+    fn retries_off_fails_transient_frames_without_retrying() {
+        let detector = FlakyDetector::new(vec![(5, 2)], Vec::new());
+        let mut cache = DetectionCache::new(8);
+        let mut worker = faulty_stage_worker(&[5], &mut cache);
+        let policy = DetectPolicy {
+            max_attempts: 1,
+            backoff_cost: 10,
+            fail_fast: false,
+        };
+        worker.detect(&[&detector], &[0], false, policy);
+        assert!(worker.result(0, 5).is_none());
+        assert_eq!(worker.stage_failed_frames(), 1);
+        assert_eq!(worker.stage_retries, 0, "no retry budget, no retries");
+        assert_eq!(worker.stage_backoff, 0);
+        // Probe + the single allowed per-frame try.
+        assert_eq!(detector.attempts_on(5), 2);
     }
 
     #[test]

@@ -146,6 +146,11 @@ fn assert_reports_equal(a: &QueryReport, b: &QueryReport, context: &str) {
         "{context}: stop reason ({})",
         a.label
     );
+    assert_eq!(
+        a.dropped_frames, b.dropped_frames,
+        "{context}: dropped frames ({})",
+        a.label
+    );
 }
 
 #[test]
@@ -431,6 +436,13 @@ fn assert_engine_reports_equal(a: &EngineReport, b: &EngineReport, context: &str
     assert_eq!(
         a.detector_calls, b.detector_calls,
         "{context}: logical detector calls"
+    );
+    assert_eq!(a.detect_retries, b.detect_retries, "{context}: retries");
+    assert_eq!(a.failed_frames, b.failed_frames, "{context}: failed frames");
+    assert_eq!(a.backoff_cost, b.backoff_cost, "{context}: backoff cost");
+    assert_eq!(
+        a.quarantined_detectors, b.quarantined_detectors,
+        "{context}: quarantined detectors"
     );
     assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query count");
     for (qa, qb) in a.outcomes.iter().zip(&b.outcomes) {

@@ -1,0 +1,563 @@
+//! Fault-tolerance guarantees of the engine, pinned end to end:
+//!
+//! 1. **fault-free identity** — with retries enabled but no faults scheduled,
+//!    a run is bitwise-identical to the pre-fault-tolerance engine (raw
+//!    detector, no retry policy): retries stay opt-in and free;
+//! 2. **fault determinism matrix** — for a fixed seed and [`FaultPlan`],
+//!    degraded runs under [`FailureMode::DropFrames`] are bitwise-identical —
+//!    merged reports, per-shard breakdowns, retry/backoff/failure/drop
+//!    tallies — across shard counts {1, 3, 7} × threads {1, 2, 4} × both
+//!    partitioners × both dispatch runtimes;
+//! 3. **quarantine** — a detector exceeding its failure threshold is disabled
+//!    for the rest of the run, its queries stop with
+//!    [`StopReason::DetectorQuarantined`], other queries are untouched, and
+//!    the whole outcome is config-invariant like every other tally;
+//! 4. **fail-fast** — the default [`FailureMode::FailFast`] surfaces the
+//!    first terminal failure (in shard order) as a typed
+//!    [`EngineError::DetectorFailed`] with full context and a chained source,
+//!    identically across thread counts and dispatch runtimes at a fixed shard
+//!    layout;
+//! 5. **cache hygiene** — failed frames are never committed to the detection
+//!    cache (a warm re-query re-attempts and re-drops exactly them), while
+//!    frames recovered by a retry are committed exactly once (a warm re-query
+//!    triggers zero further retries).
+
+use exsample_core::ExSampleConfig;
+use exsample_detect::{
+    DetectError, Detector, FaultInjectingDetector, FaultPlan, GroundTruth, ObjectClass,
+    ObjectInstance, PerfectDetector,
+};
+use exsample_engine::{
+    Dispatch, EngineError, EngineReport, ExSamplePolicy, ExecutionMode, FailureMode,
+    FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, RetryPolicy, ShardRouter,
+    ShardedReport, StopReason,
+};
+use exsample_video::{Chunking, ChunkingPolicy, ShardPartitioner, ShardSpec, VideoRepository};
+use std::sync::Arc;
+
+const FAULT_SEED: u64 = 2_022;
+
+fn skewed_setup(frames: u64, chunks: u32) -> (Chunking, Arc<GroundTruth>) {
+    let repo = VideoRepository::single_clip(frames);
+    let chunking = Chunking::new(&repo, ChunkingPolicy::FixedCount { chunks });
+    let mut instances = Vec::new();
+    let start0 = frames * 4 / 5;
+    let span = (frames / 64).max(2);
+    for i in 0..15u64 {
+        let start = start0 + i * span;
+        if start >= frames {
+            break;
+        }
+        let end = (start + span * 3).min(frames - 1);
+        instances.push(ObjectInstance::simple(i, "car", start, end));
+    }
+    let truth = Arc::new(GroundTruth::from_instances(frames, instances));
+    (chunking, truth)
+}
+
+/// The standard fault schedule the determinism matrix runs under: enough
+/// transient faults to exercise retries and enough permanent ones to exercise
+/// drops, deterministically from `FAULT_SEED`.
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::new(FAULT_SEED)
+        .transient_rate(0.10)
+        .transient_attempts(2)
+        .permanent_rate(0.03)
+}
+
+/// A fresh fault-injecting wrapper around a fresh perfect detector.  Fresh
+/// per engine run: the wrapper's per-frame attempt counters are stateful, so
+/// sharing one instance across runs would entangle their schedules.
+fn faulty_detector(
+    truth: &Arc<GroundTruth>,
+    plan: FaultPlan,
+) -> FaultInjectingDetector<PerfectDetector> {
+    FaultInjectingDetector::new(
+        PerfectDetector::new(Arc::clone(truth), ObjectClass::from("car")),
+        plan,
+    )
+}
+
+/// The two standard queries of the fault suite, sharing one detector.
+fn fault_specs<'a>(
+    chunking: &Chunking,
+    total_frames: u64,
+    detector: &'a dyn Detector,
+) -> Vec<QuerySpec<'a>> {
+    vec![
+        QuerySpec::new(
+            "exsample",
+            Box::new(ExSamplePolicy::new(ExSampleConfig::default(), chunking)),
+            detector,
+        )
+        .seed(301)
+        .batch(16)
+        .result_limit(10)
+        .frame_budget(900),
+        QuerySpec::new(
+            "random",
+            Box::new(FrameSamplerPolicy::uniform(total_frames)),
+            detector,
+        )
+        .seed(302)
+        .batch(8)
+        .frame_budget(400),
+    ]
+}
+
+fn assert_query_reports_equal(a: &QueryReport, b: &QueryReport, context: &str) {
+    assert_eq!(a.label, b.label, "{context}: label");
+    assert_eq!(
+        a.frames_processed, b.frames_processed,
+        "{context}: frames ({})",
+        a.label
+    );
+    assert_eq!(
+        a.found_instances, b.found_instances,
+        "{context}: instances ({})",
+        a.label
+    );
+    assert_eq!(
+        a.trajectory, b.trajectory,
+        "{context}: trajectory ({})",
+        a.label
+    );
+    assert_eq!(
+        a.stop_reason, b.stop_reason,
+        "{context}: stop reason ({})",
+        a.label
+    );
+    assert_eq!(
+        a.dropped_frames, b.dropped_frames,
+        "{context}: dropped frames ({})",
+        a.label
+    );
+}
+
+fn assert_engine_reports_equal(a: &EngineReport, b: &EngineReport, context: &str) {
+    assert_eq!(a.stages, b.stages, "{context}: stages");
+    assert_eq!(
+        a.demanded_frames, b.demanded_frames,
+        "{context}: demanded frames"
+    );
+    assert_eq!(
+        a.detector_frames, b.detector_frames,
+        "{context}: detector frames"
+    );
+    assert_eq!(
+        a.detector_calls, b.detector_calls,
+        "{context}: logical detector calls"
+    );
+    assert_eq!(a.detect_retries, b.detect_retries, "{context}: retries");
+    assert_eq!(a.failed_frames, b.failed_frames, "{context}: failed frames");
+    assert_eq!(a.backoff_cost, b.backoff_cost, "{context}: backoff cost");
+    assert_eq!(
+        a.quarantined_detectors, b.quarantined_detectors,
+        "{context}: quarantined detectors"
+    );
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query count");
+    for (qa, qb) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_query_reports_equal(qa, qb, context);
+    }
+}
+
+fn assert_sharded_reports_equal(a: &ShardedReport, b: &ShardedReport, context: &str) {
+    assert_engine_reports_equal(&a.report, &b.report, context);
+    assert_eq!(a.shards, b.shards, "{context}: per-shard breakdowns");
+    assert_eq!(
+        a.physical_detector_calls, b.physical_detector_calls,
+        "{context}: physical detector calls"
+    );
+}
+
+#[test]
+fn fault_free_runs_with_retries_enabled_match_the_baseline() {
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 12);
+
+    // Pre-fault-tolerance shape: raw detector, default (no-retry) policy.
+    let baseline = {
+        let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+        let mut engine = QueryEngine::new();
+        for spec in fault_specs(&chunking, frames, &detector) {
+            engine.push(spec).unwrap();
+        }
+        engine.run().unwrap()
+    };
+    assert!(
+        baseline.outcomes.iter().any(|r| r.true_found > 0),
+        "setup finds nothing"
+    );
+
+    // Retries armed, failure mode degraded, a fault wrapper in place — but a
+    // zero-rate plan: nothing may change, bitwise.
+    let guarded = {
+        let detector = faulty_detector(&truth, FaultPlan::new(FAULT_SEED));
+        let mut engine = QueryEngine::new()
+            .retry_policy(RetryPolicy::new(3).backoff_cost(5))
+            .failure_mode(FailureMode::DropFrames);
+        for spec in fault_specs(&chunking, frames, &detector) {
+            engine.push(spec).unwrap();
+        }
+        let report = engine.run().unwrap();
+        assert_eq!(detector.injected_faults(), 0, "zero-rate plan injected");
+        report
+    };
+    assert_engine_reports_equal(&guarded, &baseline, "fault-free guarded vs baseline");
+    assert_eq!(guarded.detect_retries, 0);
+    assert_eq!(guarded.failed_frames, 0);
+    assert_eq!(guarded.backoff_cost, 0);
+    assert!(guarded.quarantined_detectors.is_empty());
+    assert!(guarded.outcomes.iter().all(|r| r.dropped_frames == 0));
+}
+
+#[test]
+fn degraded_runs_are_bitwise_deterministic_across_the_execution_matrix() {
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+
+    let sharded_run =
+        |shards: Option<(ShardPartitioner, u32)>, mode: ExecutionMode, dispatch: Dispatch| {
+            let detector = faulty_detector(&truth, faulty_plan());
+            let mut engine = QueryEngine::new()
+                .retry_policy(RetryPolicy::new(3).backoff_cost(4))
+                .failure_mode(FailureMode::DropFrames);
+            if let Some((partitioner, shards)) = shards {
+                let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                engine = engine.sharded(ShardRouter::new(&chunking, &spec).unwrap());
+            }
+            engine = engine
+                .execution(mode)
+                .expect("valid execution mode")
+                .dispatch(dispatch);
+            for spec in fault_specs(&chunking, frames, &detector) {
+                engine.push(spec).unwrap();
+            }
+            let _ = engine.run().unwrap();
+            engine.report_sharded()
+        };
+
+    // Baseline: unsharded, serial.  The assertions below are only meaningful
+    // if the plan genuinely degraded the run, so pin that first.
+    let baseline = sharded_run(None, ExecutionMode::Serial, Dispatch::Pooled);
+    assert!(
+        baseline.report.detect_retries > 0,
+        "plan scheduled no transient faults — the matrix would be vacuous"
+    );
+    assert!(
+        baseline.report.failed_frames > 0,
+        "plan scheduled no permanent faults — the matrix would be vacuous"
+    );
+    assert!(
+        baseline.report.backoff_cost > 0,
+        "retries charged no backoff"
+    );
+    assert!(
+        baseline
+            .report
+            .outcomes
+            .iter()
+            .map(|r| r.dropped_frames)
+            .sum::<u64>()
+            > 0,
+        "no frame was dropped"
+    );
+    assert!(
+        baseline.report.outcomes.iter().any(|r| r.true_found > 0),
+        "the degraded run found nothing at all"
+    );
+
+    for shards in [1u32, 3, 7] {
+        for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+            // The serial sharded run is the per-layout reference: parallel
+            // runs must reproduce its per-shard breakdown bitwise, and its
+            // merged view must equal the unsharded baseline's.
+            let serial = sharded_run(
+                Some((partitioner, shards)),
+                ExecutionMode::Serial,
+                Dispatch::Pooled,
+            );
+            assert_engine_reports_equal(
+                &serial.report,
+                &baseline.report,
+                &format!("{partitioner:?}/{shards} shards serial vs unsharded"),
+            );
+            for threads in [1usize, 2, 4] {
+                for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                    let context =
+                        format!("{partitioner:?}/{shards} shards/{threads} threads/{dispatch:?}");
+                    let parallel = sharded_run(
+                        Some((partitioner, shards)),
+                        ExecutionMode::Parallel(threads),
+                        dispatch,
+                    );
+                    assert_sharded_reports_equal(&parallel, &serial, &context);
+                    assert_engine_reports_equal(&parallel.report, &baseline.report, &context);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_fault_recovery_matches_the_lane_path() {
+    // A single query, no cache, unsharded: the engine's single-batch fast
+    // path.  Its per-frame recovery must be bitwise-identical to the shard
+    // lane path (forced here via a 1-shard router, which routes and bounds).
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 12);
+    let run = |fast: bool| {
+        let detector = faulty_detector(&truth, faulty_plan());
+        let mut engine = QueryEngine::new()
+            .retry_policy(RetryPolicy::new(3).backoff_cost(4))
+            .failure_mode(FailureMode::DropFrames);
+        if !fast {
+            let spec = ShardSpec::contiguous(chunking.len(), 1);
+            engine = engine.sharded(ShardRouter::new(&chunking, &spec).unwrap());
+        }
+        engine
+            .push(
+                QuerySpec::new(
+                    "solo",
+                    Box::new(FrameSamplerPolicy::uniform(frames)),
+                    &detector,
+                )
+                .seed(17)
+                .batch(32)
+                .frame_budget(600),
+            )
+            .unwrap();
+        engine.run().unwrap()
+    };
+    let fast = run(true);
+    let lane = run(false);
+    assert!(fast.detect_retries > 0, "vacuous: no retries exercised");
+    assert!(fast.failed_frames > 0, "vacuous: no failures exercised");
+    assert_engine_reports_equal(&fast, &lane, "fast path vs 1-shard lane path");
+}
+
+#[test]
+fn quarantine_disables_the_faulty_detector_and_spares_the_rest() {
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 12);
+    let plan = FaultPlan::new(FAULT_SEED).permanent_rate(0.30);
+
+    let run = |shards: u32, threads: usize, dispatch: Dispatch| {
+        let faulty = faulty_detector(&truth, plan);
+        let clean = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("person"));
+        let spec = ShardSpec::contiguous(chunking.len(), shards);
+        let mut engine = QueryEngine::new()
+            .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+            .retry_policy(RetryPolicy::new(2).backoff_cost(1))
+            .failure_mode(FailureMode::Quarantine {
+                failure_threshold: 4,
+            })
+            .execution(ExecutionMode::Parallel(threads))
+            .expect("valid execution mode")
+            .dispatch(dispatch);
+        engine
+            .push(
+                QuerySpec::new(
+                    "doomed",
+                    Box::new(FrameSamplerPolicy::uniform(frames)),
+                    &faulty,
+                )
+                .seed(23)
+                .batch(32)
+                .frame_budget(1_000),
+            )
+            .unwrap();
+        engine
+            .push(
+                QuerySpec::new(
+                    "spared",
+                    Box::new(FrameSamplerPolicy::uniform(frames)),
+                    &clean,
+                )
+                .seed(29)
+                .batch(32)
+                .frame_budget(500),
+            )
+            .unwrap();
+        engine.run().unwrap()
+    };
+
+    let baseline = run(1, 1, Dispatch::Pooled);
+    let doomed = &baseline.outcomes[0];
+    let spared = &baseline.outcomes[1];
+    assert_eq!(
+        doomed.stop_reason,
+        Some(StopReason::DetectorQuarantined),
+        "30% permanent faults must trip a threshold of 4"
+    );
+    assert!(
+        doomed.frames_processed < 1_000,
+        "quarantine must stop the query before its budget"
+    );
+    assert_eq!(
+        spared.stop_reason,
+        Some(StopReason::FrameBudgetExhausted),
+        "the clean query must be untouched"
+    );
+    assert_eq!(spared.frames_processed, 500);
+    assert_eq!(spared.dropped_frames, 0);
+    assert_eq!(baseline.quarantined_detectors, vec!["car".to_string()]);
+    assert!(baseline.failed_frames > 4, "threshold was never exceeded");
+
+    // Quarantine is decided from logical failure counts at stage boundaries,
+    // so the whole degraded outcome is invariant across the execution matrix.
+    for shards in [1u32, 3, 7] {
+        for threads in [1usize, 2, 4] {
+            for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                let context = format!("{shards} shards/{threads} threads/{dispatch:?}");
+                let report = run(shards, threads, dispatch);
+                assert_engine_reports_equal(&report, &baseline, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn fail_fast_surfaces_a_typed_error_with_full_context() {
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 12);
+    let plan = FaultPlan::new(FAULT_SEED).permanent_rate(0.10);
+
+    let run = |threads: usize, dispatch: Dispatch| {
+        let detector = faulty_detector(&truth, plan);
+        let spec = ShardSpec::contiguous(chunking.len(), 3);
+        let mut engine = QueryEngine::new()
+            .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+            .retry_policy(RetryPolicy::new(3).backoff_cost(2))
+            .execution(ExecutionMode::Parallel(threads))
+            .expect("valid execution mode")
+            .dispatch(dispatch);
+        engine
+            .push(
+                QuerySpec::new(
+                    "doomed",
+                    Box::new(FrameSamplerPolicy::uniform(frames)),
+                    &detector,
+                )
+                .seed(31)
+                .batch(32)
+                .frame_budget(1_000),
+            )
+            .unwrap();
+        match engine.run().unwrap_err() {
+            EngineError::DetectorFailed {
+                class,
+                frame,
+                attempts,
+                source,
+            } => (class, frame, attempts, source),
+            other => panic!("expected DetectorFailed, got {other:?}"),
+        }
+    };
+
+    let (class, frame, attempts, source) = run(1, Dispatch::Pooled);
+    assert_eq!(class, "car");
+    assert!(
+        matches!(source, DetectError::Permanent { .. }),
+        "a permanent fault must surface as its typed source"
+    );
+    assert_eq!(source.frame(), frame);
+    // Probe + the mandatory single-frame identification try; `Permanent`
+    // stops the retry budget (3 attempts) from being burned.
+    assert_eq!(attempts, 2);
+    let err = EngineError::DetectorFailed {
+        class: class.clone(),
+        frame,
+        attempts,
+        source: source.clone(),
+    };
+    assert!(err.to_string().contains("`car`"));
+    assert!(err.to_string().contains(&format!("frame {frame}")));
+    let chained = std::error::Error::source(&err).expect("DetectorFailed chains its source");
+    assert!(chained.to_string().contains("permanent"));
+
+    // At a fixed shard layout the first fatal frame (shard order) is pinned
+    // across thread counts and dispatch runtimes.
+    for threads in [1usize, 2, 4] {
+        for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+            let (c, f, a, s) = run(threads, dispatch);
+            let context = format!("{threads} threads/{dispatch:?}");
+            assert_eq!(c, class, "{context}: class");
+            assert_eq!(f, frame, "{context}: frame");
+            assert_eq!(a, attempts, "{context}: attempts");
+            assert_eq!(s, source, "{context}: source");
+        }
+    }
+}
+
+#[test]
+fn failed_frames_are_never_cached_and_recovered_frames_commit_once() {
+    let frames = 400u64;
+    let (chunking, truth) = skewed_setup(frames, 12);
+    let plan = FaultPlan::new(FAULT_SEED)
+        .transient_rate(0.20)
+        .transient_attempts(2)
+        .permanent_rate(0.05);
+    let detector = faulty_detector(&truth, plan);
+    let spec = ShardSpec::contiguous(chunking.len(), 3);
+    let mut engine = QueryEngine::new()
+        .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+        .cache_capacity(4_096)
+        .retry_policy(RetryPolicy::new(3).backoff_cost(2))
+        .failure_mode(FailureMode::DropFrames);
+    engine
+        .push(
+            QuerySpec::new(
+                "cold",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(41)
+            .batch(32),
+        )
+        .unwrap();
+    let cold = engine.run().unwrap();
+    let cold_dropped = cold.outcomes[0].dropped_frames;
+    let cold_retries = cold.detect_retries;
+    let cold_failed = cold.failed_frames;
+    assert!(cold_dropped > 0, "vacuous: no permanent faults scheduled");
+    assert!(cold_retries > 0, "vacuous: no transient faults scheduled");
+    assert_eq!(
+        cold.outcomes[0].frames_processed,
+        frames - cold_dropped,
+        "a dropped frame is never observed by its query"
+    );
+
+    // Warm re-query over the same full range.  Every frame that succeeded —
+    // directly or via a retry — was committed exactly once and is served from
+    // the cache: zero further retries.  Every frame that failed was *never*
+    // committed: the warm query re-attempts and re-drops exactly those.
+    engine
+        .push(
+            QuerySpec::new(
+                "warm",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(43)
+            .batch(32),
+        )
+        .unwrap();
+    let warm = engine.run().unwrap();
+    assert_eq!(
+        warm.detect_retries, cold_retries,
+        "recovered frames must be cache hits on the warm run — a repeat retry \
+         means a successful recovery was not committed"
+    );
+    assert_eq!(
+        warm.outcomes[1].dropped_frames, cold_dropped,
+        "the warm query must re-drop exactly the frames that failed cold"
+    );
+    assert_eq!(
+        warm.failed_frames,
+        cold_failed * 2,
+        "failed frames must miss the cache and fail again"
+    );
+    let stats = engine.cache_stats().expect("cache is configured");
+    assert!(stats.hits > 0, "the warm query never hit the cache");
+}

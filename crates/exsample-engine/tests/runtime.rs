@@ -231,6 +231,51 @@ fn inline_lane_detector_panic_is_a_typed_error() {
 }
 
 #[test]
+fn scoped_dispatch_detector_panic_is_a_typed_error() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 3_000u64;
+    let (chunking, truth) = setup(frames, 9);
+    // Regression: scoped dispatch used to let a detector panic unwind out of
+    // its `std::thread::scope` — the engine aborted the process's test thread
+    // instead of returning a typed error like the pooled runtime.  Both
+    // runtimes now catch panics on every lane; pin the scoped one too, for a
+    // panic on a spawned lane (last third of a contiguous split) and the
+    // message contract shared with the pooled path.
+    let detector = BombDetector {
+        inner: PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car")),
+        panic_at: frames * 2 / 3,
+    };
+    let mut engine = pooled_engine(&chunking, 3, 3).dispatch(Dispatch::Scoped);
+    engine
+        .push(
+            QuerySpec::new(
+                "doomed",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(7)
+            .batch(64)
+            .frame_budget(500),
+        )
+        .unwrap();
+    let err = engine.run().unwrap_err();
+    match err {
+        EngineError::WorkerPanicked { ref message } => {
+            assert!(
+                message.contains("bomb detector refuses frame"),
+                "unexpected message: {message}"
+            );
+        }
+        ref other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(
+        engine.pooled_stage_dispatches(),
+        0,
+        "scoped dispatch must not touch the pool"
+    );
+}
+
+#[test]
 fn fully_cache_warm_stages_skip_pool_dispatch() {
     let _serial = POOL_LOCK.lock().unwrap();
     let frames = 400u64;

@@ -137,6 +137,9 @@ mod tests {
                 .collect(),
             scan_secs: 0.0,
             sample_secs: 0.0,
+            detect_retries: 0,
+            failed_frames: 0,
+            dropped_frames: 0,
         }
     }
 

@@ -29,11 +29,12 @@ use exsample_baselines::{
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_data::Dataset;
 use exsample_detect::{
-    Detector, DetectorNoise, InstanceId, ObjectClass, PerfectDetector, SimulatedDetector,
+    Detector, DetectorNoise, FaultInjectingDetector, FaultPlan, InstanceId, ObjectClass,
+    PerfectDetector, SimulatedDetector,
 };
 use exsample_engine::{
-    ExSamplePolicy, ExecutionMode, MethodPolicy, QueryEngine, QuerySpec, SamplingPolicy,
-    ShardRouter,
+    ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy, QueryEngine, QuerySpec, RetryPolicy,
+    SamplingPolicy, ShardRouter,
 };
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
@@ -106,8 +107,17 @@ pub struct RunResult {
     pub trajectory: Vec<TrajectoryPoint>,
     /// Virtual seconds spent scanning (upfront) at the cost model's scan rate.
     pub scan_secs: f64,
-    /// Virtual seconds spent on sampled processing (decode + detector).
+    /// Virtual seconds spent on sampled processing (decode + detector),
+    /// including any deterministic retry backoff charged as frame-equivalent
+    /// cost.
     pub sample_secs: f64,
+    /// Detect attempts retried after transient failures (degraded runs only).
+    pub detect_retries: u64,
+    /// Picked frames whose detection failed terminally (degraded runs only).
+    pub failed_frames: u64,
+    /// Picked frames the query never observed because the failure mode
+    /// dropped them (degraded runs only).
+    pub dropped_frames: u64,
 }
 
 impl RunResult {
@@ -173,6 +183,9 @@ pub struct QueryRunner<'a> {
     /// the engine at run time (`Some(0)` is the typed
     /// `EngineError::InvalidExecution`).
     parallel: Option<usize>,
+    retry: RetryPolicy,
+    failure: FailureMode,
+    fault: Option<FaultPlan>,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -191,6 +204,9 @@ impl<'a> QueryRunner<'a> {
             cost: DecodeCostModel::paper(),
             shards: 1,
             parallel: None,
+            retry: RetryPolicy::none(),
+            failure: FailureMode::default(),
+            fault: None,
         }
     }
 
@@ -219,6 +235,31 @@ impl<'a> QueryRunner<'a> {
     /// [`SimError::Engine`]) when the run starts.
     pub fn parallel(mut self, threads: usize) -> Self {
         self.parallel = Some(threads);
+        self
+    }
+
+    /// Retry frames whose detect attempt failed transiently, per `retry`.
+    ///
+    /// Off by default ([`RetryPolicy::none`]); retry backoff is charged to
+    /// the virtual clock as frame-equivalent sampled cost, so degraded runs
+    /// stay bitwise-reproducible (no wall-clock sleeping).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// What the engine does when a frame's detect attempts are exhausted
+    /// (fail fast by default; see [`FailureMode`]).
+    pub fn failure_mode(mut self, failure: FailureMode) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// Wrap the run's detector in a deterministic fault injector driven by
+    /// `plan` (see [`FaultPlan`]) — the harness for experimenting with
+    /// degraded runs.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -353,6 +394,12 @@ impl<'a> QueryRunner<'a> {
                 seeds.derive("detector").seed(),
             )),
         };
+        // Optional deterministic fault injection wraps whichever detector the
+        // run uses; the plan's seed keeps degraded runs reproducible.
+        let detector: Box<dyn Detector> = match self.fault {
+            None => detector,
+            Some(plan) => Box::new(FaultInjectingDetector::new(detector, plan)),
+        };
         // Discriminator.
         let discriminator: Box<dyn Discriminator> = match self.discriminator {
             DiscriminatorKind::Oracle => Box::new(OracleDiscriminator::new()),
@@ -391,7 +438,9 @@ impl<'a> QueryRunner<'a> {
             spec = spec.frame_budget(budget);
         }
 
-        let mut engine = QueryEngine::new();
+        let mut engine = QueryEngine::new()
+            .retry_policy(self.retry)
+            .failure_mode(self.failure);
         if self.shards > 1 {
             engine = engine.sharded(ShardRouter::contiguous(
                 self.dataset.chunking(),
@@ -408,7 +457,12 @@ impl<'a> QueryRunner<'a> {
             Some(threads) => engine = engine.execution(ExecutionMode::Parallel(threads))?,
         }
         engine.push(spec)?;
-        let report = engine.run_with(|stage| clock.charge_sampled(stage.detector_frames))?;
+        // Retry backoff is charged as frame-equivalent sampled cost so the
+        // virtual clock stays deterministic (no wall-clock sleeping).
+        let report = engine
+            .run_with(|stage| clock.charge_sampled(stage.detector_frames + stage.backoff_cost))?;
+        let detect_retries = report.detect_retries;
+        let failed_frames = report.failed_frames;
         let outcome = report
             .outcomes
             .into_iter()
@@ -426,6 +480,9 @@ impl<'a> QueryRunner<'a> {
             trajectory: outcome.trajectory,
             scan_secs: clock.scan_secs(),
             sample_secs: clock.sample_secs(),
+            detect_retries,
+            failed_frames,
+            dropped_frames: outcome.dropped_frames,
         })
     }
 }
@@ -639,6 +696,97 @@ mod tests {
         }
         // The message tells the caller how to ask for serial execution.
         assert!(err.to_string().contains("at least one worker thread"));
+    }
+
+    #[test]
+    fn degraded_runs_report_faults_and_stay_deterministic() {
+        let dataset = skewed_dataset();
+        let plan = FaultPlan::new(41).transient_rate(0.08).permanent_rate(0.02);
+        let run = |shards: u32, parallel: Option<usize>| {
+            let mut runner = QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(29)
+                .shards(shards)
+                .retry_policy(RetryPolicy::new(3).backoff_cost(3))
+                .failure_mode(FailureMode::DropFrames)
+                .fault_plan(plan);
+            if let Some(threads) = parallel {
+                runner = runner.parallel(threads);
+            }
+            runner
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("degraded run succeeded")
+        };
+        let baseline = run(1, None);
+        // The fault rates are high enough that the run is non-vacuous: some
+        // frames retried, some dropped, and backoff showed up on the clock.
+        assert!(baseline.detect_retries > 0, "expected retries");
+        assert!(baseline.dropped_frames > 0, "expected dropped frames");
+        // One query, so engine-wide failures equal the query's dropped tally.
+        assert_eq!(baseline.failed_frames, baseline.dropped_frames);
+        assert!(baseline.true_found > 0, "degraded run still finds objects");
+        for (shards, parallel) in [(3u32, None), (3, Some(2)), (7, Some(4))] {
+            let other = run(shards, parallel);
+            assert_eq!(other.frames_processed, baseline.frames_processed);
+            assert_eq!(other.found_instances, baseline.found_instances);
+            assert_eq!(other.trajectory, baseline.trajectory);
+            assert_eq!(other.sample_secs, baseline.sample_secs);
+            assert_eq!(other.detect_retries, baseline.detect_retries);
+            assert_eq!(other.failed_frames, baseline.failed_frames);
+            assert_eq!(other.dropped_frames, baseline.dropped_frames);
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_with_retries_matches_the_plain_run() {
+        let dataset = skewed_dataset();
+        let plain = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(400))
+            .seed(37)
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
+        let guarded = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(400))
+            .seed(37)
+            .retry_policy(RetryPolicy::new(3).backoff_cost(5))
+            .failure_mode(FailureMode::DropFrames)
+            .fault_plan(FaultPlan::new(99))
+            .run(MethodKind::ExSample(ExSampleConfig::default()))
+            .expect("query run succeeded");
+        assert_eq!(guarded.found_instances, plain.found_instances);
+        assert_eq!(guarded.trajectory, plain.trajectory);
+        assert_eq!(guarded.sample_secs, plain.sample_secs);
+        assert_eq!(guarded.detect_retries, 0);
+        assert_eq!(guarded.failed_frames, 0);
+        assert_eq!(guarded.dropped_frames, 0);
+    }
+
+    #[test]
+    fn fail_fast_fault_surfaces_a_chained_engine_error() {
+        let dataset = skewed_dataset();
+        let err = QueryRunner::new(&dataset)
+            .stop(StopCondition::FrameBudget(400))
+            .seed(31)
+            .fault_plan(FaultPlan::new(43).permanent_rate(0.05))
+            .run(MethodKind::Random)
+            .unwrap_err();
+        match &err {
+            SimError::Engine(exsample_engine::EngineError::DetectorFailed { source, .. }) => {
+                assert!(matches!(
+                    source,
+                    exsample_detect::DetectError::Permanent { .. }
+                ));
+            }
+            other => panic!("expected DetectorFailed, got {other:?}"),
+        }
+        // The chain is walkable from the sim error down to the detector fault.
+        let mut depth = 0;
+        let mut cursor: &dyn std::error::Error = &err;
+        while let Some(next) = cursor.source() {
+            depth += 1;
+            cursor = next;
+        }
+        assert!(depth >= 2, "expected sim -> engine -> detect chain");
     }
 
     #[test]
