@@ -3,7 +3,9 @@
 //! worker threads at 2 and 8 shards) measured under **both dispatch
 //! runtimes** — the persistent per-run worker pool (`parallel_detect`, the
 //! engine default) and the legacy per-stage scoped spawn
-//! (`parallel_detect_scoped`) — plus the report-merge overhead measured
+//! (`parallel_detect_scoped`) — a batching axis (`batched_detect`) comparing
+//! per-shard batching against cross-shard aggregation on a cost-model
+//! instrumented detector — plus the report-merge overhead measured
 //! separately.
 //!
 //! Each iteration executes a full sharded `QueryEngine` run (contiguous-range
@@ -30,9 +32,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use exsample_core::ExSampleConfig;
 use exsample_data::{Dataset, GridWorkload, SkewLevel};
-use exsample_detect::{Detector, FaultInjectingDetector, FaultPlan, GroundTruth, PerfectDetector};
+use exsample_detect::{
+    BatchCostModel, BatchingDetector, Detector, FaultInjectingDetector, FaultPlan, GroundTruth,
+    PerfectDetector,
+};
 use exsample_engine::{
-    Dispatch, ExSamplePolicy, FailureMode, QuerySpec, RetryPolicy, ShardedReport,
+    BatchAggregation, Dispatch, ExSamplePolicy, FailureMode, QuerySpec, RetryPolicy, ShardedReport,
 };
 use std::sync::Arc;
 
@@ -128,6 +133,48 @@ fn run_engine_guarded(
     }
     let _ = engine.run().expect("queries registered");
     engine.report_sharded()
+}
+
+/// A full engine run against a cost-model instrumented detector
+/// ([`BatchingDetector`]), per-shard batching or cross-shard aggregation
+/// selected by `aggregation`.  Returns the merged report plus the physical
+/// (calls, frames, modelled cost) the detector actually charged — the
+/// numbers the `batched_detect` axis compares, since on a 1-vCPU container
+/// the batching win is a dispatch-cost win, not a wall-clock one.
+fn run_engine_batched(
+    dataset: &Dataset,
+    truth: &Arc<GroundTruth>,
+    shards: u32,
+    aggregation: Option<BatchAggregation>,
+    queries: usize,
+    budget: u64,
+) -> (ShardedReport, u64, u64, u64) {
+    // Fresh wrapper per run: its counters are run-local tallies.
+    let detector = BatchingDetector::new(
+        PerfectDetector::new(Arc::clone(truth), GridWorkload::class()),
+        BatchCostModel::gpu_default(),
+    );
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+        .dispatch(Dispatch::Pooled)
+        .aggregation(aggregation);
+    for q in 0..queries {
+        let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
+        engine
+            .push(
+                QuerySpec::new(format!("q{q}"), Box::new(policy), &detector)
+                    .seed(2000 + q as u64)
+                    .batch(16)
+                    .frame_budget(budget),
+            )
+            .expect("valid query spec");
+    }
+    let _ = engine.run().expect("queries registered");
+    (
+        engine.report_sharded(),
+        detector.physical_calls(),
+        detector.physical_frames(),
+        detector.modelled_cost(),
+    )
 }
 
 fn bench_sharded(c: &mut Criterion) {
@@ -235,6 +282,39 @@ fn bench_sharded(c: &mut Criterion) {
     }
     scoped_group.finish();
 
+    // The batching axis: the same 8-query run against a cost-model
+    // instrumented detector, per-shard batching (one physical call per
+    // detector group per shard) vs cross-shard aggregation (one per group).
+    // Detection outcomes are bitwise-identical — the determinism suite pins
+    // that — so the delta is the aggregator's own bookkeeping; the modelled
+    // dispatch-cost win is printed (and asserted) below.
+    let mut batched_group = c.benchmark_group("batched_detect");
+    batched_group.sample_size(10);
+    for &shards in &PARALLEL_SHARD_COUNTS {
+        for (label, aggregation) in [
+            ("per_shard", None),
+            ("aggregated", Some(BatchAggregation::unbounded())),
+        ] {
+            batched_group.bench_with_input(
+                BenchmarkId::new(&format!("{shards}s_8q"), label),
+                &aggregation,
+                |b, &aggregation| {
+                    b.iter(|| {
+                        black_box(run_engine_batched(
+                            &dataset,
+                            &truth,
+                            shards,
+                            aggregation,
+                            8,
+                            budget,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    batched_group.finish();
+
     // Merge overhead, separately: building the merged report on an
     // already-completed engine.  This measures report_sharded() end to end —
     // global report construction (per-query clones and sorts) plus the
@@ -332,6 +412,56 @@ fn bench_sharded(c: &mut Criterion) {
                     merged.shard_overhead_calls()
                 );
             }
+        }
+    }
+
+    // The batching acceptance numbers: at any multi-shard layout, cross-shard
+    // aggregation strictly reduces physical calls (one per logical group
+    // instead of one per group × shard touched) over the same frames, so the
+    // affine `per_call + per_frame × n` model bills it strictly cheaper.
+    println!(
+        "\n# batched_detect modelled cost (GPU-shaped model: per_call 32, per_frame 1; 8 queries)"
+    );
+    println!("# shards | strategy   | physical calls | physical frames | modelled cost");
+    for &shards in &SHARD_COUNTS {
+        let (per_shard, ps_calls, ps_frames, ps_cost) =
+            run_engine_batched(&dataset, &truth, shards, None, 8, budget);
+        let (aggregated, ag_calls, ag_frames, ag_cost) = run_engine_batched(
+            &dataset,
+            &truth,
+            shards,
+            Some(BatchAggregation::unbounded()),
+            8,
+            budget,
+        );
+        // Aggregation is purely physical: identical logical work either way.
+        assert_eq!(
+            aggregated.report.detector_frames,
+            per_shard.report.detector_frames
+        );
+        assert_eq!(
+            aggregated.report.detector_calls,
+            per_shard.report.detector_calls
+        );
+        assert_eq!(ag_frames, ps_frames);
+        assert_eq!(ag_calls, aggregated.physical_detector_calls);
+        assert_eq!(ps_calls, per_shard.physical_detector_calls);
+        assert!(ag_calls <= ps_calls);
+        assert!(ag_cost <= ps_cost);
+        if shards > 1 {
+            assert!(
+                ag_cost < ps_cost,
+                "{shards} shards: aggregated modelled cost {ag_cost} must beat per-shard {ps_cost}"
+            );
+        }
+        for (label, calls, frames, cost) in [
+            ("per_shard", ps_calls, ps_frames, ps_cost),
+            ("aggregated", ag_calls, ag_frames, ag_cost),
+        ] {
+            println!(
+                "# {:>6} | {:<10} | {:>14} | {:>15} | {:>13}",
+                shards, label, calls, frames, cost
+            );
         }
     }
 

@@ -20,6 +20,14 @@
 //!   rejected with the engine's typed `InvalidExecution` message; thread
 //!   counts beyond the shard count are clamped by the engine; results are
 //!   bitwise-identical to serial execution).
+//! * `--overlap` — run each stage's PICK concurrently with the previous
+//!   stage's DETECT (stop decisions lag one stage, by design; a given
+//!   overlapped configuration is still bitwise-deterministic).
+//! * `--aggregate` — aggregate every shard's per-stage detector demand into
+//!   one cross-shard batch per detector (results stay bitwise-identical;
+//!   only the physical batch shape changes).
+//! * `--max-batch N` — cap aggregated batches at N frames (implies
+//!   `--aggregate`).
 //! * `--retries N` — allow N retries per frame whose detect attempt failed
 //!   (0 = off, the default; backoff is charged as deterministic stage cost).
 //! * `--fault-rate X` — wrap every detector in a seeded deterministic fault
@@ -53,6 +61,12 @@ pub struct ExperimentOptions {
     /// with the engine's typed `InvalidExecution` message, and `--parallel 1`
     /// is serial execution under another name.
     pub parallel: usize,
+    /// Overlap each stage's PICK with the previous stage's DETECT.
+    pub overlap: bool,
+    /// Aggregate per-shard detector demand into cross-shard batches.
+    pub aggregate: bool,
+    /// Cap aggregated batches at this many frames (implies `aggregate`).
+    pub max_batch: Option<usize>,
     /// Retries allowed per frame whose detect attempt failed (0 = off).
     pub retries: u32,
     /// Transient-fault probability per (frame, attempt) for the deterministic
@@ -71,6 +85,9 @@ impl Default for ExperimentOptions {
             seed: 7,
             shards: 1,
             parallel: 0,
+            overlap: false,
+            aggregate: false,
+            max_batch: None,
             retries: 0,
             fault_rate: 0.0,
             csv: false,
@@ -137,6 +154,19 @@ impl ExperimentOptions {
                     }
                     options.parallel = parallel;
                 }
+                "--overlap" => options.overlap = true,
+                "--aggregate" => options.aggregate = true,
+                "--max-batch" => {
+                    let value = iter.next().ok_or("--max-batch requires a value")?;
+                    let max_batch: usize = value
+                        .parse()
+                        .map_err(|_| format!("bad --max-batch value: {value}"))?;
+                    if max_batch == 0 {
+                        return Err("--max-batch must be at least 1".to_string());
+                    }
+                    options.max_batch = Some(max_batch);
+                    options.aggregate = true;
+                }
                 "--retries" => {
                     let value = iter.next().ok_or("--retries requires a value")?;
                     options.retries = value
@@ -157,7 +187,8 @@ impl ExperimentOptions {
                 }
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
-                         --shards N --parallel N --retries N --fault-rate X --csv"
+                         --shards N --parallel N --overlap --aggregate --max-batch N \
+                         --retries N --fault-rate X --csv"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -202,6 +233,19 @@ impl ExperimentOptions {
         }
     }
 
+    /// The batch-aggregation policy implied by `--aggregate`/`--max-batch`
+    /// (None when neither flag was given): unbounded aggregation, or capped
+    /// at the `--max-batch` limit.
+    pub fn aggregation(&self) -> Option<exsample_engine::BatchAggregation> {
+        if !self.aggregate {
+            return None;
+        }
+        Some(match self.max_batch {
+            None => exsample_engine::BatchAggregation::unbounded(),
+            Some(limit) => exsample_engine::BatchAggregation::max_batch(limit),
+        })
+    }
+
     /// The retry policy implied by `--retries`: `--retries N` grants each
     /// failing frame N retries on top of its first attempt (so the engine's
     /// attempt budget is N+1), each charged one unit of exponential backoff
@@ -240,15 +284,17 @@ impl ExperimentOptions {
     }
 
     /// Apply the options' engine-shape and failure-model knobs (`--shards`,
-    /// `--parallel`, `--retries`, `--fault-rate`) to a simulation
-    /// [`exsample_sim::QueryRunner`] — the single place the runner-driven
-    /// experiment bins pick them up.
+    /// `--parallel`, `--overlap`, `--aggregate`/`--max-batch`, `--retries`,
+    /// `--fault-rate`) to a simulation [`exsample_sim::QueryRunner`] — the
+    /// single place the runner-driven experiment bins pick them up.
     pub fn apply_to_runner<'d>(
         &self,
         runner: exsample_sim::QueryRunner<'d>,
     ) -> exsample_sim::QueryRunner<'d> {
         let mut runner = runner
             .shards(self.shards)
+            .overlap(self.overlap)
+            .aggregation(self.aggregation())
             .retry_policy(self.retry_policy())
             .failure_mode(self.failure_mode());
         if self.parallel > 1 {
@@ -330,14 +376,17 @@ pub fn sharded_engine<'a>(
     engine
 }
 
-/// [`sharded_engine`] with the options' retry policy and failure mode
-/// applied — the engine constructor the experiment bins use, so `--retries`
-/// and `--fault-rate` reach every engine-driven experiment the same way.
+/// [`sharded_engine`] with the options' overlap/aggregation knobs, retry
+/// policy and failure mode applied — the engine constructor the experiment
+/// bins use, so `--overlap`, `--aggregate`, `--retries` and `--fault-rate`
+/// reach every engine-driven experiment the same way.
 pub fn experiment_engine<'a>(
     chunking: &exsample_video::Chunking,
     options: &ExperimentOptions,
 ) -> exsample_engine::QueryEngine<'a> {
     sharded_engine(chunking, options.shards, options.parallel)
+        .overlap(options.overlap)
+        .aggregation(options.aggregation())
         .retry_policy(options.retry_policy())
         .failure_mode(options.failure_mode())
 }
@@ -455,6 +504,30 @@ mod tests {
                 .effective_threads(),
             2
         );
+    }
+
+    #[test]
+    fn overlap_and_aggregation_flags_parse_and_imply() {
+        let defaults = parse(&[]).unwrap();
+        assert!(!defaults.overlap);
+        assert!(!defaults.aggregate);
+        assert_eq!(defaults.aggregation(), None);
+
+        assert!(parse(&["--overlap"]).unwrap().overlap);
+        assert_eq!(
+            parse(&["--aggregate"]).unwrap().aggregation(),
+            Some(exsample_engine::BatchAggregation::unbounded())
+        );
+        // --max-batch implies --aggregate.
+        let capped = parse(&["--max-batch", "64"]).unwrap();
+        assert!(capped.aggregate);
+        assert_eq!(
+            capped.aggregation(),
+            Some(exsample_engine::BatchAggregation::max_batch(64))
+        );
+        assert!(parse(&["--max-batch", "0"]).is_err());
+        assert!(parse(&["--max-batch"]).is_err());
+        assert!(parse(&["--max-batch", "abc"]).is_err());
     }
 
     #[test]

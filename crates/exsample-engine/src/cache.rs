@@ -22,7 +22,11 @@
 //! fixed order (worker-major, lane-major, frame order) in *every* execution
 //! mode, so cache state — and therefore the cost accounting of cached runs —
 //! is identical between serial and parallel execution (either dispatch
-//! runtime).  A stage whose every frame is answered by the probe also skips
+//! runtime).  Under stage overlap the probe runs at the *commit boundary*
+//! (after the previous stage's commit, before this stage's detect is
+//! dispatched), which keeps that fixed probe/commit interleaving — and hence
+//! bitwise-identical cache accounting — across the overlapped execution
+//! matrix too.  A stage whose every frame is answered by the probe also skips
 //! worker-thread dispatch entirely — no pool wake, no thread spawn — so a
 //! warm engine pays nothing for having parallel execution enabled (pinned by
 //! the runtime lifecycle tests).

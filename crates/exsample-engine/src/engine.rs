@@ -46,11 +46,13 @@
 
 use crate::cache::{CacheStats, DetectionCache};
 use crate::error::EngineError;
-use crate::merge::{self, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport};
+use crate::merge::{
+    self, BatchStats, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport,
+};
 use crate::policy::SamplingPolicy;
 use crate::runtime::{self, Dispatch, StageCtx, WorkerPool};
 use crate::scheduler::{QueryLoad, RoundRobin, StageScheduler};
-use crate::shard::{DetectPolicy, ShardRouter, ShardWorker};
+use crate::shard::{aggregate_detect, DetectPolicy, ShardRouter, ShardWorker};
 use exsample_detect::{DetectError, Detector, FrameDetections, InstanceId};
 use exsample_track::{Discriminator, OracleDiscriminator};
 use exsample_video::FrameId;
@@ -97,6 +99,55 @@ impl ExecutionMode {
             ExecutionMode::Serial => 1,
             ExecutionMode::Parallel(threads) => threads.min(shards).max(1),
         }
+    }
+}
+
+/// Cross-shard batch aggregation policy for the DETECT phase
+/// ([`QueryEngine::aggregation`]).
+///
+/// Per-shard execution issues one physical `detect_batch` per shard per
+/// detector group — splitting a group's frames across shards multiplies the
+/// fixed per-invocation cost of a real inference backend.  With aggregation
+/// enabled, each stage instead gathers *every* shard's cache misses per
+/// logical group into one cross-shard batch stream, flushed at the `max_batch`
+/// limit when one is set (one batch per group per stage when unbounded), and
+/// scatters the results back to each frame's owning shard in deterministic
+/// (shard, frame) order.  Logical outcomes, merged reports, cache state and
+/// fault handling are bitwise-identical to per-shard execution for any shard
+/// layout; only the *physical* invocation shape changes — fewer, larger
+/// batches, which is the whole point ([`ShardedReport::physical_batches`]
+/// and the `batched_detect` bench measure the saving under a
+/// [`BatchCostModel`]-style cost curve).
+///
+/// [`BatchCostModel`]: exsample_detect::BatchCostModel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchAggregation {
+    /// Flush limit in frames; `None` aggregates without bound.
+    max_batch: Option<usize>,
+}
+
+impl BatchAggregation {
+    /// Aggregate without a flush limit: one physical batch per detector
+    /// group per stage, however many shards contributed (the default).
+    pub fn unbounded() -> Self {
+        BatchAggregation { max_batch: None }
+    }
+
+    /// Flush an aggregated batch once it reaches `limit` frames (modelling a
+    /// backend's memory or latency ceiling).
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero.
+    pub fn max_batch(limit: usize) -> Self {
+        assert!(limit >= 1, "batch aggregation needs a positive flush limit");
+        BatchAggregation {
+            max_batch: Some(limit),
+        }
+    }
+
+    /// The flush limit as a plain chunk size (`usize::MAX` when unbounded).
+    pub(crate) fn limit(&self) -> usize {
+        self.max_batch.unwrap_or(usize::MAX)
     }
 }
 
@@ -318,6 +369,14 @@ pub struct StageStats {
     /// [`RetryPolicy::backoff_cost`]) — cost-accounting hooks should bill it
     /// alongside `detector_frames`.
     pub backoff_cost: u64,
+    /// Physical batch-size statistics of this stage's detector invocations
+    /// (count / frames / min / mean / max).  Unlike every other field, this
+    /// is a *physical* tally: it depends on the shard layout and on whether
+    /// cross-shard aggregation is enabled, so cost hooks wanting
+    /// layout-invariant numbers should stick to `detector_frames` /
+    /// `detector_calls` and treat this as telemetry (or bill it through a
+    /// [`BatchCostModel`](exsample_detect::BatchCostModel)).
+    pub batches: BatchStats,
 }
 
 /// Final report for one query.
@@ -446,6 +505,40 @@ impl QueryState<'_> {
     }
 }
 
+/// One scheduled-but-not-yet-executed stage under overlapped execution: the
+/// engine-side staging buffers that SCHEDULE + PICK + ROUTE fill while the
+/// previous stage's DETECT is still in flight.
+///
+/// Everything a stage needs that would otherwise live in the engine's
+/// per-stage scratch (group tables, membership, routed lanes, pick shards,
+/// per-query picks) is double-buffered here instead, because the previous
+/// stage's fan-out still needs *its* copies after the overlapped PICK has
+/// run.  The driver ping-pongs two of these; `ShardWorker::adopt_frames`
+/// swaps the routed lanes into the workers at load time, so both sides'
+/// allocations recycle across stages.
+#[derive(Default)]
+struct StagedStage<'a> {
+    /// 0-based stage number this staging was scheduled as.
+    stage: u64,
+    /// The stage's logical detector groups, in group order.
+    detectors: Vec<&'a dyn Detector>,
+    /// Registry slot of each group.
+    slots: Vec<u32>,
+    /// Query → group map (`usize::MAX` = not picking this stage).
+    membership: Vec<usize>,
+    /// Routed frames per `[shard][group]`, in (query, pick) arrival order —
+    /// the exact lane contents `ShardWorker::push_frame` would have built.
+    routed: Vec<Vec<Vec<FrameId>>>,
+    /// The shard of every pick, flattened in (query, pick) visitation order.
+    pick_shards: Vec<u32>,
+    /// Per-query picks (indexed by query registration order).
+    picks: Vec<Vec<FrameId>>,
+    /// Queries that contributed picks.
+    active: usize,
+    /// Frames demanded by those picks.
+    demanded: u64,
+}
+
 /// The batched multi-query execution engine.  See the module docs for the
 /// stage pipeline and determinism guarantees.
 pub struct QueryEngine<'a> {
@@ -461,6 +554,12 @@ pub struct QueryEngine<'a> {
     execution: ExecutionMode,
     /// How parallel stages hand work to threads (persistent pool by default).
     dispatch: Dispatch,
+    /// Overlap each stage's PICK with the previous stage's DETECT (off by
+    /// default; see [`QueryEngine::overlap`]).
+    overlap: bool,
+    /// Cross-shard batch aggregation for the DETECT phase (off by default;
+    /// see [`QueryEngine::aggregation`]).
+    aggregation: Option<BatchAggregation>,
     /// The run's worker pool: `Some` only while [`QueryEngine::run_with`] is
     /// executing a pooled parallel run (the threads live in that call's
     /// `std::thread::scope`, and the pool — whose job senders are their
@@ -530,6 +629,8 @@ impl<'a> QueryEngine<'a> {
             workers: vec![ShardWorker::new(0)],
             execution: ExecutionMode::Serial,
             dispatch: Dispatch::Pooled,
+            overlap: false,
+            aggregation: None,
             pool: None,
             pooled_dispatches: 0,
             cache: None,
@@ -625,6 +726,66 @@ impl<'a> QueryEngine<'a> {
     /// The engine's dispatch mode.
     pub fn dispatch_mode(&self) -> Dispatch {
         self.dispatch
+    }
+
+    /// Overlap each stage's SCHEDULE + PICK + ROUTE with the *previous*
+    /// stage's DETECT (off by default).
+    ///
+    /// Within [`QueryEngine::run`] / [`QueryEngine::run_with`], the stage
+    /// loop becomes a software pipeline: stage *n*'s detect pass is handed to
+    /// the persistent worker pool, the coordinator prepares stage *n + 1*
+    /// (scheduling, picking, routing into staging buffers) while the helpers
+    /// detect, then rejoins for the commit, tallies and fan-out.  The cache
+    /// probe of each stage runs at the *commit boundary* — immediately after
+    /// the previous stage's cache commit — so the cache's serial
+    /// probe/commit order (and with it every hit/miss/eviction count) is
+    /// identical in every execution configuration.  True concurrency needs
+    /// [`ExecutionMode::Parallel`] with [`Dispatch::Pooled`]; every other
+    /// configuration (serial, scoped dispatch, a 1-thread clamp, fully
+    /// cache-warm stages) *emulates* the same canonical order on one thread,
+    /// which is what keeps overlapped runs bitwise-identical across shard
+    /// counts, thread counts, partitioners and dispatch runtimes.  On a
+    /// saturated or single-vCPU host the pool's reclaim pass takes the
+    /// dispatched work back after the overlapped PICK — the handoff stays
+    /// two mutex operations and never regresses below serial execution.
+    ///
+    /// The semantic difference from a non-overlapped run: stage *n + 1* is
+    /// scheduled *before* stage *n*'s fan-out, so stop conditions, budget
+    /// clamps and quarantine checks see state that is one stage stale.  An
+    /// overlapped run is therefore **not** pick-for-pick identical to a
+    /// non-overlapped one — a query may overshoot its frame budget or result
+    /// limit by up to one stage's batch before stopping (budgets stay exact
+    /// in *accounting*, only the stop decision lags) — but it is fully
+    /// deterministic, and the determinism suite pins overlapped runs across
+    /// the whole execution matrix.  Manual [`QueryEngine::run_stage`] calls
+    /// have nothing in flight to overlap with and ignore this knob.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Whether stage-overlapped execution is enabled.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap
+    }
+
+    /// Enable cross-shard batch aggregation for the DETECT phase, or disable
+    /// it with `None` (the default — per-shard batches, the historical
+    /// behaviour).  See [`BatchAggregation`] for the semantics.
+    ///
+    /// Aggregation serialises each stage's detect pass into one cross-shard
+    /// gather/scatter, so there is no per-worker partition left for
+    /// [`ExecutionMode::Parallel`] to spread over threads; it runs inline on
+    /// the coordinator, except under [`QueryEngine::overlap`] where it is
+    /// shipped to a pool helper so the next stage's PICK can run alongside.
+    pub fn aggregation(mut self, aggregation: Option<BatchAggregation>) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// The engine's batch aggregation policy (`None` when disabled).
+    pub fn aggregation_mode(&self) -> Option<BatchAggregation> {
+        self.aggregation
     }
 
     /// Number of stages, across all of this engine's runs, that dispatched
@@ -830,10 +991,13 @@ impl<'a> QueryEngine<'a> {
         let mut stage_backoff = 0u64;
         // The fast path skips routing entirely, so it is only taken when the
         // router has no bounds to enforce — a chunking-built router must see
-        // every frame to uphold its documented out-of-range panic.
+        // every frame to uphold its documented out-of-range panic.  It also
+        // skips the miss-gathering pass, so it cannot honour an aggregation
+        // flush limit and is bypassed whenever aggregation is on.
         if active == 1
             && self.workers.len() == 1
             && self.cache.is_none()
+            && self.aggregation.is_none()
             && !self.router.checks_bounds()
         {
             // Fast path for single-shard stages with a single picking query
@@ -847,6 +1011,9 @@ impl<'a> QueryEngine<'a> {
                 .expect("one query picked this stage");
             let slot = Self::detector_slot(&mut self.detector_slots, self.queries[index].detector);
             let policy = self.detect_policy();
+            // The fast path bypasses `begin_stage`, so the worker's stage
+            // batch tally is reset by hand before recording into it.
+            self.workers[0].stage_batches = BatchStats::default();
             let q = &mut self.queries[index];
             let picks = std::mem::take(&mut q.picks);
             self.detections_buf.clear();
@@ -864,6 +1031,7 @@ impl<'a> QueryEngine<'a> {
                         self.workers[0].record_observation(index, new_hits);
                     }
                     self.workers[0].record_direct(slot, detector_frames, detector_calls);
+                    self.workers[0].record_batches(detector_frames, 1);
                 }
                 Err(_) => {
                     // Per-frame recovery in pick order — the same attempt
@@ -918,6 +1086,11 @@ impl<'a> QueryEngine<'a> {
                     }
                     detector_calls = u64::from(detector_frames > 0);
                     self.workers[0].record_direct(slot, detector_frames, physical_calls);
+                    // One failed probe over the whole pick batch, then a
+                    // single-frame batch per recovery attempt — the same
+                    // physical shape `ShardWorker::detect` records.
+                    self.workers[0].record_batches(picks.len() as u64, 1);
+                    self.workers[0].record_batches(1, physical_calls - 1);
                     self.workers[0].record_direct_faults(
                         slot,
                         stage_retries,
@@ -952,6 +1125,14 @@ impl<'a> QueryEngine<'a> {
         }
         self.apply_quarantine();
 
+        // Physical batch-size statistics: the fold works for both branches —
+        // the sharded path reset every worker's stage tally in `begin_stage`,
+        // the fast path reset worker 0's by hand before recording.
+        let mut stage_batches = BatchStats::default();
+        for worker in &self.workers {
+            stage_batches.merge(&worker.stage_batches);
+        }
+
         let stats = StageStats {
             stage: self.stages,
             active_queries: active,
@@ -961,6 +1142,7 @@ impl<'a> QueryEngine<'a> {
             retries: stage_retries,
             failed_frames: stage_failed,
             backoff_cost: stage_backoff,
+            batches: stage_batches,
         };
         self.stages += 1;
         self.demanded_frames += demanded;
@@ -1115,7 +1297,26 @@ impl<'a> QueryEngine<'a> {
         let share_lanes = self.cache.is_some();
         let policy = self.detect_policy();
         let threads = self.execution.effective_threads(self.workers.len());
-        if threads <= 1 || !self.workers.iter().any(ShardWorker::has_misses) {
+        let has_work = self.workers.iter().any(ShardWorker::has_misses);
+        if let Some(aggregation) = self.aggregation {
+            // Cross-shard aggregation: one serialised gather/scatter over
+            // every worker's misses — a single batch stream per detector
+            // group, flushed at the aggregation limit.  There is no
+            // per-worker partition left to spread over threads, so outside
+            // overlapped runs (which ship this to a pool helper to overlap
+            // the next PICK) it runs inline; fully cache-warm stages still
+            // skip the pass entirely.
+            if has_work {
+                aggregate_detect(
+                    &mut self.workers,
+                    &self.stage_detectors,
+                    &self.stage_slots,
+                    share_lanes,
+                    policy,
+                    aggregation.limit(),
+                );
+            }
+        } else if threads <= 1 || !has_work {
             for worker in &mut self.workers {
                 worker.detect(
                     &self.stage_detectors,
@@ -1135,6 +1336,7 @@ impl<'a> QueryEngine<'a> {
                 slots: self.stage_slots.clone(),
                 share_lanes,
                 policy,
+                aggregate: None,
             };
             let pool = self.pool.as_mut().expect("pool presence checked above");
             pool.run_stage(&mut self.workers, threads, ctx)?;
@@ -1151,6 +1353,7 @@ impl<'a> QueryEngine<'a> {
                 slots: self.stage_slots.clone(),
                 share_lanes,
                 policy,
+                aggregate: None,
             };
             let per_thread = self.workers.len().div_ceil(threads);
             let first_panic = std::thread::scope(|scope| {
@@ -1319,7 +1522,383 @@ impl<'a> QueryEngine<'a> {
         &mut self,
         on_stage: &mut F,
     ) -> Result<EngineReport, EngineError> {
+        if self.overlap {
+            return self.drive_overlapped(on_stage);
+        }
         while let Some(stats) = self.try_run_stage()? {
+            on_stage(&stats);
+        }
+        Ok(self.report())
+    }
+
+    /// SCHEDULE + PICK + ROUTE stage `stage` into `staged` without touching
+    /// the shard workers (which may be mid-DETECT on pool helpers).
+    ///
+    /// Runs against the engine state as of the *previous* stage's fan-out —
+    /// under overlap that state is one stage stale (the in-flight stage's
+    /// results are not folded in yet), which is exactly the documented
+    /// semantic difference of overlapped runs.  Returns `false` when no
+    /// query picked: the staged stage is terminal and the run ends once the
+    /// in-flight stage completes.
+    fn prepare_stage(&mut self, staged: &mut StagedStage<'a>, stage: u64) -> bool {
+        staged.stage = stage;
+        staged.detectors.clear();
+        staged.slots.clear();
+        staged.membership.clear();
+        staged.pick_shards.clear();
+        staged.active = 0;
+        staged.demanded = 0;
+        let queries = self.queries.len();
+        if staged.picks.len() < queries {
+            staged.picks.resize_with(queries, Vec::new);
+        }
+        for picks in &mut staged.picks {
+            picks.clear();
+        }
+
+        // Phase 1: stop checks and scheduling — the same decisions as
+        // `try_run_stage`, just answered from the staging-time state.
+        self.loads.clear();
+        for q in &mut self.queries {
+            let quarantined = !self.quarantined.is_empty()
+                && self
+                    .detector_slots
+                    .iter()
+                    .position(|&d| std::ptr::eq(d, q.detector))
+                    .is_some_and(|slot| self.quarantined.get(slot).copied().unwrap_or(false));
+            let live = if q.stop.is_some() {
+                false
+            } else if let Some(reason) = q.stop_condition() {
+                q.stop = Some(reason);
+                false
+            } else if quarantined {
+                q.stop = Some(StopReason::DetectorQuarantined);
+                false
+            } else {
+                true
+            };
+            self.loads.push(QueryLoad {
+                live,
+                batch: q.batch,
+                budget_left: q.frame_budget.map(|b| b - q.frames_processed.min(b)),
+            });
+        }
+        self.allocation.clear();
+        self.scheduler
+            .allocate(stage, &self.loads, &mut self.allocation);
+
+        // Phase 2: picks, drawn into the staging buffers (the queries' own
+        // pick buffers may still be feeding the in-flight stage's fan-out).
+        for (i, q) in self.queries.iter_mut().enumerate() {
+            let load = self.loads[i];
+            if !load.live {
+                continue;
+            }
+            let granted = self.allocation.get(i).copied().unwrap_or(load.batch).max(1);
+            let want = (granted as u64).min(load.budget_left.unwrap_or(u64::MAX)) as usize;
+            let picks = &mut staged.picks[i];
+            q.policy.next_batch_into(q.rng.as_mut(), want, picks);
+            if picks.is_empty() {
+                q.stop = Some(StopReason::RepositoryExhausted);
+                continue;
+            }
+            staged.active += 1;
+            staged.demanded += picks.len() as u64;
+        }
+        if staged.active == 0 {
+            return false;
+        }
+
+        // Grouping, into the staged tables (same logic as the non-overlapped
+        // stage, which groups into the engine scratch instead).
+        for i in 0..queries {
+            if staged.picks[i].is_empty() {
+                staged.membership.push(usize::MAX);
+                continue;
+            }
+            let detector = self.queries[i].detector;
+            let group = if self.coalesce {
+                staged
+                    .detectors
+                    .iter()
+                    .position(|&d| std::ptr::eq(d, detector))
+            } else {
+                None
+            };
+            let group = group.unwrap_or_else(|| {
+                staged.detectors.push(detector);
+                staged
+                    .slots
+                    .push(Self::detector_slot(&mut self.detector_slots, detector));
+                staged.detectors.len() - 1
+            });
+            staged.membership.push(group);
+        }
+
+        // Routing, into per-[shard][group] staging lanes in the same
+        // (query, pick) order the direct `push_frame` pass would use.
+        // Sized from the router, not `self.workers`: under pooled overlap the
+        // workers are drained into the in-flight dispatch while this runs.
+        let shards = self.router.shard_count();
+        let groups = staged.detectors.len();
+        if staged.routed.len() < shards {
+            staged.routed.resize_with(shards, Vec::new);
+        }
+        for per_shard in &mut staged.routed {
+            if per_shard.len() < groups {
+                per_shard.resize_with(groups, Vec::new);
+            }
+            for lane in per_shard.iter_mut() {
+                lane.clear();
+            }
+        }
+        for (i, &group) in staged.membership.iter().enumerate() {
+            if group == usize::MAX {
+                continue;
+            }
+            for &frame in &staged.picks[i] {
+                let shard = self.router.shard_of(frame);
+                staged.pick_shards.push(shard as u32);
+                staged.routed[shard][group].push(frame);
+            }
+        }
+        true
+    }
+
+    /// Load a staged stage into the shard workers: `begin_stage` plus an
+    /// allocation-recycling swap of every routed lane.
+    fn load_stage(&mut self, staged: &mut StagedStage<'a>) {
+        let groups = staged.detectors.len();
+        let queries = self.queries.len();
+        for (shard, worker) in self.workers.iter_mut().enumerate() {
+            worker.begin_stage(groups, queries);
+            for group in 0..groups {
+                worker.adopt_frames(group, &mut staged.routed[shard][group]);
+            }
+        }
+    }
+
+    /// The overlapped stage loop ([`QueryEngine::overlap`]): a two-deep
+    /// software pipeline where stage `n + 1`'s SCHEDULE + PICK + ROUTE runs
+    /// while stage `n`'s DETECT is in flight.
+    ///
+    /// Canonical per-stage order, identical in every execution configuration
+    /// (truly concurrent under pooled parallel dispatch, emulated serially
+    /// everywhere else):
+    /// load `n` → probe `n` (at the commit boundary) → dispatch DETECT `n`
+    /// → prepare `n + 1` → join `n` → fail-fast scan → commit `n` →
+    /// tally `n` → fan-out `n` → stats `n`.
+    fn drive_overlapped<F: FnMut(&StageStats)>(
+        &mut self,
+        on_stage: &mut F,
+    ) -> Result<EngineReport, EngineError> {
+        let mut current = StagedStage::default();
+        let mut next = StagedStage::default();
+        let mut scheduled = self.stages;
+        let mut have_stage = self.prepare_stage(&mut next, scheduled);
+        while have_stage {
+            scheduled += 1;
+            // `next` becomes the executing stage; the old `current`'s
+            // (cleared) buffers are recycled for preparing the one after.
+            std::mem::swap(&mut current, &mut next);
+            self.load_stage(&mut current);
+
+            // PROBE at the commit boundary: the previous stage's cache
+            // commit was the immediately preceding cache operation, so the
+            // serial cache order is commit n-1 < probe n < commit n — the
+            // accounting never sees the overlap.
+            for worker in &mut self.workers {
+                worker.probe(&current.slots, self.coalesce, self.cache.as_mut());
+            }
+
+            // DETECT n, overlapped with SCHEDULE + PICK + ROUTE n+1.
+            let share_lanes = self.cache.is_some();
+            let policy = self.detect_policy();
+            let threads = self.execution.effective_threads(self.workers.len());
+            let aggregate = self.aggregation.map(|a| a.limit());
+            let has_work = self.workers.iter().any(ShardWorker::has_misses);
+            if threads > 1 && self.pool.is_some() && has_work {
+                let ctx = StageCtx {
+                    detectors: current.detectors.clone(),
+                    slots: current.slots.clone(),
+                    share_lanes,
+                    policy,
+                    aggregate,
+                };
+                let pool = self.pool.as_mut().expect("pool presence checked above");
+                // An aggregated stage is one serialised gather/scatter:
+                // ship the whole worker set to a helper as a single
+                // (reclaimable) job so the PICK still overlaps it.
+                let dispatch = match aggregate {
+                    Some(_) => pool.dispatch_whole(&mut self.workers, ctx),
+                    None => pool.dispatch_stage(&mut self.workers, threads, ctx),
+                };
+                self.pooled_dispatches += 1;
+                have_stage = self.prepare_stage(&mut next, scheduled);
+                // The reclaim pass inside `join_stage` runs *after* the
+                // overlapped PICK: on a saturated host the coordinator
+                // takes the queued chunks back here and pays the same two
+                // mutex operations as a non-overlapped pooled stage.
+                let pool = self.pool.as_mut().expect("pool presence checked above");
+                pool.join_stage(&mut self.workers, dispatch)?;
+            } else {
+                // No helpers to overlap with (serial mode, scoped dispatch,
+                // a 1-thread clamp, or a fully cache-warm stage): emulate
+                // the canonical order — the next stage is still prepared
+                // *before* this stage's results are consumed, so every
+                // configuration schedules from the same one-stage-stale
+                // state and stays bitwise-identical.
+                have_stage = self.prepare_stage(&mut next, scheduled);
+                if let Some(max_batch) = aggregate {
+                    if has_work {
+                        aggregate_detect(
+                            &mut self.workers,
+                            &current.detectors,
+                            &current.slots,
+                            share_lanes,
+                            policy,
+                            max_batch,
+                        );
+                    }
+                } else if threads <= 1 || !has_work {
+                    for worker in &mut self.workers {
+                        worker.detect(&current.detectors, &current.slots, share_lanes, policy);
+                    }
+                } else {
+                    // Scoped dispatch joins its per-stage threads before
+                    // this arm returns, so the PICK cannot ride alongside
+                    // them — it ran just above instead.
+                    let ctx = StageCtx {
+                        detectors: current.detectors.clone(),
+                        slots: current.slots.clone(),
+                        share_lanes,
+                        policy,
+                        aggregate: None,
+                    };
+                    let per_thread = self.workers.len().div_ceil(threads);
+                    let first_panic = std::thread::scope(|scope| {
+                        let handles: Vec<_> = self
+                            .workers
+                            .chunks_mut(per_thread)
+                            .map(|chunk| scope.spawn(|| runtime::detect_chunk(chunk, &ctx)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .filter_map(|handle| match handle.join() {
+                                Ok(outcome) => outcome,
+                                Err(payload) => Some(runtime::panic_message(payload)),
+                            })
+                            .next()
+                    });
+                    if let Some(message) = first_panic {
+                        return Err(EngineError::WorkerPanicked { message });
+                    }
+                }
+            }
+
+            // Fail-fast scan, shard order — same contract as the
+            // non-overlapped stage: abort before the cache commit, so no
+            // result of the doomed stage is ever published.  (The stage
+            // prepared into `next` is simply discarded with the run.)
+            let mut fatal = None;
+            for worker in &mut self.workers {
+                let failure = worker.fatal.take();
+                if fatal.is_none() {
+                    fatal = failure;
+                }
+            }
+            if let Some(failure) = fatal {
+                let class = self.detector_slots[failure.slot as usize]
+                    .class()
+                    .to_string();
+                return Err(EngineError::DetectorFailed {
+                    class,
+                    frame: failure.frame,
+                    attempts: failure.attempts,
+                    source: failure.error,
+                });
+            }
+
+            // COMMIT n, serial in worker order.
+            if let Some(cache) = self.cache.as_mut() {
+                for worker in &mut self.workers {
+                    worker.commit_cache(&current.slots, cache);
+                }
+            }
+
+            // TALLY n (the same folds as the non-overlapped stage loop).
+            let groups = current.detectors.len();
+            let mut detector_frames = 0u64;
+            let mut stage_retries = 0u64;
+            let mut stage_backoff = 0u64;
+            let mut stage_batches = BatchStats::default();
+            self.lane_detected.clear();
+            self.lane_detected.resize(groups, 0);
+            for worker in &self.workers {
+                detector_frames += worker.stage_detected_frames();
+                stage_retries += worker.stage_retries;
+                stage_backoff += worker.stage_backoff;
+                stage_batches.merge(&worker.stage_batches);
+                for (total, &detected) in self.lane_detected.iter_mut().zip(&worker.lane_detected) {
+                    *total += detected;
+                }
+            }
+            let detector_calls = self.lane_detected.iter().filter(|&&n| n > 0).count() as u64;
+            let mut stage_failed = 0u64;
+            for g in 0..groups {
+                let failures: u64 = self.workers.iter().map(|w| w.lane_failed[g]).sum();
+                if failures > 0 {
+                    stage_failed += failures;
+                    let slot = current.slots[g] as usize;
+                    self.record_slot_failures(slot, failures);
+                }
+            }
+
+            // FAN-OUT n in registration order, replaying the staged shards.
+            let mut routed = 0usize;
+            for i in 0..self.queries.len() {
+                let group = current.membership[i];
+                if group == usize::MAX {
+                    continue;
+                }
+                let q = &mut self.queries[i];
+                for &frame in &current.picks[i] {
+                    let shard = current.pick_shards[routed] as usize;
+                    routed += 1;
+                    let worker = &mut self.workers[shard];
+                    match worker.result(group, frame) {
+                        Some(detections) => {
+                            let new_hits = Self::observe_frame(q, frame, detections);
+                            worker.record_observation(i, new_hits);
+                        }
+                        None => {
+                            q.dropped_frames += 1;
+                            worker.record_dropped(i);
+                        }
+                    }
+                }
+            }
+            self.apply_quarantine();
+
+            // STATS n.
+            let stats = StageStats {
+                stage: current.stage,
+                active_queries: current.active,
+                demanded_frames: current.demanded,
+                detector_frames,
+                detector_calls,
+                retries: stage_retries,
+                failed_frames: stage_failed,
+                backoff_cost: stage_backoff,
+                batches: stage_batches,
+            };
+            self.stages += 1;
+            self.demanded_frames += current.demanded;
+            self.detector_frames += detector_frames;
+            self.detector_calls += detector_calls;
+            self.detect_retries += stage_retries;
+            self.failed_frames += stage_failed;
+            self.backoff_total += stage_backoff;
             on_stage(&stats);
         }
         Ok(self.report())
@@ -1372,6 +1951,7 @@ impl<'a> QueryEngine<'a> {
                 retries: worker.retries,
                 backoff_cost: worker.backoff,
                 failed_frames: worker.failed_frames,
+                batches: worker.batches,
                 per_query: (0..queries)
                     .map(|i| {
                         let tally = worker.per_query.get(i).copied().unwrap_or_default();

@@ -112,6 +112,31 @@
 //! reports and the [`merge`] layer with the same bitwise-determinism
 //! guarantee as every other tally.
 //!
+//! ## Batching & overlap
+//!
+//! Two opt-in physical-shape knobs, both bitwise-deterministic and both off
+//! by default:
+//!
+//! * [`QueryEngine::aggregation`] gathers every shard's per-stage detector
+//!   demand into one cross-shard batch per detector group (optionally capped
+//!   via [`BatchAggregation::max_batch`]), scattering results back to each
+//!   frame's owning shard.  Logical reports stay bitwise-identical to the
+//!   per-shard path; unbounded aggregation collapses the *physical*
+//!   invocation count to the logical one, which under a GPU-shaped
+//!   `per_call + per_frame × n` cost model (`exsample-detect`'s
+//!   `BatchingDetector`) is the batching win the `batched_detect` bench
+//!   axis measures.
+//! * [`QueryEngine::overlap`] pipelines stage `n + 1`'s SCHEDULE + PICK
+//!   against stage `n`'s in-flight DETECT, with the cache probe at the
+//!   commit boundary.  Stop decisions lag one stage (a query may overshoot
+//!   its budget by up to one stage's batch) — the one documented semantic
+//!   difference — and each overlapped configuration is itself
+//!   bitwise-deterministic across the whole execution matrix.
+//!
+//! Physical batch-size statistics (count/min/mean/max) flow through
+//! [`StageStats`], [`ShardReport`] and the [`merge`] layer as
+//! [`merge::BatchStats`].
+//!
 //! ## Scheduling
 //!
 //! How many frames each live query may pick per stage is delegated to an
@@ -150,12 +175,13 @@ pub mod shard;
 pub use cache::{CacheStats, DetectionCache};
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
-    EngineReport, ExecutionMode, FailureMode, QueryEngine, QueryReport, QuerySpec, RetryPolicy,
-    StageStats, StopReason, TrajectoryPoint,
+    BatchAggregation, EngineReport, ExecutionMode, FailureMode, QueryEngine, QueryReport,
+    QuerySpec, RetryPolicy, StageStats, StopReason, TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
 pub use merge::{
-    merge_reports, DetectorInvocations, MergeError, ShardQueryTally, ShardReport, ShardedReport,
+    merge_reports, BatchStats, DetectorInvocations, MergeError, ShardQueryTally, ShardReport,
+    ShardedReport,
 };
 pub use policy::{ExSamplePolicy, FrameSamplerPolicy, MethodPolicy, SamplingPolicy};
 pub use runtime::{live_worker_threads, spawned_worker_threads, Dispatch};

@@ -31,6 +31,92 @@
 use crate::engine::EngineReport;
 use std::fmt;
 
+/// Physical batch-size statistics: how many `detect_batch` invocations were
+/// issued, how many frames they carried in total, and the smallest/largest
+/// single batch.
+///
+/// These are *physical* tallies — they describe the invocation shapes a
+/// backend actually saw, so they vary with the shard layout and with the
+/// engine's batching strategy (per-shard lanes vs cross-shard aggregation).
+/// That is the point: paired with a per-call + per-frame cost model
+/// (`exsample_detect::BatchCostModel`), they make a batching strategy's cost
+/// comparable in reports without ever being part of the logical determinism
+/// contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Physical invocations recorded.
+    pub count: u64,
+    /// Frames submitted across all recorded invocations.
+    pub frames: u64,
+    /// Smallest single batch recorded (0 when nothing was recorded).
+    pub min: u64,
+    /// Largest single batch recorded (0 when nothing was recorded).
+    pub max: u64,
+}
+
+impl BatchStats {
+    /// Record one physical invocation carrying `frames` frames.
+    pub fn record(&mut self, frames: u64) {
+        self.record_repeat(frames, 1);
+    }
+
+    /// Record `count` physical invocations of `frames` frames each (e.g. a
+    /// burst of per-frame recovery calls).
+    pub fn record_repeat(&mut self, frames: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = frames;
+            self.max = frames;
+        } else {
+            self.min = self.min.min(frames);
+            self.max = self.max.max(frames);
+        }
+        self.count += count;
+        self.frames += frames * count;
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.frames += other.frames;
+    }
+
+    /// Mean frames per invocation (0.0 when nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batches ({} frames, min {}, mean {:.1}, max {})",
+            self.count,
+            self.frames,
+            self.min,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
 /// One query's tallies on one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardQueryTally {
@@ -79,6 +165,12 @@ pub struct ShardReport {
     pub backoff_cost: u64,
     /// Frames whose detection failed terminally on this shard.
     pub failed_frames: u64,
+    /// Batch-size statistics over the physical invocations attributed to this
+    /// shard (`batches.count == detector_calls` by construction; checked by
+    /// the merge).  Under cross-shard aggregation a batch attributed here may
+    /// carry other shards' frames, so `batches.frames` is *not* constrained
+    /// to this shard's `detector_frames`.
+    pub batches: BatchStats,
     /// Per-query tallies, indexed by query registration order.
     pub per_query: Vec<ShardQueryTally>,
     /// Per-detector invocation tallies, ordered by detector slot.
@@ -147,6 +239,17 @@ pub enum MergeError {
         /// The coordinator's total.
         reported: u64,
     },
+    /// A shard's batch tally covers a different number of invocations than
+    /// its physical call count (every physical call must be recorded as
+    /// exactly one batch).
+    BatchCountMismatch {
+        /// The offending shard.
+        shard: u32,
+        /// Batches the shard recorded.
+        batches: u64,
+        /// Physical calls the shard tallied.
+        calls: u64,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -197,6 +300,14 @@ impl fmt::Display for MergeError {
                 f,
                 "shard {field} tallies sum to {merged} but the engine recorded {reported}"
             ),
+            MergeError::BatchCountMismatch {
+                shard,
+                batches,
+                calls,
+            } => write!(
+                f,
+                "shard {shard} recorded {batches} batches but tallied {calls} physical calls"
+            ),
         }
     }
 }
@@ -216,6 +327,11 @@ pub struct ShardedReport {
     /// `report.detector_calls` (the logical count) when a stage's detector
     /// group spans several shards.
     pub physical_detector_calls: u64,
+    /// Batch-size statistics merged over the shards' physical invocations
+    /// (`physical_batches.count == physical_detector_calls`).  Cross-shard
+    /// aggregation shows up here as fewer, larger batches at unchanged
+    /// logical outcomes.
+    pub physical_batches: BatchStats,
 }
 
 impl ShardedReport {
@@ -298,11 +414,23 @@ pub fn merge_reports(
             });
         }
     }
+    let mut physical_batches = BatchStats::default();
+    for shard in &shards {
+        if shard.batches.count != shard.detector_calls {
+            return Err(MergeError::BatchCountMismatch {
+                shard: shard.shard,
+                batches: shard.batches.count,
+                calls: shard.detector_calls,
+            });
+        }
+        physical_batches.merge(&shard.batches);
+    }
     let physical_detector_calls = shards.iter().map(|s| s.detector_calls).sum();
     Ok(ShardedReport {
         report,
         shards,
         physical_detector_calls,
+        physical_batches,
     })
 }
 
@@ -342,6 +470,13 @@ mod tests {
     }
 
     fn shard(shard: u32, per_query: &[(u64, u64)], frames: u64, calls: u64) -> ShardReport {
+        let mut batches = BatchStats::default();
+        // One batch per call, frames spread as evenly as the helper can
+        // (`checked_div` is `None` exactly when there are no calls).
+        if let Some(even) = frames.checked_div(calls) {
+            batches.record_repeat(even, calls - 1);
+            batches.record(frames - even * (calls - 1));
+        }
         ShardReport {
             shard,
             detector_frames: frames,
@@ -349,6 +484,7 @@ mod tests {
             retries: 0,
             backoff_cost: 0,
             failed_frames: 0,
+            batches,
             per_query: per_query
                 .iter()
                 .map(|&(frames, hits)| ShardQueryTally {
@@ -447,6 +583,63 @@ mod tests {
                 reported: 1
             }
         ));
+    }
+
+    #[test]
+    fn batch_stats_record_merge_and_mean() {
+        let mut stats = BatchStats::default();
+        assert_eq!(stats.mean(), 0.0);
+        stats.record(6);
+        stats.record_repeat(1, 3);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.frames, 9);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 6);
+        assert_eq!(stats.mean(), 2.25);
+
+        let mut other = BatchStats::default();
+        other.record(10);
+        other.merge(&stats);
+        assert_eq!(other.count, 5);
+        assert_eq!(other.frames, 19);
+        assert_eq!(other.min, 1);
+        assert_eq!(other.max, 10);
+        // Merging an empty tally is a no-op (min stays meaningful).
+        other.merge(&BatchStats::default());
+        assert_eq!(other.min, 1);
+        assert!(other.to_string().contains("5 batches"));
+    }
+
+    #[test]
+    fn merged_batches_cover_all_shards_and_count_mismatch_is_detected() {
+        let global = report(&[10, 6], &[3, 1], 14);
+        let merged = merge_reports(
+            global.clone(),
+            vec![
+                shard(0, &[(7, 2), (2, 0)], 9, 3),
+                shard(1, &[(3, 1), (4, 1)], 5, 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            merged.physical_batches.count,
+            merged.physical_detector_calls
+        );
+        assert_eq!(merged.physical_batches.frames, 14);
+
+        // A batch count that disagrees with the call tally is a typed error.
+        let mut bad = shard(0, &[(10, 3), (6, 1)], 14, 3);
+        bad.batches.count = 2;
+        let err = merge_reports(global, vec![bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::BatchCountMismatch {
+                shard: 0,
+                batches: 2,
+                calls: 3
+            }
+        ));
+        assert!(err.to_string().contains("2 batches"));
     }
 
     #[test]

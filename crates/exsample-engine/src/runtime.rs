@@ -52,7 +52,7 @@
 //! overhead delta between the two runtimes.
 
 use crate::error::EngineError;
-use crate::shard::{DetectPolicy, ShardWorker};
+use crate::shard::{aggregate_detect, DetectPolicy, ShardWorker};
 use exsample_detect::Detector;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -142,6 +142,12 @@ pub(crate) struct StageCtx<'a> {
     pub(crate) slots: Vec<u32>,
     pub(crate) share_lanes: bool,
     pub(crate) policy: DetectPolicy,
+    /// When set, a chunk's workers are detected together by cross-shard
+    /// batch aggregation ([`aggregate_detect`]) with this flush limit,
+    /// instead of each worker running its own per-shard lanes.  Aggregated
+    /// stages ship *all* workers as one chunk — the aggregated batch is the
+    /// cross-shard batch, so there is nothing left to split across lanes.
+    pub(crate) aggregate: Option<usize>,
 }
 
 /// One stage's work for one helper lane: the contiguous chunk of shard
@@ -166,6 +172,18 @@ struct Done {
     panic: Option<String>,
 }
 
+/// An in-flight dispatched stage: the handle [`WorkerPool::dispatch_stage`]
+/// (or [`WorkerPool::dispatch_whole`]) returns and exactly one
+/// [`WorkerPool::join_stage`] call consumes.  Between the two calls, chunks
+/// `1..` of the stage sit on (or run from) the helper turnstiles while chunk
+/// 0 still lives in the engine's worker vector — which is what lets the
+/// coordinator interleave other work (the next stage's PICK) with the
+/// helpers' DETECT.
+pub(crate) struct StageDispatch<'a> {
+    chunks: usize,
+    ctx: Arc<StageCtx<'a>>,
+}
+
 /// Render a caught panic payload as the message carried by
 /// [`EngineError::WorkerPanicked`].
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -184,9 +202,19 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// themselves (tallies and [`ShardWorker::fatal`]) and the engine inspects
 /// them after the stage's detect pass — shared by both dispatch runtimes.
 pub(crate) fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> Option<String> {
-    catch_unwind(AssertUnwindSafe(|| {
-        for worker in workers.iter_mut() {
-            worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes, ctx.policy);
+    catch_unwind(AssertUnwindSafe(|| match ctx.aggregate {
+        Some(max_batch) => aggregate_detect(
+            workers,
+            &ctx.detectors,
+            &ctx.slots,
+            ctx.share_lanes,
+            ctx.policy,
+            max_batch,
+        ),
+        None => {
+            for worker in workers.iter_mut() {
+                worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes, ctx.policy);
+            }
         }
     }))
     .err()
@@ -343,6 +371,10 @@ impl<'a> WorkerPool<'a> {
     /// pass executed — exactly what the serial loop and the scoped spawn
     /// produce — so pooled dispatch is observably identical to both.
     ///
+    /// Implemented as [`WorkerPool::dispatch_stage`] immediately followed by
+    /// [`WorkerPool::join_stage`]; overlap-mode stages call the two halves
+    /// themselves with the next stage's PICK in between.
+    ///
     /// # Errors
     /// Returns [`EngineError::WorkerPanicked`] if any lane's detect pass
     /// panicked (the first panic in chunk order wins).  All workers are
@@ -354,6 +386,21 @@ impl<'a> WorkerPool<'a> {
         threads: usize,
         ctx: StageCtx<'a>,
     ) -> Result<(), EngineError> {
+        let dispatch = self.dispatch_stage(workers, threads, ctx);
+        self.join_stage(workers, dispatch)
+    }
+
+    /// First half of a stage's detect pass: queue chunks `1..` on the helper
+    /// turnstiles and return the in-flight stage handle.  Chunk 0 stays in
+    /// `workers`; it is detected by [`WorkerPool::join_stage`], which must be
+    /// called exactly once with the returned handle (the coordinator may do
+    /// other work — e.g. the next stage's PICK — in between).
+    pub(crate) fn dispatch_stage(
+        &mut self,
+        workers: &mut Vec<ShardWorker>,
+        threads: usize,
+        ctx: StageCtx<'a>,
+    ) -> StageDispatch<'a> {
         let total = workers.len();
         let per_chunk = total.div_ceil(threads);
         let chunks = total.div_ceil(per_chunk);
@@ -363,8 +410,7 @@ impl<'a> WorkerPool<'a> {
             self.lanes.len()
         );
         let ctx = Arc::new(ctx);
-        self.dispatched_stages += 1;
-        let reengage = self.dispatched_stages.is_multiple_of(REENGAGE_PERIOD);
+        self.begin_dispatch();
 
         // Carve chunks 1.. off the tail (cheap: draining a suffix shifts
         // nothing) and queue them on their helper turnstiles; chunk 0 stays
@@ -373,27 +419,82 @@ impl<'a> WorkerPool<'a> {
         for chunk in (1..chunks).rev() {
             let mut buf = self.spare.pop().unwrap_or_default();
             buf.extend(workers.drain(chunk * per_chunk..));
-            let slot = &self.lanes[chunk - 1];
-            {
-                let mut state = slot.state.lock().expect("lane mutex is never poisoned");
-                debug_assert!(matches!(*state, LaneState::Idle));
-                *state = LaneState::Ready(Job {
-                    chunk,
-                    ctx: Arc::clone(&ctx),
-                    workers: buf,
-                });
-            }
-            // Wake the helper — with the mutex released, so it never stalls
-            // on a lock the coordinator still holds.  Disengaged helpers
-            // (their last DISENGAGE_AFTER chunks were all reclaimed, so
-            // waking them only buys a context switch on a host that isn't
-            // scheduling them anyway) are left parked except on
-            // re-engagement stages; their queued chunk is picked up by the
-            // reclaim pass below.
-            if self.consecutive_misses[chunk - 1] < DISENGAGE_AFTER || reengage {
-                slot.turnstile.notify_one();
-            }
+            self.queue_chunk(chunk, buf, &ctx);
         }
+        StageDispatch { chunks, ctx }
+    }
+
+    /// Dispatch an *aggregated* stage: every worker ships as one job (chunk
+    /// 1) to the first helper, and the coordinator's inline chunk 0 is empty.
+    ///
+    /// Cross-shard aggregation turns the whole detect pass into one
+    /// serialised gather/scatter, so there is no partition to spread over
+    /// lanes — but shipping it to a helper lets the coordinator run the next
+    /// stage's PICK concurrently under overlap.  The job remains reclaimable
+    /// exactly like any queued chunk: on a saturated host
+    /// [`WorkerPool::join_stage`] takes it back and runs it inline, same two
+    /// mutex operations as ever.
+    pub(crate) fn dispatch_whole(
+        &mut self,
+        workers: &mut Vec<ShardWorker>,
+        ctx: StageCtx<'a>,
+    ) -> StageDispatch<'a> {
+        debug_assert!(
+            !self.lanes.is_empty(),
+            "dispatching a whole stage needs at least one helper"
+        );
+        let ctx = Arc::new(ctx);
+        self.begin_dispatch();
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.append(workers);
+        self.queue_chunk(1, buf, &ctx);
+        StageDispatch { chunks: 2, ctx }
+    }
+
+    fn begin_dispatch(&mut self) {
+        self.dispatched_stages += 1;
+    }
+
+    /// Queue one chunk on its helper's turnstile and wake the helper if it
+    /// is engaged.
+    fn queue_chunk(&mut self, chunk: usize, buf: Vec<ShardWorker>, ctx: &Arc<StageCtx<'a>>) {
+        let reengage = self.dispatched_stages.is_multiple_of(REENGAGE_PERIOD);
+        let slot = &self.lanes[chunk - 1];
+        {
+            let mut state = slot.state.lock().expect("lane mutex is never poisoned");
+            debug_assert!(matches!(*state, LaneState::Idle));
+            *state = LaneState::Ready(Job {
+                chunk,
+                ctx: Arc::clone(ctx),
+                workers: buf,
+            });
+        }
+        // Wake the helper — with the mutex released, so it never stalls
+        // on a lock the coordinator still holds.  Disengaged helpers
+        // (their last DISENGAGE_AFTER chunks were all reclaimed, so
+        // waking them only buys a context switch on a host that isn't
+        // scheduling them anyway) are left parked except on
+        // re-engagement stages; their queued chunk is picked up by the
+        // reclaim pass in [`WorkerPool::join_stage`].
+        if self.consecutive_misses[chunk - 1] < DISENGAGE_AFTER || reengage {
+            slot.turnstile.notify_one();
+        }
+    }
+
+    /// Second half of a stage's detect pass: detect chunk 0 inline, reclaim
+    /// queued chunks whose helpers have not started, await the rest, and
+    /// reassemble `workers` in shard order.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::WorkerPanicked`] if any lane's detect pass
+    /// panicked (the first panic in chunk order wins).  All workers are
+    /// reassembled into `workers` even on error.
+    pub(crate) fn join_stage(
+        &mut self,
+        workers: &mut Vec<ShardWorker>,
+        dispatch: StageDispatch<'a>,
+    ) -> Result<(), EngineError> {
+        let StageDispatch { chunks, ctx } = dispatch;
 
         // The coordinator is the first lane: detect chunk 0 inline instead of
         // sleeping until the helpers finish.  Panics are caught exactly like
@@ -576,6 +677,7 @@ mod tests {
                     slots: vec![0, 0, 0],
                     share_lanes: false,
                     policy: DetectPolicy::infallible(),
+                    aggregate: None,
                 };
                 pool.run_stage(&mut workers, 3, ctx).expect("no panics");
                 // Shard order is restored exactly.
@@ -609,6 +711,7 @@ mod tests {
                 slots: vec![0, 1],
                 share_lanes: false,
                 policy: DetectPolicy::infallible(),
+                aggregate: None,
             };
             // Shard 1's frames went to group 0's lane above; re-load shard 1
             // so its lane belongs to the bomb's group instead.
@@ -646,6 +749,7 @@ mod tests {
                 slots: vec![0],
                 share_lanes: false,
                 policy: DetectPolicy::infallible(),
+                aggregate: None,
             };
             let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
             assert!(matches!(err, EngineError::WorkerPanicked { .. }));

@@ -41,6 +41,7 @@
 
 use crate::cache::{DetectionCache, DetectorSlot};
 use crate::error::EngineError;
+use crate::merge::BatchStats;
 use exsample_detect::{DetectError, Detector, FrameDetections};
 use exsample_video::{Chunking, FrameId, ShardSpec, ShardedRepository};
 use std::collections::HashMap;
@@ -263,6 +264,13 @@ pub(crate) struct ShardWorker {
     /// This stage's backoff cost units (reset by
     /// [`ShardWorker::begin_stage`]).
     pub stage_backoff: u64,
+    /// Cumulative batch-size statistics over the physical invocations
+    /// attributed to this shard (`batches.count` tracks
+    /// [`ShardWorker::detector_calls`] exactly; the merge layer checks it).
+    pub batches: BatchStats,
+    /// This stage's batch-size statistics (reset by
+    /// [`ShardWorker::begin_stage`]).
+    pub stage_batches: BatchStats,
     /// The first fatal failure recorded under fail-fast, if any; the engine
     /// checks workers in shard order after every detect pass and aborts the
     /// stage on the first one it finds.
@@ -289,6 +297,8 @@ impl ShardWorker {
             failed_frames: 0,
             stage_retries: 0,
             stage_backoff: 0,
+            batches: BatchStats::default(),
+            stage_batches: BatchStats::default(),
             fatal: None,
             per_query: Vec::new(),
             per_detector: Vec::new(),
@@ -317,6 +327,7 @@ impl ShardWorker {
         self.lane_failed.resize(groups, 0);
         self.stage_retries = 0;
         self.stage_backoff = 0;
+        self.stage_batches = BatchStats::default();
         if self.per_query.len() < queries {
             self.per_query.resize(queries, WorkerQueryTally::default());
         }
@@ -412,43 +423,16 @@ impl ShardWorker {
         policy: DetectPolicy,
     ) {
         for g in 0..self.live_lanes {
-            let (earlier, rest) = self.lanes.split_at_mut(g);
-            let lane = &mut rest[0];
-            if lane.misses.is_empty() {
+            if self.lanes[g].misses.is_empty() {
                 continue;
             }
-            // Reuse results from earlier lanes sharing this lane's detector
-            // slot.  The scan only arms on the cache-on, coalesce-off
-            // configuration with genuinely duplicated detectors; the common
-            // paths pay one slice scan per lane at most.
             let slot = detector_slots[g];
-            if share_lanes && detector_slots[..g].contains(&slot) {
-                let Lane {
-                    misses, results, ..
-                } = lane;
-                misses.retain(|&frame| {
-                    let reused =
-                        detector_slots[..g]
-                            .iter()
-                            .zip(earlier.iter())
-                            .find_map(|(&s, other)| {
-                                if s == slot {
-                                    other.results.get(&frame)
-                                } else {
-                                    None
-                                }
-                            });
-                    match reused {
-                        Some(detections) => {
-                            results.insert(frame, Arc::clone(detections));
-                            false
-                        }
-                        None => true,
-                    }
-                });
-                if lane.misses.is_empty() {
-                    continue;
-                }
+            if share_lanes {
+                self.reuse_shared_lane(g, detector_slots);
+            }
+            let lane = &mut self.lanes[g];
+            if lane.misses.is_empty() {
+                continue;
             }
             self.detect_buf.clear();
             match detectors[g].try_detect_batch(&lane.misses, &mut self.detect_buf) {
@@ -466,6 +450,8 @@ impl ShardWorker {
                     let tally = &mut self.per_detector[slot as usize];
                     tally.frames += detected;
                     tally.calls += 1;
+                    self.stage_batches.record(detected);
+                    self.batches.record(detected);
                     lane.results.reserve(self.detect_buf.len());
                     for (&frame, detections) in lane.misses.iter().zip(self.detect_buf.drain(..)) {
                         lane.results.insert(frame, Arc::new(detections));
@@ -477,6 +463,7 @@ impl ShardWorker {
                     // one probe plus its own per-frame tries, so tallies are
                     // independent of lane/shard composition.
                     let max_attempts = policy.max_attempts.max(1);
+                    let probe_frames = lane.misses.len() as u64;
                     let mut physical_calls = 1u64; // the failed probe
                     let mut ok_frames = 0u64;
                     let mut lane_retries = 0u64;
@@ -542,6 +529,12 @@ impl ShardWorker {
                     // the miss list so they can never be committed to the
                     // cache or fanned out.
                     lane.misses.truncate(kept);
+                    // One failed probe over the whole lane, then size-1
+                    // recovery calls.
+                    self.stage_batches.record(probe_frames);
+                    self.batches.record(probe_frames);
+                    self.stage_batches.record_repeat(1, physical_calls - 1);
+                    self.batches.record_repeat(1, physical_calls - 1);
                     self.detector_calls += physical_calls;
                     self.detector_frames += ok_frames;
                     self.lane_detected[g] += ok_frames;
@@ -566,6 +559,143 @@ impl ShardWorker {
                 }
             }
         }
+    }
+
+    /// Reuse results an earlier same-slot lane of this worker already
+    /// resolved this stage — the cache-on, coalesce-off intra-stage sharing
+    /// described on [`ShardWorker::detect`].  The scan only arms with
+    /// genuinely duplicated detectors; the common paths pay one slice scan
+    /// per lane at most.
+    fn reuse_shared_lane(&mut self, g: usize, detector_slots: &[DetectorSlot]) {
+        let slot = detector_slots[g];
+        if !detector_slots[..g].contains(&slot) {
+            return;
+        }
+        let (earlier, rest) = self.lanes.split_at_mut(g);
+        let Lane {
+            misses, results, ..
+        } = &mut rest[0];
+        misses.retain(|&frame| {
+            let reused = detector_slots[..g]
+                .iter()
+                .zip(earlier.iter())
+                .find_map(|(&s, other)| {
+                    if s == slot {
+                        other.results.get(&frame)
+                    } else {
+                        None
+                    }
+                });
+            match reused {
+                Some(detections) => {
+                    results.insert(frame, Arc::clone(detections));
+                    false
+                }
+                None => true,
+            }
+        });
+    }
+
+    /// Per-frame recovery of one frame after a failed aggregated batch probe:
+    /// the exact per-frame loop of [`ShardWorker::detect`]'s error path,
+    /// charged to this worker (the frame's owner).  Because the frame's
+    /// attempt history is still one batch probe plus its own per-frame tries,
+    /// its tallies are identical to the per-shard path regardless of how the
+    /// aggregator composed the failed batch.
+    fn recover_frame(
+        &mut self,
+        detector: &dyn Detector,
+        group: usize,
+        slot: DetectorSlot,
+        frame: FrameId,
+        policy: DetectPolicy,
+    ) {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut retries = 0u64;
+        let mut backoff = 0u64;
+        let outcome = loop {
+            attempts += 1;
+            self.detect_buf.clear();
+            match detector.try_detect_batch(std::slice::from_ref(&frame), &mut self.detect_buf) {
+                Ok(()) => {
+                    break Ok(self
+                        .detect_buf
+                        .pop()
+                        .expect("one detection set per detected frame"));
+                }
+                Err(err) => {
+                    let transient = err.is_transient();
+                    if !transient || attempts >= max_attempts {
+                        break Err(err);
+                    }
+                    // The upcoming try is retry number `attempts` (1-based).
+                    retries += 1;
+                    backoff += policy.retry_cost(attempts);
+                }
+            }
+        };
+        self.detector_calls += u64::from(attempts);
+        self.record_batches(1, u64::from(attempts));
+        self.stage_retries += retries;
+        self.retries += retries;
+        self.stage_backoff += backoff;
+        self.backoff += backoff;
+        match outcome {
+            Ok(detections) => {
+                self.detector_frames += 1;
+                self.lane_detected[group] += 1;
+                let tally = self.per_detector_entry(slot);
+                tally.frames += 1;
+                tally.calls += u64::from(attempts);
+                self.lanes[group]
+                    .results
+                    .insert(frame, Arc::new(detections));
+            }
+            Err(error) => {
+                self.failed_frames += 1;
+                self.lane_failed[group] += 1;
+                let tally = self.per_detector_entry(slot);
+                tally.failures += 1;
+                tally.calls += u64::from(attempts);
+                if policy.fail_fast {
+                    self.fatal = Some(DetectFailure {
+                        slot,
+                        frame,
+                        // Batch probe + per-frame tries.
+                        attempts: attempts + 1,
+                        error,
+                    });
+                }
+            }
+        }
+    }
+
+    fn per_detector_entry(&mut self, slot: DetectorSlot) -> &mut WorkerDetectorTally {
+        if self.per_detector.len() <= slot as usize {
+            self.per_detector
+                .resize(slot as usize + 1, WorkerDetectorTally::default());
+        }
+        &mut self.per_detector[slot as usize]
+    }
+
+    /// Record `count` physical invocations of `frames` frames each into this
+    /// shard's batch statistics (stage and cumulative).
+    pub(crate) fn record_batches(&mut self, frames: u64, count: u64) {
+        self.stage_batches.record_repeat(frames, count);
+        self.batches.record_repeat(frames, count);
+    }
+
+    /// Adopt a staged frame buffer as the lane of logical group `group`,
+    /// handing the lane's previous (cleared) buffer back for recycling.
+    ///
+    /// Overlap-mode stages route picks into engine-side staging buffers while
+    /// the previous stage's DETECT is still running, then load them here
+    /// right after [`ShardWorker::begin_stage`]; swapping keeps both sides'
+    /// allocations alive across stages.
+    #[inline]
+    pub(crate) fn adopt_frames(&mut self, group: usize, frames: &mut Vec<FrameId>) {
+        std::mem::swap(&mut self.lanes[group].frames, frames);
     }
 
     /// Phase 3 of the worker's stage: share this stage's fresh detections
@@ -683,6 +813,119 @@ impl ShardWorker {
                 .resize(query + 1, WorkerQueryTally::default());
         }
         self.per_query[query].dropped += 1;
+    }
+}
+
+/// Cross-shard aggregated DETECT: the batching replacement for running each
+/// worker's [`ShardWorker::detect`] independently.
+///
+/// For each logical detector group (in group order), the per-shard demand —
+/// every worker's cache misses for that group, gathered in deterministic
+/// (shard, frame-within-lane) order — is concatenated and issued as batches
+/// of at most `max_batch` frames (one batch per group when unbounded), then
+/// each result is scattered back into its owning worker's lane.  Logical
+/// tallies (detected frames, per-group counts, retry/backoff/failure
+/// telemetry) land on the frame's *owner*, so they are identical to the
+/// per-shard path for any shard layout; each *physical* call (and its batch
+/// statistics) is attributed to the shard owning the batch's first frame, so
+/// per-shard call counts remain well-defined and `batches.count` keeps
+/// tracking `detector_calls` everywhere.
+///
+/// Groups are processed strictly in order with all workers completing a group
+/// before the next begins, which preserves the same-slot lane reuse semantics
+/// of [`ShardWorker::detect`] (a later lane of a worker reuses what any of
+/// its earlier lanes resolved).  Faults keep their per-shard shape: a failed
+/// batch probe sends exactly that batch's frames through the owner-charged
+/// per-frame recovery loop, and under fail-fast a worker whose frame exhausts
+/// its attempts skips its own remaining frames (this group and later ones),
+/// exactly like the per-worker early return — other shards are unaffected.
+///
+/// Runs on one thread (the aggregated batch *is* the cross-shard batch, so
+/// there is nothing left to parallelise across workers): inline on the
+/// coordinator, or as a single pool job when the engine overlaps PICK with
+/// DETECT.
+pub(crate) fn aggregate_detect(
+    workers: &mut [ShardWorker],
+    detectors: &[&dyn Detector],
+    detector_slots: &[DetectorSlot],
+    share_lanes: bool,
+    policy: DetectPolicy,
+    max_batch: usize,
+) {
+    let max_batch = max_batch.max(1);
+    let mut gather: Vec<(usize, FrameId)> = Vec::new();
+    let mut batch_frames: Vec<FrameId> = Vec::new();
+    let mut batch_owners: Vec<usize> = Vec::new();
+    let mut detect_buf: Vec<FrameDetections> = Vec::new();
+    for (g, &slot) in detector_slots.iter().enumerate() {
+        gather.clear();
+        for (w, worker) in workers.iter_mut().enumerate() {
+            if worker.fatal.is_some() {
+                continue;
+            }
+            if share_lanes {
+                worker.reuse_shared_lane(g, detector_slots);
+            }
+            gather.extend(worker.lanes[g].misses.iter().map(|&frame| (w, frame)));
+        }
+        let mut pos = 0;
+        while pos < gather.len() {
+            batch_frames.clear();
+            batch_owners.clear();
+            while pos < gather.len() && batch_frames.len() < max_batch {
+                let (w, frame) = gather[pos];
+                pos += 1;
+                // A worker that went fatal earlier in this group contributes
+                // nothing further (fail-fast early-return semantics).
+                if workers[w].fatal.is_none() {
+                    batch_frames.push(frame);
+                    batch_owners.push(w);
+                }
+            }
+            if batch_frames.is_empty() {
+                continue;
+            }
+            detect_buf.clear();
+            let probe = detectors[g].try_detect_batch(&batch_frames, &mut detect_buf);
+            // The physical call belongs to the shard owning the batch's
+            // first frame.
+            let first = &mut workers[batch_owners[0]];
+            first.detector_calls += 1;
+            first.record_batches(batch_frames.len() as u64, 1);
+            first.per_detector_entry(slot).calls += 1;
+            match probe {
+                Ok(()) => {
+                    for ((&frame, &w), detections) in batch_frames
+                        .iter()
+                        .zip(&batch_owners)
+                        .zip(detect_buf.drain(..))
+                    {
+                        let worker = &mut workers[w];
+                        worker.detector_frames += 1;
+                        worker.lane_detected[g] += 1;
+                        worker.per_detector_entry(slot).frames += 1;
+                        worker.lanes[g].results.insert(frame, Arc::new(detections));
+                    }
+                }
+                Err(_) => {
+                    for (&frame, &w) in batch_frames.iter().zip(&batch_owners) {
+                        let worker = &mut workers[w];
+                        if worker.fatal.is_none() {
+                            worker.recover_frame(detectors[g], g, slot, frame, policy);
+                        }
+                    }
+                }
+            }
+        }
+        // Keep only resolved frames in each lane's miss list, in lane order —
+        // commit_cache and fan-out read misses as "frames with fresh
+        // results", exactly like the per-worker error path leaves them.
+        for worker in workers.iter_mut() {
+            let Lane {
+                misses, results, ..
+            } = &mut worker.lanes[g];
+            misses.retain(|frame| results.contains_key(frame));
+        }
     }
 }
 

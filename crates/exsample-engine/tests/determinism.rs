@@ -17,16 +17,25 @@
 //!    invocation counts — over the full matrix of threads {1, 2, 4} ×
 //!    shards {1, 3, 7} × both partitioners × both dispatch runtimes (the
 //!    persistent per-run worker pool, `Dispatch::Pooled`, and the legacy
-//!    per-stage scoped spawn, `Dispatch::Scoped`).
+//!    per-stage scoped spawn, `Dispatch::Scoped`); and
+//! 5. aggregation invariance: cross-shard batch aggregation
+//!    (`QueryEngine::aggregation`) — unbounded and with a max-batch cap —
+//!    leaves picks and merged reports bitwise-identical to the unaggregated
+//!    baseline over the same execution matrix, and unbounded aggregation
+//!    collapses the physical invocation count to the logical one; and
+//! 6. overlap determinism: stage-overlapped runs (`QueryEngine::overlap`) are
+//!    *not* pick-for-pick with non-overlapped runs (stop decisions lag one
+//!    stage by design) but are bitwise-identical to each other across the
+//!    full execution matrix, with and without aggregation.
 
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    run_query, Dispatch, EngineReport, ExSamplePolicy, ExecutionMode, FrameSamplerPolicy,
-    QueryEngine, QueryReport, QuerySpec, RoundRobin, SamplingPolicy, ShardRouter, ShardedReport,
-    StopReason,
+    run_query, BatchAggregation, Dispatch, EngineReport, ExSamplePolicy, ExecutionMode,
+    FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, RoundRobin, SamplingPolicy,
+    ShardRouter, ShardedReport, StopReason,
 };
 use exsample_track::{Discriminator, MatchOutcome, OracleDiscriminator};
 use exsample_video::{
@@ -602,6 +611,169 @@ fn parallel_execution_matrix_is_bitwise_identical_to_serial() {
                         &context,
                     );
                     assert!(parallel.physical_detector_calls >= parallel.report.detector_calls);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregated_runs_are_bitwise_identical_across_the_matrix() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // Baseline: the unsharded, serial, unaggregated engine.
+    let (specs, baseline_logs) = recorded_specs(&chunking, frames, &detector);
+    let mut baseline = QueryEngine::new();
+    for spec in specs {
+        baseline.push(spec).unwrap();
+    }
+    let _ = baseline.run().unwrap();
+    let baseline_merged = baseline.report_sharded();
+    assert!(
+        baseline_merged
+            .report
+            .outcomes
+            .iter()
+            .any(|r| r.true_found > 0),
+        "setup finds nothing"
+    );
+    let baseline_picks: Vec<Vec<FrameId>> = baseline_logs
+        .iter()
+        .map(|log| log.borrow().clone())
+        .collect();
+
+    for aggregation in [
+        BatchAggregation::unbounded(),
+        BatchAggregation::max_batch(5),
+    ] {
+        for shards in [1u32, 3, 7] {
+            for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+                let run = |mode: ExecutionMode, dispatch: Dispatch| {
+                    let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                    let router = ShardRouter::new(&chunking, &spec).unwrap();
+                    let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+                    let mut engine = QueryEngine::new()
+                        .sharded(router)
+                        .aggregation(Some(aggregation))
+                        .execution(mode)
+                        .expect("valid execution mode")
+                        .dispatch(dispatch);
+                    for spec in specs {
+                        engine.push(spec).unwrap();
+                    }
+                    let _ = engine.run().unwrap();
+                    let picks: Vec<Vec<FrameId>> =
+                        logs.iter().map(|log| log.borrow().clone()).collect();
+                    (engine.report_sharded(), picks)
+                };
+
+                // Aggregation is purely physical: picks and the merged
+                // logical report must match the unaggregated baseline
+                // exactly, for any layout.
+                let context = format!("{partitioner:?}/{shards} shards/{aggregation:?}");
+                let (serial, serial_picks) = run(ExecutionMode::Serial, Dispatch::Pooled);
+                assert_eq!(serial_picks, baseline_picks, "{context}: pick sequences");
+                assert_engine_reports_equal(&serial.report, &baseline_merged.report, &context);
+                if aggregation == BatchAggregation::unbounded() {
+                    // Unbounded aggregation issues exactly one physical call
+                    // per logical detector group per stage — the aggregated
+                    // batch *is* the cross-shard batch.
+                    assert_eq!(
+                        serial.physical_detector_calls, serial.report.detector_calls,
+                        "{context}: unbounded aggregation must collapse physical to logical"
+                    );
+                } else {
+                    assert!(serial.physical_detector_calls >= serial.report.detector_calls);
+                }
+
+                // And the physical breakdown itself is invariant across
+                // thread counts and dispatch runtimes at a fixed layout.
+                for threads in [1usize, 2, 4] {
+                    for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                        let context = format!("{context}/{threads} threads/{dispatch:?}");
+                        let (parallel, parallel_picks) =
+                            run(ExecutionMode::Parallel(threads), dispatch);
+                        assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
+                        assert_sharded_reports_equal(&parallel, &serial, &context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapped_runs_are_deterministic_across_the_matrix() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // Overlap changes *when* stop conditions are decided (one stage late, by
+    // design), so its reference is itself overlapped: the unsharded serial
+    // overlapped run.  Every other configuration must reproduce it bitwise.
+    let (specs, baseline_logs) = recorded_specs(&chunking, frames, &detector);
+    let mut baseline = QueryEngine::new().overlap(true);
+    for spec in specs {
+        baseline.push(spec).unwrap();
+    }
+    let _ = baseline.run().unwrap();
+    let baseline_merged = baseline.report_sharded();
+    assert!(
+        baseline_merged
+            .report
+            .outcomes
+            .iter()
+            .any(|r| r.true_found > 0),
+        "setup finds nothing"
+    );
+    let baseline_picks: Vec<Vec<FrameId>> = baseline_logs
+        .iter()
+        .map(|log| log.borrow().clone())
+        .collect();
+
+    for aggregation in [None, Some(BatchAggregation::unbounded())] {
+        for shards in [1u32, 3, 7] {
+            for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+                let run = |mode: ExecutionMode, dispatch: Dispatch| {
+                    let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                    let router = ShardRouter::new(&chunking, &spec).unwrap();
+                    let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+                    let mut engine = QueryEngine::new()
+                        .sharded(router)
+                        .overlap(true)
+                        .aggregation(aggregation)
+                        .execution(mode)
+                        .expect("valid execution mode")
+                        .dispatch(dispatch);
+                    for spec in specs {
+                        engine.push(spec).unwrap();
+                    }
+                    let _ = engine.run().unwrap();
+                    let picks: Vec<Vec<FrameId>> =
+                        logs.iter().map(|log| log.borrow().clone()).collect();
+                    (engine.report_sharded(), picks)
+                };
+
+                let context = format!("{partitioner:?}/{shards} shards/{aggregation:?}");
+                let (serial, serial_picks) = run(ExecutionMode::Serial, Dispatch::Pooled);
+                assert_eq!(serial_picks, baseline_picks, "{context}: pick sequences");
+                assert_engine_reports_equal(&serial.report, &baseline_merged.report, &context);
+
+                for threads in [1usize, 2, 4] {
+                    for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                        let context = format!("{context}/{threads} threads/{dispatch:?}");
+                        let (parallel, parallel_picks) =
+                            run(ExecutionMode::Parallel(threads), dispatch);
+                        assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
+                        assert_sharded_reports_equal(&parallel, &serial, &context);
+                        assert_engine_reports_equal(
+                            &parallel.report,
+                            &baseline_merged.report,
+                            &context,
+                        );
+                    }
                 }
             }
         }

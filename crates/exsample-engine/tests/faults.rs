@@ -28,8 +28,8 @@ use exsample_detect::{
     ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    Dispatch, EngineError, EngineReport, ExSamplePolicy, ExecutionMode, FailureMode,
-    FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, RetryPolicy, ShardRouter,
+    BatchAggregation, Dispatch, EngineError, EngineReport, ExSamplePolicy, ExecutionMode,
+    FailureMode, FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, RetryPolicy, ShardRouter,
     ShardedReport, StopReason,
 };
 use exsample_video::{Chunking, ChunkingPolicy, ShardPartitioner, ShardSpec, VideoRepository};
@@ -293,6 +293,98 @@ fn degraded_runs_are_bitwise_deterministic_across_the_execution_matrix() {
                     );
                     assert_sharded_reports_equal(&parallel, &serial, &context);
                     assert_engine_reports_equal(&parallel.report, &baseline.report, &context);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_runs_with_overlap_and_aggregation_stay_deterministic() {
+    // The fault axis of the batching/overlap knobs: with cross-shard batch
+    // aggregation, with stage overlap, and with both at once, a degraded
+    // `DropFrames` run stays bitwise-deterministic across the execution
+    // matrix.  Overlap's reference is itself overlapped (stop decisions lag
+    // one stage by design); aggregation's cross-shard batches keep faults
+    // per-frame (a failed batch probe recovers each frame individually), so
+    // the logical fault telemetry is layout-invariant either way.
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+
+    for (overlap, aggregation) in [
+        (false, Some(BatchAggregation::unbounded())),
+        (true, None),
+        (true, Some(BatchAggregation::unbounded())),
+    ] {
+        let sharded_run =
+            |shards: Option<(ShardPartitioner, u32)>, mode: ExecutionMode, dispatch: Dispatch| {
+                let detector = faulty_detector(&truth, faulty_plan());
+                let mut engine = QueryEngine::new()
+                    .overlap(overlap)
+                    .aggregation(aggregation)
+                    .retry_policy(RetryPolicy::new(3).backoff_cost(4))
+                    .failure_mode(FailureMode::DropFrames);
+                if let Some((partitioner, shards)) = shards {
+                    let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                    engine = engine.sharded(ShardRouter::new(&chunking, &spec).unwrap());
+                }
+                engine = engine
+                    .execution(mode)
+                    .expect("valid execution mode")
+                    .dispatch(dispatch);
+                for spec in fault_specs(&chunking, frames, &detector) {
+                    engine.push(spec).unwrap();
+                }
+                let _ = engine.run().unwrap();
+                engine.report_sharded()
+            };
+
+        let knobs = format!("overlap={overlap}/aggregation={aggregation:?}");
+        let baseline = sharded_run(None, ExecutionMode::Serial, Dispatch::Pooled);
+        assert!(
+            baseline.report.detect_retries > 0,
+            "{knobs}: no transient faults — the matrix would be vacuous"
+        );
+        assert!(
+            baseline.report.failed_frames > 0,
+            "{knobs}: no permanent faults — the matrix would be vacuous"
+        );
+        assert!(
+            baseline
+                .report
+                .outcomes
+                .iter()
+                .map(|r| r.dropped_frames)
+                .sum::<u64>()
+                > 0,
+            "{knobs}: no frame was dropped"
+        );
+
+        for shards in [1u32, 3, 7] {
+            for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+                let serial = sharded_run(
+                    Some((partitioner, shards)),
+                    ExecutionMode::Serial,
+                    Dispatch::Pooled,
+                );
+                assert_engine_reports_equal(
+                    &serial.report,
+                    &baseline.report,
+                    &format!("{knobs}/{partitioner:?}/{shards} shards serial vs unsharded"),
+                );
+                for threads in [1usize, 2, 4] {
+                    for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                        let context = format!(
+                            "{knobs}/{partitioner:?}/{shards} shards/{threads} threads/{dispatch:?}"
+                        );
+                        let parallel = sharded_run(
+                            Some((partitioner, shards)),
+                            ExecutionMode::Parallel(threads),
+                            dispatch,
+                        );
+                        assert_sharded_reports_equal(&parallel, &serial, &context);
+                        assert_engine_reports_equal(&parallel.report, &baseline.report, &context);
+                    }
                 }
             }
         }

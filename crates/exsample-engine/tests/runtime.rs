@@ -9,7 +9,12 @@
 //!    [`EngineError::WorkerPanicked`] carrying the panic message, never a
 //!    deadlock, an unwinding coordinator, or a leaked thread; and
 //! 3. a fully cache-warm stage skips pool dispatch entirely (no channel send,
-//!    no helper wake), pinned via [`QueryEngine::pooled_stage_dispatches`].
+//!    no helper wake), pinned via [`QueryEngine::pooled_stage_dispatches`] —
+//!    including under stage overlap and cross-shard batch aggregation, where
+//!    the cache probe runs at the commit boundary; and
+//! 4. moving the probe to the commit boundary (overlap mode) changes no cache
+//!    accounting: hit/miss/eviction tallies are bitwise-identical across the
+//!    overlapped execution matrix.
 //!
 //! Every test in this file takes the local [`POOL_LOCK`] mutex: the
 //! spawn/live counters are process-wide, so any test that runs a pooled
@@ -19,8 +24,8 @@ use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    live_worker_threads, spawned_worker_threads, Dispatch, EngineError, ExecutionMode,
-    FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
+    live_worker_threads, spawned_worker_threads, BatchAggregation, Dispatch, EngineError,
+    ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
 };
 use exsample_video::{Chunking, ChunkingPolicy, FrameId, ShardSpec, VideoRepository};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -326,6 +331,132 @@ fn fully_cache_warm_stages_skip_pool_dispatch() {
         cold_dispatches,
         "cache-warm stages must skip pool dispatch entirely"
     );
+}
+
+#[test]
+fn warm_stages_skip_dispatch_under_overlap_and_aggregation() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 400u64;
+    let (chunking, truth) = setup(frames, 9);
+    let detector = ObservantDetector::new(Arc::clone(&truth));
+    // Overlap moves the cache probe to the commit boundary and aggregation
+    // funnels DETECT through a single `dispatch_whole` pool job — neither may
+    // cost a warm stage a dispatch (or a detector call).
+    let mut engine = pooled_engine(&chunking, 3, 3)
+        .cache_capacity(4_096)
+        .overlap(true)
+        .aggregation(Some(BatchAggregation::unbounded()));
+    engine
+        .push(
+            QuerySpec::new(
+                "cold",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(3)
+            .batch(32),
+        )
+        .unwrap();
+    let cold = engine.run().unwrap();
+    assert_eq!(cold.outcomes[0].frames_processed, frames);
+    let cold_dispatches = engine.pooled_stage_dispatches();
+    let cold_calls = detector.batch_calls.load(Ordering::SeqCst);
+    assert!(
+        cold_dispatches > 0,
+        "cold overlapped run never used the pool"
+    );
+    assert!(cold_calls > 0);
+
+    engine
+        .push(
+            QuerySpec::new(
+                "warm",
+                Box::new(FrameSamplerPolicy::uniform(frames)),
+                &detector,
+            )
+            .seed(5)
+            .batch(32),
+        )
+        .unwrap();
+    let warm = engine.run().unwrap();
+    assert_eq!(warm.outcomes[1].frames_processed, frames);
+    assert_eq!(
+        detector.batch_calls.load(Ordering::SeqCst),
+        cold_calls,
+        "warm overlapped re-query must be served entirely from the cache"
+    );
+    assert_eq!(
+        engine.pooled_stage_dispatches(),
+        cold_dispatches,
+        "cache-warm overlapped stages must skip pool dispatch entirely"
+    );
+}
+
+#[test]
+fn overlapped_cache_accounting_is_execution_invariant() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 400u64;
+    let (chunking, truth) = setup(frames, 9);
+    // A cold run followed by a warm re-query on the same overlapped engine:
+    // the commit-boundary probe must produce bitwise-identical hit/miss/
+    // eviction tallies (and reports) whether DETECT runs serial, pooled,
+    // scoped, or aggregated.
+    let run = |mode: ExecutionMode, dispatch: Dispatch, aggregation: Option<BatchAggregation>| {
+        let detector = ObservantDetector::new(Arc::clone(&truth));
+        let spec = ShardSpec::contiguous(chunking.len(), 3);
+        let mut engine = QueryEngine::new()
+            .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+            .execution(mode)
+            .expect("valid execution mode")
+            .dispatch(dispatch)
+            .cache_capacity(64)
+            .overlap(true)
+            .aggregation(aggregation);
+        for (label, seed) in [("cold", 3u64), ("warm", 5)] {
+            engine
+                .push(
+                    QuerySpec::new(
+                        label,
+                        Box::new(FrameSamplerPolicy::uniform(frames)),
+                        &detector,
+                    )
+                    .seed(seed)
+                    .batch(32),
+                )
+                .unwrap();
+            let _ = engine.run().unwrap();
+        }
+        let stats = engine.cache_stats().expect("cache is configured");
+        (stats, engine.report_sharded())
+    };
+    let (reference_stats, reference) = run(ExecutionMode::Serial, Dispatch::Pooled, None);
+    // Capacity 64 over 400 frames: the run genuinely exercises eviction, and
+    // the warm query still lands some hits.
+    assert!(reference_stats.hits > 0, "warm query never hit the cache");
+    assert!(reference_stats.evictions > 0, "cache never evicted");
+    for threads in [1usize, 2, 4] {
+        for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+            for aggregation in [None, Some(BatchAggregation::unbounded())] {
+                let context = format!("{threads} threads/{dispatch:?}/{aggregation:?}");
+                let (stats, report) = run(ExecutionMode::Parallel(threads), dispatch, aggregation);
+                assert_eq!(stats, reference_stats, "{context}: cache accounting");
+                assert_eq!(
+                    report.report.outcomes.len(),
+                    reference.report.outcomes.len()
+                );
+                for (a, b) in report
+                    .report
+                    .outcomes
+                    .iter()
+                    .zip(&reference.report.outcomes)
+                {
+                    assert_eq!(a.frames_processed, b.frames_processed, "{context}: frames");
+                    assert_eq!(a.trajectory, b.trajectory, "{context}: trajectory");
+                    assert_eq!(a.stop_reason, b.stop_reason, "{context}: stop reason");
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -33,8 +33,8 @@ use exsample_detect::{
     PerfectDetector, SimulatedDetector,
 };
 use exsample_engine::{
-    ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy, QueryEngine, QuerySpec, RetryPolicy,
-    SamplingPolicy, ShardRouter,
+    BatchAggregation, ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy, QueryEngine,
+    QuerySpec, RetryPolicy, SamplingPolicy, ShardRouter,
 };
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
@@ -186,6 +186,12 @@ pub struct QueryRunner<'a> {
     retry: RetryPolicy,
     failure: FailureMode,
     fault: Option<FaultPlan>,
+    /// Overlap each stage's PICK with the previous stage's DETECT (see
+    /// `QueryEngine::overlap`; off by default).
+    overlap: bool,
+    /// Cross-shard batch aggregation for the DETECT phase (see
+    /// `QueryEngine::aggregation`; off by default).
+    aggregation: Option<BatchAggregation>,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -207,6 +213,8 @@ impl<'a> QueryRunner<'a> {
             retry: RetryPolicy::none(),
             failure: FailureMode::default(),
             fault: None,
+            overlap: false,
+            aggregation: None,
         }
     }
 
@@ -235,6 +243,26 @@ impl<'a> QueryRunner<'a> {
     /// [`SimError::Engine`]) when the run starts.
     pub fn parallel(mut self, threads: usize) -> Self {
         self.parallel = Some(threads);
+        self
+    }
+
+    /// Overlap each stage's PICK with the previous stage's DETECT (the
+    /// engine's stage-pipelining knob; off by default).  Overlapped runs are
+    /// fully deterministic and bitwise-identical across shard/thread/dispatch
+    /// configurations, but schedule each stage from one-stage-stale state, so
+    /// they are *not* pick-for-pick identical to non-overlapped runs — a stop
+    /// condition may be noticed one stage later.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Gather every shard's detector demand into cross-shard batches per
+    /// stage (fewer, larger physical invocations; `None` — the default —
+    /// keeps per-shard batches).  Never changes query outcomes or the virtual
+    /// clock, only the physical invocation shape.
+    pub fn aggregation(mut self, aggregation: Option<BatchAggregation>) -> Self {
+        self.aggregation = aggregation;
         self
     }
 
@@ -440,7 +468,9 @@ impl<'a> QueryRunner<'a> {
 
         let mut engine = QueryEngine::new()
             .retry_policy(self.retry)
-            .failure_mode(self.failure);
+            .failure_mode(self.failure)
+            .overlap(self.overlap)
+            .aggregation(self.aggregation);
         if self.shards > 1 {
             engine = engine.sharded(ShardRouter::contiguous(
                 self.dataset.chunking(),
@@ -677,6 +707,78 @@ mod tests {
             assert_eq!(threaded.found_instances, serial.found_instances);
             assert_eq!(threaded.trajectory, serial.trajectory);
             assert_eq!(threaded.sample_secs, serial.sample_secs);
+        }
+    }
+
+    #[test]
+    fn aggregated_runner_results_are_bitwise_identical() {
+        // Cross-shard aggregation only reshapes physical detector batches;
+        // outcomes and the virtual clock must not move for any flush limit,
+        // shard count or thread count.
+        let dataset = skewed_dataset();
+        let run = |shards: u32, parallel: Option<usize>, aggregation: Option<BatchAggregation>| {
+            let mut runner = QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(19)
+                .shards(shards)
+                .aggregation(aggregation);
+            if let Some(threads) = parallel {
+                runner = runner.parallel(threads);
+            }
+            runner
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded")
+        };
+        let baseline = run(1, None, None);
+        for (shards, parallel, aggregation) in [
+            (1u32, None, Some(BatchAggregation::unbounded())),
+            (3, None, Some(BatchAggregation::unbounded())),
+            (3, Some(2), Some(BatchAggregation::max_batch(16))),
+            (7, Some(4), Some(BatchAggregation::unbounded())),
+            (7, None, Some(BatchAggregation::max_batch(1))),
+        ] {
+            let aggregated = run(shards, parallel, aggregation);
+            assert_eq!(aggregated.frames_processed, baseline.frames_processed);
+            assert_eq!(aggregated.found_instances, baseline.found_instances);
+            assert_eq!(aggregated.trajectory, baseline.trajectory);
+            assert_eq!(aggregated.sample_secs, baseline.sample_secs);
+        }
+    }
+
+    #[test]
+    fn overlapped_runner_is_deterministic_across_configs() {
+        // Overlapped runs schedule from one-stage-stale state, so they are a
+        // *different* (still valid) run than non-overlapped ones — but every
+        // overlapped configuration must agree bitwise with the overlapped
+        // serial reference, with and without aggregation.
+        let dataset = skewed_dataset();
+        let run = |shards: u32, parallel: Option<usize>, aggregation: Option<BatchAggregation>| {
+            let mut runner = QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(23)
+                .shards(shards)
+                .overlap(true)
+                .aggregation(aggregation);
+            if let Some(threads) = parallel {
+                runner = runner.parallel(threads);
+            }
+            runner
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded")
+        };
+        let reference = run(1, None, None);
+        // Overlapped scheduling decides each stage's stop condition one stage
+        // late (the documented staleness), so a FrameBudget(600) run at batch
+        // 1 lands on exactly 601 processed frames in every configuration.
+        assert_eq!(reference.frames_processed, 601);
+        for (shards, parallel) in [(3u32, None), (3, Some(2)), (7, Some(4)), (2, Some(64))] {
+            for aggregation in [None, Some(BatchAggregation::unbounded())] {
+                let overlapped = run(shards, parallel, aggregation);
+                assert_eq!(overlapped.frames_processed, reference.frames_processed);
+                assert_eq!(overlapped.found_instances, reference.found_instances);
+                assert_eq!(overlapped.trajectory, reference.trajectory);
+                assert_eq!(overlapped.sample_secs, reference.sample_secs);
+            }
         }
     }
 

@@ -13,8 +13,13 @@
 //! Two environment variables adjust behaviour:
 //!
 //! * `BENCH_QUICK=1` shrinks the measurement budget (used by CI smoke runs);
-//! * `BENCH_JSON=<path>` appends one JSON line per benchmark, which is how the
-//!   committed `BENCH_*.json` baselines are produced.  A relative path is
+//! * `BENCH_JSON=<path>` writes one JSON line per benchmark, which is how the
+//!   committed `BENCH_*.json` baselines are produced.  The process's *first*
+//!   write to a given path truncates it — a regenerated baseline replaces the
+//!   stale file instead of silently appending to it — and every later write
+//!   of the same process appends, so one bench binary's benchmarks accumulate
+//!   into one file.  (Separate bench binaries are separate processes: point
+//!   each at its own baseline file.)  A relative path is
 //!   resolved against the **workspace root** (the nearest ancestor of the
 //!   running package's manifest directory whose `Cargo.toml` declares
 //!   `[workspace]`), so `BENCH_JSON=BENCH_foo.json cargo bench -p
@@ -26,10 +31,12 @@
 
 pub use std::hint::black_box;
 
+use std::collections::HashSet;
 use std::fmt::Display;
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Resolve a `BENCH_JSON` value: absolute paths pass through, relative paths
@@ -46,6 +53,15 @@ fn bench_json_path(raw: &str) -> PathBuf {
         Some(root) => root.join(path),
         None => path.to_path_buf(),
     }
+}
+
+/// The `BENCH_JSON` paths this process has already truncated.  The first
+/// report written to a path replaces whatever stale baseline was there (the
+/// historical append-only behaviour quietly produced files mixing old and new
+/// runs); every later report of the same process appends.
+fn truncated_paths() -> &'static Mutex<HashSet<PathBuf>> {
+    static TRUNCATED: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    TRUNCATED.get_or_init(|| Mutex::new(HashSet::new()))
 }
 
 /// The nearest ancestor of the running package's manifest directory (falling
@@ -254,10 +270,17 @@ impl Bencher {
                 "{{\"name\":\"{}\",\"median_ns\":{:.2},\"iters_per_sec\":{:.1},\"batches\":{},\"iters_per_batch\":{}}}\n",
                 name, m.median_ns, per_sec, m.batches, m.iters_per_batch
             );
-            let _ = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(bench_json_path(&path))
+            let path = bench_json_path(&path);
+            let first_write = truncated_paths().lock().unwrap().insert(path.clone());
+            let mut options = OpenOptions::new();
+            options.create(true);
+            if first_write {
+                options.write(true).truncate(true);
+            } else {
+                options.append(true);
+            }
+            let _ = options
+                .open(&path)
                 .and_then(|mut f| f.write_all(line.as_bytes()));
         }
     }
@@ -317,6 +340,38 @@ mod tests {
         // Absolute paths pass through untouched.
         let absolute = root.join("BENCH_abs.json");
         assert_eq!(bench_json_path(absolute.to_str().unwrap()), absolute);
+    }
+
+    #[test]
+    fn bench_json_truncates_the_stale_baseline_once_then_appends() {
+        // A stale baseline from an earlier run must be replaced by the
+        // process's first write, while writes after the first accumulate.
+        // Uses an absolute path (passes through `bench_json_path` untouched)
+        // unique to this process so parallel test runs cannot collide.
+        let path =
+            std::env::temp_dir().join(format!("BENCH_shim_truncate_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"name\":\"stale_line_from_last_run\"}\n").unwrap();
+        std::env::set_var("BENCH_QUICK", "1");
+        std::env::set_var("BENCH_JSON", path.to_str().unwrap());
+        let mut c = Criterion::default();
+        let mut x = 0u64;
+        c.bench_function("shim_truncate_first", |b| b.iter(|| x = x.wrapping_add(1)));
+        c.bench_function("shim_truncate_second", |b| b.iter(|| x = x.wrapping_add(1)));
+        std::env::remove_var("BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            !contents.contains("stale_line_from_last_run"),
+            "first write must truncate the stale baseline: {contents}"
+        );
+        assert!(
+            contents.contains("shim_truncate_first"),
+            "first benchmark line missing: {contents}"
+        );
+        assert!(
+            contents.contains("shim_truncate_second"),
+            "later benchmarks must append, not truncate: {contents}"
+        );
     }
 
     #[test]
