@@ -3,8 +3,10 @@
 //! Measures picks/sec of the optimised sampler (`exsample_core::ExSample` with
 //! the belief cache, incremental eligibility and one-pass batched Thompson
 //! draws) against a faithful replica of the pre-refactor implementation at
-//! M ∈ {60, 1 000, 10 000} chunks, plus the parallel-vs-sequential sweep
-//! throughput of `exsample_sim::run_trials`.
+//! M ∈ {60, 1 000, 10 000} chunks, plus the `class_max` axis (belief-class
+//! deduplicated draws vs per-chunk draws vs the seed replica at
+//! M ∈ {1k, 10k, 100k} under all-prior and skewed-posterior regimes) and the
+//! parallel-vs-sequential sweep throughput of `exsample_sim::run_trials`.
 //!
 //! The `reference` module reproduces the seed implementation line-for-line:
 //! eligibility mask allocated per pick, the single pick routed through a
@@ -14,7 +16,7 @@
 //! committed baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use exsample_core::{ExSample, ExSampleConfig};
+use exsample_core::{ExSample, ExSampleConfig, SelectionStrategy};
 use exsample_data::{GridWorkload, SkewLevel};
 use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition};
 use rand::rngs::StdRng;
@@ -309,6 +311,100 @@ fn bench_batched_pick(c: &mut Criterion) {
     group.finish();
 }
 
+/// Belief-state regimes for the `class_max` axis.  The posterior is pinned
+/// (no recording inside the measurement loop) so each arm measures one fixed
+/// class structure instead of drifting through many.
+#[derive(Clone, Copy)]
+enum Regime {
+    /// Fresh statistics: every chunk still holds the prior, one single class —
+    /// the best case for deduplication (one max-of-M draw plus an O(M) scan).
+    AllPrior,
+    /// A skewed posterior: every chunk visited once, a third with a hit, plus
+    /// a 16-chunk hot head with 1–8 extra hits each — about ten belief
+    /// classes, the composition a converged skewed search settles into.
+    Skewed,
+}
+
+impl Regime {
+    fn label(self) -> &'static str {
+        match self {
+            Regime::AllPrior => "all_prior",
+            Regime::Skewed => "skewed",
+        }
+    }
+
+    fn seed(self, record: &mut dyn FnMut(usize, i64), chunks: usize) {
+        match self {
+            Regime::AllPrior => {}
+            Regime::Skewed => {
+                seed_history(record, chunks);
+                for (i, j) in (0..chunks).step_by(chunks / 16).take(16).enumerate() {
+                    for _ in 0..=(i % 8) {
+                        record(j, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+const CLASS_MAX_CHUNK_COUNTS: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn regime_sampler(chunks: usize, regime: Regime, selection: SelectionStrategy) -> ExSample {
+    let config = ExSampleConfig::default().with_selection(selection);
+    let mut sampler = ExSample::new(config, &vec![1_000_000u64; chunks]);
+    regime.seed(&mut |j, d| sampler.record(j, d), chunks);
+    sampler
+}
+
+fn regime_reference(chunks: usize, regime: Regime) -> reference::SeedSampler {
+    let mut sampler =
+        reference::SeedSampler::new(ExSampleConfig::default(), &vec![1_000_000u64; chunks]);
+    regime.seed(&mut |j, d| sampler.record(j, d), chunks);
+    sampler
+}
+
+/// The `class_max` axis: single-pick cost of the belief-class deduplicated
+/// fold vs the per-chunk fold vs the seed replica, at M ∈ {1k, 10k, 100k}
+/// under the all-prior and skewed-posterior regimes.  Unlike `single_pick`,
+/// nothing is recorded inside the loop, so the class structure (and therefore
+/// the measured regime) stays fixed.
+fn bench_class_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("class_max");
+    for &chunks in &CLASS_MAX_CHUNK_COUNTS {
+        for regime in [Regime::AllPrior, Regime::Skewed] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("class_max_{}", regime.label()), chunks),
+                &chunks,
+                |b, &chunks| {
+                    let mut sampler = regime_sampler(chunks, regime, SelectionStrategy::ClassMax);
+                    let mut rng = StdRng::seed_from_u64(17);
+                    b.iter(|| black_box(sampler.next_frame(&mut rng).expect("frames remain")));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(&format!("per_chunk_{}", regime.label()), chunks),
+                &chunks,
+                |b, &chunks| {
+                    let mut sampler = regime_sampler(chunks, regime, SelectionStrategy::PerChunk);
+                    let mut rng = StdRng::seed_from_u64(17);
+                    b.iter(|| black_box(sampler.next_frame(&mut rng).expect("frames remain")));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(&format!("reference_{}", regime.label()), chunks),
+                &chunks,
+                |b, &chunks| {
+                    let mut sampler = regime_reference(chunks, regime);
+                    let mut rng = StdRng::seed_from_u64(17);
+                    b.iter(|| black_box(sampler.next_frame(&mut rng).expect("frames remain")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_sweep_throughput(c: &mut Criterion) {
     let dataset = GridWorkload::builder()
         .frames(60_000)
@@ -353,6 +449,7 @@ criterion_group!(
     benches,
     bench_single_pick,
     bench_batched_pick,
+    bench_class_max,
     bench_sweep_throughput
 );
 criterion_main!(benches);

@@ -12,9 +12,12 @@
 //! the whole grid runs in seconds while preserving that shape; `--full` restores
 //! the paper-scale workload.
 
-use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
-use exsample_core::ExSampleConfig;
+use exsample_bench::{
+    banner, merged_selection_telemetry, ok_or_exit, print_selection_telemetry, print_table,
+    ExperimentOptions,
+};
 use exsample_data::{GridWorkload, SkewLevel};
+use exsample_engine::SelectionTelemetry;
 use exsample_rand::SeedSequence;
 use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition, Table};
 
@@ -41,6 +44,7 @@ fn main() {
     );
 
     let seeds = SeedSequence::new(options.seed).derive("fig3");
+    let mut dedup: Option<SelectionTelemetry> = None;
     let mut table = Table::new(vec![
         "mean duration",
         "skew",
@@ -73,8 +77,11 @@ fn main() {
                     .apply_to_runner(QueryRunner::new(&dataset))
                     .stop(StopCondition::FrameBudget(budget))
                     .seed(cell_seed.derive("exsample").index(trial).seed())
-                    .run(MethodKind::ExSample(ExSampleConfig::default()))
+                    .run(MethodKind::ExSample(options.exsample_config()))
             }));
+            if let Some(cell) = merged_selection_telemetry(&exsample.results) {
+                dedup.get_or_insert_with(Default::default).merge(&cell);
+            }
             let random = ok_or_exit(run_trials(trials, true, |trial| {
                 options
                     .apply_to_runner(QueryRunner::new(&dataset))
@@ -114,6 +121,7 @@ fn main() {
     }
 
     print_table(&options, &table);
+    print_selection_telemetry("exsample", dedup.as_ref());
     println!();
     println!("# Expected shape (paper Figure 3): savings near 1x in the 'none' skew column,");
     println!("# growing to large multiples in the 1/256 column; savings also grow with mean");

@@ -7,9 +7,12 @@
 //! the benefit is non-monotonic.  The dashed reference is the optimal static
 //! allocation of Eq. IV.1, computed here with the `exsample-opt` solver.
 
-use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
-use exsample_core::ExSampleConfig;
+use exsample_bench::{
+    banner, merged_selection_telemetry, ok_or_exit, print_selection_telemetry, print_table,
+    ExperimentOptions,
+};
 use exsample_data::{GridWorkload, SkewLevel};
+use exsample_engine::SelectionTelemetry;
 use exsample_opt::{optimal_weights, InstanceChunkProbabilities, SolverOptions};
 use exsample_rand::{SeedSequence, Summary};
 use exsample_sim::{metrics, run_trials, MethodKind, QueryRunner, StopCondition, Table};
@@ -34,6 +37,7 @@ fn main() {
     println!("# workload: {frames} frames, {instances} instances, skew 1/32, mean duration 700, budget {budget}, {trials} trials\n");
 
     let seeds = SeedSequence::new(options.seed).derive("fig4");
+    let mut dedup: Option<SelectionTelemetry> = None;
     let mut table = Table::new(vec![
         "chunks",
         "found @ n/8",
@@ -66,8 +70,11 @@ fn main() {
                         .index(trial)
                         .seed(),
                 )
-                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .run(MethodKind::ExSample(options.exsample_config()))
         }));
+        if let Some(cell) = merged_selection_telemetry(&set.results) {
+            dedup.get_or_insert_with(Default::default).merge(&cell);
+        }
 
         // Median instances found at each checkpoint across trials.
         let mut row = vec![format!("{chunks}")];
@@ -102,6 +109,7 @@ fn main() {
     }
 
     print_table(&options, &table);
+    print_selection_telemetry("exsample", dedup.as_ref());
     println!();
     println!("# Expected shape (paper Figure 4): 1 chunk behaves like random sampling; a");
     println!("# moderate number of chunks (16-128) finds the most instances; 1024 chunks");

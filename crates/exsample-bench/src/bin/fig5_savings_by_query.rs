@@ -7,9 +7,12 @@
 //! (amsterdam/boat), and a geometric mean of 1.9x across all queries and recall
 //! levels.
 
-use exsample_bench::{banner, ok_or_exit, print_table, ExperimentOptions};
-use exsample_core::ExSampleConfig;
+use exsample_bench::{
+    banner, merged_selection_telemetry, ok_or_exit, print_selection_telemetry, print_table,
+    ExperimentOptions,
+};
 use exsample_data::datasets::{all_datasets, DatasetAnalog};
+use exsample_engine::SelectionTelemetry;
 use exsample_rand::{geometric_mean, SeedSequence, Summary};
 use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition, Table};
 
@@ -37,6 +40,7 @@ fn main() {
     ]);
     let mut all_ratios: Vec<f64> = Vec::new();
     let mut per_recall_ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut dedup: Option<SelectionTelemetry> = None;
 
     for spec in all_datasets() {
         let dataset = DatasetAnalog::new(spec.clone(), seeds.derive(spec.name).seed())
@@ -55,8 +59,11 @@ fn main() {
                     .stop(StopCondition::Recall(0.9))
                     .frame_cap(cap)
                     .seed(query_seed.derive("exsample").index(trial).seed())
-                    .run(MethodKind::ExSample(ExSampleConfig::default()))
+                    .run(MethodKind::ExSample(options.exsample_config()))
             }));
+            if let Some(cell) = merged_selection_telemetry(&exsample.results) {
+                dedup.get_or_insert_with(Default::default).merge(&cell);
+            }
             let random = ok_or_exit(run_trials(trials, true, |trial| {
                 options
                     .apply_to_runner(QueryRunner::new(&dataset))
@@ -90,6 +97,7 @@ fn main() {
     }
 
     print_table(&options, &table);
+    print_selection_telemetry("exsample", dedup.as_ref());
     println!();
     let mut summary = Summary::from_values(all_ratios.clone());
     println!(

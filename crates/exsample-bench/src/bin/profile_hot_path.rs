@@ -5,8 +5,9 @@
 //! cost of a cached pick at 10 000 chunks.  Useful when tuning the hot path —
 //! compare against `benches/hot_path.rs` for the sanctioned baseline numbers.
 
-use exsample_core::{ChunkStatsSet, ExSampleConfig};
+use exsample_core::{ChunkStatsSet, ExSampleConfig, SelectionStrategy};
 use exsample_rand::gamma::{gamma_draw, mt_constants, mt_draw_unit};
+use exsample_rand::quantile::{gamma_max_of_k, gamma_quantile};
 use exsample_rand::ziggurat::{fast_exponential, fast_standard_normal};
 use exsample_rand::Sampler;
 use rand::rngs::StdRng;
@@ -49,6 +50,12 @@ fn main() {
     time("gamma_draw boost (shape 0.1)", 10_000_000, || {
         gamma_draw(&mut rng, d_boost, c_boost, b_boost, 2.0)
     });
+    time("gamma_quantile (shape 1.1)", 1_000_000, || {
+        gamma_quantile(1.1, rng.gen::<f64>())
+    });
+    time("gamma_max_of_k (shape 1.1, k = 10k)", 1_000_000, || {
+        gamma_max_of_k(&mut rng, 1.1, 2.0, 10_000)
+    });
     time("exp()", 10_000_000, || (-rng.gen::<f64>()).exp());
     time("powf (seed boost path)", 10_000_000, || {
         rng.gen::<f64>().powf(9.99)
@@ -72,5 +79,23 @@ fn main() {
     println!(
         "select_chunk cached, M = 10k        {per_pick:>10.0} ns/pick   ({:.2} ns/chunk)",
         per_pick / 10_000.0
+    );
+
+    // The same pick through the belief-class fold: the j % 3 history collapses
+    // 10k chunks into 2 classes, so each pick costs 2 max-of-k quantile draws
+    // plus the O(M) winner scan instead of 10k Gamma draws.
+    let config = ExSampleConfig::default().with_selection(SelectionStrategy::ClassMax);
+    assert!(exsample_core::policy::class_max_applicable(&config, &stats));
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..picks {
+        acc += exsample_core::policy::select_chunk(&config, &stats, &eligible, &mut rng).unwrap();
+    }
+    black_box(acc);
+    let per_pick = start.elapsed().as_secs_f64() * 1e9 / picks as f64;
+    println!(
+        "select_chunk class-max, M = 10k     {per_pick:>10.0} ns/pick   ({:.2} ns/chunk, {} classes)",
+        per_pick / 10_000.0,
+        stats.class_count()
     );
 }

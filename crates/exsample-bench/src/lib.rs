@@ -28,6 +28,11 @@
 //!   only the physical batch shape changes).
 //! * `--max-batch N` — cap aggregated batches at N frames (implies
 //!   `--aggregate`).
+//! * `--selection per-chunk|class-max` — chunk-selection strategy for every
+//!   ExSample run (`per-chunk` = the default one-Gamma-draw-per-chunk
+//!   Thompson fold; `class-max` = belief-class deduplicated draws, one exact
+//!   max-of-k Gamma draw per distinct `(N1, n)` class — distributionally
+//!   equivalent, and reports dedup savings next to recall).
 //! * `--retries N` — allow N retries per frame whose detect attempt failed
 //!   (0 = off, the default; backoff is charged as deterministic stage cost).
 //! * `--fault-rate X` — wrap every detector in a seeded deterministic fault
@@ -67,6 +72,8 @@ pub struct ExperimentOptions {
     pub aggregate: bool,
     /// Cap aggregated batches at this many frames (implies `aggregate`).
     pub max_batch: Option<usize>,
+    /// Chunk-selection strategy for ExSample runs (`--selection`).
+    pub selection: exsample_core::SelectionStrategy,
     /// Retries allowed per frame whose detect attempt failed (0 = off).
     pub retries: u32,
     /// Transient-fault probability per (frame, attempt) for the deterministic
@@ -88,6 +95,7 @@ impl Default for ExperimentOptions {
             overlap: false,
             aggregate: false,
             max_batch: None,
+            selection: exsample_core::SelectionStrategy::PerChunk,
             retries: 0,
             fault_rate: 0.0,
             csv: false,
@@ -167,6 +175,18 @@ impl ExperimentOptions {
                     options.max_batch = Some(max_batch);
                     options.aggregate = true;
                 }
+                "--selection" => {
+                    let value = iter.next().ok_or("--selection requires a value")?;
+                    options.selection = match value.as_str() {
+                        "per-chunk" => exsample_core::SelectionStrategy::PerChunk,
+                        "class-max" => exsample_core::SelectionStrategy::ClassMax,
+                        other => {
+                            return Err(format!(
+                                "bad --selection value `{other}` (expected per-chunk or class-max)"
+                            ))
+                        }
+                    };
+                }
                 "--retries" => {
                     let value = iter.next().ok_or("--retries requires a value")?;
                     options.retries = value
@@ -188,7 +208,7 @@ impl ExperimentOptions {
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
                          --shards N --parallel N --overlap --aggregate --max-batch N \
-                         --retries N --fault-rate X --csv"
+                         --selection per-chunk|class-max --retries N --fault-rate X --csv"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -244,6 +264,14 @@ impl ExperimentOptions {
             None => exsample_engine::BatchAggregation::unbounded(),
             Some(limit) => exsample_engine::BatchAggregation::max_batch(limit),
         })
+    }
+
+    /// The baseline ExSample configuration implied by the options: the
+    /// paper-faithful defaults with the `--selection` strategy applied.
+    /// Experiment bins start from this (chaining further `with_*` setters as
+    /// needed) so `--selection class-max` reaches every ExSample run.
+    pub fn exsample_config(&self) -> exsample_core::ExSampleConfig {
+        exsample_core::ExSampleConfig::default().with_selection(self.selection)
     }
 
     /// The retry policy implied by `--retries`: `--retries N` grants each
@@ -412,6 +440,12 @@ pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
         },
         options.seed
     );
+    if options.selection == exsample_core::SelectionStrategy::ClassMax {
+        println!(
+            "# selection: class-max (belief-class deduplicated Thompson draws; \
+             distributionally equivalent to per-chunk, dedup savings reported per run)"
+        );
+    }
     if options.fault_rate > 0.0 {
         println!(
             "# fault injection: transient rate {} per (frame, attempt), retries {} \
@@ -420,6 +454,52 @@ pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
         );
     }
     println!();
+}
+
+/// Merge the selection telemetry of every run in `results` into one summary
+/// (None when no run carried telemetry, e.g. non-ExSample methods).
+pub fn merged_selection_telemetry<'a, I>(results: I) -> Option<exsample_engine::SelectionTelemetry>
+where
+    I: IntoIterator<Item = &'a exsample_sim::RunResult>,
+{
+    let mut merged: Option<exsample_engine::SelectionTelemetry> = None;
+    for result in results {
+        if let Some(telemetry) = &result.selection {
+            merged.get_or_insert_with(Default::default).merge(telemetry);
+        }
+    }
+    merged
+}
+
+/// Print a one-line `#`-comment summary of the dedup telemetry carried by
+/// `results` (class-max vs per-chunk pick counts, Gamma draws saved, and the
+/// peak belief-class count), or nothing when no run carried telemetry.
+/// Experiment bins call this after their tables so `--selection class-max`
+/// runs report dedup savings next to recall.
+pub fn print_selection_summary<'a, I>(label: &str, results: I)
+where
+    I: IntoIterator<Item = &'a exsample_sim::RunResult>,
+{
+    print_selection_telemetry(label, merged_selection_telemetry(results).as_ref());
+}
+
+/// Print the already-merged telemetry line of [`print_selection_summary`]
+/// (bins whose runs go out of scope per table cell accumulate telemetry with
+/// [`exsample_engine::SelectionTelemetry::merge`] and print it here).
+pub fn print_selection_telemetry(
+    label: &str,
+    telemetry: Option<&exsample_engine::SelectionTelemetry>,
+) {
+    if let Some(telemetry) = telemetry {
+        println!(
+            "# selection[{label}]: class-max picks {}, per-chunk picks {}, \
+             gamma draws saved {}, peak classes {}",
+            telemetry.class_max_picks,
+            telemetry.per_chunk_picks,
+            telemetry.draws_saved,
+            telemetry.class_count
+        );
+    }
 }
 
 #[cfg(test)]
@@ -528,6 +608,74 @@ mod tests {
         assert!(parse(&["--max-batch", "0"]).is_err());
         assert!(parse(&["--max-batch"]).is_err());
         assert!(parse(&["--max-batch", "abc"]).is_err());
+    }
+
+    #[test]
+    fn selection_flag_parses_and_reaches_the_config() {
+        use exsample_core::SelectionStrategy;
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.selection, SelectionStrategy::PerChunk);
+        assert_eq!(
+            defaults.exsample_config().selection,
+            SelectionStrategy::PerChunk
+        );
+        // Knob-off must stay the paper-faithful default configuration.
+        assert_eq!(
+            defaults.exsample_config(),
+            exsample_core::ExSampleConfig::default()
+        );
+
+        let class_max = parse(&["--selection", "class-max"]).unwrap();
+        assert_eq!(class_max.selection, SelectionStrategy::ClassMax);
+        assert_eq!(
+            class_max.exsample_config().selection,
+            SelectionStrategy::ClassMax
+        );
+        assert_eq!(
+            parse(&["--selection", "per-chunk"]).unwrap().selection,
+            SelectionStrategy::PerChunk
+        );
+
+        assert!(parse(&["--selection"]).is_err());
+        let err = parse(&["--selection", "bogus"]).unwrap_err();
+        assert!(err.contains("per-chunk or class-max"), "message: {err}");
+    }
+
+    #[test]
+    fn merged_selection_telemetry_skips_runs_without_telemetry() {
+        let result = |selection| exsample_sim::RunResult {
+            method: "exsample".to_string(),
+            frames_processed: 10,
+            upfront_scan_frames: 0,
+            distinct_found: 1,
+            true_found: 1,
+            total_instances: 2,
+            found_instances: Vec::new(),
+            trajectory: Vec::new(),
+            scan_secs: 0.0,
+            sample_secs: 0.0,
+            detect_retries: 0,
+            failed_frames: 0,
+            dropped_frames: 0,
+            selection,
+        };
+        assert!(merged_selection_telemetry([&result(None)]).is_none());
+        let telemetry = exsample_engine::SelectionTelemetry {
+            class_max_picks: 5,
+            per_chunk_picks: 2,
+            draws_saved: 100,
+            class_count: 3,
+        };
+        let merged = merged_selection_telemetry([
+            &result(Some(telemetry)),
+            &result(None),
+            &result(Some(telemetry)),
+        ])
+        .unwrap();
+        assert_eq!(merged.class_max_picks, 10);
+        assert_eq!(merged.per_chunk_picks, 4);
+        assert_eq!(merged.draws_saved, 200);
+        assert_eq!(merged.class_count, 3);
     }
 
     #[test]

@@ -27,6 +27,38 @@ pub struct FramePick {
     pub offset: u64,
 }
 
+/// Counters describing how the chunk-selection strategy spent its draws.
+///
+/// Accumulated by [`ExSample`] across every pick and surfaced on reports so
+/// experiments can show dedup savings next to recall.  `draws_saved` counts,
+/// for each pick served by the class-max fold, the difference between the
+/// eligible chunk count (what the per-chunk fold would have drawn) and the
+/// class count (what the class-max fold actually drew) — the headline number
+/// of the belief-class optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SelectionTelemetry {
+    /// Picks served by the belief-class max-of-k fold.
+    pub class_max_picks: u64,
+    /// Picks served by the per-chunk fold (including class-max fallbacks).
+    pub per_chunk_picks: u64,
+    /// Per-chunk Gamma draws avoided by the class-max fold, summed over picks.
+    pub draws_saved: u64,
+    /// Distinct belief classes at the most recent pick.
+    pub class_count: u64,
+}
+
+impl SelectionTelemetry {
+    /// Merge another telemetry record into this one (used when aggregating
+    /// across queries or shards).  `class_count` keeps the maximum, as a
+    /// "classes live at once" summary.
+    pub fn merge(&mut self, other: &SelectionTelemetry) {
+        self.class_max_picks += other.class_max_picks;
+        self.per_chunk_picks += other.per_chunk_picks;
+        self.draws_saved += other.draws_saved;
+        self.class_count = self.class_count.max(other.class_count);
+    }
+}
+
 /// Within-chunk sampler, chosen by [`WithinChunkSampling`].
 #[derive(Debug, Clone)]
 enum WithinSampler {
@@ -92,6 +124,8 @@ pub struct ExSample {
     scratch_chunks: Vec<usize>,
     /// Scratch buffer for batched chunk selection (running best draws).
     scratch_draws: Vec<f64>,
+    /// Accumulated chunk-selection telemetry (class-max vs per-chunk picks).
+    telemetry: SelectionTelemetry,
 }
 
 impl ExSample {
@@ -130,6 +164,7 @@ impl ExSample {
             remaining,
             scratch_chunks: Vec::new(),
             scratch_draws: Vec::new(),
+            telemetry: SelectionTelemetry::default(),
         }
     }
 
@@ -164,6 +199,30 @@ impl ExSample {
         self.remaining == 0
     }
 
+    /// Chunk-selection telemetry accumulated since construction.
+    pub fn selection_telemetry(&self) -> SelectionTelemetry {
+        self.telemetry
+    }
+
+    /// Account `picks` chunk selections to the strategy that served them.
+    ///
+    /// Must run *before* the picked frames are taken, while `eligible_count`
+    /// still reflects the mask the selection saw — `draws_saved` is the
+    /// per-pick gap between the eligible chunk count and the class count.
+    #[inline]
+    fn note_selection(&mut self, picks: u64) {
+        if policy::class_max_applicable(&self.config, &self.stats) {
+            let classes = self.stats.class_count() as u64;
+            self.telemetry.class_max_picks += picks;
+            self.telemetry.draws_saved +=
+                picks * (self.eligible_count as u64).saturating_sub(classes);
+            self.telemetry.class_count = classes;
+        } else {
+            self.telemetry.per_chunk_picks += picks;
+            self.telemetry.class_count = self.stats.class_count() as u64;
+        }
+    }
+
     /// Book-keeping after a frame was handed out from `chunk`.
     #[inline]
     fn note_frame_taken(&mut self, chunk: usize) {
@@ -186,6 +245,7 @@ impl ExSample {
             return None;
         }
         let chunk = policy::select_chunk(&self.config, &self.stats, &self.eligible, rng)?;
+        self.note_selection(1);
         let offset = self.samplers[chunk]
             .next_frame(rng)
             .expect("selected chunk was eligible, so it has frames remaining");
@@ -233,6 +293,7 @@ impl ExSample {
             if self.scratch_chunks.is_empty() {
                 break;
             }
+            self.note_selection(self.scratch_chunks.len() as u64);
             let mut made_progress = false;
             for i in 0..self.scratch_chunks.len() {
                 let chunk = self.scratch_chunks[i];
@@ -476,6 +537,104 @@ mod tests {
             ),
             scratch_cap
         );
+    }
+
+    #[test]
+    fn telemetry_counts_per_chunk_picks_by_default() {
+        let mut sampler = ExSample::new(ExSampleConfig::default(), &[100; 128]);
+        let mut rng = StdRng::seed_from_u64(111);
+        for _ in 0..10 {
+            let pick = sampler.next_frame(&mut rng).unwrap();
+            sampler.record(pick.chunk, 0);
+        }
+        let picks = sampler.next_batch(&mut rng, 6);
+        let t = sampler.selection_telemetry();
+        assert_eq!(t.class_max_picks, 0);
+        assert_eq!(t.per_chunk_picks, 10 + picks.len() as u64);
+        assert_eq!(t.draws_saved, 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_class_max_savings() {
+        use crate::config::SelectionStrategy;
+        const M: usize = 128;
+        let config = ExSampleConfig::default().with_selection(SelectionStrategy::ClassMax);
+        let mut sampler = ExSample::new(config, &[1_000; M]);
+        let mut rng = StdRng::seed_from_u64(112);
+        // First pick: one all-prior class covering all 128 chunks.
+        let pick = sampler.next_frame(&mut rng).unwrap();
+        let t = sampler.selection_telemetry();
+        assert_eq!(t.class_max_picks, 1);
+        assert_eq!(t.per_chunk_picks, 0);
+        assert_eq!(t.class_count, 1);
+        assert_eq!(t.draws_saved, (M - 1) as u64);
+        sampler.record(pick.chunk, 0);
+        // Keep sampling; the class fold must keep serving picks and savings
+        // must keep growing while occupancy stays high.
+        for _ in 0..50 {
+            let pick = sampler.next_frame(&mut rng).unwrap();
+            sampler.record(pick.chunk, 0);
+        }
+        let t = sampler.selection_telemetry();
+        assert_eq!(t.class_max_picks + t.per_chunk_picks, 51);
+        assert!(t.class_max_picks > 1, "telemetry {t:?}");
+        assert!(t.draws_saved > (M - 1) as u64, "telemetry {t:?}");
+        assert!(t.class_count >= 1);
+        // Batched picks flow through the same counters.
+        let picks = sampler.next_batch(&mut rng, 16);
+        assert_eq!(picks.len(), 16);
+        let t2 = sampler.selection_telemetry();
+        assert_eq!(
+            t2.class_max_picks + t2.per_chunk_picks,
+            51 + 16,
+            "telemetry {t2:?}"
+        );
+    }
+
+    #[test]
+    fn class_max_run_visits_everything_and_adapts() {
+        use crate::config::SelectionStrategy;
+        // End-to-end sanity: a ClassMax sampler still exhausts the repository
+        // without repeats and still concentrates on a productive chunk.
+        let config = ExSampleConfig::default().with_selection(SelectionStrategy::ClassMax);
+        let mut sampler = ExSample::new(config, &[50; 100]);
+        let mut rng = StdRng::seed_from_u64(113);
+        let mut seen = HashSet::new();
+        let mut productive_samples = 0u64;
+        while let Some(pick) = sampler.next_frame(&mut rng) {
+            assert!(seen.insert((pick.chunk, pick.offset)), "frame repeated");
+            let delta = i64::from(pick.chunk == 7);
+            if pick.chunk == 7 {
+                productive_samples += 1;
+            }
+            sampler.record(pick.chunk, delta);
+        }
+        assert_eq!(seen.len(), 50 * 100);
+        assert_eq!(productive_samples, 50);
+        let t = sampler.selection_telemetry();
+        assert!(t.class_max_picks > 0, "class fold never engaged: {t:?}");
+        assert!(t.per_chunk_picks > 0, "fallback never engaged: {t:?}");
+    }
+
+    #[test]
+    fn telemetry_merge_accumulates() {
+        let mut a = SelectionTelemetry {
+            class_max_picks: 5,
+            per_chunk_picks: 2,
+            draws_saved: 600,
+            class_count: 3,
+        };
+        let b = SelectionTelemetry {
+            class_max_picks: 1,
+            per_chunk_picks: 7,
+            draws_saved: 100,
+            class_count: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.class_max_picks, 6);
+        assert_eq!(a.per_chunk_picks, 9);
+        assert_eq!(a.draws_saved, 700);
+        assert_eq!(a.class_count, 9);
     }
 
     #[test]

@@ -65,6 +65,19 @@
 //!   arg-max is asserted by chi-square tests, and the cached and uncached
 //!   selection paths consume identical RNG streams (same picks under the same
 //!   seed, draw for draw).
+//! * **Belief-class deduplication (opt-in).**  Chunks sharing a clamped
+//!   `(N1, n)` posterior have identical beliefs and are exchangeable under
+//!   Thompson sampling, so with [`SelectionStrategy::ClassMax`] the arg-max
+//!   runs over the distinct belief *classes*: one exact max-of-k
+//!   order-statistic draw per class (`exsample_rand::gamma_max_of_k`), winner
+//!   resolved uniformly within the winning class.  [`ChunkStatsSet`] maintains
+//!   the class index incrementally at the same invalidation seam as the belief
+//!   cache (RNG-free, so the default `PerChunk` strategy stays
+//!   bitwise-identical), and `policy::class_max_applicable` gates the fold —
+//!   falling back to the per-chunk fold at small `M` or low class occupancy.
+//!   Distributional equivalence with the per-chunk fold is pinned by
+//!   chi-square tests; the pick cost scales with posterior diversity instead
+//!   of repository size.
 //!
 //! ## Example
 //!
@@ -95,6 +108,6 @@ pub mod exsample;
 pub mod policy;
 pub mod stats;
 
-pub use config::{ChunkSelectionPolicy, ExSampleConfig, WithinChunkSampling};
-pub use exsample::{ExSample, FramePick};
+pub use config::{ChunkSelectionPolicy, ExSampleConfig, SelectionStrategy, WithinChunkSampling};
+pub use exsample::{ExSample, FramePick, SelectionTelemetry};
 pub use stats::{ChunkStats, ChunkStatsSet};

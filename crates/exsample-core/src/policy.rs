@@ -36,10 +36,28 @@
 //! enough to produce NaN draws (e.g. priors at the edge of the float range)
 //! therefore can no longer mask every later chunk, which the previous
 //! `draw > best` comparison allowed.
+//!
+//! # The class-max fold
+//!
+//! When [`SelectionStrategy::ClassMax`] is selected, the Thompson arg-max is
+//! evaluated over the statistics' belief-*class* index instead of over chunks:
+//! all chunks sharing a clamped `(N1, n)` posterior draw from the *same* Gamma,
+//! so the maximum of a class's `k` iid draws is available in one exact
+//! order-statistic draw ([`exsample_rand::gamma_max_of_k`]), and the winning
+//! chunk is resolved by a uniform pick within the winning class (exchangeable
+//! draws make every member equally likely to carry the class maximum).  The
+//! fold is distributionally equivalent to the per-chunk fold — pinned by
+//! chi-square tests — but costs O(classes) draws instead of O(chunks).  It
+//! consumes a *different* RNG stream, so it is opt-in; knob-off runs stay
+//! bitwise-identical.  [`class_max_applicable`] gates the fold: it falls back
+//! to the per-chunk fold at small M or when the class count approaches the
+//! chunk count (where one quantile evaluation per class would cost more than
+//! the per-chunk draws it replaces).
 
-use crate::config::{ChunkSelectionPolicy, ExSampleConfig};
+use crate::config::{ChunkSelectionPolicy, ExSampleConfig, SelectionStrategy};
 use crate::stats::ChunkStatsSet;
 use exsample_rand::gamma::{gamma_draw, mt_draw_unit};
+use exsample_rand::quantile::gamma_max_of_k;
 use exsample_rand::ziggurat::fast_exponential;
 use rand::Rng;
 
@@ -53,6 +71,34 @@ use rand::Rng;
 /// every chunk's *full* draw via [`gamma_draw`] — the same RNG schedule as a
 /// textbook per-chunk Thompson draw, which the equivalence tests exploit.
 pub const SMALL_M_CHUNKS: usize = 64;
+
+/// Minimum average class occupancy (chunks per distinct belief class) for the
+/// class-max fold to engage.
+///
+/// One exact max-of-k draw costs a Gamma quantile evaluation (a few hundred
+/// ns), versus ~12 ns for a cached per-chunk Marsaglia–Tsang draw — so the
+/// fold only pays off when each class replaces a few dozen per-chunk draws.
+/// Below this occupancy [`class_max_applicable`] reports `false` and selection
+/// falls back to the per-chunk fold (same distribution, cheaper here).
+pub const CLASS_MAX_MIN_OCCUPANCY: usize = 32;
+
+/// Whether the class-max fold will be used for this `(config, stats)` pair.
+///
+/// Requires all of: the [`SelectionStrategy::ClassMax`] knob, Thompson
+/// sampling (the only policy the fold applies to), more than
+/// [`SMALL_M_CHUNKS`] chunks, a belief cache built for the config's priors,
+/// and average class occupancy of at least [`CLASS_MAX_MIN_OCCUPANCY`].
+///
+/// Exposed so the sampler layer can attribute per-pick telemetry to the same
+/// predicate the selection actually uses.
+#[inline]
+pub fn class_max_applicable(config: &ExSampleConfig, stats: &ChunkStatsSet) -> bool {
+    config.selection == SelectionStrategy::ClassMax
+        && config.policy == ChunkSelectionPolicy::ThompsonSampling
+        && stats.len() > SMALL_M_CHUNKS
+        && cache_matches(config, stats)
+        && stats.class_count() * CLASS_MAX_MIN_OCCUPANCY <= stats.len()
+}
 
 /// Total-order arg-max comparison: does `candidate` strictly beat `incumbent`?
 ///
@@ -101,7 +147,9 @@ pub fn select_chunk<R: Rng + ?Sized>(
     assert_mask(stats, eligible);
     match config.policy {
         ChunkSelectionPolicy::ThompsonSampling => {
-            if stats.len() <= SMALL_M_CHUNKS {
+            if class_max_applicable(config, stats) {
+                thompson_pick_class_max(stats, eligible, rng)
+            } else if stats.len() <= SMALL_M_CHUNKS {
                 if cache_matches(config, stats) {
                     thompson_pick_cached_small(stats, eligible, rng)
                 } else {
@@ -194,7 +242,9 @@ pub fn select_batch_into<R: Rng + ?Sized>(
     }
     match config.policy {
         ChunkSelectionPolicy::ThompsonSampling => {
-            if cache_matches(config, stats) {
+            if class_max_applicable(config, stats) {
+                thompson_batch_class_max(stats, eligible, batch, rng, out, scratch_draws);
+            } else if cache_matches(config, stats) {
                 thompson_batch_cached(stats, eligible, batch, rng, out, scratch_draws);
             } else {
                 for _ in 0..batch {
@@ -264,6 +314,124 @@ fn fold_thompson_draw<R: Rng + ?Sized>(
         Some(draw)
     } else {
         None
+    }
+}
+
+/// Count the eligible members of a class, or all of them when the caller has
+/// already established full eligibility.
+#[inline]
+fn eligible_in_class(members: &[u32], eligible: &[bool], all_eligible: bool) -> usize {
+    if all_eligible {
+        members.len()
+    } else {
+        members.iter().filter(|&&m| eligible[m as usize]).count()
+    }
+}
+
+/// Resolve a winning class to a concrete chunk: uniform among its eligible
+/// members.  Exchangeability of iid draws makes every eligible member equally
+/// likely to carry the class maximum, so this is the exact conditional
+/// distribution of the per-chunk arg-max given that this class won.
+#[inline]
+fn resolve_class_winner<R: Rng + ?Sized>(
+    members: &[u32],
+    eligible: &[bool],
+    all_eligible: bool,
+    rng: &mut R,
+) -> usize {
+    if all_eligible {
+        members[rng.gen_range(0..members.len())] as usize
+    } else {
+        let count = eligible_in_class(members, eligible, false);
+        let target = rng.gen_range(0..count);
+        members
+            .iter()
+            .filter(|&&m| eligible[m as usize])
+            .nth(target)
+            .map(|&m| m as usize)
+            .expect("winning class has an eligible member")
+    }
+}
+
+/// Thompson sampling deduplicated by belief class: one exact max-of-k draw per
+/// occupied class (k = the class's eligible member count), arg-max over the
+/// class maxima, winner resolved uniformly within the winning class.
+/// Allocation-free; O(classes) quantile draws plus an O(chunks) eligibility
+/// scan.
+fn thompson_pick_class_max<R: Rng + ?Sized>(
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    rng: &mut R,
+) -> Option<usize> {
+    let all_eligible = eligible.iter().all(|&e| e);
+    let mut best_slot: Option<usize> = None;
+    let mut best = f64::NEG_INFINITY;
+    for slot in 0..stats.class_slot_count() {
+        let members = stats.class_members(slot);
+        if members.is_empty() {
+            continue;
+        }
+        let k = eligible_in_class(members, eligible, all_eligible);
+        if k == 0 {
+            continue;
+        }
+        let (shape, rate) = stats.class_belief(slot);
+        let draw = gamma_max_of_k(rng, shape, rate, k as u64);
+        if best_slot.is_none() || beats(draw, best) {
+            best_slot = Some(slot);
+            best = draw;
+        }
+    }
+    let slot = best_slot?;
+    Some(resolve_class_winner(
+        stats.class_members(slot),
+        eligible,
+        all_eligible,
+        rng,
+    ))
+}
+
+/// Batched class-max selection: class-outer / slot-inner like
+/// [`thompson_batch_cached`], with each batch slot folding one max-of-k draw
+/// per occupied class, then a resolution pass mapping each slot's winning
+/// class to a uniformly drawn eligible member.  `out` temporarily holds class
+/// slots during the fold; no extra scratch is needed, so the call stays
+/// allocation-free.
+fn thompson_batch_class_max<R: Rng + ?Sized>(
+    stats: &ChunkStatsSet,
+    eligible: &[bool],
+    batch: usize,
+    rng: &mut R,
+    out: &mut Vec<usize>,
+    best: &mut Vec<f64>,
+) {
+    const UNSET: usize = usize::MAX;
+    out.clear();
+    out.resize(batch, UNSET);
+    best.clear();
+    best.resize(batch, f64::NEG_INFINITY);
+    let all_eligible = eligible.iter().all(|&e| e);
+    for slot in 0..stats.class_slot_count() {
+        let members = stats.class_members(slot);
+        if members.is_empty() {
+            continue;
+        }
+        let k = eligible_in_class(members, eligible, all_eligible);
+        if k == 0 {
+            continue;
+        }
+        let (shape, rate) = stats.class_belief(slot);
+        for (winner, slot_best) in out.iter_mut().zip(best.iter_mut()) {
+            let draw = gamma_max_of_k(rng, shape, rate, k as u64);
+            if *winner == UNSET || beats(draw, *slot_best) {
+                *winner = slot;
+                *slot_best = draw;
+            }
+        }
+    }
+    debug_assert!(out.iter().all(|&slot| slot != UNSET));
+    for winner in out.iter_mut() {
+        *winner = resolve_class_winner(stats.class_members(*winner), eligible, all_eligible, rng);
     }
 }
 
@@ -898,6 +1066,285 @@ mod tests {
             assert_eq!(a, b, "pick {i} diverged");
             stats.record(a, i64::from(i % 7 == 0));
         }
+    }
+
+    /// A skewed large-M statistics set with three belief classes: two "hot"
+    /// chunks at (1, 1), four "warm" chunks at (0, 1), the rest all-prior.
+    /// 3 classes × 32 occupancy = 96 ≤ 128, so the class-max fold engages.
+    fn classed_stats(chunks: usize) -> ChunkStatsSet {
+        let mut stats = ChunkStatsSet::new(chunks);
+        stats.record(0, 1);
+        stats.record(1, 1);
+        for j in 2..6 {
+            stats.record(j, 0);
+        }
+        stats
+    }
+
+    fn class_max_config() -> ExSampleConfig {
+        ExSampleConfig::default().with_selection(SelectionStrategy::ClassMax)
+    }
+
+    #[test]
+    fn class_max_gate_requires_large_m_and_dense_classes() {
+        let config = class_max_config();
+        assert!(class_max_applicable(&config, &classed_stats(128)));
+        // Knob off.
+        assert!(!class_max_applicable(
+            &ExSampleConfig::default(),
+            &classed_stats(128)
+        ));
+        // Small M.
+        assert!(!class_max_applicable(
+            &config,
+            &classed_stats(SMALL_M_CHUNKS)
+        ));
+        // Non-Thompson policy.
+        assert!(!class_max_applicable(
+            &class_max_config().with_policy(ChunkSelectionPolicy::GreedyMean),
+            &classed_stats(128)
+        ));
+        // Priors mismatch: the cache (and the class keys' beliefs) are built
+        // for other priors, so the fold must not engage.
+        assert!(!class_max_applicable(
+            &class_max_config().with_priors(0.7, 3.0),
+            &classed_stats(128)
+        ));
+        // Diverse classes: give every chunk a distinct sample count so the
+        // class count equals the chunk count.
+        let mut diverse = ChunkStatsSet::new(128);
+        for j in 0..128 {
+            for _ in 0..j {
+                diverse.record(j, 0);
+            }
+        }
+        assert_eq!(diverse.class_count(), 128);
+        assert!(!class_max_applicable(&config, &diverse));
+    }
+
+    #[test]
+    fn class_max_matches_per_chunk_in_distribution() {
+        // Two-sample chi-square over all 128 chunks: the class-max fold and
+        // the per-chunk fold must allocate picks identically — this checks
+        // both the cross-class shares (hot vs warm vs cold) and the uniform
+        // within-class resolution in one statistic.
+        const M: usize = 128;
+        const TRIALS: usize = 40_000;
+        let stats = classed_stats(M);
+        let eligible = vec![true; M];
+        let mut class_counts = vec![0usize; M];
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..TRIALS {
+            class_counts
+                [select_chunk(&class_max_config(), &stats, &eligible, &mut rng).unwrap()] += 1;
+        }
+        let mut chunk_counts = vec![0usize; M];
+        let mut rng = StdRng::seed_from_u64(67);
+        for _ in 0..TRIALS {
+            chunk_counts
+                [select_chunk(&ExSampleConfig::default(), &stats, &eligible, &mut rng).unwrap()] +=
+                1;
+        }
+        let mut chi = 0.0;
+        for (&a, &b) in class_counts.iter().zip(&chunk_counts) {
+            let total = (a + b) as f64;
+            if total > 0.0 {
+                let diff = a as f64 - b as f64;
+                chi += diff * diff / total;
+            }
+        }
+        // df = 127, 99.99 % quantile ≈ 195 (Wilson–Hilferty); fixed seeds make
+        // this deterministic.
+        assert!(
+            chi < 195.0,
+            "chi-square {chi:.1}: class-max hot {:?} vs per-chunk hot {:?}",
+            &class_counts[..6],
+            &chunk_counts[..6]
+        );
+    }
+
+    #[test]
+    fn class_max_batch_matches_per_chunk_batch_in_distribution() {
+        const M: usize = 128;
+        const ROUNDS: usize = 700;
+        const BATCH: usize = 32;
+        let stats = classed_stats(M);
+        let eligible = vec![true; M];
+        let count_for = |config: &ExSampleConfig, seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = vec![0usize; M];
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            for _ in 0..ROUNDS {
+                select_batch_into(
+                    config,
+                    &stats,
+                    &eligible,
+                    BATCH,
+                    &mut rng,
+                    &mut out,
+                    &mut scratch,
+                );
+                assert_eq!(out.len(), BATCH);
+                for &j in &out {
+                    counts[j] += 1;
+                }
+            }
+            counts
+        };
+        let class_counts = count_for(&class_max_config(), 71);
+        let chunk_counts = count_for(&ExSampleConfig::default(), 73);
+        let mut chi = 0.0;
+        for (&a, &b) in class_counts.iter().zip(&chunk_counts) {
+            let total = (a + b) as f64;
+            if total > 0.0 {
+                let diff = a as f64 - b as f64;
+                chi += diff * diff / total;
+            }
+        }
+        // df = 127, 99.99 % quantile ≈ 195.
+        assert!(chi < 195.0, "chi-square {chi:.1}");
+    }
+
+    #[test]
+    fn class_max_resolution_is_uniform_within_the_all_prior_class() {
+        // A fresh statistics set is one big class, so every pick exercises the
+        // within-class resolution alone: picks must spread uniformly.
+        const M: usize = 128;
+        const TRIALS: usize = 25_600; // 200 expected picks per chunk
+        let stats = ChunkStatsSet::new(M);
+        assert_eq!(stats.class_count(), 1);
+        let eligible = vec![true; M];
+        let config = class_max_config();
+        let mut counts = vec![0usize; M];
+        let mut rng = StdRng::seed_from_u64(79);
+        for _ in 0..TRIALS {
+            counts[select_chunk(&config, &stats, &eligible, &mut rng).unwrap()] += 1;
+        }
+        let expected = TRIALS as f64 / M as f64;
+        let chi: f64 = counts
+            .iter()
+            .map(|&c| {
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        // df = 127, 99.99 % quantile ≈ 195.
+        assert!(
+            chi < 195.0,
+            "chi-square {chi:.1}, counts head {:?}",
+            &counts[..8]
+        );
+    }
+
+    #[test]
+    fn class_max_below_small_m_falls_back_pick_for_pick() {
+        // At M ≤ SMALL_M_CHUNKS the gate rejects the class fold, so the knob
+        // must change *nothing*: identical picks under identical seeds.
+        let mut stats = ChunkStatsSet::new(SMALL_M_CHUNKS);
+        for j in 0..SMALL_M_CHUNKS {
+            stats.record(j % 7, i64::from(j % 5 == 0));
+        }
+        let eligible = vec![true; SMALL_M_CHUNKS];
+        let mut rng_a = StdRng::seed_from_u64(83);
+        let mut rng_b = StdRng::seed_from_u64(83);
+        for i in 0..1_000 {
+            let a = select_chunk(&class_max_config(), &stats, &eligible, &mut rng_a).unwrap();
+            let b =
+                select_chunk(&ExSampleConfig::default(), &stats, &eligible, &mut rng_b).unwrap();
+            assert_eq!(a, b, "pick {i} diverged");
+        }
+    }
+
+    #[test]
+    fn class_max_with_diverse_classes_falls_back_pick_for_pick() {
+        // Every chunk in its own class → occupancy gate rejects the fold.
+        let chunks = SMALL_M_CHUNKS + 36;
+        let mut stats = ChunkStatsSet::new(chunks);
+        for j in 0..chunks {
+            for _ in 0..j {
+                stats.record(j, 0);
+            }
+        }
+        assert_eq!(stats.class_count(), chunks);
+        let eligible = vec![true; chunks];
+        let mut rng_a = StdRng::seed_from_u64(89);
+        let mut rng_b = StdRng::seed_from_u64(89);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let mut scratch_a = Vec::new();
+        let mut scratch_b = Vec::new();
+        for i in 0..200 {
+            let a = select_chunk(&class_max_config(), &stats, &eligible, &mut rng_a).unwrap();
+            let b =
+                select_chunk(&ExSampleConfig::default(), &stats, &eligible, &mut rng_b).unwrap();
+            assert_eq!(a, b, "pick {i} diverged");
+        }
+        select_batch_into(
+            &class_max_config(),
+            &stats,
+            &eligible,
+            16,
+            &mut rng_a,
+            &mut out_a,
+            &mut scratch_a,
+        );
+        select_batch_into(
+            &ExSampleConfig::default(),
+            &stats,
+            &eligible,
+            16,
+            &mut rng_b,
+            &mut out_b,
+            &mut scratch_b,
+        );
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn class_max_respects_eligibility() {
+        const M: usize = 128;
+        let stats = classed_stats(M);
+        let config = class_max_config();
+        // Knock out one hot chunk, one warm chunk, and half the cold class.
+        let mut eligible = vec![true; M];
+        eligible[0] = false;
+        eligible[2] = false;
+        for j in (6..M).step_by(2) {
+            eligible[j] = false;
+        }
+        let mut rng = StdRng::seed_from_u64(97);
+        let mut seen_hot = false;
+        let mut seen_cold = false;
+        for _ in 0..2_000 {
+            let j = select_chunk(&config, &stats, &eligible, &mut rng).unwrap();
+            assert!(eligible[j], "picked ineligible chunk {j}");
+            seen_hot |= j == 1;
+            seen_cold |= j >= 6;
+        }
+        assert!(
+            seen_hot && seen_cold,
+            "partial eligibility collapsed the mix"
+        );
+        // Batch path under the same mask.
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        select_batch_into(
+            &config,
+            &stats,
+            &eligible,
+            64,
+            &mut rng,
+            &mut out,
+            &mut scratch,
+        );
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&j| eligible[j]));
+        // A fully ineligible mask returns no pick.
+        assert_eq!(
+            select_chunk(&config, &stats, &[false; M], &mut rng),
+            None
+        );
     }
 
     #[test]

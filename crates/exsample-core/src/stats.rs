@@ -26,11 +26,45 @@
 //! Callers that score the same statistics under *different* priors (the policy
 //! layer supports this for ablations) must fall back to the uncached path —
 //! see [`ChunkStatsSet::priors`].
+//!
+//! # The belief-class index
+//!
+//! Two chunks with the same clamped `(N1, n)` pair have *identical* beliefs, so
+//! under Thompson sampling they are exchangeable: the arg-max over `M` chunks
+//! collapses to an arg-max over the distinct belief classes, with the maximum
+//! of a class's `k` iid draws available in one exact order-statistic draw
+//! (`exsample_rand::gamma_max_of_k`).  In ExSample's target regimes (early-run
+//! all-prior state, skewed repositories where most chunks never hit) the class
+//! count is orders of magnitude below `M`.
+//!
+//! [`ChunkStatsSet`] therefore maintains an incremental index of those classes:
+//! every chunk belongs to exactly one class slot (`class_of`/`class_pos`), each
+//! slot stores its key and member list, and a hash map resolves keys to slots.
+//! Membership moves in O(1) (`swap_remove` + push) at the *same invalidation
+//! seam as the SoA cache* — a chunk's class can only change when its `(N1, n)`
+//! pair changes, i.e. inside [`ChunkStatsSet::record`] /
+//! [`ChunkStatsSet::adjust_n1`].  Maintenance is RNG-free and always on, so it
+//! never perturbs pick sequences; the class-max selection path in
+//! [`crate::policy`] merely *reads* the index ([`ChunkStatsSet::class_count`],
+//! [`ChunkStatsSet::class_members`], [`ChunkStatsSet::class_belief`]).
 
 use crate::config::ExSampleConfig;
 use exsample_rand::gamma::{gamma_draw, mt_constants};
 use exsample_rand::Gamma;
 use rand::Rng;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Sentinel for "chunk not yet assigned to a class slot" during construction.
+const NO_CLASS: u32 = u32::MAX;
+
+/// One belief class: the shared clamped `(N1, n)` key and the chunks that
+/// currently carry it.  Freed slots keep their member capacity for reuse.
+#[derive(Debug, Clone)]
+struct ClassEntry {
+    key: (u64, u64),
+    members: Vec<u32>,
+}
 
 /// The `(N1, n)` statistics ExSample keeps for one chunk.
 ///
@@ -117,6 +151,14 @@ pub struct ChunkStatsSet {
     cache_c: Vec<f64>,
     cache_boost_inv_shape: Vec<f64>,
     cache_rate: Vec<f64>,
+    // Belief-class index (see the module docs): chunk → slot, chunk → position
+    // in that slot's member list, the slots themselves, key → slot lookup, and
+    // emptied slots kept for reuse.
+    class_of: Vec<u32>,
+    class_pos: Vec<u32>,
+    classes: Vec<ClassEntry>,
+    class_lookup: HashMap<(u64, u64), u32>,
+    free_class_slots: Vec<u32>,
 }
 
 impl ChunkStatsSet {
@@ -134,6 +176,10 @@ impl ChunkStatsSet {
             alpha0 > 0.0 && beta0 > 0.0,
             "belief priors must be positive (got alpha0 = {alpha0}, beta0 = {beta0})"
         );
+        assert!(
+            chunks < NO_CLASS as usize,
+            "the class index stores chunk ids as u32"
+        );
         let mut set = ChunkStatsSet {
             stats: vec![ChunkStats::new(); chunks],
             total_samples: 0,
@@ -143,6 +189,11 @@ impl ChunkStatsSet {
             cache_c: vec![0.0; chunks],
             cache_boost_inv_shape: vec![0.0; chunks],
             cache_rate: vec![0.0; chunks],
+            class_of: vec![NO_CLASS; chunks],
+            class_pos: vec![0; chunks],
+            classes: Vec::new(),
+            class_lookup: HashMap::new(),
+            free_class_slots: Vec::new(),
         };
         for j in 0..chunks {
             set.refresh_cache(j);
@@ -155,7 +206,9 @@ impl ChunkStatsSet {
         (self.alpha0, self.beta0)
     }
 
-    /// Recompute chunk `j`'s cached belief constants from its `(N1, n)` pair.
+    /// Recompute chunk `j`'s cached belief constants from its `(N1, n)` pair
+    /// and move it to the matching belief class.  This is the single
+    /// invalidation seam for both the SoA cache and the class index.
     fn refresh_cache(&mut self, j: usize) {
         let s = &self.stats[j];
         let shape = s.n1() as f64 + self.alpha0;
@@ -164,6 +217,97 @@ impl ChunkStatsSet {
         self.cache_c[j] = c;
         self.cache_boost_inv_shape[j] = boost_inv_shape;
         self.cache_rate[j] = s.samples() as f64 + self.beta0;
+        self.update_class(j);
+    }
+
+    /// Move chunk `j` into the class slot matching its current clamped
+    /// `(N1, n)` key, creating (or reusing) a slot if the key is new.  O(1).
+    fn update_class(&mut self, j: usize) {
+        let key = (self.stats[j].n1(), self.stats[j].samples());
+        let current = self.class_of[j];
+        if current != NO_CLASS {
+            if self.classes[current as usize].key == key {
+                return;
+            }
+            self.remove_from_class(j, current);
+        }
+        let slot = match self.class_lookup.entry(key) {
+            Entry::Occupied(occupied) => *occupied.get(),
+            Entry::Vacant(vacant) => {
+                let slot = if let Some(freed) = self.free_class_slots.pop() {
+                    self.classes[freed as usize].key = key;
+                    freed
+                } else {
+                    let fresh = self.classes.len() as u32;
+                    self.classes.push(ClassEntry {
+                        key,
+                        members: Vec::new(),
+                    });
+                    fresh
+                };
+                *vacant.insert(slot)
+            }
+        };
+        let entry = &mut self.classes[slot as usize];
+        self.class_pos[j] = entry.members.len() as u32;
+        entry.members.push(j as u32);
+        self.class_of[j] = slot;
+    }
+
+    /// Unlink chunk `j` from class slot `slot`, recycling the slot when it
+    /// empties.  The member that backfills `j`'s position has its stored
+    /// position fixed up, keeping every removal O(1).
+    fn remove_from_class(&mut self, j: usize, slot: u32) {
+        let pos = self.class_pos[j] as usize;
+        let entry = &mut self.classes[slot as usize];
+        entry.members.swap_remove(pos);
+        if let Some(&moved) = entry.members.get(pos) {
+            self.class_pos[moved as usize] = pos as u32;
+        }
+        if entry.members.is_empty() {
+            self.class_lookup.remove(&entry.key);
+            self.free_class_slots.push(slot);
+        }
+    }
+
+    /// Number of distinct belief classes currently occupied.
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.class_lookup.len()
+    }
+
+    /// Number of class *slots* ever allocated (occupied plus recycled).  The
+    /// class-max fold iterates slots and skips empty ones, so this bounds its
+    /// scan; it never exceeds the chunk count.
+    #[inline]
+    pub fn class_slot_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The chunks currently in class slot `slot` (empty for recycled slots).
+    #[inline]
+    pub fn class_members(&self, slot: usize) -> &[u32] {
+        &self.classes[slot].members
+    }
+
+    /// The class slot chunk `j` currently belongs to.
+    #[inline]
+    pub fn chunk_class(&self, j: usize) -> usize {
+        self.class_of[j] as usize
+    }
+
+    /// The clamped `(N1, n)` key of class slot `slot`.
+    #[inline]
+    pub fn class_key(&self, slot: usize) -> (u64, u64) {
+        self.classes[slot].key
+    }
+
+    /// The `(shape, rate)` of the belief shared by every chunk in class slot
+    /// `slot`, under the priors the set was built with.
+    #[inline]
+    pub fn class_belief(&self, slot: usize) -> (f64, f64) {
+        let (n1, n) = self.classes[slot].key;
+        (n1 as f64 + self.alpha0, n as f64 + self.beta0)
     }
 
     /// The cached Marsaglia–Tsang constants `(d, c, boost_inv_shape, rate)` of
@@ -406,6 +550,113 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "chunk {j} draw {i}");
             }
         }
+    }
+
+    /// Cross-check the incremental class index against a from-scratch grouping
+    /// of the chunks by their clamped `(N1, n)` keys.
+    fn assert_class_index_consistent(set: &ChunkStatsSet) {
+        use std::collections::HashMap;
+        let mut expected: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+        for (j, s) in set.all().iter().enumerate() {
+            expected
+                .entry((s.n1(), s.samples()))
+                .or_default()
+                .push(j as u32);
+        }
+        assert_eq!(set.class_count(), expected.len());
+        assert!(set.class_slot_count() <= set.len());
+        let mut seen = 0;
+        for slot in 0..set.class_slot_count() {
+            let members = set.class_members(slot);
+            if members.is_empty() {
+                continue;
+            }
+            let key = set.class_key(slot);
+            let mut sorted: Vec<u32> = members.to_vec();
+            sorted.sort_unstable();
+            let mut want = expected
+                .remove(&key)
+                .unwrap_or_else(|| panic!("slot {slot} holds unexpected key {key:?}"));
+            want.sort_unstable();
+            assert_eq!(sorted, want, "slot {slot} membership for key {key:?}");
+            for &m in members {
+                assert_eq!(set.chunk_class(m as usize), slot, "chunk {m} back-pointer");
+            }
+            let (shape, rate) = set.class_belief(slot);
+            let (alpha0, beta0) = set.priors();
+            assert_eq!(shape.to_bits(), (key.0 as f64 + alpha0).to_bits());
+            assert_eq!(rate.to_bits(), (key.1 as f64 + beta0).to_bits());
+            seen += 1;
+        }
+        assert_eq!(seen, set.class_count());
+        assert!(
+            expected.is_empty(),
+            "classes missing from index: {expected:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_set_is_one_all_prior_class() {
+        let set = ChunkStatsSet::new(10);
+        assert_eq!(set.class_count(), 1);
+        assert_eq!(set.class_members(set.chunk_class(0)).len(), 10);
+        assert_eq!(set.class_key(set.chunk_class(0)), (0, 0));
+        assert_class_index_consistent(&set);
+    }
+
+    #[test]
+    fn class_index_tracks_record_and_adjust() {
+        let mut set = ChunkStatsSet::new(6);
+        set.record(0, 1); // (1, 1)
+        assert_class_index_consistent(&set);
+        set.record(1, 1); // joins (1, 1)
+        assert_class_index_consistent(&set);
+        assert_eq!(set.chunk_class(0), set.chunk_class(1));
+        assert_eq!(set.class_count(), 2);
+        set.record(2, 0); // (0, 1)
+        set.record(3, 0); // joins (0, 1)
+        assert_class_index_consistent(&set);
+        assert_eq!(set.class_count(), 3);
+        // Negative raw N1 clamps into the same class as a plain miss.
+        set.record(4, -1);
+        assert_class_index_consistent(&set);
+        assert_eq!(set.chunk_class(4), set.chunk_class(2));
+        // An N1-only adjustment moves classes without charging a sample.
+        set.adjust_n1(1, -1); // (1,1) → (0,1)
+        assert_class_index_consistent(&set);
+        assert_eq!(set.chunk_class(1), set.chunk_class(2));
+        // A no-op key change (already-clamped chunk adjusted further down)
+        // leaves the index untouched.
+        set.adjust_n1(4, -3);
+        assert_class_index_consistent(&set);
+    }
+
+    #[test]
+    fn emptied_class_slots_are_recycled() {
+        let mut set = ChunkStatsSet::new(3);
+        set.record(0, 1); // new slot for (1, 1)
+        let slot = set.chunk_class(0);
+        set.record(0, 0); // (1, 2): (1, 1) empties, slot freed
+        assert!(set.class_members(slot).is_empty() || set.chunk_class(0) == slot);
+        assert_class_index_consistent(&set);
+        set.record(1, 1); // (1, 1) again: must reuse a freed slot, not grow
+        assert_class_index_consistent(&set);
+        assert!(set.class_slot_count() <= 3);
+        // Slot count never exceeds the chunk count even under heavy churn.
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        for step in 0..500 {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (rng_state >> 33) as usize % 3;
+            if step % 3 == 0 {
+                set.adjust_n1(j, if step % 2 == 0 { -1 } else { 1 });
+            } else {
+                set.record(j, (step % 2) as i64);
+            }
+        }
+        assert_class_index_consistent(&set);
+        assert!(set.class_slot_count() <= 3);
     }
 
     #[test]

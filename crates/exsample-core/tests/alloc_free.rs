@@ -159,3 +159,68 @@ fn policy_selection_allocates_exactly_zero() {
         "chunk selection must perform zero heap allocations"
     );
 }
+
+#[test]
+fn class_max_selection_allocates_exactly_zero() {
+    let _guard = SERIAL.lock().unwrap();
+    // Same zero-allocation pin for the belief-class max-of-k fold: the seeded
+    // statistics hold two classes ((1, 1) and (0, 1)) over 1024 chunks, so the
+    // occupancy gate keeps the class fold engaged for the whole window.
+    let config =
+        ExSampleConfig::default().with_selection(exsample_core::SelectionStrategy::ClassMax);
+    let mut stats = exsample_core::ChunkStatsSet::new(1_024);
+    let mut rng = StdRng::seed_from_u64(3);
+    for j in 0..1_024 {
+        stats.record(j, i64::from(j % 5 == 0));
+    }
+    assert!(
+        policy::class_max_applicable(&config, &stats),
+        "test setup must engage the class fold"
+    );
+    // Partial eligibility exercises the filtered resolution path too.
+    let mut eligible = vec![true; 1_024];
+    for j in (0..1_024).step_by(3) {
+        eligible[j] = false;
+    }
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    let _ = policy::select_chunk(&config, &stats, &eligible, &mut rng);
+    policy::select_batch_into(
+        &config,
+        &stats,
+        &eligible,
+        32,
+        &mut rng,
+        &mut out,
+        &mut scratch,
+    );
+
+    let mut window_allocs = usize::MAX;
+    for _attempt in 0..3 {
+        let before = allocations();
+        for _ in 0..1_000 {
+            let j = policy::select_chunk(&config, &stats, &eligible, &mut rng).unwrap();
+            assert!(eligible[j]);
+        }
+        for _ in 0..20 {
+            policy::select_batch_into(
+                &config,
+                &stats,
+                &eligible,
+                32,
+                &mut rng,
+                &mut out,
+                &mut scratch,
+            );
+            assert_eq!(out.len(), 32);
+        }
+        window_allocs = allocations() - before;
+        if window_allocs == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        window_allocs, 0,
+        "class-max selection must perform zero heap allocations"
+    );
+}

@@ -53,6 +53,7 @@ use crate::policy::SamplingPolicy;
 use crate::runtime::{self, Dispatch, StageCtx, WorkerPool};
 use crate::scheduler::{QueryLoad, RoundRobin, StageScheduler};
 use crate::shard::{aggregate_detect, DetectPolicy, ShardRouter, ShardWorker};
+use exsample_core::SelectionTelemetry;
 use exsample_detect::{DetectError, Detector, FrameDetections, InstanceId};
 use exsample_track::{Discriminator, OracleDiscriminator};
 use exsample_video::FrameId;
@@ -401,6 +402,10 @@ pub struct QueryReport {
     /// Picks of this query dropped from fan-out because their detection
     /// failed (degraded failure modes only; always 0 under fail-fast).
     pub dropped_frames: u64,
+    /// Chunk-selection telemetry reported by the query's policy (class-max vs
+    /// per-chunk picks and dedup savings; ExSample only, `None` for policies
+    /// without a chunk-selection step).
+    pub selection: Option<SelectionTelemetry>,
     /// Why the query stopped, or `None` if it is still running (possible only
     /// in reports taken via [`QueryEngine::report`] between manual
     /// [`QueryEngine::run_stage`] calls; after a completed
@@ -500,6 +505,7 @@ impl QueryState<'_> {
             trajectory: self.trajectory.clone(),
             upfront_scan_frames: self.policy.upfront_scan_frames(),
             dropped_frames: self.dropped_frames,
+            selection: self.policy.selection_telemetry(),
             stop_reason: self.stop,
         }
     }

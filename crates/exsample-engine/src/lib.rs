@@ -179,6 +179,7 @@ pub use engine::{
     QuerySpec, RetryPolicy, StageStats, StopReason, TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
+pub use exsample_core::SelectionTelemetry;
 pub use merge::{
     merge_reports, BatchStats, DetectorInvocations, MergeError, ShardQueryTally, ShardReport,
     ShardedReport,

@@ -455,6 +455,7 @@ mod tests {
                     trajectory: Vec::new(),
                     upfront_scan_frames: 0,
                     dropped_frames: 0,
+                    selection: None,
                     stop_reason: None,
                 })
                 .collect(),

@@ -23,7 +23,7 @@
 
 use crate::error::{ChunkCountMismatch, EngineError};
 use exsample_baselines::SamplingMethod;
-use exsample_core::{ExSample, ExSampleConfig, FramePick};
+use exsample_core::{ExSample, ExSampleConfig, FramePick, SelectionTelemetry};
 use exsample_track::MatchOutcome;
 use exsample_video::{Chunking, FrameId, FrameSampler, RandomPlusSampler, UniformSampler};
 use rand::RngCore;
@@ -57,6 +57,13 @@ pub trait SamplingPolicy {
 
     /// Number of frames the policy can still produce, if it knows it.
     fn remaining(&self) -> Option<u64>;
+
+    /// Chunk-selection telemetry (class-max vs per-chunk picks, dedup
+    /// savings), for policies that track it.  `None` for policies without a
+    /// chunk-selection step; the default.
+    fn selection_telemetry(&self) -> Option<SelectionTelemetry> {
+        None
+    }
 }
 
 /// ExSample adapted to the engine interface.
@@ -159,6 +166,10 @@ impl<S: BorrowMut<ExSample>> SamplingPolicy for ExSamplePolicy<S> {
 
     fn remaining(&self) -> Option<u64> {
         Some(self.sampler.borrow().remaining_frames())
+    }
+
+    fn selection_telemetry(&self) -> Option<SelectionTelemetry> {
+        Some(self.sampler.borrow().selection_telemetry())
     }
 }
 

@@ -92,39 +92,25 @@ impl Gamma {
         lower_incomplete_gamma_regularized(self.shape, self.rate * x)
     }
 
-    /// Approximate the `q`-quantile (inverse CDF) by bisection.
+    /// The `q`-quantile (inverse CDF).
     ///
     /// Used by the Bayes-UCB policy, which ranks chunks by an upper quantile of the
-    /// belief distribution rather than by a Thompson draw.
+    /// belief distribution rather than by a Thompson draw, and by the belief-class
+    /// max-of-k draw.  Delegates to [`crate::quantile::gamma_quantile`]
+    /// (Wilson–Hilferty seed + Halley refinement); the rate is a pure scale
+    /// parameter, so the unit-rate quantile is divided by it.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
-        if q == 0.0 {
-            return 0.0;
-        }
-        if q == 1.0 {
-            return f64::INFINITY;
-        }
-        // Bracket the quantile: start from the mean and grow the upper bound.
-        let mut lo = 0.0;
-        let mut hi = (self.mean() + 4.0 * self.variance().sqrt()).max(1e-12);
-        while self.cdf(hi) < q {
-            hi *= 2.0;
-            if hi > 1e300 {
-                return hi;
-            }
-        }
-        for _ in 0..200 {
-            let mid = 0.5 * (lo + hi);
-            if self.cdf(mid) < q {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-            if (hi - lo) <= 1e-14 * hi.max(1.0) {
-                break;
-            }
-        }
-        0.5 * (lo + hi)
+        crate::quantile::gamma_quantile(self.shape, q) / self.rate
+    }
+
+    /// Draw the maximum of `k` iid copies of this distribution exactly, via the
+    /// order-statistic identity `max ~ F⁻¹(U^(1/k))`.
+    ///
+    /// See [`crate::quantile::gamma_max_of_k`]; this is the draw behind
+    /// belief-class deduplicated Thompson sampling.
+    pub fn sample_max_of_k<R: Rng + ?Sized>(&self, rng: &mut R, k: u64) -> f64 {
+        crate::quantile::gamma_max_of_k(rng, self.shape, self.rate, k)
     }
 }
 

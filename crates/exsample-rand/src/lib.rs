@@ -18,6 +18,10 @@
 //!   boost), the core of ExSample's Thompson sampling step; includes the
 //!   cached-constant API ([`CachedGamma`], [`gamma::mt_constants`],
 //!   [`gamma::gamma_draw`]) that the chunk-selection hot path builds on.
+//! * [`quantile`] — Gamma quantile (Wilson–Hilferty seed + Halley refinement on
+//!   the regularized incomplete gamma) and [`quantile::gamma_max_of_k`], the
+//!   exact max-of-k order-statistic draw behind belief-class deduplicated
+//!   Thompson sampling.
 //! * [`ziggurat`] — fast table-based standard Normal / Exponential samplers
 //!   backing the Gamma hot path.
 //! * [`lognormal`] — LogNormal durations, parameterisable by target mean/sigma.
@@ -56,6 +60,7 @@ pub mod histogram;
 pub mod lognormal;
 pub mod normal;
 pub mod poisson;
+pub mod quantile;
 pub mod seeding;
 pub mod summary;
 pub mod ziggurat;
@@ -69,6 +74,7 @@ pub use histogram::Histogram;
 pub use lognormal::LogNormal;
 pub use normal::{Normal, StandardNormal};
 pub use poisson::Poisson;
+pub use quantile::{gamma_max_of_k, gamma_quantile, standard_normal_quantile};
 pub use seeding::SeedSequence;
 pub use summary::{geometric_mean, Summary};
 

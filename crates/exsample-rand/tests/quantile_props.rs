@@ -1,0 +1,123 @@
+//! Property-based coverage for the incomplete-gamma / quantile pair.
+//!
+//! The belief-class selection path (ClassMax) leans on `gamma_quantile` being a
+//! faithful inverse of `lower_incomplete_gamma_regularized` across the whole
+//! shape range ExSample produces — from the `α₀ = 0.1` prior up to beliefs with
+//! tens of thousands of observations.  These properties pin round-trip
+//! tolerance, monotonicity in both arguments, and extreme-shape behaviour.
+
+use exsample_rand::gamma::lower_incomplete_gamma_regularized;
+use exsample_rand::{gamma_max_of_k, gamma_quantile, Gamma};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// cdf(quantile(p)) ≈ p for any shape and interior probability.
+    #[test]
+    fn cdf_of_quantile_recovers_p(shape in 0.05f64..200.0, p in 1e-6f64..0.999_999) {
+        let x = gamma_quantile(shape, p);
+        prop_assert!(x.is_finite() && x > 0.0, "quantile({shape}, {p}) = {x}");
+        let back = lower_incomplete_gamma_regularized(shape, x);
+        prop_assert!(
+            (back - p).abs() < 1e-9,
+            "shape {shape}, p {p}: x {x}, cdf back {back}"
+        );
+    }
+
+    /// quantile(cdf(x)) ≈ x wherever the CDF is not saturated.
+    #[test]
+    fn quantile_of_cdf_recovers_x(shape in 0.05f64..200.0, scale in 0.05f64..6.0) {
+        // Probe a point proportional to the mean so every shape is exercised
+        // in its own body rather than a fixed absolute range.
+        let x = shape * scale;
+        let p = lower_incomplete_gamma_regularized(shape, x);
+        // Saturated p amplifies the inverse by 1/pdf; the comparison in x is
+        // only meaningful while the CDF still has resolution.
+        prop_assume!(p > 1e-9 && p < 1.0 - 1e-9);
+        let back = gamma_quantile(shape, p);
+        prop_assert!(
+            (back - x).abs() < 1e-7 * x.max(1.0),
+            "shape {shape}, x {x}: p {p}, back {back}"
+        );
+    }
+
+    /// The quantile is strictly monotone in the probability level.
+    #[test]
+    fn quantile_monotone_in_p(shape in 0.05f64..200.0, p in 1e-6f64..0.99, gap in 1e-4f64..0.009) {
+        let lo = gamma_quantile(shape, p);
+        let hi = gamma_quantile(shape, p + gap);
+        prop_assert!(hi > lo, "shape {shape}: q({}) = {hi} !> q({p}) = {lo}", p + gap);
+    }
+
+    /// At a fixed level the quantile is monotone in the shape: more expected
+    /// events shift the whole distribution right.
+    #[test]
+    fn quantile_monotone_in_shape(shape in 0.05f64..100.0, p in 1e-4f64..0.999) {
+        let lo = gamma_quantile(shape, p);
+        let hi = gamma_quantile(shape * 1.5, p);
+        prop_assert!(hi > lo, "p {p}: q(shape {}) = {hi} !> q(shape {shape}) = {lo}", shape * 1.5);
+    }
+
+    /// Extreme shapes stay finite, positive and ordered: tiny shapes (the
+    /// all-prior belief is Gamma(0.1, 1)) and huge shapes (long-run beliefs)
+    /// both round-trip.
+    #[test]
+    fn extreme_shapes_round_trip(p in 1e-4f64..0.9999) {
+        for shape in [0.01, 0.1, 1_000.0, 50_000.0] {
+            let x = gamma_quantile(shape, p);
+            prop_assert!(x.is_finite() && x >= 0.0, "shape {shape}, p {p}: x {x}");
+            if x > 0.0 {
+                let back = lower_incomplete_gamma_regularized(shape, x);
+                prop_assert!(
+                    (back - p).abs() < 1e-8,
+                    "shape {shape}, p {p}: x {x}, back {back}"
+                );
+            }
+        }
+    }
+
+    /// `Gamma::quantile` agrees with the free function under rate scaling.
+    #[test]
+    fn distribution_quantile_is_scaled_unit_quantile(
+        shape in 0.05f64..100.0,
+        rate in 0.05f64..500.0,
+        p in 1e-4f64..0.9999,
+    ) {
+        let dist = Gamma::new(shape, rate).unwrap();
+        let expected = gamma_quantile(shape, p) / rate;
+        let got = dist.quantile(p);
+        prop_assert!(
+            (got - expected).abs() <= 1e-12 * expected.abs().max(1.0),
+            "shape {shape}, rate {rate}, p {p}: {got} vs {expected}"
+        );
+    }
+
+    /// A max-of-k draw stochastically dominates the probability mass below any
+    /// fixed quantile: it exceeds the plain distribution's `p`-quantile with
+    /// probability `1 - p^k` — in particular it is always within the support.
+    #[test]
+    fn max_of_k_draws_are_finite_positive(
+        shape in 0.05f64..100.0,
+        rate in 0.05f64..100.0,
+        k in 1u64..100_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = gamma_max_of_k(&mut rng, shape, rate, k);
+        prop_assert!(x.is_finite() && x > 0.0, "max-of-{k} draw {x}");
+    }
+
+    /// For the same underlying uniform, raising k can only move the draw up:
+    /// U^(1/k) is increasing in k, and the quantile is monotone.
+    #[test]
+    fn max_of_k_is_monotone_in_k(
+        shape in 0.05f64..100.0,
+        k in 1u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let lo = gamma_max_of_k(&mut StdRng::seed_from_u64(seed), shape, 1.0, k);
+        let hi = gamma_max_of_k(&mut StdRng::seed_from_u64(seed), shape, 1.0, k * 4);
+        prop_assert!(hi >= lo, "k {k}: max-of-{} draw {hi} < max-of-{k} draw {lo}", k * 4);
+    }
+}

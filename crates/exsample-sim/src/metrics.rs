@@ -140,6 +140,7 @@ mod tests {
             detect_retries: 0,
             failed_frames: 0,
             dropped_frames: 0,
+            selection: None,
         }
     }
 

@@ -34,7 +34,7 @@ use exsample_detect::{
 };
 use exsample_engine::{
     BatchAggregation, ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy, QueryEngine,
-    QuerySpec, RetryPolicy, SamplingPolicy, ShardRouter,
+    QuerySpec, RetryPolicy, SamplingPolicy, SelectionTelemetry, ShardRouter,
 };
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
@@ -118,6 +118,10 @@ pub struct RunResult {
     /// Picked frames the query never observed because the failure mode
     /// dropped them (degraded runs only).
     pub dropped_frames: u64,
+    /// Chunk-selection telemetry (ExSample runs only): how many picks went
+    /// through the belief-class fold versus per-chunk draws, and how many
+    /// Gamma draws the deduplication saved.
+    pub selection: Option<SelectionTelemetry>,
 }
 
 impl RunResult {
@@ -513,6 +517,7 @@ impl<'a> QueryRunner<'a> {
             detect_retries,
             failed_frames,
             dropped_frames: outcome.dropped_frames,
+            selection: outcome.selection,
         })
     }
 }

@@ -1,0 +1,109 @@
+//! Recall equivalence of the belief-class deduplicated selection.
+//!
+//! `SelectionStrategy::ClassMax` replaces M per-chunk Gamma draws with one
+//! exact max-of-k draw per belief class — a distributionally equivalent
+//! transformation (pinned distribution-level by the chi-square tests in
+//! `exsample-core`).  This end-to-end check runs full queries over a skewed
+//! workload with enough chunks to engage the class fold (M = 128 >
+//! `SMALL_M_CHUNKS`) and asserts the achieved recall matches the per-chunk
+//! strategy within sampling noise, while the dedup telemetry confirms the
+//! class path actually ran.
+
+use exsample_core::{ExSampleConfig, SelectionStrategy};
+use exsample_data::{GridWorkload, SkewLevel};
+use exsample_sim::{run_trials, MethodKind, QueryRunner, StopCondition, TrialSet};
+
+const TRIALS: usize = 12;
+const BUDGET: u64 = 6_000;
+
+fn skewed_dataset() -> exsample_data::Dataset {
+    GridWorkload::builder()
+        .frames(500_000)
+        .instances(1_000)
+        .chunks(128)
+        .mean_duration(200.0)
+        .skew(SkewLevel::ThirtySecond)
+        .seed(41)
+        .build()
+        .expect("valid workload")
+        .generate()
+}
+
+fn sweep(dataset: &exsample_data::Dataset, selection: SelectionStrategy) -> TrialSet {
+    let config = ExSampleConfig::default().with_selection(selection);
+    run_trials(TRIALS, true, |trial| {
+        QueryRunner::new(dataset)
+            .stop(StopCondition::FrameBudget(BUDGET))
+            .seed(1_000 + trial)
+            .run(MethodKind::ExSample(config))
+    })
+    .expect("sweep succeeded")
+}
+
+fn mean_and_variance(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, variance)
+}
+
+#[test]
+fn class_max_recall_matches_per_chunk_within_noise() {
+    let dataset = skewed_dataset();
+    let per_chunk = sweep(&dataset, SelectionStrategy::PerChunk);
+    let class_max = sweep(&dataset, SelectionStrategy::ClassMax);
+
+    let recalls = |set: &TrialSet| -> Vec<f64> { set.results.iter().map(|r| r.recall()).collect() };
+    let (mean_pc, var_pc) = mean_and_variance(&recalls(&per_chunk));
+    let (mean_cm, var_cm) = mean_and_variance(&recalls(&class_max));
+
+    // Both strategies must actually find things for the comparison to mean
+    // anything on this workload.
+    assert!(mean_pc > 0.1, "per-chunk recall degenerate: {mean_pc}");
+    assert!(mean_cm > 0.1, "class-max recall degenerate: {mean_cm}");
+
+    // Two-sample z-statistic on the mean recall: distributional equivalence
+    // means the gap is pure sampling noise, so it must sit within a few
+    // standard errors (4 keeps the fixed-seed test far from flakiness while
+    // still catching any systematic bias).
+    let std_error = (var_pc / TRIALS as f64 + var_cm / TRIALS as f64).sqrt();
+    let gap = (mean_pc - mean_cm).abs();
+    assert!(
+        gap <= 4.0 * std_error.max(1e-6),
+        "recall gap {gap:.4} exceeds noise: per-chunk {mean_pc:.4}, class-max {mean_cm:.4}, \
+         std error {std_error:.4}"
+    );
+}
+
+#[test]
+fn telemetry_attributes_picks_to_the_strategy_that_ran() {
+    let dataset = skewed_dataset();
+
+    // Per-chunk runs must never report class-fold picks.
+    for result in &sweep(&dataset, SelectionStrategy::PerChunk).results {
+        let telemetry = result.selection.expect("ExSample runs carry telemetry");
+        assert_eq!(telemetry.class_max_picks, 0);
+        assert!(telemetry.per_chunk_picks > 0);
+        assert_eq!(telemetry.draws_saved, 0);
+    }
+
+    // Class-max runs over 128 chunks start in one all-prior class, so the
+    // fold engages from the first pick and saves M - C draws per pick.
+    for result in &sweep(&dataset, SelectionStrategy::ClassMax).results {
+        let telemetry = result.selection.expect("ExSample runs carry telemetry");
+        assert!(
+            telemetry.class_max_picks > 0,
+            "class fold never engaged: {telemetry:?}"
+        );
+        assert!(telemetry.draws_saved > 0, "no draws saved: {telemetry:?}");
+        assert!(telemetry.class_count > 0);
+    }
+
+    // Non-ExSample methods carry no selection telemetry.
+    let random = QueryRunner::new(&dataset)
+        .stop(StopCondition::FrameBudget(500))
+        .seed(7)
+        .run(MethodKind::Random)
+        .expect("query run succeeded");
+    assert!(random.selection.is_none());
+}
