@@ -28,6 +28,11 @@
 //!   only the physical batch shape changes).
 //! * `--max-batch N` — cap aggregated batches at N frames (implies
 //!   `--aggregate`).
+//! * `--cache N` — enable the engine's lock-striped detections cache with
+//!   capacity N entries (no flag = off; `--cache 0` is rejected — leave the
+//!   flag off instead).  Cache accounting is bitwise-deterministic across
+//!   `--shards`/`--parallel`/`--overlap`/`--aggregate`, and the run summary
+//!   gains a cache telemetry line.
 //! * `--selection per-chunk|class-max` — chunk-selection strategy for every
 //!   ExSample run (`per-chunk` = the default one-Gamma-draw-per-chunk
 //!   Thompson fold; `class-max` = belief-class deduplicated draws, one exact
@@ -72,6 +77,9 @@ pub struct ExperimentOptions {
     pub aggregate: bool,
     /// Cap aggregated batches at this many frames (implies `aggregate`).
     pub max_batch: Option<usize>,
+    /// Capacity of the engine's striped detections cache (0 = off, the
+    /// default).
+    pub cache: usize,
     /// Chunk-selection strategy for ExSample runs (`--selection`).
     pub selection: exsample_core::SelectionStrategy,
     /// Retries allowed per frame whose detect attempt failed (0 = off).
@@ -95,6 +103,7 @@ impl Default for ExperimentOptions {
             overlap: false,
             aggregate: false,
             max_batch: None,
+            cache: 0,
             selection: exsample_core::SelectionStrategy::PerChunk,
             retries: 0,
             fault_rate: 0.0,
@@ -175,6 +184,17 @@ impl ExperimentOptions {
                     options.max_batch = Some(max_batch);
                     options.aggregate = true;
                 }
+                "--cache" => {
+                    let value = iter.next().ok_or("--cache requires a value")?;
+                    let cache: usize = value
+                        .parse()
+                        .map_err(|_| format!("bad --cache value: {value}"))?;
+                    if cache == 0 {
+                        return Err("--cache must be at least 1 (omit the flag to run uncached)"
+                            .to_string());
+                    }
+                    options.cache = cache;
+                }
                 "--selection" => {
                     let value = iter.next().ok_or("--selection requires a value")?;
                     options.selection = match value.as_str() {
@@ -208,7 +228,8 @@ impl ExperimentOptions {
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
                          --shards N --parallel N --overlap --aggregate --max-batch N \
-                         --selection per-chunk|class-max --retries N --fault-rate X --csv"
+                         --cache N --selection per-chunk|class-max --retries N \
+                         --fault-rate X --csv"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -312,9 +333,10 @@ impl ExperimentOptions {
     }
 
     /// Apply the options' engine-shape and failure-model knobs (`--shards`,
-    /// `--parallel`, `--overlap`, `--aggregate`/`--max-batch`, `--retries`,
-    /// `--fault-rate`) to a simulation [`exsample_sim::QueryRunner`] — the
-    /// single place the runner-driven experiment bins pick them up.
+    /// `--parallel`, `--overlap`, `--aggregate`/`--max-batch`, `--cache`,
+    /// `--retries`, `--fault-rate`) to a simulation
+    /// [`exsample_sim::QueryRunner`] — the single place the runner-driven
+    /// experiment bins pick them up.
     pub fn apply_to_runner<'d>(
         &self,
         runner: exsample_sim::QueryRunner<'d>,
@@ -323,6 +345,7 @@ impl ExperimentOptions {
             .shards(self.shards)
             .overlap(self.overlap)
             .aggregation(self.aggregation())
+            .cache(self.cache)
             .retry_policy(self.retry_policy())
             .failure_mode(self.failure_mode());
         if self.parallel > 1 {
@@ -412,11 +435,15 @@ pub fn experiment_engine<'a>(
     chunking: &exsample_video::Chunking,
     options: &ExperimentOptions,
 ) -> exsample_engine::QueryEngine<'a> {
-    sharded_engine(chunking, options.shards, options.parallel)
+    let mut engine = sharded_engine(chunking, options.shards, options.parallel)
         .overlap(options.overlap)
         .aggregation(options.aggregation())
         .retry_policy(options.retry_policy())
-        .failure_mode(options.failure_mode())
+        .failure_mode(options.failure_mode());
+    if options.cache > 0 {
+        engine = engine.cache_capacity(options.cache);
+    }
+    engine
 }
 
 /// Print a table in the format selected by the options.
@@ -451,6 +478,13 @@ pub fn banner(reference: &str, description: &str, options: &ExperimentOptions) {
             "# fault injection: transient rate {} per (frame, attempt), retries {} \
              (seeded from --seed; frames that exhaust their attempts are dropped and tallied)",
             options.fault_rate, options.retries
+        );
+    }
+    if options.cache > 0 {
+        println!(
+            "# cache: lock-striped detections LRU, capacity {} entries \
+             (accounting is bitwise-deterministic across shards/threads/dispatch)",
+            options.cache
         );
     }
     println!();
@@ -498,6 +532,44 @@ pub fn print_selection_telemetry(
             telemetry.per_chunk_picks,
             telemetry.draws_saved,
             telemetry.class_count
+        );
+    }
+}
+
+/// Merge the cache telemetry of every run in `results` into one summary
+/// (None when no run carried telemetry, i.e. the cache was off).
+pub fn merged_cache_telemetry<'a, I>(results: I) -> Option<exsample_engine::CacheActivity>
+where
+    I: IntoIterator<Item = &'a exsample_sim::RunResult>,
+{
+    let mut merged: Option<exsample_engine::CacheActivity> = None;
+    for result in results {
+        if let Some(activity) = result.cache {
+            merged.get_or_insert_with(Default::default).absorb(activity);
+        }
+    }
+    merged
+}
+
+/// Print a one-line `#`-comment summary of the cache telemetry carried by
+/// `results` (hits/misses/evictions/admission rejects summed over the runs),
+/// or nothing when the cache was off.  Experiment bins call this after their
+/// tables so `--cache N` runs report warm-hit savings next to recall.
+pub fn print_cache_summary<'a, I>(label: &str, results: I)
+where
+    I: IntoIterator<Item = &'a exsample_sim::RunResult>,
+{
+    print_cache_telemetry(label, merged_cache_telemetry(results).as_ref());
+}
+
+/// Print the already-merged telemetry line of [`print_cache_summary`] (bins
+/// whose runs go out of scope per table cell accumulate telemetry with
+/// [`exsample_engine::CacheActivity::absorb`] and print it here).
+pub fn print_cache_telemetry(label: &str, cache: Option<&exsample_engine::CacheActivity>) {
+    if let Some(cache) = cache {
+        println!(
+            "# cache[{label}]: hits {}, misses {}, evictions {}, admission rejects {}",
+            cache.hits, cache.misses, cache.evictions, cache.admission_rejects
         );
     }
 }
@@ -658,6 +730,7 @@ mod tests {
             failed_frames: 0,
             dropped_frames: 0,
             selection,
+            cache: None,
         };
         assert!(merged_selection_telemetry([&result(None)]).is_none());
         let telemetry = exsample_engine::SelectionTelemetry {
@@ -676,6 +749,54 @@ mod tests {
         assert_eq!(merged.per_chunk_picks, 4);
         assert_eq!(merged.draws_saved, 200);
         assert_eq!(merged.class_count, 3);
+    }
+
+    #[test]
+    fn cache_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().cache, 0);
+        assert_eq!(parse(&["--cache", "4096"]).unwrap().cache, 4096);
+        let err = parse(&["--cache", "0"]).unwrap_err();
+        assert!(err.contains("omit the flag"), "message: {err}");
+        assert!(parse(&["--cache"]).is_err());
+        assert!(parse(&["--cache", "abc"]).is_err());
+    }
+
+    #[test]
+    fn merged_cache_telemetry_skips_runs_without_telemetry() {
+        let result = |cache| exsample_sim::RunResult {
+            method: "exsample".to_string(),
+            frames_processed: 10,
+            upfront_scan_frames: 0,
+            distinct_found: 1,
+            true_found: 1,
+            total_instances: 2,
+            found_instances: Vec::new(),
+            trajectory: Vec::new(),
+            scan_secs: 0.0,
+            sample_secs: 0.0,
+            detect_retries: 0,
+            failed_frames: 0,
+            dropped_frames: 0,
+            selection: None,
+            cache,
+        };
+        assert!(merged_cache_telemetry([&result(None)]).is_none());
+        let activity = exsample_engine::CacheActivity {
+            hits: 8,
+            misses: 2,
+            evictions: 1,
+            admission_rejects: 0,
+        };
+        let merged = merged_cache_telemetry([
+            &result(Some(activity)),
+            &result(None),
+            &result(Some(activity)),
+        ])
+        .unwrap();
+        assert_eq!(merged.hits, 16);
+        assert_eq!(merged.misses, 4);
+        assert_eq!(merged.evictions, 2);
+        assert_eq!(merged.admission_rejects, 0);
     }
 
     #[test]

@@ -1341,10 +1341,7 @@ mod tests {
         assert_eq!(out.len(), 64);
         assert!(out.iter().all(|&j| eligible[j]));
         // A fully ineligible mask returns no pick.
-        assert_eq!(
-            select_chunk(&config, &stats, &[false; M], &mut rng),
-            None
-        );
+        assert_eq!(select_chunk(&config, &stats, &[false; M], &mut rng), None);
     }
 
     #[test]

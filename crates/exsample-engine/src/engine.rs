@@ -40,11 +40,15 @@
 //! — the determinism suite pins this for shard counts {1, 2, 3, 7}, and for
 //! parallel execution over threads {1, 2, 4} × shards {1, 3, 7}.  Parallelism
 //! only reorders *work*: the DETECT phase of each stage is data-independent
-//! per shard, the cache is probed and filled serially in a fixed order, and
-//! FAN-OUT always consumes results in registration/pick order, so no
-//! observable result ever depends on thread scheduling.
+//! per shard, the lock-striped cache is probed from the worker threads
+//! themselves (membership reads plus commutative per-stripe tallies — probe
+//! outcomes depend only on the membership set, which never changes between a
+//! stage's probes and its commit), recency and eviction are applied by a
+//! serial commit arbitration in fixed worker order, and FAN-OUT always
+//! consumes results in registration/pick order — so no observable result,
+//! cache accounting included, ever depends on thread scheduling.
 
-use crate::cache::{CacheStats, DetectionCache};
+use crate::cache::{CacheActivity, CacheConfig, CacheStats, StripedDetectionCache};
 use crate::error::EngineError;
 use crate::merge::{
     self, BatchStats, DetectorInvocations, ShardQueryTally, ShardReport, ShardedReport,
@@ -60,6 +64,7 @@ use exsample_video::FrameId;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How the DETECT phase's shard workers are executed.
 ///
@@ -69,8 +74,9 @@ use std::collections::HashSet;
 /// threads — by default the [`crate::runtime`] module's persistent per-run
 /// pool (spawned once per run, woken per stage; see [`Dispatch`]), optionally
 /// the legacy per-stage scoped spawn;
-/// because each worker's detect phase is pure per-shard computation
-/// (the cache is probed before and filled after, serially, in worker order),
+/// because each worker's probe + detect phase is data-independent per shard
+/// (cache probes only read membership and tally commutatively; recency and
+/// eviction are applied by the serial commit arbitration in worker order),
 /// **every observable result — merged reports, pick sequences, cache state,
 /// cost accounting — is bitwise-identical between the two modes** for any
 /// thread count.  The determinism suite pins this for threads {1, 2, 4} ×
@@ -378,6 +384,12 @@ pub struct StageStats {
     /// `detector_calls` and treat this as telemetry (or bill it through a
     /// [`BatchCostModel`](exsample_detect::BatchCostModel)).
     pub batches: BatchStats,
+    /// Cross-stage cache activity this stage (all zeros when the cache is
+    /// off): probe hits/misses plus the evictions and admission rejects this
+    /// stage's commits triggered.  Execution-invariant like every logical
+    /// field — the determinism matrix pins it across the full thread ×
+    /// shard × dispatch × overlap/aggregation grid.
+    pub cache: CacheActivity,
 }
 
 /// Final report for one query.
@@ -439,6 +451,11 @@ pub struct EngineReport {
     /// Class labels of detectors quarantined during the run, in registry
     /// (first-seen) order.  Empty unless [`FailureMode::Quarantine`] tripped.
     pub quarantined_detectors: Vec<String>,
+    /// Total cross-stage cache activity (all zeros when the cache is off).
+    /// Folded from the per-shard worker tallies, so it always equals the sum
+    /// of the [`ShardReport`] cache fields — the merge layer cross-checks
+    /// this.
+    pub cache: CacheActivity,
 }
 
 impl EngineReport {
@@ -574,8 +591,10 @@ pub struct QueryEngine<'a> {
     /// Stages that dispatched work to the pool (cumulative across runs).
     /// Fully cache-warm stages skip dispatch entirely and don't count.
     pooled_dispatches: u64,
-    /// Optional cross-stage frame→detections cache (off by default).
-    cache: Option<DetectionCache>,
+    /// Optional cross-stage frame→detections cache (off by default).  The
+    /// striped cache is shared with dispatched worker threads per stage via
+    /// [`StageCtx`], hence the `Arc`.
+    cache: Option<Arc<StripedDetectionCache>>,
     /// Retry policy for failed detect attempts (off by default).
     retry: RetryPolicy,
     /// What happens when a frame's attempts are exhausted (fail-fast by
@@ -742,10 +761,11 @@ impl<'a> QueryEngine<'a> {
     /// the persistent worker pool, the coordinator prepares stage *n + 1*
     /// (scheduling, picking, routing into staging buffers) while the helpers
     /// detect, then rejoins for the commit, tallies and fan-out.  The cache
-    /// probe of each stage runs at the *commit boundary* — immediately after
-    /// the previous stage's cache commit — so the cache's serial
-    /// probe/commit order (and with it every hit/miss/eviction count) is
-    /// identical in every execution configuration.  True concurrency needs
+    /// probe rides inside each dispatched lane (probes only read membership
+    /// and tally commutatively), and recency/eviction updates are applied by
+    /// the serial arbitration in canonical `(slot, frame)` order at the
+    /// commit boundary — so every hit/miss/eviction count is identical in
+    /// every execution configuration.  True concurrency needs
     /// [`ExecutionMode::Parallel`] with [`Dispatch::Pooled`]; every other
     /// configuration (serial, scoped dispatch, a 1-thread clamp, fully
     /// cache-warm stages) *emulates* the same canonical order on one thread,
@@ -804,21 +824,56 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Enable the bounded cross-stage frame→detections cache with the given
-    /// capacity (in frames).  Off by default: the cache never changes query
+    /// capacity (in frames), using the default lock-stripe count and
+    /// admission policy.  Off by default: the cache never changes query
     /// outcomes (detectors are pure functions of the frame id), but warm hits
     /// bypass `detect_batch`, so the detector cost accounting of a cached run
     /// is not comparable to an uncached one.
     ///
     /// # Panics
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero (use [`QueryEngine::cache_config`] for a
+    /// non-panicking, fully-configurable variant).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = Some(DetectionCache::new(capacity));
+        self.cache = Some(Arc::new(StripedDetectionCache::new(CacheConfig::new(
+            capacity,
+        ))));
         self
     }
 
-    /// Hit/miss/eviction counters of the cross-stage cache, if enabled.
+    /// Enable the cross-stage cache from a full [`CacheConfig`] (capacity,
+    /// lock-stripe count, admission policy).  Stripe count and admission
+    /// policy never change *which* entries survive relative to the
+    /// determinism contract — stripes affect contention only, and the
+    /// admission gate is itself deterministic — but
+    /// [`AdmissionPolicy::Frequency`](crate::AdmissionPolicy::Frequency)
+    /// changes the admission decisions versus the default LRU, so its
+    /// accounting is only comparable between runs sharing the policy.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidCache`] if the capacity or stripe count is zero.
+    pub fn cache_config(mut self, config: CacheConfig) -> Result<Self, EngineError> {
+        if config.capacity == 0 || config.stripes == 0 {
+            return Err(EngineError::InvalidCache {
+                capacity: config.capacity,
+                stripes: config.stripes,
+            });
+        }
+        self.cache = Some(Arc::new(StripedDetectionCache::new(config)));
+        Ok(self)
+    }
+
+    /// Hit/miss/eviction/admission-reject counters of the cross-stage cache,
+    /// if enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(DetectionCache::stats)
+        self.cache.as_deref().map(StripedDetectionCache::stats)
+    }
+
+    /// Per-stripe counters of the cross-stage cache, if enabled (contention
+    /// diagnostics; the aggregate view is [`QueryEngine::cache_stats`]).
+    pub fn cache_stripe_stats(&self) -> Option<Vec<CacheStats>> {
+        self.cache
+            .as_deref()
+            .map(StripedDetectionCache::stripe_stats)
     }
 
     /// Set the retry policy for failed detect attempts (default:
@@ -842,6 +897,25 @@ impl<'a> QueryEngine<'a> {
             max_attempts: self.retry.max_attempts,
             backoff_cost: self.retry.backoff_cost,
             fail_fast: matches!(self.failure, FailureMode::FailFast),
+        }
+    }
+
+    /// Whether the routed stage has any detection work left to dispatch.
+    ///
+    /// With the cache off, any routed frame is work.  With the cache on,
+    /// the probe now runs *inside* the dispatch, so the dispatch decision
+    /// peeks at cache membership with the tally-free
+    /// [`StripedDetectionCache::contains`] instead: a stage whose every
+    /// frame is already resident would dispatch only to discover there is
+    /// nothing to detect.  The real probe still runs (inline) and tallies
+    /// the hits, so accounting is unchanged by the skip.
+    fn stage_has_work(&self, slots: &[crate::cache::DetectorSlot]) -> bool {
+        match self.cache.as_deref() {
+            None => self.workers.iter().any(ShardWorker::has_frames),
+            Some(cache) => !self
+                .workers
+                .iter()
+                .all(|worker| worker.is_warm(slots, cache)),
         }
     }
 
@@ -1018,8 +1092,11 @@ impl<'a> QueryEngine<'a> {
             let slot = Self::detector_slot(&mut self.detector_slots, self.queries[index].detector);
             let policy = self.detect_policy();
             // The fast path bypasses `begin_stage`, so the worker's stage
-            // batch tally is reset by hand before recording into it.
+            // batch and cache tallies are reset by hand before recording
+            // into them (the cache tally stays zero — this path requires
+            // the cache to be off).
             self.workers[0].stage_batches = BatchStats::default();
+            self.workers[0].stage_cache = CacheActivity::default();
             let q = &mut self.queries[index];
             let picks = std::mem::take(&mut q.picks);
             self.detections_buf.clear();
@@ -1135,8 +1212,10 @@ impl<'a> QueryEngine<'a> {
         // the sharded path reset every worker's stage tally in `begin_stage`,
         // the fast path reset worker 0's by hand before recording.
         let mut stage_batches = BatchStats::default();
+        let mut stage_cache = CacheActivity::default();
         for worker in &self.workers {
             stage_batches.merge(&worker.stage_batches);
+            stage_cache.absorb(worker.stage_cache);
         }
 
         let stats = StageStats {
@@ -1149,6 +1228,7 @@ impl<'a> QueryEngine<'a> {
             failed_frames: stage_failed,
             backoff_cost: stage_backoff,
             batches: stage_batches,
+            cache: stage_cache,
         };
         self.stages += 1;
         self.demanded_frames += demanded;
@@ -1284,26 +1364,23 @@ impl<'a> QueryEngine<'a> {
             }
         }
 
-        // Per-shard DETECT, in three passes (see the method docs).
+        // Per-shard PROBE + DETECT.  The cache probe runs wherever the
+        // detect pass runs (inline, or on the dispatched worker threads as
+        // the first half of each lane's chunk): probes only read cache
+        // membership and tally commutatively, so probe placement can never
+        // change accounting — see the cache module docs.  Each worker is
+        // probed exactly once per stage.
         //
-        // Pass 1 — serial cache probe, worker order: coalesce lanes, answer
-        // warm frames from the cache, leave the misses for the detectors.
-        for worker in &mut self.workers {
-            worker.probe(&self.stage_slots, self.coalesce, self.cache.as_mut());
-        }
-
-        // Pass 2 — detect the misses.  Each worker touches only its own lanes
-        // and tallies plus the shared `Send + Sync` detectors, so the workers
-        // are data-independent and parallel mode may run them concurrently
-        // (contiguous worker chunks, one per thread).  A fully cache-warm
-        // stage has nothing to detect; dispatching it would be pure overhead
-        // (a thread spawn in scoped mode, a channel wake in pooled mode), so
-        // parallel mode falls back to the (no-op) serial loop unless some
-        // worker actually has work.
+        // A fully cache-warm stage has nothing to detect; dispatching it
+        // would be pure overhead (a thread spawn in scoped mode, a channel
+        // wake in pooled mode), so parallel mode falls back to the inline
+        // loop unless some worker actually has work.  The warm check uses
+        // the tally-free `StripedDetectionCache::contains` — the decision
+        // must not perturb the accounting the real probe produces.
         let share_lanes = self.cache.is_some();
         let policy = self.detect_policy();
         let threads = self.execution.effective_threads(self.workers.len());
-        let has_work = self.workers.iter().any(ShardWorker::has_misses);
+        let has_work = self.stage_has_work(&self.stage_slots);
         if let Some(aggregation) = self.aggregation {
             // Cross-shard aggregation: one serialised gather/scatter over
             // every worker's misses — a single batch stream per detector
@@ -1311,8 +1388,11 @@ impl<'a> QueryEngine<'a> {
             // per-worker partition left to spread over threads, so outside
             // overlapped runs (which ship this to a pool helper to overlap
             // the next PICK) it runs inline; fully cache-warm stages still
-            // skip the pass entirely.
-            if has_work {
+            // skip the detect pass entirely.
+            for worker in &mut self.workers {
+                worker.probe(&self.stage_slots, self.coalesce, self.cache.as_deref());
+            }
+            if self.workers.iter().any(ShardWorker::has_misses) {
                 aggregate_detect(
                     &mut self.workers,
                     &self.stage_detectors,
@@ -1324,6 +1404,7 @@ impl<'a> QueryEngine<'a> {
             }
         } else if threads <= 1 || !has_work {
             for worker in &mut self.workers {
+                worker.probe(&self.stage_slots, self.coalesce, self.cache.as_deref());
                 worker.detect(
                     &self.stage_detectors,
                     &self.stage_slots,
@@ -1333,16 +1414,18 @@ impl<'a> QueryEngine<'a> {
             }
         } else if self.pool.is_some() {
             // Pooled dispatch: hand contiguous worker chunks to the run's
-            // already-parked helper threads (the coordinator detects the
-            // first chunk inline).  Worker lanes and scratch ride along by
-            // value and come back with the results, so their allocations are
-            // recycled across stages.
+            // already-parked helper threads (the coordinator probes and
+            // detects the first chunk inline).  Worker lanes and scratch
+            // ride along by value and come back with the results, so their
+            // allocations are recycled across stages.
             let ctx = StageCtx {
                 detectors: self.stage_detectors.clone(),
                 slots: self.stage_slots.clone(),
                 share_lanes,
                 policy,
                 aggregate: None,
+                cache: self.cache.clone(),
+                coalesce: self.coalesce,
             };
             let pool = self.pool.as_mut().expect("pool presence checked above");
             pool.run_stage(&mut self.workers, threads, ctx)?;
@@ -1360,6 +1443,8 @@ impl<'a> QueryEngine<'a> {
                 share_lanes,
                 policy,
                 aggregate: None,
+                cache: self.cache.clone(),
+                coalesce: self.coalesce,
             };
             let per_thread = self.workers.len().div_ceil(threads);
             let first_panic = std::thread::scope(|scope| {
@@ -1406,11 +1491,15 @@ impl<'a> QueryEngine<'a> {
             });
         }
 
-        // Pass 3 — serial cache commit, worker order: publish fresh results.
-        if let Some(cache) = self.cache.as_mut() {
-            for worker in &mut self.workers {
-                worker.commit_cache(&self.stage_slots, cache);
-            }
+        // Arbitration — serial cache commit under one transaction, canonical
+        // (slot, frame) order: first every touch (the hits), then every
+        // insert (the fresh results), each kind sorted across workers.  The
+        // order is a pure function of the frames probed and detected this
+        // stage, so the LRU's eviction sequence is identical no matter how
+        // many threads probed, which runtime dispatched them, or how the
+        // frames were partitioned across shards.
+        if let Some(cache) = self.cache.as_deref() {
+            crate::shard::arbitrate_cache(&mut self.workers, &self.stage_slots, cache);
         }
 
         // Fold the per-worker tallies.  Logical calls are counted once per
@@ -1691,9 +1780,15 @@ impl<'a> QueryEngine<'a> {
     /// Canonical per-stage order, identical in every execution configuration
     /// (truly concurrent under pooled parallel dispatch, emulated serially
     /// everywhere else):
-    /// load `n` → probe `n` (at the commit boundary) → dispatch DETECT `n`
-    /// → prepare `n + 1` → join `n` → fail-fast scan → commit `n` →
+    /// load `n` → dispatch DETECT `n` (each lane probes then detects) →
+    /// prepare `n + 1` → join `n` → fail-fast scan → arbitrate/commit `n` →
     /// tally `n` → fan-out `n` → stats `n`.
+    ///
+    /// The cache probe rides inside the dispatched lanes, overlapped with
+    /// the PICK: probes only read membership and tally commutatively, and
+    /// the serial arbitration order (commit `n - 1` < touches `n` < inserts
+    /// `n`) is enforced by the commit transaction, so the accounting never
+    /// sees the overlap.
     fn drive_overlapped<F: FnMut(&StageStats)>(
         &mut self,
         on_stage: &mut F,
@@ -1709,20 +1804,15 @@ impl<'a> QueryEngine<'a> {
             std::mem::swap(&mut current, &mut next);
             self.load_stage(&mut current);
 
-            // PROBE at the commit boundary: the previous stage's cache
-            // commit was the immediately preceding cache operation, so the
-            // serial cache order is commit n-1 < probe n < commit n — the
-            // accounting never sees the overlap.
-            for worker in &mut self.workers {
-                worker.probe(&current.slots, self.coalesce, self.cache.as_mut());
-            }
-
-            // DETECT n, overlapped with SCHEDULE + PICK + ROUTE n+1.
+            // PROBE + DETECT n, overlapped with SCHEDULE + PICK + ROUTE n+1.
+            // The probe runs inside each dispatched lane (or inline in the
+            // emulated arm below); the warm-skip decision peeks at cache
+            // membership tally-free, exactly like the non-overlapped loop.
             let share_lanes = self.cache.is_some();
             let policy = self.detect_policy();
             let threads = self.execution.effective_threads(self.workers.len());
             let aggregate = self.aggregation.map(|a| a.limit());
-            let has_work = self.workers.iter().any(ShardWorker::has_misses);
+            let has_work = self.stage_has_work(&current.slots);
             if threads > 1 && self.pool.is_some() && has_work {
                 let ctx = StageCtx {
                     detectors: current.detectors.clone(),
@@ -1730,6 +1820,8 @@ impl<'a> QueryEngine<'a> {
                     share_lanes,
                     policy,
                     aggregate,
+                    cache: self.cache.clone(),
+                    coalesce: self.coalesce,
                 };
                 let pool = self.pool.as_mut().expect("pool presence checked above");
                 // An aggregated stage is one serialised gather/scatter:
@@ -1756,7 +1848,10 @@ impl<'a> QueryEngine<'a> {
                 // state and stays bitwise-identical.
                 have_stage = self.prepare_stage(&mut next, scheduled);
                 if let Some(max_batch) = aggregate {
-                    if has_work {
+                    for worker in &mut self.workers {
+                        worker.probe(&current.slots, self.coalesce, self.cache.as_deref());
+                    }
+                    if self.workers.iter().any(ShardWorker::has_misses) {
                         aggregate_detect(
                             &mut self.workers,
                             &current.detectors,
@@ -1768,6 +1863,7 @@ impl<'a> QueryEngine<'a> {
                     }
                 } else if threads <= 1 || !has_work {
                     for worker in &mut self.workers {
+                        worker.probe(&current.slots, self.coalesce, self.cache.as_deref());
                         worker.detect(&current.detectors, &current.slots, share_lanes, policy);
                     }
                 } else {
@@ -1780,6 +1876,8 @@ impl<'a> QueryEngine<'a> {
                         share_lanes,
                         policy,
                         aggregate: None,
+                        cache: self.cache.clone(),
+                        coalesce: self.coalesce,
                     };
                     let per_thread = self.workers.len().div_ceil(threads);
                     let first_panic = std::thread::scope(|scope| {
@@ -1825,11 +1923,11 @@ impl<'a> QueryEngine<'a> {
                 });
             }
 
-            // COMMIT n, serial in worker order.
-            if let Some(cache) = self.cache.as_mut() {
-                for worker in &mut self.workers {
-                    worker.commit_cache(&current.slots, cache);
-                }
+            // COMMIT n — the same serial arbitration as the non-overlapped
+            // stage: one transaction, all touches then all inserts, each
+            // kind in canonical (slot, frame) order across workers.
+            if let Some(cache) = self.cache.as_deref() {
+                crate::shard::arbitrate_cache(&mut self.workers, &current.slots, cache);
             }
 
             // TALLY n (the same folds as the non-overlapped stage loop).
@@ -1838,6 +1936,7 @@ impl<'a> QueryEngine<'a> {
             let mut stage_retries = 0u64;
             let mut stage_backoff = 0u64;
             let mut stage_batches = BatchStats::default();
+            let mut stage_cache = CacheActivity::default();
             self.lane_detected.clear();
             self.lane_detected.resize(groups, 0);
             for worker in &self.workers {
@@ -1845,6 +1944,7 @@ impl<'a> QueryEngine<'a> {
                 stage_retries += worker.stage_retries;
                 stage_backoff += worker.stage_backoff;
                 stage_batches.merge(&worker.stage_batches);
+                stage_cache.absorb(worker.stage_cache);
                 for (total, &detected) in self.lane_detected.iter_mut().zip(&worker.lane_detected) {
                     *total += detected;
                 }
@@ -1897,6 +1997,7 @@ impl<'a> QueryEngine<'a> {
                 failed_frames: stage_failed,
                 backoff_cost: stage_backoff,
                 batches: stage_batches,
+                cache: stage_cache,
             };
             self.stages += 1;
             self.demanded_frames += current.demanded;
@@ -1930,6 +2031,13 @@ impl<'a> QueryEngine<'a> {
             detect_retries: self.detect_retries,
             failed_frames: self.failed_frames,
             backoff_cost: self.backoff_total,
+            cache: self
+                .workers
+                .iter()
+                .fold(CacheActivity::default(), |mut total, worker| {
+                    total.absorb(worker.cache_tally);
+                    total
+                }),
             quarantined_detectors: self
                 .quarantined
                 .iter()
@@ -1958,6 +2066,7 @@ impl<'a> QueryEngine<'a> {
                 backoff_cost: worker.backoff,
                 failed_frames: worker.failed_frames,
                 batches: worker.batches,
+                cache: worker.cache_tally,
                 per_query: (0..queries)
                     .map(|i| {
                         let tally = worker.per_query.get(i).copied().unwrap_or_default();
@@ -2385,10 +2494,13 @@ mod tests {
     fn uncoalesced_same_detector_lanes_share_through_the_cache_within_a_stage() {
         // With coalescing off, two queries sharing a detector get separate
         // lanes — but with the cache enabled, a (detector, frame) pair must
-        // still be detected at most once per shard per stage (the behaviour
-        // the serial interleaved cache path provided before the probe →
-        // detect → commit split, now restored worker-locally), in serial and
-        // parallel mode alike.
+        // still be detected at most once per shard per stage, in serial and
+        // parallel mode alike.  The dedupe now happens at *probe* time: a
+        // later same-detector lane joins the earlier lane's probe outcome
+        // (sharing its hit or riding its miss) instead of probing again, so
+        // the cache tallies each (detector, frame) once per stage too —
+        // historically both lanes probed before either detected and the
+        // second lane's miss double-counted.
         let (_chunking, truth, _detector) = setup(256, 4);
         let detector = CountingDetector {
             inner: PerfectDetector::new(truth, ObjectClass::from("car")),
@@ -2414,18 +2526,27 @@ mod tests {
                     )
                     .unwrap();
             }
-            engine.run().unwrap()
+            let report = engine.run().unwrap();
+            let stats = engine.cache_stats().expect("cache enabled");
+            (report, stats)
         };
-        let serial = run(ExecutionMode::Serial);
+        let (serial, serial_stats) = run(ExecutionMode::Serial);
         assert_eq!(serial.demanded_frames, 512);
         assert_eq!(
             serial.detector_frames, 256,
             "every frame must be detected exactly once despite coalescing off"
         );
+        // Probe-time dedupe: the twin lane joins the first lane's probe, so
+        // the cache sees each (detector, frame) exactly once — no
+        // double-counted misses, and the joined lookups are not fake hits.
+        assert_eq!(serial_stats.misses, 256, "one tallied miss per frame");
+        assert_eq!(serial_stats.hits, serial.cache.hits);
+        assert_eq!(serial.cache.misses, 256);
         let serial_calls = detector.batch_calls.load(Ordering::Relaxed);
         assert_eq!(serial_calls, serial.stages, "one lane per stage detects");
-        let parallel = run(ExecutionMode::Parallel(2));
+        let (parallel, parallel_stats) = run(ExecutionMode::Parallel(2));
         assert_eq!(parallel.detector_frames, serial.detector_frames);
+        assert_eq!(parallel_stats, serial_stats, "cache accounting");
         assert_eq!(
             detector.batch_calls.load(Ordering::Relaxed),
             serial_calls * 2,

@@ -89,6 +89,16 @@ pub enum EngineError {
         /// The final error returned by the detector.
         source: DetectError,
     },
+    /// A cache configuration that can never hold an entry was requested —
+    /// [`crate::cache::CacheConfig`] with a zero capacity or a zero stripe
+    /// count.  (The builder's `stripes` knob rounds *up* to a power of two,
+    /// so any positive stripe count is accepted; only zero is rejected.)
+    InvalidCache {
+        /// The rejected capacity.
+        capacity: usize,
+        /// The rejected stripe count.
+        stripes: usize,
+    },
     /// A worker lane's detect pass panicked during a parallel stage.
     ///
     /// Both dispatch runtimes catch detector panics on every lane (the pooled
@@ -133,6 +143,11 @@ impl fmt::Display for EngineError {
             } => write!(
                 f,
                 "the `{class}` detector failed on frame {frame} after {attempts} attempt(s)"
+            ),
+            EngineError::InvalidCache { capacity, stripes } => write!(
+                f,
+                "the detections cache needs a positive capacity and stripe count \
+                 (got capacity {capacity}, stripes {stripes})"
             ),
             EngineError::WorkerPanicked { message } => write!(
                 f,
@@ -187,6 +202,13 @@ mod tests {
         assert!(execution.to_string().contains("at least one worker thread"));
         assert!(execution.to_string().contains("got 0"));
         assert!(std::error::Error::source(&execution).is_none());
+        let cache = EngineError::InvalidCache {
+            capacity: 0,
+            stripes: 4,
+        };
+        assert!(cache.to_string().contains("capacity 0"));
+        assert!(cache.to_string().contains("stripes 4"));
+        assert!(std::error::Error::source(&cache).is_none());
         let panicked = EngineError::WorkerPanicked {
             message: "detector exploded".to_string(),
         };

@@ -81,11 +81,13 @@
 //! [`QueryEngine::run_stage`] call outside a run uses).  Worker lanes and
 //! detect scratch travel to the pool by value and come back with the results,
 //! so their allocations are recycled across stages.  The stage's cache probe
-//! and cache commit passes stay serial in worker order in every mode, and
-//! FAN-OUT stays in registration/pick order — parallelism reorders *work*,
-//! never observable results, so parallel runs are bitwise-identical to serial
-//! ones (pinned for threads {1, 2, 4} × shards {1, 3, 7} × both partitioners
-//! × both dispatch modes).  Serial remains the default; thread counts
+//! rides inside the dispatched lanes (probes only read the lock-striped
+//! cache's membership and tally commutatively), the cache commit is a serial
+//! fixed-order arbitration, and FAN-OUT stays in registration/pick order —
+//! parallelism reorders *work*, never observable results, so parallel runs
+//! are bitwise-identical to serial ones (pinned for threads {1, 2, 4} ×
+//! shards {1, 3, 7} × both partitioners × both dispatch modes, with the
+//! cache on and off).  Serial remains the default; thread counts
 //! exceeding the shard count are clamped to one thread per shard, and
 //! `Parallel(0)` is a typed [`error::EngineError::InvalidExecution`].  A
 //! detector panic on any lane — under either dispatch runtime — surfaces as
@@ -127,8 +129,9 @@
 //!   `BatchingDetector`) is the batching win the `batched_detect` bench
 //!   axis measures.
 //! * [`QueryEngine::overlap`] pipelines stage `n + 1`'s SCHEDULE + PICK
-//!   against stage `n`'s in-flight DETECT, with the cache probe at the
-//!   commit boundary.  Stop decisions lag one stage (a query may overshoot
+//!   against stage `n`'s in-flight DETECT; the cache probe rides inside the
+//!   dispatched lanes and the commit stays a serial canonical-order
+//!   arbitration.  Stop decisions lag one stage (a query may overshoot
 //!   its budget by up to one stage's batch) — the one documented semantic
 //!   difference — and each overlapped configuration is itself
 //!   bitwise-deterministic across the whole execution matrix.
@@ -147,10 +150,18 @@
 //!
 //! ## Caching
 //!
-//! An optional bounded frame→detections LRU cache
-//! ([`QueryEngine::cache_capacity`], off by default) carries detector results
-//! *across* stages and queries: a warm re-query over cached frames issues
-//! zero new `detect_batch` invocations.
+//! An optional bounded (detector, frame)→detections LRU cache
+//! ([`QueryEngine::cache_capacity`] / [`QueryEngine::cache_config`], off by
+//! default) carries detector results *across* stages and queries: a warm
+//! re-query over cached frames issues zero new `detect_batch` invocations.
+//! The store is the [`cache`] module's lock-striped
+//! [`StripedDetectionCache`]: workers probe their own stripes concurrently
+//! during the parallel DETECT dispatch, and all admissions/evictions are
+//! applied by a serial fixed-order commit transaction, so hit/miss/eviction
+//! accounting and the surviving entries are bitwise-identical across every
+//! thread count, stripe count and dispatch runtime.  An opt-in count-min
+//! frequency admission policy ([`AdmissionPolicy::Frequency`]) keeps a
+//! churning scan from evicting a hot working set.
 //!
 //! ## Errors
 //!
@@ -172,7 +183,10 @@ pub mod runtime;
 pub mod scheduler;
 pub mod shard;
 
-pub use cache::{CacheStats, DetectionCache};
+pub use cache::{
+    AdmissionPolicy, CacheActivity, CacheConfig, CacheStats, CacheTxn, CommitOutcome,
+    DetectionCache, StripedDetectionCache,
+};
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
     BatchAggregation, EngineReport, ExecutionMode, FailureMode, QueryEngine, QueryReport,

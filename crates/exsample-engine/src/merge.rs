@@ -26,8 +26,14 @@
 //! * fault telemetry (retries, exhausted frames, backoff cost, per-query
 //!   dropped frames) is summed over the shards in shard order and
 //!   cross-checked against the coordinator's totals the same way, so a
-//!   degraded run's report is exactly as deterministic as a clean one.
+//!   degraded run's report is exactly as deterministic as a clean one;
+//! * cache telemetry (hits, misses, evictions, admission rejects) is likewise
+//!   summed over the shards' run-cumulative tallies and cross-checked against
+//!   the coordinator's fold — the striped cache's determinism contract makes
+//!   those numbers bitwise-reproducible, so a disagreement is a bug, not
+//!   noise.
 
+use crate::cache::CacheActivity;
 use crate::engine::EngineReport;
 use std::fmt;
 
@@ -171,6 +177,10 @@ pub struct ShardReport {
     /// carry other shards' frames, so `batches.frames` is *not* constrained
     /// to this shard's `detector_frames`.
     pub batches: BatchStats,
+    /// Run-cumulative cache activity attributed to this shard: probes its
+    /// worker answered (hits/misses) and the evictions/admission-rejects its
+    /// commit intents caused during the serial arbitration.
+    pub cache: CacheActivity,
     /// Per-query tallies, indexed by query registration order.
     pub per_query: Vec<ShardQueryTally>,
     /// Per-detector invocation tallies, ordered by detector slot.
@@ -228,11 +238,12 @@ pub enum MergeError {
         /// The coordinator's count.
         reported: u64,
     },
-    /// A summed per-shard fault tally (retries, backoff cost or failed
-    /// frames) disagrees with the coordinator's total.
+    /// A summed per-shard fault or cache tally disagrees with the
+    /// coordinator's total.
     FaultTallyMismatch {
-        /// Which tally disagreed: `"retries"`, `"backoff_cost"` or
-        /// `"failed_frames"`.
+        /// Which tally disagreed: `"retries"`, `"backoff_cost"`,
+        /// `"failed_frames"`, `"cache_hits"`, `"cache_misses"`,
+        /// `"cache_evictions"` or `"cache_admission_rejects"`.
         field: &'static str,
         /// Sum of the per-shard tallies.
         merged: u64,
@@ -399,10 +410,22 @@ pub fn merge_reports(
         });
     }
     type ShardTally = fn(&ShardReport) -> u64;
-    let fault_tallies: [(&'static str, ShardTally, u64); 3] = [
+    let fault_tallies: [(&'static str, ShardTally, u64); 7] = [
         ("retries", |s| s.retries, report.detect_retries),
         ("backoff_cost", |s| s.backoff_cost, report.backoff_cost),
         ("failed_frames", |s| s.failed_frames, report.failed_frames),
+        ("cache_hits", |s| s.cache.hits, report.cache.hits),
+        ("cache_misses", |s| s.cache.misses, report.cache.misses),
+        (
+            "cache_evictions",
+            |s| s.cache.evictions,
+            report.cache.evictions,
+        ),
+        (
+            "cache_admission_rejects",
+            |s| s.cache.admission_rejects,
+            report.cache.admission_rejects,
+        ),
     ];
     for (field, shard_tally, reported) in fault_tallies {
         let merged: u64 = shards.iter().map(shard_tally).sum();
@@ -466,6 +489,7 @@ mod tests {
             detect_retries: 0,
             failed_frames: 0,
             backoff_cost: 0,
+            cache: CacheActivity::default(),
             quarantined_detectors: Vec::new(),
         }
     }
@@ -486,6 +510,7 @@ mod tests {
             backoff_cost: 0,
             failed_frames: 0,
             batches,
+            cache: CacheActivity::default(),
             per_query: per_query
                 .iter()
                 .map(|&(frames, hits)| ShardQueryTally {
@@ -582,6 +607,62 @@ mod tests {
                 query: 0,
                 merged: 0,
                 reported: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn cache_tallies_merge_and_mismatches_are_detected() {
+        // A cached run: 5 hits, 9 misses, 2 evictions, 1 admission reject,
+        // split across two shards (the arbitration charges evictions and
+        // rejects to the shard whose insert caused them).
+        let mut global = report(&[10, 6], &[3, 1], 14);
+        global.cache = CacheActivity {
+            hits: 5,
+            misses: 9,
+            evictions: 2,
+            admission_rejects: 1,
+        };
+        let mut a = shard(0, &[(7, 2), (2, 0)], 9, 3);
+        a.cache = CacheActivity {
+            hits: 2,
+            misses: 7,
+            evictions: 2,
+            admission_rejects: 0,
+        };
+        let mut b = shard(1, &[(3, 1), (4, 1)], 5, 2);
+        b.cache = CacheActivity {
+            hits: 3,
+            misses: 2,
+            evictions: 0,
+            admission_rejects: 1,
+        };
+        let merged = merge_reports(global.clone(), vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.report.cache.hits, 5);
+        assert_eq!(merged.report.cache.admission_rejects, 1);
+
+        let mut bad = a.clone();
+        bad.cache.hits = 1;
+        let err = merge_reports(global.clone(), vec![bad, b.clone()]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::FaultTallyMismatch {
+                field: "cache_hits",
+                merged: 4,
+                reported: 5
+            }
+        ));
+        assert!(err.to_string().contains("cache_hits"));
+
+        let mut bad = a;
+        bad.cache.evictions = 1;
+        let err = merge_reports(global, vec![bad, b]).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::FaultTallyMismatch {
+                field: "cache_evictions",
+                merged: 1,
+                reported: 2
             }
         ));
     }

@@ -32,8 +32,10 @@
 //!   `unsafe` is needed to share them (ownership transfer, not aliasing).
 //!   The chunk buffers that carry workers through the channels are recycled
 //!   by the pool itself ([`WorkerPool::spare`]).
-//! * **Phase structure preserved.**  Only the pure per-worker *detect* phase
-//!   is dispatched; the serial cache probe/commit passes and the
+//! * **Phase structure preserved.**  The per-worker *probe* and *detect*
+//!   phases are dispatched (each lane probes the lock-striped cache for its
+//!   own workers — membership reads and commutative tallies only); the
+//!   serial commit arbitration ([`crate::cache::CacheTxn`]) and the
 //!   registration-order fan-out run on the coordinator exactly as in serial
 //!   mode, which is why pooled execution stays bitwise-identical to serial
 //!   (the determinism suite pins threads {1, 2, 4} × shards {1, 3, 7} × both
@@ -51,6 +53,7 @@
 //! behaviour selectable, so the `sharded` bench can track the dispatch
 //! overhead delta between the two runtimes.
 
+use crate::cache::StripedDetectionCache;
 use crate::error::EngineError;
 use crate::shard::{aggregate_detect, DetectPolicy, ShardWorker};
 use exsample_detect::Detector;
@@ -133,15 +136,23 @@ impl Drop for LiveGuard {
     }
 }
 
-/// The immutable per-stage context every lane needs to run its detect phase:
-/// the stage's logical detector groups, their registry slots, whether
-/// same-slot lanes share results (cache on, coalescing off), and the stage's
-/// fault-handling policy.  Shared across lanes behind one `Arc` per stage.
+/// The immutable per-stage context every lane needs to run its probe and
+/// detect phases: the stage's logical detector groups, their registry slots,
+/// whether same-slot lanes share results (cache on, coalescing off), the
+/// stage's fault-handling policy, and the shared striped cache (probed from
+/// the lane thread itself — stripe reads and commutative tallies only, so
+/// which thread probes never affects accounting).  Shared across lanes
+/// behind one `Arc` per stage.
 pub(crate) struct StageCtx<'a> {
     pub(crate) detectors: Vec<&'a dyn Detector>,
     pub(crate) slots: Vec<u32>,
     pub(crate) share_lanes: bool,
     pub(crate) policy: DetectPolicy,
+    /// The shared cross-stage cache, when enabled: each lane probes its own
+    /// workers before detecting them.
+    pub(crate) cache: Option<Arc<StripedDetectionCache>>,
+    /// Whether lanes coalesce (sort + dedup) their frames before probing.
+    pub(crate) coalesce: bool,
     /// When set, a chunk's workers are detected together by cross-shard
     /// batch aggregation ([`aggregate_detect`]) with this flush limit,
     /// instead of each worker running its own per-shard lanes.  Aggregated
@@ -196,13 +207,31 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run one lane's detect pass, catching panics so a poisoned detector can
-/// never strand the coordinator (the lane always reports back).  Typed
-/// detect failures are *not* errors here: they land on the workers
-/// themselves (tallies and [`ShardWorker::fatal`]) and the engine inspects
-/// them after the stage's detect pass — shared by both dispatch runtimes.
+/// Run one lane's probe + detect pass, catching panics so a poisoned
+/// detector can never strand the coordinator (the lane always reports back).
+/// The cache probe runs here — on the lane's own thread, as the first half
+/// of the dispatched work — rather than as a serial coordinator pass; see
+/// the cache module docs for why probe placement cannot affect accounting.
+/// Each worker is probed exactly once per stage (the engine never
+/// pre-probes dispatched workers).  Typed detect failures are *not* errors
+/// here: they land on the workers themselves (tallies and
+/// [`ShardWorker::fatal`]) and the engine inspects them after the stage's
+/// detect pass — shared by both dispatch runtimes.
 pub(crate) fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> Option<String> {
-    catch_unwind(AssertUnwindSafe(|| match ctx.aggregate {
+    catch_unwind(AssertUnwindSafe(|| {
+        for worker in workers.iter_mut() {
+            worker.probe(&ctx.slots, ctx.coalesce, ctx.cache.as_deref());
+        }
+        run_detect(workers, ctx)
+    }))
+    .err()
+    .map(panic_message)
+}
+
+/// The detect half of [`detect_chunk`] (after every worker in the chunk has
+/// probed).
+fn run_detect(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) {
+    match ctx.aggregate {
         Some(max_batch) => aggregate_detect(
             workers,
             &ctx.detectors,
@@ -216,9 +245,7 @@ pub(crate) fn detect_chunk(workers: &mut [ShardWorker], ctx: &StageCtx<'_>) -> O
                 worker.detect(&ctx.detectors, &ctx.slots, ctx.share_lanes, ctx.policy);
             }
         }
-    }))
-    .err()
-    .map(panic_message)
+    }
 }
 
 /// One helper lane's handoff turnstile: a `Mutex`-guarded job slot plus the
@@ -651,14 +678,14 @@ mod tests {
     }
 
     /// A worker with `frames` routed into one lane of group 0, ready for a
-    /// detect pass.
+    /// dispatched probe + detect pass (`detect_chunk` probes; pre-probing
+    /// here would double the miss lists).
     fn loaded_worker(shard: u32, frames: &[FrameId]) -> ShardWorker {
         let mut worker = ShardWorker::new(shard);
         worker.begin_stage(1, 1);
         for &frame in frames {
             worker.push_frame(0, frame);
         }
-        worker.probe(&[0], true, None);
         worker
     }
 
@@ -678,6 +705,8 @@ mod tests {
                     share_lanes: false,
                     policy: DetectPolicy::infallible(),
                     aggregate: None,
+                    cache: None,
+                    coalesce: true,
                 };
                 pool.run_stage(&mut workers, 3, ctx).expect("no panics");
                 // Shard order is restored exactly.
@@ -687,7 +716,6 @@ mod tests {
                     let shard = worker.shard();
                     worker.begin_stage(1, 1);
                     worker.push_frame(0, shard as u64);
-                    worker.probe(&[0], true, None);
                 }
             }
             // Chunk buffers were recycled, not re-allocated per stage.
@@ -712,6 +740,8 @@ mod tests {
                 share_lanes: false,
                 policy: DetectPolicy::infallible(),
                 aggregate: None,
+                cache: None,
+                coalesce: true,
             };
             // Shard 1's frames went to group 0's lane above; re-load shard 1
             // so its lane belongs to the bomb's group instead.
@@ -719,7 +749,6 @@ mod tests {
                 let mut worker = ShardWorker::new(1);
                 worker.begin_stage(2, 1);
                 worker.push_frame(1, 2);
-                worker.probe(&[0, 1], true, None);
                 worker
             };
             let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
@@ -750,6 +779,8 @@ mod tests {
                 share_lanes: false,
                 policy: DetectPolicy::infallible(),
                 aggregate: None,
+                cache: None,
+                coalesce: true,
             };
             let err = pool.run_stage(&mut workers, 2, ctx).unwrap_err();
             assert!(matches!(err, EngineError::WorkerPanicked { .. }));

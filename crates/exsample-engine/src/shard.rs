@@ -9,26 +9,36 @@
 //! order, which is what makes a merged sharded run bitwise-identical to the
 //! unsharded run — see the crate docs for the full determinism argument.
 //!
-//! A worker's stage work is split into three phases so that the middle one can
-//! run on a worker thread when the engine executes shards in parallel:
+//! A worker's stage work is split into three phases:
 //!
-//! 1. [`ShardWorker::probe`] (serial, worker order) — coalesce each lane's
-//!    frames and answer what it can from the shared cross-stage cache;
+//! 1. [`ShardWorker::probe`] (serial **or** parallel) — coalesce each lane's
+//!    frames and answer what it can from the shared lock-striped cross-stage
+//!    cache ([`StripedDetectionCache::probe`], membership reads plus
+//!    commutative per-stripe tallies — never a recency or membership
+//!    mutation), recording each lane's hits and misses as this worker's
+//!    commit *intents*;
 //! 2. [`ShardWorker::detect`] (serial **or** parallel) — run the batched
-//!    detector invocations for the cache misses.  This phase touches only the
-//!    worker's own lanes and tallies plus the shared `&dyn Detector`s
-//!    (`Send + Sync` by trait bound), so workers are data-independent and the
-//!    engine may run them concurrently in any order — on the persistent
-//!    per-run worker pool (`crate::runtime`, the default, where whole
-//!    `ShardWorker`s travel to the pool's lanes by value and their buffers
-//!    are recycled across stages) or on legacy per-stage
+//!    detector invocations for the cache misses.  Phases 1 and 2 touch only
+//!    the worker's own lanes and tallies plus shared-and-`Sync` state (the
+//!    `&dyn Detector`s, the striped cache), so workers are data-independent
+//!    and the engine may run them concurrently in any order — on the
+//!    persistent per-run worker pool (`crate::runtime`, the default, where
+//!    whole `ShardWorker`s travel to the pool's lanes by value and their
+//!    buffers are recycled across stages) or on legacy per-stage
 //!    `std::thread::scope` threads;
-//! 3. [`ShardWorker::commit_cache`] (serial, worker order) — publish the new
-//!    results into the shared cache.
+//! 3. [`arbitrate_cache`] (serial, under one [`crate::cache::CacheTxn`]) —
+//!    the arbitration pass: collect every worker's recorded hits and fresh
+//!    results as intents, sort each kind into canonical `(slot, frame)`
+//!    order, then apply all touches followed by all inserts.  The canonical
+//!    order depends only on *which* frames were probed and detected — never
+//!    on how they were partitioned across shards — so cache accounting is
+//!    bitwise-identical across shard counts and partitioners, not just
+//!    across thread counts at a fixed layout.
 //!
-//! Because phases 1 and 3 always run serially in worker order and phase 2 is
-//! pure per-worker computation, the phase split — not locking — is what makes
-//! parallel execution bitwise-identical to serial execution, cache on or off.
+//! Because cache membership never changes between a stage's probes and its
+//! arbitration, probe outcomes are a pure function of the membership set and
+//! phase 3's fixed replay order — not locking — is what makes parallel
+//! execution bitwise-identical to serial execution, cache on or off.
 //!
 //! Lane results are held as `Arc<FrameDetections>`: a cache hit keeps the
 //! cached allocation with a reference-count bump instead of deep-copying the
@@ -39,7 +49,7 @@
 //! published as [`crate::merge::ShardReport`]s and combined by the
 //! [`crate::merge`] layer.
 
-use crate::cache::{DetectionCache, DetectorSlot};
+use crate::cache::{CacheActivity, DetectorSlot, StripedDetectionCache};
 use crate::error::EngineError;
 use crate::merge::BatchStats;
 use exsample_detect::{DetectError, Detector, FrameDetections};
@@ -225,7 +235,58 @@ struct Lane {
     /// Frames of this lane not answered by the cache ([`ShardWorker::probe`]),
     /// in lane order — the exact batch [`ShardWorker::detect`] runs.
     misses: Vec<FrameId>,
+    /// Frames of this lane answered by the cache, in probe order — the
+    /// worker's recorded touch intents, replayed during commit arbitration.
+    hits: Vec<FrameId>,
     results: HashMap<FrameId, Arc<FrameDetections>>,
+}
+
+/// One insert intent collected for [`arbitrate_cache`]: a fresh detection a
+/// worker wants published into the cross-stage cache, tagged with the
+/// owning worker's index for outcome attribution.
+struct CacheInsert {
+    slot: DetectorSlot,
+    frame: FrameId,
+    worker: usize,
+    detections: Arc<FrameDetections>,
+}
+
+/// Phase 3 — serial commit arbitration over the striped cache.
+///
+/// Collects every worker's recorded probe hits (touch intents) and fresh
+/// detections (insert intents), sorts each kind into canonical
+/// `(slot, frame)` order, then applies all touches followed by all inserts
+/// under one [`crate::cache::CacheTxn`].  Keys are unique across workers (a frame is
+/// routed to exactly one shard, and uncoalesced same-slot lanes dedupe at
+/// probe time), so the canonical order — and with it every recency update,
+/// eviction and admission decision — depends only on the set of frames
+/// probed and detected this stage, never on the shard layout or on which
+/// thread ran which lane.  That is what makes cache accounting
+/// bitwise-identical across shard counts and partitioners, not merely
+/// across thread counts at a fixed layout.
+pub(crate) fn arbitrate_cache(
+    workers: &mut [ShardWorker],
+    detector_slots: &[DetectorSlot],
+    cache: &StripedDetectionCache,
+) {
+    let mut txn = cache.begin();
+    let mut touches: Vec<(DetectorSlot, FrameId)> = Vec::new();
+    for worker in workers.iter() {
+        worker.collect_cache_touches(detector_slots, &mut touches);
+    }
+    touches.sort_unstable();
+    for (slot, frame) in touches {
+        txn.touch(slot, frame);
+    }
+    let mut inserts: Vec<CacheInsert> = Vec::new();
+    for (index, worker) in workers.iter().enumerate() {
+        worker.collect_cache_inserts(detector_slots, index, &mut inserts);
+    }
+    inserts.sort_unstable_by_key(|intent| (intent.slot, intent.frame));
+    for intent in inserts {
+        let outcome = txn.insert(intent.slot, intent.frame, intent.detections);
+        workers[intent.worker].absorb_commit_outcome(outcome);
+    }
 }
 
 /// Per-shard execution state: the frames routed to this shard in the current
@@ -271,6 +332,14 @@ pub(crate) struct ShardWorker {
     /// This stage's batch-size statistics (reset by
     /// [`ShardWorker::begin_stage`]).
     pub stage_batches: BatchStats,
+    /// This stage's cache activity attributed to this shard (reset by
+    /// [`ShardWorker::begin_stage`]): probe hits/misses plus the
+    /// evictions/admission-rejects this shard's commits triggered.
+    pub stage_cache: CacheActivity,
+    /// Cumulative cache activity attributed to this shard; summing every
+    /// shard's tally reproduces the engine totals exactly (the merge layer
+    /// cross-checks this).
+    pub cache_tally: CacheActivity,
     /// The first fatal failure recorded under fail-fast, if any; the engine
     /// checks workers in shard order after every detect pass and aborts the
     /// stage on the first one it finds.
@@ -299,6 +368,8 @@ impl ShardWorker {
             stage_backoff: 0,
             batches: BatchStats::default(),
             stage_batches: BatchStats::default(),
+            stage_cache: CacheActivity::default(),
+            cache_tally: CacheActivity::default(),
             fatal: None,
             per_query: Vec::new(),
             per_detector: Vec::new(),
@@ -318,6 +389,7 @@ impl ShardWorker {
         for lane in &mut self.lanes[..groups] {
             lane.frames.clear();
             lane.misses.clear();
+            lane.hits.clear();
             lane.results.clear();
         }
         self.live_lanes = groups;
@@ -328,6 +400,7 @@ impl ShardWorker {
         self.stage_retries = 0;
         self.stage_backoff = 0;
         self.stage_batches = BatchStats::default();
+        self.stage_cache = CacheActivity::default();
         if self.per_query.len() < queries {
             self.per_query.resize(queries, WorkerQueryTally::default());
         }
@@ -340,22 +413,36 @@ impl ShardWorker {
     }
 
     /// Phase 1 of the worker's stage: coalesce each lane and split it into
-    /// cache hits (answered in place with an `Arc` clone of the cached entry)
-    /// and misses (left for [`ShardWorker::detect`]).
+    /// cache hits (answered in place with an `Arc` clone of the cached entry,
+    /// and recorded in probe order as this worker's touch intents) and misses
+    /// (left for [`ShardWorker::detect`]).
     ///
     /// When `coalesce` is set, each lane's frames are sorted and deduplicated
-    /// first (queries on the same shard share the detector bill).  Runs
-    /// serially, in worker order, in every execution mode — it is the only
-    /// phase that *reads* the shared cache, so probing order (and with it the
-    /// cache's hit/miss accounting) never depends on how the detect phase is
-    /// scheduled.
+    /// first (queries on the same shard share the detector bill).  Runs once
+    /// per worker per stage — inline on the coordinator or inside the
+    /// parallel dispatch (`runtime::detect_chunk`) — and only *reads* cache
+    /// membership while tallying per-stripe counters, so probe outcomes are
+    /// a pure function of the membership set and the hit/miss sums are
+    /// identical no matter which thread carries which worker.
+    ///
+    /// With coalescing *off*, two same-stage lanes of this worker can carry
+    /// the same detector; a later lane dedupes against earlier same-slot
+    /// lanes at probe time instead of probing the cache again: a frame an
+    /// earlier lane hit is shared immediately, a frame an earlier lane
+    /// missed joins this lane's misses untallied (the detect phase's
+    /// same-slot reuse resolves it without a second detection or commit).
+    /// Each distinct `(detector, frame)` pair therefore counts exactly once
+    /// per shard per stage — matching the single physical detection it can
+    /// cost.
     pub(crate) fn probe(
         &mut self,
         detector_slots: &[DetectorSlot],
         coalesce: bool,
-        mut cache: Option<&mut DetectionCache>,
+        cache: Option<&StripedDetectionCache>,
     ) {
-        for (g, lane) in self.lanes[..self.live_lanes].iter_mut().enumerate() {
+        for g in 0..self.live_lanes {
+            let (earlier, rest) = self.lanes.split_at_mut(g);
+            let lane = &mut rest[0];
             if lane.frames.is_empty() {
                 continue;
             }
@@ -363,20 +450,45 @@ impl ShardWorker {
                 lane.frames.sort_unstable();
                 lane.frames.dedup();
             }
-            match cache.as_deref_mut() {
-                Some(cache) => {
-                    let slot = detector_slots[g];
-                    lane.results.reserve(lane.frames.len());
-                    for &frame in &lane.frames {
-                        match cache.get(slot, frame) {
-                            Some(detections) => {
-                                lane.results.insert(frame, Arc::clone(detections));
-                            }
-                            None => lane.misses.push(frame),
+            let Some(cache) = cache else {
+                lane.misses.extend_from_slice(&lane.frames);
+                continue;
+            };
+            let slot = detector_slots[g];
+            let dedupe = detector_slots[..g].contains(&slot);
+            lane.results.reserve(lane.frames.len());
+            'frames: for i in 0..lane.frames.len() {
+                let frame = lane.frames[i];
+                if dedupe {
+                    // An earlier same-slot lane already probed this frame:
+                    // reuse its outcome without touching the cache tallies.
+                    for (other, &s) in earlier.iter().zip(detector_slots) {
+                        if s != slot {
+                            continue;
+                        }
+                        if let Some(detections) = other.results.get(&frame) {
+                            lane.results.insert(frame, Arc::clone(detections));
+                            continue 'frames;
+                        }
+                        if other.misses.contains(&frame) {
+                            lane.misses.push(frame);
+                            continue 'frames;
                         }
                     }
                 }
-                None => lane.misses.extend_from_slice(&lane.frames),
+                match cache.probe(slot, frame) {
+                    Some(detections) => {
+                        lane.results.insert(frame, detections);
+                        lane.hits.push(frame);
+                        self.stage_cache.hits += 1;
+                        self.cache_tally.hits += 1;
+                    }
+                    None => {
+                        lane.misses.push(frame);
+                        self.stage_cache.misses += 1;
+                        self.cache_tally.misses += 1;
+                    }
+                }
             }
         }
     }
@@ -698,30 +810,62 @@ impl ShardWorker {
         std::mem::swap(&mut self.lanes[group].frames, frames);
     }
 
-    /// Phase 3 of the worker's stage: share this stage's fresh detections
-    /// into the cross-stage cache (an `Arc` clone per miss, no deep copy).
-    ///
-    /// Runs serially, in worker order, in every execution mode — it is the
-    /// only phase that *writes* the shared cache, so insertion order (and
-    /// with it LRU eviction) never depends on how the detect phase is
-    /// scheduled.
+    /// Export this worker's recorded probe hits as touch intents for
+    /// [`arbitrate_cache`], which sorts all workers' intents into canonical
+    /// `(slot, frame)` order before applying any of them.
+    fn collect_cache_touches(
+        &self,
+        detector_slots: &[DetectorSlot],
+        out: &mut Vec<(DetectorSlot, FrameId)>,
+    ) {
+        for (g, lane) in self.lanes[..self.live_lanes].iter().enumerate() {
+            let slot = detector_slots[g];
+            out.extend(lane.hits.iter().map(|&frame| (slot, frame)));
+        }
+    }
+
+    /// Export this stage's fresh detections as insert intents for
+    /// [`arbitrate_cache`] (an `Arc` clone per miss, no deep copy), tagged
+    /// with this worker's index so eviction/admission outcomes can be folded
+    /// back into the right shard's tallies.
     ///
     /// Cache hygiene under faults: a frame whose detect attempts failed was
     /// removed from the lane's miss list by [`ShardWorker::detect`], so a
-    /// failed attempt can never be committed here — only frames with an
-    /// actual result reach the LRU, and each exactly once per stage.
-    pub(crate) fn commit_cache(
-        &mut self,
+    /// failed attempt can never be committed — only frames with an actual
+    /// result reach the LRU, and each exactly once per stage.
+    fn collect_cache_inserts(
+        &self,
         detector_slots: &[DetectorSlot],
-        cache: &mut DetectionCache,
+        worker: usize,
+        out: &mut Vec<CacheInsert>,
     ) {
-        for (g, lane) in self.lanes[..self.live_lanes].iter_mut().enumerate() {
+        for (g, lane) in self.lanes[..self.live_lanes].iter().enumerate() {
             let slot = detector_slots[g];
             for &frame in &lane.misses {
-                let detections = &lane.results[&frame];
-                cache.insert(slot, frame, Arc::clone(detections));
+                let Some(detections) = lane.results.get(&frame) else {
+                    // A dedupe-joined miss whose detection lives on the
+                    // earlier same-slot lane (which commits it); nothing to
+                    // publish here.
+                    continue;
+                };
+                out.push(CacheInsert {
+                    slot,
+                    frame,
+                    worker,
+                    detections: Arc::clone(detections),
+                });
             }
         }
+    }
+
+    /// Fold one insert's eviction/admission outcome into this shard's cache
+    /// tallies (called by [`arbitrate_cache`] for each of this worker's
+    /// insert intents).
+    fn absorb_commit_outcome(&mut self, outcome: crate::cache::CommitOutcome) {
+        self.stage_cache.evictions += outcome.evicted;
+        self.cache_tally.evictions += outcome.evicted;
+        self.stage_cache.admission_rejects += u64::from(outcome.rejected);
+        self.cache_tally.admission_rejects += u64::from(outcome.rejected);
     }
 
     /// Frames this worker ran through detectors this stage (the sum of its
@@ -738,12 +882,41 @@ impl ShardWorker {
     }
 
     /// Whether any lane has unresolved frames for [`ShardWorker::detect`]
-    /// this stage (false on e.g. a fully cache-warm stage, letting the
-    /// engine skip thread spawns that would only run no-ops).
+    /// this stage (only meaningful after [`ShardWorker::probe`] ran).
     pub(crate) fn has_misses(&self) -> bool {
         self.lanes[..self.live_lanes]
             .iter()
             .any(|lane| !lane.misses.is_empty())
+    }
+
+    /// Whether any lane has routed frames this stage (the cache-off
+    /// pre-dispatch work check: no frames means dispatch would only run
+    /// no-ops).
+    pub(crate) fn has_frames(&self) -> bool {
+        self.lanes[..self.live_lanes]
+            .iter()
+            .any(|lane| !lane.frames.is_empty())
+    }
+
+    /// Whether every frame routed to this worker this stage is already
+    /// resident in the cache — the pre-dispatch warm check, evaluated
+    /// *before* [`ShardWorker::probe`] runs.  Uses the tally-free
+    /// [`StripedDetectionCache::contains`] so the decision never perturbs
+    /// the hit/miss accounting the real probe will produce (which keeps
+    /// cache accounting execution-invariant: the skip changes where the
+    /// probe runs, never what it counts).
+    pub(crate) fn is_warm(
+        &self,
+        detector_slots: &[DetectorSlot],
+        cache: &StripedDetectionCache,
+    ) -> bool {
+        self.lanes[..self.live_lanes]
+            .iter()
+            .enumerate()
+            .all(|(g, lane)| {
+                let slot = detector_slots[g];
+                lane.frames.iter().all(|&frame| cache.contains(slot, frame))
+            })
     }
 
     /// The detections of `frame` for logical group `group`, if this worker
@@ -932,7 +1105,7 @@ pub(crate) fn aggregate_detect(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::DetectionCache;
+    use crate::cache::CacheConfig;
     use exsample_detect::ObjectClass;
     use exsample_video::{ChunkingPolicy, ShardPartitioner, VideoRepository};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -1021,7 +1194,7 @@ mod tests {
     }
 
     /// A worker with `frames` routed into group 0 and probed against `cache`.
-    fn faulty_stage_worker(frames: &[FrameId], cache: &mut DetectionCache) -> ShardWorker {
+    fn faulty_stage_worker(frames: &[FrameId], cache: &StripedDetectionCache) -> ShardWorker {
         let mut worker = ShardWorker::new(0);
         worker.begin_stage(1, 1);
         for &frame in frames {
@@ -1033,13 +1206,18 @@ mod tests {
         worker
     }
 
+    /// Run the serial arbitration pass for one worker against `cache`.
+    fn arbitrate(worker: &mut ShardWorker, slots: &[DetectorSlot], cache: &StripedDetectionCache) {
+        arbitrate_cache(std::slice::from_mut(worker), slots, cache);
+    }
+
     #[test]
     fn failed_frames_are_never_cached_and_a_recovered_retry_commits_once() {
         // Frame 5 fails its first two attempts (batch probe + first per-frame
         // try), frame 9 fails permanently, frame 1 is healthy.
         let detector = FlakyDetector::new(vec![(5, 2)], vec![9]);
-        let mut cache = DetectionCache::new(8);
-        let mut worker = faulty_stage_worker(&[1, 5, 9], &mut cache);
+        let cache = StripedDetectionCache::new(CacheConfig::new(8));
+        let mut worker = faulty_stage_worker(&[1, 5, 9], &cache);
         let policy = DetectPolicy {
             max_attempts: 3,
             backoff_cost: 4,
@@ -1066,9 +1244,12 @@ mod tests {
 
         // Cache hygiene: the failed frame is never committed; the recovered
         // one is committed exactly once.
-        worker.commit_cache(&[0], &mut cache);
-        assert!(cache.get(0, 9).is_none(), "failed frame must not be cached");
-        let held = Arc::clone(cache.get(0, 5).expect("recovered frame is cached"));
+        arbitrate(&mut worker, &[0], &cache);
+        assert!(
+            cache.probe(0, 9).is_none(),
+            "failed frame must not be cached"
+        );
+        let held = cache.probe(0, 5).expect("recovered frame is cached");
         // Cache entry + lane result + our handle.
         assert_eq!(Arc::strong_count(&held), 3);
         // Releasing the lane leaves exactly one committed handle (plus ours):
@@ -1079,7 +1260,7 @@ mod tests {
 
         // A follow-up stage over the same frames re-detects only frame 9.
         let calls_before = detector.calls.load(Ordering::SeqCst);
-        let mut worker = faulty_stage_worker(&[1, 5, 9], &mut cache);
+        let mut worker = faulty_stage_worker(&[1, 5, 9], &cache);
         worker.detect(&[&detector], &[0], false, policy);
         assert!(
             detector.calls.load(Ordering::SeqCst) > calls_before,
@@ -1092,8 +1273,8 @@ mod tests {
     #[test]
     fn fail_fast_records_the_first_failure_and_stops_the_lane() {
         let detector = FlakyDetector::new(Vec::new(), vec![9]);
-        let mut cache = DetectionCache::new(8);
-        let mut worker = faulty_stage_worker(&[2, 9, 4], &mut cache);
+        let cache = StripedDetectionCache::new(CacheConfig::new(8));
+        let mut worker = faulty_stage_worker(&[2, 9, 4], &cache);
         worker.detect(&[&detector], &[0], false, DetectPolicy::infallible());
         let fatal = worker
             .fatal
@@ -1107,16 +1288,16 @@ mod tests {
         // per-frame (only the probe charged it) and nothing after the
         // failure can reach the cache.
         assert_eq!(detector.attempts_on(4), 1);
-        worker.commit_cache(&[0], &mut cache);
-        assert!(cache.get(0, 9).is_none());
-        assert!(cache.get(0, 4).is_none());
+        arbitrate(&mut worker, &[0], &cache);
+        assert!(cache.probe(0, 9).is_none());
+        assert!(cache.probe(0, 4).is_none());
     }
 
     #[test]
     fn retries_off_fails_transient_frames_without_retrying() {
         let detector = FlakyDetector::new(vec![(5, 2)], Vec::new());
-        let mut cache = DetectionCache::new(8);
-        let mut worker = faulty_stage_worker(&[5], &mut cache);
+        let cache = StripedDetectionCache::new(CacheConfig::new(8));
+        let mut worker = faulty_stage_worker(&[5], &cache);
         let policy = DetectPolicy {
             max_attempts: 1,
             backoff_cost: 10,
@@ -1129,6 +1310,47 @@ mod tests {
         assert_eq!(worker.stage_backoff, 0);
         // Probe + the single allowed per-frame try.
         assert_eq!(detector.attempts_on(5), 2);
+    }
+
+    #[test]
+    fn uncoalesced_same_slot_lanes_dedupe_at_probe_time() {
+        let cache = StripedDetectionCache::new(CacheConfig::new(8));
+        // Warm frame 3 so the shared frames cover both a hit and a miss.
+        cache
+            .begin()
+            .insert(0, 3, Arc::new(FrameDetections::empty(3)));
+        let mut worker = ShardWorker::new(0);
+        worker.begin_stage(2, 2);
+        for &frame in &[3u64, 7] {
+            worker.push_frame(0, frame);
+            worker.push_frame(1, frame);
+        }
+        // Two lanes carry the same detector slot (coalescing off).
+        worker.probe(&[0, 0], false, Some(&cache));
+        // Each distinct (detector, frame) probes once: 1 hit (frame 3),
+        // 1 miss (frame 7) — not two of each, matching the single physical
+        // detection frame 7 will cost.
+        assert_eq!(worker.stage_cache.hits, 1);
+        assert_eq!(worker.stage_cache.misses, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The second lane shares the hit's result immediately...
+        assert!(worker.result(1, 3).is_some());
+        // ...and detect resolves the shared miss once, sharing it across
+        // both lanes with a single commit.
+        let detector = FlakyDetector::new(Vec::new(), Vec::new());
+        worker.detect(
+            &[&detector, &detector],
+            &[0, 0],
+            true,
+            DetectPolicy::infallible(),
+        );
+        assert!(worker.result(0, 7).is_some());
+        assert!(worker.result(1, 7).is_some());
+        assert_eq!(worker.stage_detected_frames(), 1, "frame 7 detected once");
+        arbitrate(&mut worker, &[0, 0], &cache);
+        assert_eq!(cache.stats().len, 2);
+        assert_eq!(cache.stats().misses, 1, "commit does not re-probe");
     }
 
     #[test]

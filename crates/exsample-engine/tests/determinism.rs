@@ -26,16 +26,23 @@
 //! 6. overlap determinism: stage-overlapped runs (`QueryEngine::overlap`) are
 //!    *not* pick-for-pick with non-overlapped runs (stop decisions lag one
 //!    stage by design) but are bitwise-identical to each other across the
-//!    full execution matrix, with and without aggregation.
+//!    full execution matrix, with and without aggregation; and
+//! 7. cache-axis determinism: with the lock-striped detections cache enabled
+//!    (small enough to evict), merged reports, per-query pick sequences, and
+//!    the cache accounting itself (hits/misses/evictions/admission rejects,
+//!    globally and per shard) are bitwise-identical across
+//!    threads {1, 2, 4} × shards {1, 3, 7} × both partitioners × both
+//!    dispatch runtimes × overlap on/off × aggregation on/off — and the
+//!    frequency-admission policy preserves the same guarantee.
 
 use exsample_core::{ExSample, ExSampleConfig};
 use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    run_query, BatchAggregation, Dispatch, EngineReport, ExSamplePolicy, ExecutionMode,
-    FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec, RoundRobin, SamplingPolicy,
-    ShardRouter, ShardedReport, StopReason,
+    run_query, AdmissionPolicy, BatchAggregation, CacheConfig, Dispatch, EngineReport,
+    ExSamplePolicy, ExecutionMode, FrameSamplerPolicy, QueryEngine, QueryReport, QuerySpec,
+    RoundRobin, SamplingPolicy, ShardRouter, ShardedReport, StopReason,
 };
 use exsample_track::{Discriminator, MatchOutcome, OracleDiscriminator};
 use exsample_video::{
@@ -453,6 +460,7 @@ fn assert_engine_reports_equal(a: &EngineReport, b: &EngineReport, context: &str
         a.quarantined_detectors, b.quarantined_detectors,
         "{context}: quarantined detectors"
     );
+    assert_eq!(a.cache, b.cache, "{context}: cache accounting");
     assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query count");
     for (qa, qb) in a.outcomes.iter().zip(&b.outcomes) {
         assert_reports_equal(qa, qb, context);
@@ -776,6 +784,153 @@ fn overlapped_runs_are_deterministic_across_the_matrix() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Cache capacity for the cache-axis matrix: small enough that the standard
+/// workload's distinct probed frames force real evictions, large enough that
+/// re-picked frames still find warm entries.
+const MATRIX_CACHE_CAPACITY: usize = 256;
+
+#[test]
+fn cached_runs_are_bitwise_identical_across_the_matrix() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    for overlap in [false, true] {
+        // Overlap changes stop timing by design, so each overlap setting has
+        // its own reference: the unsharded serial cached run.
+        let (specs, baseline_logs) = recorded_specs(&chunking, frames, &detector);
+        let mut baseline = QueryEngine::new()
+            .overlap(overlap)
+            .cache_capacity(MATRIX_CACHE_CAPACITY);
+        for spec in specs {
+            baseline.push(spec).unwrap();
+        }
+        let _ = baseline.run().unwrap();
+        let baseline_merged = baseline.report_sharded();
+        assert!(
+            baseline_merged
+                .report
+                .outcomes
+                .iter()
+                .any(|r| r.true_found > 0),
+            "setup finds nothing"
+        );
+        // The axis must actually be exercised: cold probes, warm re-probes
+        // and LRU evictions all occur in the reference run.
+        let activity = baseline_merged.report.cache;
+        assert!(activity.misses > 0, "overlap {overlap}: no cache misses");
+        assert!(activity.hits > 0, "overlap {overlap}: no cache hits");
+        assert!(activity.evictions > 0, "overlap {overlap}: no evictions");
+        let baseline_picks: Vec<Vec<FrameId>> = baseline_logs
+            .iter()
+            .map(|log| log.borrow().clone())
+            .collect();
+
+        for aggregation in [None, Some(BatchAggregation::unbounded())] {
+            for shards in [1u32, 3, 7] {
+                for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+                    let run = |mode: ExecutionMode, dispatch: Dispatch| {
+                        let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                        let router = ShardRouter::new(&chunking, &spec).unwrap();
+                        let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+                        let mut engine = QueryEngine::new()
+                            .sharded(router)
+                            .overlap(overlap)
+                            .aggregation(aggregation)
+                            .cache_capacity(MATRIX_CACHE_CAPACITY)
+                            .execution(mode)
+                            .expect("valid execution mode")
+                            .dispatch(dispatch);
+                        for spec in specs {
+                            engine.push(spec).unwrap();
+                        }
+                        let _ = engine.run().unwrap();
+                        let picks: Vec<Vec<FrameId>> =
+                            logs.iter().map(|log| log.borrow().clone()).collect();
+                        (engine.report_sharded(), picks)
+                    };
+
+                    let context = format!(
+                        "cached/overlap {overlap}/{partitioner:?}/{shards} shards/{aggregation:?}"
+                    );
+                    let (serial, serial_picks) = run(ExecutionMode::Serial, Dispatch::Pooled);
+                    assert_eq!(serial_picks, baseline_picks, "{context}: pick sequences");
+                    // The merged report comparison includes the global cache
+                    // accounting — identical across shard counts, not just
+                    // across thread counts at a fixed layout.
+                    assert_engine_reports_equal(&serial.report, &baseline_merged.report, &context);
+
+                    for threads in [1usize, 2, 4] {
+                        for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                            let context = format!("{context}/{threads} threads/{dispatch:?}");
+                            let (parallel, parallel_picks) =
+                                run(ExecutionMode::Parallel(threads), dispatch);
+                            assert_eq!(parallel_picks, baseline_picks, "{context}: pick sequences");
+                            // Per-shard breakdowns carry per-shard cache
+                            // tallies; this comparison pins those too.
+                            assert_sharded_reports_equal(&parallel, &serial, &context);
+                            assert_engine_reports_equal(
+                                &parallel.report,
+                                &baseline_merged.report,
+                                &context,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn frequency_admission_runs_are_bitwise_identical_across_threads() {
+    let frames = 4_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+    let detector = PerfectDetector::new(Arc::clone(&truth), ObjectClass::from("car"));
+
+    // The frequency gate only changes *which* inserts are admitted, never the
+    // picks — so the uncached pick sequences remain the reference, and the
+    // cache accounting must agree bitwise across the execution matrix at a
+    // fixed shard layout.
+    let config = || {
+        CacheConfig::new(192)
+            .stripes(4)
+            .admission(AdmissionPolicy::Frequency)
+    };
+    let run = |mode: ExecutionMode, dispatch: Dispatch| {
+        let spec = ShardSpec::new(ShardPartitioner::RoundRobin, chunking.len(), 3);
+        let router = ShardRouter::new(&chunking, &spec).unwrap();
+        let (specs, logs) = recorded_specs(&chunking, frames, &detector);
+        let mut engine = QueryEngine::new()
+            .sharded(router)
+            .cache_config(config())
+            .expect("valid cache config")
+            .execution(mode)
+            .expect("valid execution mode")
+            .dispatch(dispatch);
+        for spec in specs {
+            engine.push(spec).unwrap();
+        }
+        let _ = engine.run().unwrap();
+        let picks: Vec<Vec<FrameId>> = logs.iter().map(|log| log.borrow().clone()).collect();
+        (engine.report_sharded(), picks)
+    };
+
+    let (serial, serial_picks) = run(ExecutionMode::Serial, Dispatch::Pooled);
+    assert!(
+        serial.report.cache.misses > 0,
+        "frequency admission: no cache traffic"
+    );
+    for threads in [1usize, 2, 4] {
+        for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+            let context = format!("frequency admission/{threads} threads/{dispatch:?}");
+            let (parallel, parallel_picks) = run(ExecutionMode::Parallel(threads), dispatch);
+            assert_eq!(parallel_picks, serial_picks, "{context}: pick sequences");
+            assert_sharded_reports_equal(&parallel, &serial, &context);
         }
     }
 }

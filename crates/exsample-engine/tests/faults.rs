@@ -20,7 +20,11 @@
 //! 5. **cache hygiene** — failed frames are never committed to the detection
 //!    cache (a warm re-query re-attempts and re-drops exactly them), while
 //!    frames recovered by a retry are committed exactly once (a warm re-query
-//!    triggers zero further retries).
+//!    triggers zero further retries); and
+//! 6. **cache determinism under faults** — with the striped detections cache
+//!    enabled and small enough to evict, degraded runs keep every tally
+//!    (including the cache's own hit/miss/eviction accounting) bitwise-
+//!    identical across the shard × thread × partitioner × dispatch matrix.
 
 use exsample_core::ExSampleConfig;
 use exsample_detect::{
@@ -155,6 +159,7 @@ fn assert_engine_reports_equal(a: &EngineReport, b: &EngineReport, context: &str
         a.quarantined_detectors, b.quarantined_detectors,
         "{context}: quarantined detectors"
     );
+    assert_eq!(a.cache, b.cache, "{context}: cache accounting");
     assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query count");
     for (qa, qb) in a.outcomes.iter().zip(&b.outcomes) {
         assert_query_reports_equal(qa, qb, context);
@@ -286,6 +291,81 @@ fn degraded_runs_are_bitwise_deterministic_across_the_execution_matrix() {
                 for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
                     let context =
                         format!("{partitioner:?}/{shards} shards/{threads} threads/{dispatch:?}");
+                    let parallel = sharded_run(
+                        Some((partitioner, shards)),
+                        ExecutionMode::Parallel(threads),
+                        dispatch,
+                    );
+                    assert_sharded_reports_equal(&parallel, &serial, &context);
+                    assert_engine_reports_equal(&parallel.report, &baseline.report, &context);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_runs_with_the_striped_cache_stay_deterministic() {
+    let frames = 3_000u64;
+    let (chunking, truth) = skewed_setup(frames, 21);
+
+    // The same degraded matrix as above with the striped detections cache in
+    // the loop (small enough to evict): retries, drops, cache hygiene and the
+    // cache accounting itself must all stay bitwise-identical across shard
+    // layouts, thread counts and dispatch runtimes.
+    let sharded_run =
+        |shards: Option<(ShardPartitioner, u32)>, mode: ExecutionMode, dispatch: Dispatch| {
+            let detector = faulty_detector(&truth, faulty_plan());
+            let mut engine = QueryEngine::new()
+                .retry_policy(RetryPolicy::new(3).backoff_cost(4))
+                .failure_mode(FailureMode::DropFrames)
+                .cache_capacity(256);
+            if let Some((partitioner, shards)) = shards {
+                let spec = ShardSpec::new(partitioner, chunking.len(), shards);
+                engine = engine.sharded(ShardRouter::new(&chunking, &spec).unwrap());
+            }
+            engine = engine
+                .execution(mode)
+                .expect("valid execution mode")
+                .dispatch(dispatch);
+            for spec in fault_specs(&chunking, frames, &detector) {
+                engine.push(spec).unwrap();
+            }
+            let _ = engine.run().unwrap();
+            engine.report_sharded()
+        };
+
+    let baseline = sharded_run(None, ExecutionMode::Serial, Dispatch::Pooled);
+    assert!(
+        baseline.report.detect_retries > 0,
+        "plan scheduled no transient faults — the matrix would be vacuous"
+    );
+    assert!(
+        baseline.report.failed_frames > 0,
+        "plan scheduled no permanent faults — the matrix would be vacuous"
+    );
+    assert!(
+        baseline.report.cache.misses > 0,
+        "the cache axis is vacuous without misses"
+    );
+
+    for shards in [1u32, 3, 7] {
+        for partitioner in [ShardPartitioner::RoundRobin, ShardPartitioner::Contiguous] {
+            let serial = sharded_run(
+                Some((partitioner, shards)),
+                ExecutionMode::Serial,
+                Dispatch::Pooled,
+            );
+            assert_engine_reports_equal(
+                &serial.report,
+                &baseline.report,
+                &format!("cached {partitioner:?}/{shards} shards serial vs unsharded"),
+            );
+            for threads in [1usize, 2, 4] {
+                for dispatch in [Dispatch::Pooled, Dispatch::Scoped] {
+                    let context = format!(
+                        "cached {partitioner:?}/{shards} shards/{threads} threads/{dispatch:?}"
+                    );
                     let parallel = sharded_run(
                         Some((partitioner, shards)),
                         ExecutionMode::Parallel(threads),

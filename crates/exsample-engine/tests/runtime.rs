@@ -10,11 +10,15 @@
 //!    deadlock, an unwinding coordinator, or a leaked thread; and
 //! 3. a fully cache-warm stage skips pool dispatch entirely (no channel send,
 //!    no helper wake), pinned via [`QueryEngine::pooled_stage_dispatches`] —
-//!    including under stage overlap and cross-shard batch aggregation, where
-//!    the cache probe runs at the commit boundary; and
-//! 4. moving the probe to the commit boundary (overlap mode) changes no cache
-//!    accounting: hit/miss/eviction tallies are bitwise-identical across the
-//!    overlapped execution matrix.
+//!    including under stage overlap and cross-shard batch aggregation (the
+//!    warm check peeks membership without touching tallies, so the skip is
+//!    invisible to accounting); and
+//! 4. running the cache probe inside the dispatched lanes (parallel DETECT,
+//!    overlap mode) changes no cache accounting: hit/miss/eviction tallies
+//!    are bitwise-identical across the overlapped execution matrix; and
+//! 5. the stripe count is invisible to accounting: stripes only shard the
+//!    probe-time locks, so stripe counts {1, 2, 8, 64} produce bitwise-
+//!    identical cache tallies and reports, serial or parallel.
 //!
 //! Every test in this file takes the local [`POOL_LOCK`] mutex: the
 //! spawn/live counters are process-wide, so any test that runs a pooled
@@ -24,8 +28,8 @@ use exsample_detect::{
     Detector, FrameDetections, GroundTruth, ObjectClass, ObjectInstance, PerfectDetector,
 };
 use exsample_engine::{
-    live_worker_threads, spawned_worker_threads, BatchAggregation, Dispatch, EngineError,
-    ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
+    live_worker_threads, spawned_worker_threads, BatchAggregation, CacheConfig, Dispatch,
+    EngineError, ExecutionMode, FrameSamplerPolicy, QueryEngine, QuerySpec, ShardRouter,
 };
 use exsample_video::{Chunking, ChunkingPolicy, FrameId, ShardSpec, VideoRepository};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -398,9 +402,9 @@ fn overlapped_cache_accounting_is_execution_invariant() {
     let frames = 400u64;
     let (chunking, truth) = setup(frames, 9);
     // A cold run followed by a warm re-query on the same overlapped engine:
-    // the commit-boundary probe must produce bitwise-identical hit/miss/
-    // eviction tallies (and reports) whether DETECT runs serial, pooled,
-    // scoped, or aggregated.
+    // the in-lane probes must produce bitwise-identical hit/miss/eviction
+    // tallies (and reports) whether DETECT runs serial, pooled, scoped, or
+    // aggregated.
     let run = |mode: ExecutionMode, dispatch: Dispatch, aggregation: Option<BatchAggregation>| {
         let detector = ObservantDetector::new(Arc::clone(&truth));
         let spec = ShardSpec::contiguous(chunking.len(), 3);
@@ -455,6 +459,64 @@ fn overlapped_cache_accounting_is_execution_invariant() {
                     assert_eq!(a.stop_reason, b.stop_reason, "{context}: stop reason");
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn stripe_count_never_changes_cache_accounting() {
+    let _serial = POOL_LOCK.lock().unwrap();
+    let frames = 400u64;
+    let (chunking, truth) = setup(frames, 9);
+    // The stripe count only controls probe-time lock granularity; recency,
+    // eviction and admission all live in the single arbitration-owned LRU
+    // state.  So any stripe count must produce bitwise-identical cache
+    // accounting and reports, serial or parallel.
+    let run = |stripes: usize, mode: ExecutionMode| {
+        let detector = ObservantDetector::new(Arc::clone(&truth));
+        let spec = ShardSpec::contiguous(chunking.len(), 3);
+        let mut engine = QueryEngine::new()
+            .sharded(ShardRouter::new(&chunking, &spec).unwrap())
+            .execution(mode)
+            .expect("valid execution mode")
+            .cache_config(CacheConfig::new(64).stripes(stripes))
+            .expect("valid cache config");
+        for (label, seed) in [("cold", 3u64), ("warm", 5)] {
+            engine
+                .push(
+                    QuerySpec::new(
+                        label,
+                        Box::new(FrameSamplerPolicy::uniform(frames)),
+                        &detector,
+                    )
+                    .seed(seed)
+                    .batch(32),
+                )
+                .unwrap();
+            let _ = engine.run().unwrap();
+        }
+        let stats = engine.cache_stats().expect("cache is configured");
+        (stats, engine.report_sharded())
+    };
+    let (reference_stats, reference) = run(1, ExecutionMode::Serial);
+    assert!(reference_stats.hits > 0, "warm query never hit the cache");
+    assert!(reference_stats.evictions > 0, "cache never evicted");
+    for stripes in [1usize, 2, 8, 64] {
+        for mode in [ExecutionMode::Serial, ExecutionMode::Parallel(4)] {
+            let context = format!("{stripes} stripes/{mode:?}");
+            let (stats, report) = run(stripes, mode);
+            assert_eq!(stats, reference_stats, "{context}: cache accounting");
+            for (a, b) in report
+                .report
+                .outcomes
+                .iter()
+                .zip(&reference.report.outcomes)
+            {
+                assert_eq!(a.frames_processed, b.frames_processed, "{context}: frames");
+                assert_eq!(a.trajectory, b.trajectory, "{context}: trajectory");
+                assert_eq!(a.stop_reason, b.stop_reason, "{context}: stop reason");
+            }
+            assert_eq!(report.report.cache, reference.report.cache, "{context}");
         }
     }
 }

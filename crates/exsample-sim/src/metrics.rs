@@ -141,6 +141,7 @@ mod tests {
             failed_frames: 0,
             dropped_frames: 0,
             selection: None,
+            cache: None,
         }
     }
 

@@ -33,8 +33,8 @@ use exsample_detect::{
     PerfectDetector, SimulatedDetector,
 };
 use exsample_engine::{
-    BatchAggregation, ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy, QueryEngine,
-    QuerySpec, RetryPolicy, SamplingPolicy, SelectionTelemetry, ShardRouter,
+    BatchAggregation, CacheActivity, ExSamplePolicy, ExecutionMode, FailureMode, MethodPolicy,
+    QueryEngine, QuerySpec, RetryPolicy, SamplingPolicy, SelectionTelemetry, ShardRouter,
 };
 use exsample_rand::SeedSequence;
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
@@ -122,6 +122,10 @@ pub struct RunResult {
     /// through the belief-class fold versus per-chunk draws, and how many
     /// Gamma draws the deduplication saved.
     pub selection: Option<SelectionTelemetry>,
+    /// Detections-cache telemetry (`Some` only when [`QueryRunner::cache`]
+    /// enabled the cache): hits, misses, evictions and admission rejects
+    /// accumulated over the run.
+    pub cache: Option<CacheActivity>,
 }
 
 impl RunResult {
@@ -196,6 +200,9 @@ pub struct QueryRunner<'a> {
     /// Cross-shard batch aggregation for the DETECT phase (see
     /// `QueryEngine::aggregation`; off by default).
     aggregation: Option<BatchAggregation>,
+    /// Capacity of the engine's striped detections cache (0 = off, the
+    /// default).
+    cache: usize,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -219,6 +226,7 @@ impl<'a> QueryRunner<'a> {
             fault: None,
             overlap: false,
             aggregation: None,
+            cache: 0,
         }
     }
 
@@ -267,6 +275,16 @@ impl<'a> QueryRunner<'a> {
     /// clock, only the physical invocation shape.
     pub fn aggregation(mut self, aggregation: Option<BatchAggregation>) -> Self {
         self.aggregation = aggregation;
+        self
+    }
+
+    /// Enable the engine's lock-striped detections cache with this capacity
+    /// (entries; 0 — the default — leaves the cache off).  Cached results
+    /// are shared across stages; accounting is bitwise-deterministic across
+    /// shard/thread/dispatch configurations and the run's telemetry lands in
+    /// [`RunResult::cache`].
+    pub fn cache(mut self, capacity: usize) -> Self {
+        self.cache = capacity;
         self
     }
 
@@ -481,6 +499,9 @@ impl<'a> QueryRunner<'a> {
                 self.shards,
             ));
         }
+        if self.cache > 0 {
+            engine = engine.cache_capacity(self.cache);
+        }
         match self.parallel {
             // 1 is serial execution under another name; skip the mode change
             // so the engine stays on its historical default.
@@ -497,6 +518,7 @@ impl<'a> QueryRunner<'a> {
             .run_with(|stage| clock.charge_sampled(stage.detector_frames + stage.backoff_cost))?;
         let detect_retries = report.detect_retries;
         let failed_frames = report.failed_frames;
+        let cache = (self.cache > 0).then_some(report.cache);
         let outcome = report
             .outcomes
             .into_iter()
@@ -518,6 +540,7 @@ impl<'a> QueryRunner<'a> {
             failed_frames,
             dropped_frames: outcome.dropped_frames,
             selection: outcome.selection,
+            cache,
         })
     }
 }
@@ -784,6 +807,44 @@ mod tests {
                 assert_eq!(overlapped.trajectory, reference.trajectory);
                 assert_eq!(overlapped.sample_secs, reference.sample_secs);
             }
+        }
+    }
+
+    #[test]
+    fn cached_runner_matches_uncached_outcomes_and_reports_telemetry() {
+        let dataset = skewed_dataset();
+        let run = |cache: usize, shards: u32, parallel: Option<usize>| {
+            let mut runner = QueryRunner::new(&dataset)
+                .stop(StopCondition::FrameBudget(600))
+                .seed(19)
+                .shards(shards)
+                .cache(cache);
+            if let Some(threads) = parallel {
+                runner = runner.parallel(threads);
+            }
+            runner
+                .run(MethodKind::ExSample(ExSampleConfig::default()))
+                .expect("query run succeeded")
+        };
+        let uncached = run(0, 1, None);
+        assert!(uncached.cache.is_none(), "cache off reports no telemetry");
+        let cached = run(4_096, 1, None);
+        // The sampling methods pick without replacement, so a single run
+        // over a cold cache misses every frame and hits none — but the
+        // outcomes must be untouched and the telemetry fully accounted.
+        assert_eq!(cached.found_instances, uncached.found_instances);
+        assert_eq!(cached.trajectory, uncached.trajectory);
+        assert_eq!(cached.sample_secs, uncached.sample_secs);
+        let telemetry = cached.cache.expect("cache enabled");
+        assert_eq!(telemetry.misses, cached.frames_processed);
+        assert_eq!(telemetry.hits, 0);
+        // Cache accounting is part of the determinism contract: identical
+        // across shard and thread counts.
+        for (shards, parallel) in [(3u32, None), (3, Some(2)), (7, Some(4))] {
+            let other = run(4_096, shards, parallel);
+            assert_eq!(other.found_instances, cached.found_instances);
+            assert_eq!(other.trajectory, cached.trajectory);
+            assert_eq!(other.cache, cached.cache);
         }
     }
 
