@@ -93,8 +93,9 @@ fn run_engine(
     queries: usize,
     budget: u64,
 ) -> ShardedReport {
-    let mut engine =
-        exsample_bench::sharded_engine(dataset.chunking(), shards, parallel).dispatch(dispatch);
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, parallel)
+        .expect("the bench thread counts are valid execution modes")
+        .dispatch(dispatch);
     for q in 0..queries {
         let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());
         engine
@@ -131,6 +132,7 @@ fn run_engine_guarded(
         FaultPlan::new(4_747),
     );
     let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+        .expect("serial execution is always a valid mode")
         .dispatch(Dispatch::Pooled)
         .retry_policy(RetryPolicy::new(3).backoff_cost(1))
         .failure_mode(FailureMode::DropFrames);
@@ -169,6 +171,7 @@ fn run_engine_batched(
         BatchCostModel::gpu_default(),
     );
     let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+        .expect("serial execution is always a valid mode")
         .dispatch(Dispatch::Pooled)
         .aggregation(aggregation);
     for q in 0..queries {
@@ -274,8 +277,9 @@ fn run_engine_warm(
     cache: usize,
     budget: u64,
 ) -> ShardedReport {
-    let mut engine =
-        exsample_bench::sharded_engine(dataset.chunking(), 2, parallel).dispatch(Dispatch::Pooled);
+    let mut engine = exsample_bench::sharded_engine(dataset.chunking(), 2, parallel)
+        .expect("the bench thread counts are valid execution modes")
+        .dispatch(Dispatch::Pooled);
     if cache > 0 {
         engine = engine.cache_capacity(cache);
     }
@@ -510,6 +514,7 @@ fn bench_sharded(c: &mut Criterion) {
     merge_group.sample_size(10);
     for &shards in &SHARD_COUNTS {
         let mut engine = exsample_bench::sharded_engine(dataset.chunking(), shards, 0)
+            .expect("serial execution is always a valid mode")
             .dispatch(Dispatch::Pooled);
         for q in 0..8usize {
             let policy = ExSamplePolicy::new(ExSampleConfig::default(), dataset.chunking());

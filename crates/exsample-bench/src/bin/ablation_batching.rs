@@ -76,7 +76,7 @@ fn main() {
                 class.clone(),
             )));
             let policy = ExSamplePolicy::new(options.exsample_config(), dataset.chunking());
-            let mut engine = experiment_engine(dataset.chunking(), &options);
+            let mut engine = ok_or_exit(experiment_engine(dataset.chunking(), &options));
             engine
                 .push(
                     QuerySpec::new("batching", Box::new(policy), detector.as_ref())

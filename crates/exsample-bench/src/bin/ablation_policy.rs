@@ -72,7 +72,7 @@ fn main() {
                 Arc::clone(&truth),
                 GridWorkload::class(),
             )));
-            let mut engine = experiment_engine(dataset.chunking(), &options);
+            let mut engine = ok_or_exit(experiment_engine(dataset.chunking(), &options));
             for (label, policy) in policies {
                 let config = options.exsample_config().with_policy(policy);
                 engine

@@ -86,7 +86,7 @@ fn main() {
             .iter()
             .map(|c| truth.count_of_class(&ObjectClass::from(c.class)))
             .collect();
-        let mut engine = experiment_engine(dataset.chunking(), &options);
+        let mut engine = ok_or_exit(experiment_engine(dataset.chunking(), &options));
         for ((class_spec, detector), &total) in spec.classes.iter().zip(&detectors).zip(&totals) {
             let class = class_spec.class;
             let target = (0.9 * total as f64).ceil() as usize;

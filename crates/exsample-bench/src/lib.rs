@@ -45,6 +45,15 @@
 //!   run degrades by dropping frames that exhaust their attempts (tallied in
 //!   the report) instead of aborting.  Same seed + same rate ⇒ bitwise-identical
 //!   degraded results, regardless of `--shards`/`--parallel`.
+//! * `--checkpoint PATH` — persist every ExSample run's per-chunk posterior
+//!   and query results to the durable belief store at PATH (crash-safe log +
+//!   snapshot; a torn tail from a kill is recovered and reported on the next
+//!   open).  Checkpointing is a pure observer: outcomes and the virtual
+//!   clock are bitwise-identical to an uncheckpointed run.  Runner-driven
+//!   bins only, and single-writer — combine with `--trials 1`.
+//! * `--warm-start PATH` — seed every ExSample run's posterior from the
+//!   belief store at PATH before sampling starts, instead of the uniform
+//!   prior (runner-driven bins only).
 //! * `--csv` — emit CSV instead of aligned text tables.
 //!
 //! The binaries print the regenerated table/figure data to stdout; `EXPERIMENTS.md`
@@ -87,6 +96,12 @@ pub struct ExperimentOptions {
     /// Transient-fault probability per (frame, attempt) for the deterministic
     /// fault injector (0.0 = no injection, the default).
     pub fault_rate: f64,
+    /// Durable belief-store directory every ExSample run checkpoints into
+    /// (None = no checkpointing, the default).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Belief-store directory ExSample runs warm-start their posterior from
+    /// (None = cold start, the default).
+    pub warm_start: Option<std::path::PathBuf>,
     /// Emit CSV instead of plain tables.
     pub csv: bool,
 }
@@ -107,6 +122,8 @@ impl Default for ExperimentOptions {
             selection: exsample_core::SelectionStrategy::PerChunk,
             retries: 0,
             fault_rate: 0.0,
+            checkpoint: None,
+            warm_start: None,
             csv: false,
         }
     }
@@ -225,11 +242,29 @@ impl ExperimentOptions {
                     }
                     options.fault_rate = rate;
                 }
+                "--checkpoint" => {
+                    let value = iter
+                        .next()
+                        .ok_or("--checkpoint requires a directory path")?;
+                    if value.is_empty() {
+                        return Err("--checkpoint requires a non-empty path".to_string());
+                    }
+                    options.checkpoint = Some(std::path::PathBuf::from(value));
+                }
+                "--warm-start" => {
+                    let value = iter
+                        .next()
+                        .ok_or("--warm-start requires a directory path")?;
+                    if value.is_empty() {
+                        return Err("--warm-start requires a non-empty path".to_string());
+                    }
+                    options.warm_start = Some(std::path::PathBuf::from(value));
+                }
                 "--help" | "-h" => {
                     return Err("supported flags: --full --trials N --scale X --seed N \
                          --shards N --parallel N --overlap --aggregate --max-batch N \
                          --cache N --selection per-chunk|class-max --retries N \
-                         --fault-rate X --csv"
+                         --fault-rate X --checkpoint PATH --warm-start PATH --csv"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -332,11 +367,11 @@ impl ExperimentOptions {
         })
     }
 
-    /// Apply the options' engine-shape and failure-model knobs (`--shards`,
-    /// `--parallel`, `--overlap`, `--aggregate`/`--max-batch`, `--cache`,
-    /// `--retries`, `--fault-rate`) to a simulation
-    /// [`exsample_sim::QueryRunner`] — the single place the runner-driven
-    /// experiment bins pick them up.
+    /// Apply the options' engine-shape, failure-model and durability knobs
+    /// (`--shards`, `--parallel`, `--overlap`, `--aggregate`/`--max-batch`,
+    /// `--cache`, `--retries`, `--fault-rate`, `--checkpoint`,
+    /// `--warm-start`) to a simulation [`exsample_sim::QueryRunner`] — the
+    /// single place the runner-driven experiment bins pick them up.
     pub fn apply_to_runner<'d>(
         &self,
         runner: exsample_sim::QueryRunner<'d>,
@@ -353,6 +388,12 @@ impl ExperimentOptions {
         }
         if let Some(plan) = self.fault_plan() {
             runner = runner.fault_plan(plan);
+        }
+        if let Some(path) = &self.checkpoint {
+            runner = runner.checkpoint(path.clone());
+        }
+        if let Some(path) = &self.warm_start {
+            runner = runner.warm_start(path.clone());
         }
         runner
     }
@@ -410,21 +451,23 @@ pub fn ok_or_exit<T, E: std::error::Error>(result: Result<T, E>) -> T {
 /// axis does).  Query outcomes are bitwise-identical in every configuration;
 /// sharding, parallelism and dispatch only change where the detector work
 /// executes and how costs break down.
+///
+/// Returns the engine's typed [`exsample_engine::EngineError`] when the
+/// thread count is not a valid execution mode, so callers route it through
+/// the chained-error exit path ([`ok_or_exit`]) instead of panicking.
 pub fn sharded_engine<'a>(
     chunking: &exsample_video::Chunking,
     shards: u32,
     parallel: usize,
-) -> exsample_engine::QueryEngine<'a> {
+) -> Result<exsample_engine::QueryEngine<'a>, exsample_engine::EngineError> {
     let mut engine = exsample_engine::QueryEngine::new();
     if shards > 1 {
         engine = engine.sharded(exsample_engine::ShardRouter::contiguous(chunking, shards));
     }
     if parallel > 1 {
-        engine = engine
-            .execution(exsample_engine::ExecutionMode::Parallel(parallel))
-            .expect("a positive thread count is a valid execution mode");
+        engine = engine.execution(exsample_engine::ExecutionMode::Parallel(parallel))?;
     }
-    engine
+    Ok(engine)
 }
 
 /// [`sharded_engine`] with the options' overlap/aggregation knobs, retry
@@ -434,8 +477,8 @@ pub fn sharded_engine<'a>(
 pub fn experiment_engine<'a>(
     chunking: &exsample_video::Chunking,
     options: &ExperimentOptions,
-) -> exsample_engine::QueryEngine<'a> {
-    let mut engine = sharded_engine(chunking, options.shards, options.parallel)
+) -> Result<exsample_engine::QueryEngine<'a>, exsample_engine::EngineError> {
+    let mut engine = sharded_engine(chunking, options.shards, options.parallel)?
         .overlap(options.overlap)
         .aggregation(options.aggregation())
         .retry_policy(options.retry_policy())
@@ -443,7 +486,7 @@ pub fn experiment_engine<'a>(
     if options.cache > 0 {
         engine = engine.cache_capacity(options.cache);
     }
-    engine
+    Ok(engine)
 }
 
 /// Print a table in the format selected by the options.
@@ -731,6 +774,7 @@ mod tests {
             dropped_frames: 0,
             selection,
             cache: None,
+            store: None,
         };
         assert!(merged_selection_telemetry([&result(None)]).is_none());
         let telemetry = exsample_engine::SelectionTelemetry {
@@ -779,6 +823,7 @@ mod tests {
             dropped_frames: 0,
             selection: None,
             cache,
+            store: None,
         };
         assert!(merged_cache_telemetry([&result(None)]).is_none());
         let activity = exsample_engine::CacheActivity {
@@ -837,6 +882,32 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_warm_start_flags_parse_and_validate() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.checkpoint, None);
+        assert_eq!(defaults.warm_start, None);
+
+        let durable = parse(&["--checkpoint", "/tmp/store", "--warm-start", "/tmp/prior"]).unwrap();
+        assert_eq!(
+            durable.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/store"))
+        );
+        assert_eq!(
+            durable.warm_start.as_deref(),
+            Some(std::path::Path::new("/tmp/prior"))
+        );
+
+        assert!(parse(&["--checkpoint"]).is_err());
+        assert!(parse(&["--checkpoint", ""]).is_err());
+        assert!(parse(&["--warm-start"]).is_err());
+        assert!(parse(&["--warm-start", ""]).is_err());
+        // The new flags appear in the --help listing.
+        let help = parse(&["--help"]).unwrap_err();
+        assert!(help.contains("--checkpoint PATH"), "help: {help}");
+        assert!(help.contains("--warm-start PATH"), "help: {help}");
+    }
+
+    #[test]
     fn faulty_detector_wraps_only_under_a_nonzero_rate() {
         let truth = std::sync::Arc::new(exsample_detect::GroundTruth::default());
         let detector = |options: &ExperimentOptions| {
@@ -878,9 +949,9 @@ mod tests {
             &repo,
             exsample_video::ChunkingPolicy::FixedCount { chunks: 8 },
         );
-        assert_eq!(sharded_engine(&chunking, 1, 0).shard_count(), 1);
-        assert_eq!(sharded_engine(&chunking, 4, 0).shard_count(), 4);
-        let parallel = sharded_engine(&chunking, 4, 2);
+        assert_eq!(sharded_engine(&chunking, 1, 0).unwrap().shard_count(), 1);
+        assert_eq!(sharded_engine(&chunking, 4, 0).unwrap().shard_count(), 4);
+        let parallel = sharded_engine(&chunking, 4, 2).unwrap();
         assert_eq!(parallel.shard_count(), 4);
         assert_eq!(
             parallel.execution_mode(),
@@ -888,7 +959,7 @@ mod tests {
         );
         // 0/1 threads mean serial execution.
         assert_eq!(
-            sharded_engine(&chunking, 4, 1).execution_mode(),
+            sharded_engine(&chunking, 4, 1).unwrap().execution_mode(),
             exsample_engine::ExecutionMode::Serial
         );
     }

@@ -329,6 +329,18 @@ impl ExSample {
     pub fn adjust_n1(&mut self, chunk: usize, n1_delta: i64) {
         self.stats.adjust_n1(chunk, n1_delta);
     }
+
+    /// Warm-start `chunk` with the accumulated `(Σ n1_delta, Σ samples)` of a
+    /// previous run, recovered from a durable belief store.
+    ///
+    /// Only the posterior is seeded: the chunk's frame pool is untouched, so
+    /// the warm sampler may re-pick frames the previous run already saw (its
+    /// discriminator simply re-matches them).  What warm starting buys is the
+    /// belief — the sampler skips the exploration the first run already paid
+    /// for and concentrates on the chunks known to be productive.
+    pub fn apply_prior(&mut self, chunk: usize, n1_delta: i64, samples_delta: u64) {
+        self.stats.seed_chunk(chunk, n1_delta, samples_delta);
+    }
 }
 
 #[cfg(test)]

@@ -392,6 +392,22 @@ impl ChunkStatsSet {
         self.refresh_cache(j);
     }
 
+    /// Seed chunk `j` with the accumulated history of a previous run: a net
+    /// `N1` change and a sample count, applied in one step.
+    ///
+    /// This is the warm-start seam — a recovered belief store replays each
+    /// chunk's totals into a fresh sampler so it resumes with the posterior
+    /// the crashed (or completed) run had earned, instead of the prior.
+    /// Seeding chunk `j` with the `(Σ n1_delta, Σ samples)` of a run's
+    /// records leaves the posterior identical to having called
+    /// [`ChunkStatsSet::record`] once per original sample.
+    pub fn seed_chunk(&mut self, j: usize, n1_delta: i64, samples_delta: u64) {
+        self.stats[j].n1 += n1_delta;
+        self.stats[j].n += samples_delta;
+        self.total_samples += samples_delta;
+        self.refresh_cache(j);
+    }
+
     /// The empirical fraction of samples allocated to each chunk so far.
     ///
     /// This is the de-facto weight vector `w_j = n_j / n` that Section IV-A compares
@@ -657,6 +673,49 @@ mod tests {
         }
         assert_class_index_consistent(&set);
         assert!(set.class_slot_count() <= 3);
+    }
+
+    #[test]
+    fn seeding_a_chunk_is_equivalent_to_replaying_its_records() {
+        // A warm start replays each chunk's (Σ n1_delta, Σ samples) in one
+        // seed_chunk call; the posterior — raw counters, cached belief
+        // constants, class index — must match a chunk that lived through the
+        // individual records.
+        let mut lived = ChunkStatsSet::new(3);
+        let deltas = [1i64, -1, 0, 1, 1, -1, 0, 1];
+        for (i, &d) in deltas.iter().enumerate() {
+            lived.record(i % 3, d);
+        }
+
+        let mut seeded = ChunkStatsSet::new(3);
+        for j in 0..3 {
+            let n1: i64 = deltas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == j)
+                .map(|(_, &d)| d)
+                .sum();
+            let samples = deltas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == j)
+                .count() as u64;
+            seeded.seed_chunk(j, n1, samples);
+        }
+
+        assert_eq!(lived.all(), seeded.all());
+        assert_eq!(lived.total_samples(), seeded.total_samples());
+        for j in 0..3 {
+            assert_eq!(lived.belief_constants(j), seeded.belief_constants(j));
+        }
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for j in 0..3 {
+            assert_eq!(
+                lived.cached_belief_draw(j, &mut rng_a).to_bits(),
+                seeded.cached_belief_draw(j, &mut rng_b).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -528,6 +528,51 @@ impl QueryState<'_> {
     }
 }
 
+/// One observed frame's durable facts, collected during a stage's fan-out
+/// for the engine's [`StageSink`] (when one is installed).
+///
+/// Dropped frames produce no observation: a frame the failure policy dropped
+/// never updated a policy's beliefs, so there is nothing to persist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageObservation {
+    /// Query registration index the observation belongs to.
+    pub query: usize,
+    /// The observed frame.
+    pub frame: FrameId,
+    /// The belief update the sampling policy received for this frame
+    /// (ExSample's `|d0| - |d1|`; what a durable store must replay to
+    /// reconstruct the posterior).
+    pub n1_delta: i64,
+    /// Ground-truth instances first found on this frame.
+    pub new_hits: u64,
+    /// The ids of those first-found instances, in discovery order.
+    pub new_instances: Vec<InstanceId>,
+}
+
+/// A checkpoint hook at the engine's stage-commit boundary.
+///
+/// When installed via [`QueryEngine::stage_sink`], the engine collects one
+/// [`StageObservation`] per observed frame during fan-out and hands the
+/// stage's batch to the sink **serially**, after the stage's results are
+/// folded — the same serial seam the cache's commit transaction uses, so the
+/// batch's observation order is a pure function of (query registration
+/// order, pick order) and therefore bitwise-identical across shard counts,
+/// thread counts, dispatch runtimes, overlap and aggregation.
+///
+/// An `Err` aborts the run with [`EngineError::CheckpointFailed`]: a
+/// checkpoint that cannot be made durable must stop the run rather than let
+/// it silently diverge from its recovery point.  The error is the sink's
+/// message; sinks wanting to surface a typed error chain keep it internally
+/// and re-chain at their own layer (as `exsample-sim`'s store sink does).
+pub trait StageSink {
+    /// One committed stage's observations, in deterministic order.
+    fn stage_committed(
+        &mut self,
+        stage: u64,
+        observations: &[StageObservation],
+    ) -> Result<(), String>;
+}
+
 /// One scheduled-but-not-yet-executed stage under overlapped execution: the
 /// engine-side staging buffers that SCHEDULE + PICK + ROUTE fill while the
 /// previous stage's DETECT is still in flight.
@@ -634,6 +679,12 @@ pub struct QueryEngine<'a> {
     /// visitation order, so fan-out replays the routing pass's lookups
     /// instead of re-resolving each frame's shard.
     pick_shards: Vec<u32>,
+    /// Optional checkpoint hook flushed serially at each stage commit (off
+    /// by default; see [`QueryEngine::stage_sink`]).
+    sink: Option<Box<dyn StageSink + 'a>>,
+    /// Reused per-stage scratch: the fan-out observations handed to `sink`.
+    /// Stays empty when no sink is installed.
+    stage_observations: Vec<StageObservation>,
 }
 
 impl Default for QueryEngine<'_> {
@@ -679,7 +730,21 @@ impl<'a> QueryEngine<'a> {
             allocation: Vec::new(),
             detections_buf: Vec::new(),
             pick_shards: Vec::new(),
+            sink: None,
+            stage_observations: Vec::new(),
         }
+    }
+
+    /// Install a checkpoint hook at the stage-commit boundary (see
+    /// [`StageSink`]).  The sink is invoked serially once per stage with the
+    /// stage's observations in deterministic (query registration, pick)
+    /// order; a sink error aborts the run with
+    /// [`EngineError::CheckpointFailed`].  Installing a sink never changes
+    /// any query's outcome — only whether the run's belief updates are also
+    /// handed to the sink — which the engine's sink test pins down.
+    pub fn stage_sink(mut self, sink: Box<dyn StageSink + 'a>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Enable or disable cross-query frame coalescing (enabled by default).
@@ -1064,6 +1129,13 @@ impl<'a> QueryEngine<'a> {
             return Ok(None);
         }
 
+        // Observation collection is active only when a sink is installed, so
+        // sink-less runs pay nothing.  The scratch vector is moved out of
+        // `self` for the stage (the fan-out borrows `self` mutably) and moved
+        // back after the flush so its allocation is reused across stages.
+        let mut observations = std::mem::take(&mut self.stage_observations);
+        let collecting = self.sink.is_some();
+
         let mut detector_frames = 0u64;
         let mut detector_calls = 0u64;
         let mut stage_retries = 0u64;
@@ -1110,7 +1182,14 @@ impl<'a> QueryEngine<'a> {
                     detector_calls = 1;
                     detector_frames = picks.len() as u64;
                     for (&frame, detections) in picks.iter().zip(self.detections_buf.drain(..)) {
-                        let new_hits = Self::observe_frame(q, frame, &detections);
+                        let new_hits = Self::observe_frame(
+                            q,
+                            index,
+                            frame,
+                            &detections,
+                            collecting,
+                            &mut observations,
+                        );
                         self.workers[0].record_observation(index, new_hits);
                     }
                     self.workers[0].record_direct(slot, detector_frames, detector_calls);
@@ -1153,7 +1232,14 @@ impl<'a> QueryEngine<'a> {
                         match outcome {
                             Ok(detections) => {
                                 detector_frames += 1;
-                                let new_hits = Self::observe_frame(q, frame, &detections);
+                                let new_hits = Self::observe_frame(
+                                    q,
+                                    index,
+                                    frame,
+                                    &detections,
+                                    collecting,
+                                    &mut observations,
+                                );
                                 self.workers[0].record_observation(index, new_hits);
                             }
                             Err(error) => {
@@ -1204,6 +1290,7 @@ impl<'a> QueryEngine<'a> {
                 &mut stage_retries,
                 &mut stage_failed,
                 &mut stage_backoff,
+                &mut observations,
             )?;
         }
         self.apply_quarantine();
@@ -1230,6 +1317,12 @@ impl<'a> QueryEngine<'a> {
             batches: stage_batches,
             cache: stage_cache,
         };
+        // Stage commit: flush the sink at the same serial seam as the cache
+        // transaction, before the stage counter advances.  A sink error
+        // abandons the stage's stats exactly like a detector failure would.
+        let flush = self.flush_stage_sink(self.stages, &mut observations);
+        self.stage_observations = observations;
+        flush?;
         self.stages += 1;
         self.demanded_frames += demanded;
         self.detector_frames += detector_frames;
@@ -1238,6 +1331,26 @@ impl<'a> QueryEngine<'a> {
         self.failed_frames += stage_failed;
         self.backoff_total += stage_backoff;
         Ok(Some(stats))
+    }
+
+    /// Hand the stage's observations to the installed sink (if any) and
+    /// clear the scratch buffer either way.  Runs serially at the
+    /// stage-commit boundary — the same serial seam as the cache transaction
+    /// — so a sink never sees concurrent calls, and maps a sink refusal to
+    /// [`EngineError::CheckpointFailed`].
+    fn flush_stage_sink(
+        &mut self,
+        stage: u64,
+        observations: &mut Vec<StageObservation>,
+    ) -> Result<(), EngineError> {
+        let result = match self.sink.as_mut() {
+            Some(sink) => sink
+                .stage_committed(stage, observations)
+                .map_err(|message| EngineError::CheckpointFailed { stage, message }),
+            None => Ok(()),
+        };
+        observations.clear();
+        result
     }
 
     /// Accrue `failures` failed frames against registry slot `slot`.
@@ -1271,11 +1384,24 @@ impl<'a> QueryEngine<'a> {
     /// feedback, budget and trajectory bookkeeping.  Returns the number of
     /// ground-truth instances first found on this frame (the per-shard hit
     /// tally).
-    fn observe_frame(q: &mut QueryState<'_>, frame: FrameId, detections: &FrameDetections) -> u64 {
+    ///
+    /// When `collect` is set (a [`StageSink`] is installed) the frame's
+    /// belief update is also pushed onto `observations` — at the same code
+    /// point that feeds the policy, so the sink sees exactly what the
+    /// sampler saw, in the same (registration, pick) order.
+    fn observe_frame(
+        q: &mut QueryState<'_>,
+        query: usize,
+        frame: FrameId,
+        detections: &FrameDetections,
+        collect: bool,
+        observations: &mut Vec<StageObservation>,
+    ) -> u64 {
         let outcome = q.discriminator.observe(detections);
         q.policy.record(frame, &outcome);
         q.frames_processed += 1;
         let mut new_hits = 0u64;
+        let mut new_instances = Vec::new();
         for det in &outcome.new {
             if let Some(id) = det.truth {
                 if q.found_true.insert(id) {
@@ -1284,8 +1410,20 @@ impl<'a> QueryEngine<'a> {
                         frames: q.frames_processed,
                         found: q.found_true.len(),
                     });
+                    if collect {
+                        new_instances.push(id);
+                    }
                 }
             }
+        }
+        if collect {
+            observations.push(StageObservation {
+                query,
+                frame,
+                n1_delta: outcome.n1_delta(),
+                new_hits,
+                new_instances,
+            });
         }
         new_hits
     }
@@ -1318,7 +1456,11 @@ impl<'a> QueryEngine<'a> {
         stage_retries: &mut u64,
         stage_failed: &mut u64,
         stage_backoff: &mut u64,
+        observations: &mut Vec<StageObservation>,
     ) -> Result<(), EngineError> {
+        // `observations` is the taken-out staging buffer, so the sink itself
+        // is untouched during the stage — its presence is the collect flag.
+        let collect = self.sink.is_some();
         // Logical grouping: one group per distinct detector among the picking
         // queries (per picking query when coalescing is off).
         self.stage_detectors.clear();
@@ -1551,7 +1693,8 @@ impl<'a> QueryEngine<'a> {
                 // degradation is tallied instead.
                 match worker.result(group, frame) {
                     Some(detections) => {
-                        let new_hits = Self::observe_frame(q, frame, detections);
+                        let new_hits =
+                            Self::observe_frame(q, i, frame, detections, collect, observations);
                         worker.record_observation(i, new_hits);
                     }
                     None => {
@@ -1961,6 +2104,11 @@ impl<'a> QueryEngine<'a> {
             }
 
             // FAN-OUT n in registration order, replaying the staged shards.
+            // Observation collection mirrors the non-overlapped path: the
+            // scratch vector is taken for the fan-out and handed back after
+            // the serial sink flush below.
+            let mut observations = std::mem::take(&mut self.stage_observations);
+            let collecting = self.sink.is_some();
             let mut routed = 0usize;
             for i in 0..self.queries.len() {
                 let group = current.membership[i];
@@ -1974,7 +2122,14 @@ impl<'a> QueryEngine<'a> {
                     let worker = &mut self.workers[shard];
                     match worker.result(group, frame) {
                         Some(detections) => {
-                            let new_hits = Self::observe_frame(q, frame, detections);
+                            let new_hits = Self::observe_frame(
+                                q,
+                                i,
+                                frame,
+                                detections,
+                                collecting,
+                                &mut observations,
+                            );
                             worker.record_observation(i, new_hits);
                         }
                         None => {
@@ -1999,6 +2154,12 @@ impl<'a> QueryEngine<'a> {
                 batches: stage_batches,
                 cache: stage_cache,
             };
+            // Stage commit under overlap uses the *logical* stage number the
+            // picks were scheduled with, so the sink's record of the run is
+            // identical to a non-overlapped run of the same seed.
+            let flush = self.flush_stage_sink(current.stage, &mut observations);
+            self.stage_observations = observations;
+            flush?;
             self.stages += 1;
             self.demanded_frames += current.demanded;
             self.detector_frames += detector_frames;

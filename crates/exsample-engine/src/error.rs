@@ -99,6 +99,20 @@ pub enum EngineError {
         /// The rejected stripe count.
         stripes: usize,
     },
+    /// The installed [`crate::StageSink`] rejected a stage commit.
+    ///
+    /// The sink is flushed serially at the stage-commit boundary; a sink that
+    /// cannot persist the stage's observations (e.g. a durable checkpoint
+    /// store hitting an I/O failure) aborts the run here rather than letting
+    /// the in-memory run drift ahead of its checkpoint.  The message is the
+    /// sink's own description; sinks that carry a richer typed error keep it
+    /// on their side of the seam and re-chain it at their layer.
+    CheckpointFailed {
+        /// The stage whose commit the sink rejected.
+        stage: u64,
+        /// The sink's description of the failure.
+        message: String,
+    },
     /// A worker lane's detect pass panicked during a parallel stage.
     ///
     /// Both dispatch runtimes catch detector panics on every lane (the pooled
@@ -148,6 +162,10 @@ impl fmt::Display for EngineError {
                 f,
                 "the detections cache needs a positive capacity and stripe count \
                  (got capacity {capacity}, stripes {stripes})"
+            ),
+            EngineError::CheckpointFailed { stage, message } => write!(
+                f,
+                "the stage sink rejected the commit of stage {stage}: {message}"
             ),
             EngineError::WorkerPanicked { message } => write!(
                 f,
@@ -209,6 +227,13 @@ mod tests {
         assert!(cache.to_string().contains("capacity 0"));
         assert!(cache.to_string().contains("stripes 4"));
         assert!(std::error::Error::source(&cache).is_none());
+        let checkpoint = EngineError::CheckpointFailed {
+            stage: 7,
+            message: "log append hit EIO".to_string(),
+        };
+        assert!(checkpoint.to_string().contains("stage 7"));
+        assert!(checkpoint.to_string().contains("EIO"));
+        assert!(std::error::Error::source(&checkpoint).is_none());
         let panicked = EngineError::WorkerPanicked {
             message: "detector exploded".to_string(),
         };

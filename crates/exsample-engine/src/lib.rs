@@ -190,7 +190,7 @@ pub use cache::{
 pub use driver::{run_query, QueryOutcome};
 pub use engine::{
     BatchAggregation, EngineReport, ExecutionMode, FailureMode, QueryEngine, QueryReport,
-    QuerySpec, RetryPolicy, StageStats, StopReason, TrajectoryPoint,
+    QuerySpec, RetryPolicy, StageObservation, StageSink, StageStats, StopReason, TrajectoryPoint,
 };
 pub use error::{ChunkCountMismatch, EngineError};
 pub use exsample_core::SelectionTelemetry;

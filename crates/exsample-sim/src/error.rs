@@ -7,6 +7,7 @@
 //! mistakes — as [`SimError`]s instead of panicking.
 
 use exsample_engine::EngineError;
+use exsample_store::StoreError;
 use std::fmt;
 
 /// A configuration or execution error from the simulation harness.
@@ -14,6 +15,13 @@ use std::fmt;
 pub enum SimError {
     /// The execution engine rejected the run's configuration.
     Engine(EngineError),
+    /// The durable belief store failed — opening or recovering a checkpoint
+    /// directory, persisting a stage commit, or writing the final snapshot
+    /// (see [`crate::QueryRunner::checkpoint`] and
+    /// [`crate::QueryRunner::warm_start`]).  When a stage commit fails
+    /// mid-run the runner re-chains the concrete [`StoreError`] here instead
+    /// of surfacing the engine's stringly-typed `CheckpointFailed`.
+    Store(StoreError),
     /// A query was run over a dataset with no object classes and no explicit
     /// query class.
     NoClasses,
@@ -25,6 +33,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Engine(inner) => inner.fmt(f),
+            SimError::Store(inner) => inner.fmt(f),
             SimError::NoClasses => write!(
                 f,
                 "the dataset has no object classes and no query class was chosen"
@@ -38,6 +47,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Engine(inner) => Some(inner),
+            SimError::Store(inner) => Some(inner),
             _ => None,
         }
     }
@@ -46,6 +56,12 @@ impl std::error::Error for SimError {
 impl From<EngineError> for SimError {
     fn from(inner: EngineError) -> Self {
         SimError::Engine(inner)
+    }
+}
+
+impl From<StoreError> for SimError {
+    fn from(inner: StoreError) -> Self {
+        SimError::Store(inner)
     }
 }
 
@@ -65,5 +81,10 @@ mod tests {
             .to_string()
             .contains("at least one trial"));
         assert!(std::error::Error::source(&SimError::NoTrials).is_none());
+        let store = SimError::from(StoreError::InvalidRecord {
+            detail: "class id 9 was never interned".to_string(),
+        });
+        assert!(store.to_string().contains("class id 9"));
+        assert!(std::error::Error::source(&store).is_some());
     }
 }

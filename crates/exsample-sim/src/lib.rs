@@ -18,6 +18,11 @@
 //!   those workers on the engine's persistent per-run worker pool, both
 //!   bitwise-identical to the serial unsharded run (`parallel(0)` is the
 //!   engine's typed `InvalidExecution` error).
+//! * [`checkpoint`] (private) — the bridge from the engine's stage-commit
+//!   hook to the crash-safe `exsample-store` belief store:
+//!   `QueryRunner::checkpoint(path)` persists every committed stage's belief
+//!   deltas and results, `QueryRunner::warm_start(path)` seeds a fresh
+//!   ExSample run from a recovered store's posterior.
 //! * [`metrics`] — recall trajectories, frames-to-recall, savings ratios, and
 //!   aggregation of trajectories across trials.
 //! * [`sweep`] — run many trials (optionally in parallel) and collect their
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod checkpoint;
 pub mod clock;
 pub mod error;
 pub mod metrics;

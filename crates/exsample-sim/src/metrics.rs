@@ -142,6 +142,7 @@ mod tests {
             dropped_frames: 0,
             selection: None,
             cache: None,
+            store: None,
         }
     }
 

@@ -21,6 +21,7 @@
 //! Configuration and execution errors surface as typed [`SimError`]s instead
 //! of panics.
 
+use crate::checkpoint::{CheckpointSink, SharedStore, StoreErrorCell};
 use crate::clock::VirtualClock;
 use crate::error::SimError;
 use exsample_baselines::{
@@ -37,8 +38,12 @@ use exsample_engine::{
     QueryEngine, QuerySpec, RetryPolicy, SamplingPolicy, SelectionTelemetry, ShardRouter,
 };
 use exsample_rand::SeedSequence;
+use exsample_store::{BeliefStore, StoreHealth};
 use exsample_track::{Discriminator, OracleDiscriminator, TrackingDiscriminator};
 use exsample_video::DecodeCostModel;
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// When to stop a query run.
@@ -126,6 +131,11 @@ pub struct RunResult {
     /// enabled the cache): hits, misses, evictions and admission rejects
     /// accumulated over the run.
     pub cache: Option<CacheActivity>,
+    /// Durable-store health counters (`Some` only when
+    /// [`QueryRunner::checkpoint`] enabled checkpointing): records replayed
+    /// and torn bytes discarded during recovery, snapshot compactions, and
+    /// storage retries over the run.
+    pub store: Option<StoreHealth>,
 }
 
 impl RunResult {
@@ -203,6 +213,12 @@ pub struct QueryRunner<'a> {
     /// Capacity of the engine's striped detections cache (0 = off, the
     /// default).
     cache: usize,
+    /// Directory of the durable belief store every committed stage is
+    /// persisted to (`None` = no checkpointing, the default).
+    checkpoint: Option<PathBuf>,
+    /// Directory of a recovered belief store to seed an ExSample run's
+    /// posterior from (`None` = cold start, the default).
+    warm_start: Option<PathBuf>,
 }
 
 impl<'a> QueryRunner<'a> {
@@ -227,7 +243,39 @@ impl<'a> QueryRunner<'a> {
             overlap: false,
             aggregation: None,
             cache: 0,
+            checkpoint: None,
+            warm_start: None,
         }
+    }
+
+    /// Persist every committed stage's belief deltas and newly found results
+    /// to a crash-safe [`BeliefStore`] in `path` (created/recovered on run
+    /// start; a torn tail from a killed run is truncated and the surviving
+    /// log replayed).  The store is compacted into a snapshot when the run
+    /// completes; its health counters land in [`RunResult::store`].
+    ///
+    /// Checkpointing is a pure observer: outcomes, picks and the virtual
+    /// clock are bitwise-identical to the uncheckpointed run.  A storage
+    /// failure mid-run aborts the run with the concrete
+    /// [`SimError::Store`] error.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Seed an ExSample run's per-chunk posterior from the belief store in
+    /// `path` (recovered exactly as [`QueryRunner::checkpoint`] would) before
+    /// sampling starts, instead of starting from the prior.
+    ///
+    /// Only the belief is seeded — the frame pool is untouched, so the warm
+    /// run may re-pick frames a previous run already saw; what it skips is
+    /// the exploration those earlier samples paid for.  Ignored for methods
+    /// other than [`MethodKind::ExSample`] (the baselines keep no per-chunk
+    /// posterior).  A store with no record of the query class warm-starts to
+    /// the prior (a cold start).
+    pub fn warm_start(mut self, path: impl Into<PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
     }
 
     /// Query a specific object class.
@@ -367,12 +415,28 @@ impl<'a> QueryRunner<'a> {
     }
 
     /// Run with a pre-built ExSample sampler (constructed over
-    /// `dataset.chunk_lengths()`).
+    /// `dataset.chunk_lengths()`).  With [`QueryRunner::warm_start`] set, the
+    /// sampler's posterior is seeded from the recovered store first.
     ///
     /// # Errors
     /// Returns [`SimError::Engine`] if the sampler's chunk count does not
-    /// match the dataset's chunking.
-    pub fn run_exsample(self, sampler: ExSample) -> Result<RunResult, SimError> {
+    /// match the dataset's chunking, and [`SimError::Store`] if the
+    /// warm-start store cannot be recovered.
+    pub fn run_exsample(self, mut sampler: ExSample) -> Result<RunResult, SimError> {
+        if let Some(path) = &self.warm_start {
+            let class = self.query_class()?;
+            let (store, _) = BeliefStore::open_dir(path)?;
+            // A store that never saw this class seeds nothing: the warm
+            // start degenerates to a cold one instead of erroring, so a
+            // first run and a resumed run share one code path.
+            if let Some(class_id) = store.state().class_id(class.name()) {
+                for (chunk, cell) in store.state().beliefs_for(class_id) {
+                    if (chunk as usize) < sampler.chunk_count() {
+                        sampler.apply_prior(chunk as usize, cell.n1, cell.samples);
+                    }
+                }
+            }
+        }
         let policy = ExSamplePolicy::from_sampler(sampler, self.dataset.chunking())?;
         self.run_policy("exsample".to_string(), 0, Box::new(policy))
     }
@@ -386,6 +450,12 @@ impl<'a> QueryRunner<'a> {
         let total = self.dataset.total_frames();
         match kind {
             MethodKind::ExSample(config) => {
+                if self.warm_start.is_some() {
+                    // The warm-start seam is the sampler itself; route
+                    // through the pre-built-sampler path to seed it.
+                    let sampler = ExSample::new(config, &self.dataset.chunk_lengths());
+                    return self.run_exsample(sampler);
+                }
                 let policy = ExSamplePolicy::new(config, self.dataset.chunking());
                 self.run_policy("exsample".to_string(), 0, Box::new(policy))
             }
@@ -502,6 +572,26 @@ impl<'a> QueryRunner<'a> {
         if self.cache > 0 {
             engine = engine.cache_capacity(self.cache);
         }
+        // Durable checkpointing: open (and, after a kill, recover) the
+        // belief store, then hook it into the engine's serial stage-commit
+        // seam.  The store is shared with this function so the final
+        // snapshot and health counters outlive the engine.
+        let durable: Option<(SharedStore, StoreErrorCell)> = match &self.checkpoint {
+            None => None,
+            Some(path) => {
+                let (mut store, _recovery) = BeliefStore::open_dir(path)?;
+                let class_id = store.intern_class(class.name());
+                let store: SharedStore = Rc::new(RefCell::new(store));
+                let error: StoreErrorCell = Rc::new(RefCell::new(None));
+                engine = engine.stage_sink(Box::new(CheckpointSink {
+                    store: Rc::clone(&store),
+                    error: Rc::clone(&error),
+                    class: class_id,
+                    chunking: self.dataset.chunking(),
+                }));
+                Some((store, error))
+            }
+        };
         match self.parallel {
             // 1 is serial execution under another name; skip the mode change
             // so the engine stays on its historical default.
@@ -514,8 +604,22 @@ impl<'a> QueryRunner<'a> {
         engine.push(spec)?;
         // Retry backoff is charged as frame-equivalent sampled cost so the
         // virtual clock stays deterministic (no wall-clock sleeping).
-        let report = engine
-            .run_with(|stage| clock.charge_sampled(stage.detector_frames + stage.backoff_cost))?;
+        let report = match engine
+            .run_with(|stage| clock.charge_sampled(stage.detector_frames + stage.backoff_cost))
+        {
+            Ok(report) => report,
+            Err(error) => {
+                // The engine's sink seam is stringly typed; if the sink
+                // parked a concrete store error behind the CheckpointFailed
+                // it raised, re-chain that instead.
+                if let Some((_, cell)) = &durable {
+                    if let Some(store_error) = cell.borrow_mut().take() {
+                        return Err(SimError::Store(store_error));
+                    }
+                }
+                return Err(error.into());
+            }
+        };
         let detect_retries = report.detect_retries;
         let failed_frames = report.failed_frames;
         let cache = (self.cache > 0).then_some(report.cache);
@@ -524,6 +628,18 @@ impl<'a> QueryRunner<'a> {
             .into_iter()
             .next()
             .ok_or(SimError::Engine(exsample_engine::EngineError::NoQueries))?;
+
+        // Final checkpoint: compact the committed state into a snapshot so
+        // the next run (warm start or resume) recovers from the snapshot
+        // instead of replaying the whole log.
+        let store = match &durable {
+            None => None,
+            Some((store, _)) => {
+                let mut store = store.borrow_mut();
+                store.checkpoint()?;
+                Some(store.health())
+            }
+        };
 
         Ok(RunResult {
             method: name,
@@ -541,6 +657,7 @@ impl<'a> QueryRunner<'a> {
             dropped_frames: outcome.dropped_frames,
             selection: outcome.selection,
             cache,
+            store,
         })
     }
 }

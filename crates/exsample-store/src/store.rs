@@ -1,0 +1,917 @@
+//! The durable belief store: append-only log + snapshot compaction +
+//! torn-tail recovery.
+//!
+//! # Files
+//!
+//! A store directory holds up to three flat files:
+//!
+//! * `log` — append-only [`Record`] frames.  Always begins with a
+//!   [`Record::Generation`] marker tying it to the snapshot it extends.
+//! * `snapshot` — the compacted absolute state, written atomically
+//!   (temp-write → fsync → rename).  Begins with
+//!   [`Record::SnapshotHeader`].
+//! * `snapshot.tmp` — in-flight compaction output; removed on open.
+//!
+//! # Commit protocol
+//!
+//! Callers stage records with [`BeliefStore::append_delta`] /
+//! [`BeliefStore::append_result`], then make a stage durable with
+//! [`BeliefStore::commit_stage`]: the staged records plus a
+//! [`Record::StageCommit`] marker are appended to the log in **one** write
+//! and fsynced, then folded into the in-memory state.  Recovery folds log
+//! records into state only up to the last commit marker, so a stage is
+//! atomic: either its commit frame survived and the whole stage is applied,
+//! or none of it is.
+//!
+//! # Recovery rules
+//!
+//! 1. Delete `snapshot.tmp` (an interrupted compaction's scratch).
+//! 2. Load `snapshot` if present; it must parse completely (snapshots are
+//!    written atomically, so damage here is [`StoreError::CorruptSnapshot`],
+//!    never silently dropped).
+//! 3. Scan `log` frame by frame.  The first invalid frame (incomplete
+//!    header, truncated payload, CRC mismatch, undecodable payload) is the
+//!    **torn tail**: it and everything after it are discarded.
+//! 4. Records replay onto the snapshot only while the log's generation
+//!    marker matches the snapshot's generation, and only up to the last
+//!    [`Record::StageCommit`].  A stale-generation log (the leftover of a
+//!    crash between snapshot-rename and log-truncate) is discarded whole —
+//!    its contents are already inside the snapshot, and skipping it is what
+//!    prevents double-apply.
+//! 5. The log file is physically truncated back to the last committed
+//!    frame (or reset to a fresh generation marker), so a recovered store
+//!    is byte-for-byte a store that never crashed.
+//!
+//! All mutating I/O goes through durable helpers that retry transient
+//! failures (`ErrorKind::Interrupted`) and roll back short writes by
+//! truncating to the pre-write length before retrying — a half-appended
+//! frame is never left in front of a later good frame.
+
+use crate::error::StoreError;
+use crate::record::{encode_frames, next_frame, FrameScan, Record};
+use crate::storage::{FsStorage, Storage};
+use std::collections::BTreeMap;
+
+const LOG: &str = "log";
+const SNAPSHOT: &str = "snapshot";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Retry budget for one durable operation's transient failures.
+const MAX_ATTEMPTS: u32 = 8;
+
+/// Default number of stage commits between snapshot compactions.
+const DEFAULT_COMPACT_EVERY: u64 = 64;
+
+/// One `(class, chunk)` belief cell: the ExSample posterior statistics
+/// `N1` (signed: track re-matches subtract) and the sample count `n`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BeliefCell {
+    /// Accumulated `N1` for the chunk.
+    pub n1: i64,
+    /// Accumulated sample count `n` for the chunk.
+    pub samples: u64,
+}
+
+/// One recovered distinct result: where and when an instance was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultCell {
+    /// Frame the instance was first found on.
+    pub frame: u64,
+    /// Stage of the find.
+    pub stage: u64,
+}
+
+/// The merged durable state: interned classes, per-`(class, chunk)` belief
+/// cells, and distinct results.  Deterministically ordered (`BTreeMap`s) so
+/// two stores that applied the same commits compare — and iterate —
+/// bitwise-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BeliefState {
+    classes: Vec<String>,
+    beliefs: BTreeMap<(u32, u32), BeliefCell>,
+    results: BTreeMap<(u32, u64), ResultCell>,
+}
+
+impl BeliefState {
+    /// Interned class names, densest id first.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// The id a class name was interned to, if it ever appeared.
+    pub fn class_id(&self, name: &str) -> Option<u32> {
+        self.classes
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as u32)
+    }
+
+    /// One belief cell, if the `(class, chunk)` pair ever recorded.
+    pub fn belief(&self, class: u32, chunk: u32) -> Option<BeliefCell> {
+        self.beliefs.get(&(class, chunk)).copied()
+    }
+
+    /// All belief cells, ordered by `(class, chunk)`.
+    pub fn beliefs(&self) -> impl Iterator<Item = ((u32, u32), BeliefCell)> + '_ {
+        self.beliefs.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The belief cells of one class, ordered by chunk.
+    pub fn beliefs_for(&self, class: u32) -> impl Iterator<Item = (u32, BeliefCell)> + '_ {
+        self.beliefs
+            .range((class, 0)..=(class, u32::MAX))
+            .map(|(&(_, chunk), &cell)| (chunk, cell))
+    }
+
+    /// All distinct results, ordered by `(class, instance)`.
+    pub fn results(&self) -> impl Iterator<Item = ((u32, u64), ResultCell)> + '_ {
+        self.results.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// How many distinct instances a class has recorded.
+    pub fn result_count(&self, class: u32) -> usize {
+        self.results.range((class, 0)..=(class, u64::MAX)).count()
+    }
+
+    /// Fold one record into the state.  Lenient by design: a record that
+    /// does not fit (unknown class, duplicate intern) is skipped, because
+    /// recovery must never panic or refuse a log whose frames all passed
+    /// their CRCs.  Returns whether the record was applied.
+    fn apply(&mut self, record: &Record) -> bool {
+        match record {
+            Record::ClassName { class, name } => {
+                let id = *class as usize;
+                if id == self.classes.len() {
+                    self.classes.push(name.clone());
+                    true
+                } else {
+                    // Re-interning an existing id is idempotent; a gap is
+                    // skipped (see method docs).
+                    id < self.classes.len()
+                }
+            }
+            Record::BeliefDelta {
+                class,
+                chunk,
+                n1_delta,
+                samples_delta,
+                ..
+            } => {
+                let cell = self.beliefs.entry((*class, *chunk)).or_default();
+                cell.n1 += n1_delta;
+                cell.samples += samples_delta;
+                true
+            }
+            Record::BeliefTotal {
+                class,
+                chunk,
+                n1,
+                samples,
+            } => {
+                self.beliefs.insert(
+                    (*class, *chunk),
+                    BeliefCell {
+                        n1: *n1,
+                        samples: *samples,
+                    },
+                );
+                true
+            }
+            Record::ResultFound {
+                class,
+                frame,
+                instance,
+                stage,
+            } => {
+                // First find wins; later sightings of the same instance are
+                // legal in the log (e.g. repeated trials) but change nothing.
+                self.results
+                    .entry((*class, *instance))
+                    .or_insert(ResultCell {
+                        frame: *frame,
+                        stage: *stage,
+                    });
+                true
+            }
+            // Structural records carry no state.
+            Record::SnapshotHeader { .. }
+            | Record::Generation { .. }
+            | Record::StageCommit { .. } => false,
+        }
+    }
+}
+
+/// Cumulative health counters, reported into `RunResult` like the detector
+/// fault tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Log records folded into state during recovery.
+    pub records_replayed: u64,
+    /// Bytes discarded from the log tail during recovery (the torn tail
+    /// plus any valid-but-uncommitted suffix).
+    pub torn_tail_bytes: u64,
+    /// Snapshot compactions performed.
+    pub snapshot_compactions: u64,
+    /// Transient I/O failures and short writes absorbed by retrying.
+    pub io_retries: u64,
+}
+
+impl StoreHealth {
+    /// Sum another health report into this one (e.g. a warm-start open plus
+    /// a checkpoint store's run counters).
+    pub fn merge(&mut self, other: &StoreHealth) {
+        self.records_replayed += other.records_replayed;
+        self.torn_tail_bytes += other.torn_tail_bytes;
+        self.snapshot_compactions += other.snapshot_compactions;
+        self.io_retries += other.io_retries;
+    }
+}
+
+/// What [`BeliefStore::open`] found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The live snapshot generation (0 for a virgin store).
+    pub generation: u64,
+    /// The last committed stage visible after recovery.
+    pub last_committed_stage: Option<u64>,
+    /// Log records folded into state.
+    pub records_replayed: u64,
+    /// Bytes discarded from the log tail.
+    pub torn_tail_bytes: u64,
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+}
+
+/// The crash-safe durable belief store.  See the module docs for the file
+/// layout, commit protocol and recovery rules.
+pub struct BeliefStore {
+    storage: Box<dyn Storage>,
+    state: BeliefState,
+    pending: Vec<Record>,
+    generation: u64,
+    last_committed_stage: Option<u64>,
+    commits_since_compact: u64,
+    compact_every: u64,
+    health: StoreHealth,
+}
+
+impl std::fmt::Debug for BeliefStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BeliefStore")
+            .field("generation", &self.generation)
+            .field("last_committed_stage", &self.last_committed_stage)
+            .field("pending", &self.pending.len())
+            .field("health", &self.health)
+            .finish()
+    }
+}
+
+impl BeliefStore {
+    /// Open a store over `storage`, running recovery.  Returns the store and
+    /// what recovery found.
+    pub fn open<S: Storage + 'static>(storage: S) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_boxed(Box::new(storage))
+    }
+
+    /// Open a store rooted at a real directory.
+    pub fn open_dir(
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_boxed(Box::new(FsStorage::open(path)?))
+    }
+
+    fn open_boxed(storage: Box<dyn Storage>) -> Result<(Self, RecoveryReport), StoreError> {
+        let mut store = BeliefStore {
+            storage,
+            state: BeliefState::default(),
+            pending: Vec::new(),
+            generation: 0,
+            last_committed_stage: None,
+            commits_since_compact: 0,
+            compact_every: DEFAULT_COMPACT_EVERY,
+            health: StoreHealth::default(),
+        };
+        let report = store.recover()?;
+        Ok((store, report))
+    }
+
+    /// Recovery rule 1–5 (see module docs).
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        self.remove_durably(SNAPSHOT_TMP)?;
+
+        // Rule 2: the snapshot, which must parse completely.
+        let snapshot_loaded = if let Some(bytes) = self.storage.read(SNAPSHOT)? {
+            self.load_snapshot(&bytes)?;
+            true
+        } else {
+            false
+        };
+
+        // Rules 3–4: scan the log, fold committed records of the live
+        // generation, note where the keepable bytes end.
+        let log = self.storage.read(LOG)?.unwrap_or_default();
+        let mut pos = 0usize;
+        let mut keep_end = 0usize;
+        let mut replay_generation = 0u64;
+        let mut stale = false;
+        let mut staged: Vec<Record> = Vec::new();
+        let mut replayed = 0u64;
+        loop {
+            match next_frame(&log, pos) {
+                FrameScan::End => break,
+                FrameScan::Torn => break,
+                FrameScan::Complete { record, next } => {
+                    match record {
+                        Record::Generation { generation } => {
+                            replay_generation = generation;
+                            if generation == self.generation {
+                                keep_end = next;
+                            } else {
+                                stale = true;
+                            }
+                        }
+                        Record::StageCommit { stage } if replay_generation == self.generation => {
+                            for record in staged.drain(..) {
+                                if self.state.apply(&record) {
+                                    replayed += 1;
+                                }
+                            }
+                            replayed += 1; // the commit marker itself
+                            self.last_committed_stage = Some(stage);
+                            keep_end = next;
+                        }
+                        _ if replay_generation == self.generation => staged.push(record),
+                        _ => stale = true,
+                    }
+                    pos = next;
+                }
+            }
+        }
+
+        // Rule 5: make the on-disk log match what replay accepted.
+        let torn = if stale {
+            // The whole log predates the live snapshot: its effects are
+            // already inside it.  Start a fresh generation-marked log.
+            let dropped = log.len() as u64;
+            self.reset_log()?;
+            dropped
+        } else {
+            let dropped = (log.len() - keep_end) as u64;
+            if keep_end == 0 {
+                // Nothing worth keeping (virgin store, or the generation
+                // marker itself was torn): rewrite the marker from scratch.
+                self.reset_log()?;
+            } else if dropped > 0 {
+                self.truncate_durably(LOG, keep_end as u64)?;
+                self.sync_durably(LOG)?;
+            }
+            dropped
+        };
+
+        self.health.records_replayed += replayed;
+        self.health.torn_tail_bytes += torn;
+        Ok(RecoveryReport {
+            generation: self.generation,
+            last_committed_stage: self.last_committed_stage,
+            records_replayed: replayed,
+            torn_tail_bytes: torn,
+            snapshot_loaded,
+        })
+    }
+
+    fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut pos = 0usize;
+        let mut first = true;
+        loop {
+            match next_frame(bytes, pos) {
+                FrameScan::End => break,
+                FrameScan::Torn => {
+                    return Err(StoreError::CorruptSnapshot {
+                        offset: pos as u64,
+                        detail:
+                            "invalid frame (snapshots are written atomically; this file is damaged)"
+                                .to_string(),
+                    });
+                }
+                FrameScan::Complete { record, next } => {
+                    if first {
+                        let Record::SnapshotHeader {
+                            generation,
+                            last_stage,
+                        } = record
+                        else {
+                            return Err(StoreError::CorruptSnapshot {
+                                offset: pos as u64,
+                                detail: "first record is not a snapshot header".to_string(),
+                            });
+                        };
+                        self.generation = generation;
+                        self.last_committed_stage = last_stage;
+                        first = false;
+                    } else {
+                        self.state.apply(&record);
+                    }
+                    pos = next;
+                }
+            }
+        }
+        if first {
+            return Err(StoreError::CorruptSnapshot {
+                offset: 0,
+                detail: "snapshot is empty".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Truncate the log and write a fresh generation marker.
+    fn reset_log(&mut self) -> Result<(), StoreError> {
+        self.truncate_durably(LOG, 0)?;
+        let marker = encode_frames(&[Record::Generation {
+            generation: self.generation,
+        }]);
+        self.append_durably(LOG, &marker)?;
+        self.sync_durably(LOG)
+    }
+
+    /// Intern a detector-class name, staging a [`Record::ClassName`] for the
+    /// next commit if it is new.
+    pub fn intern_class(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.state.class_id(name) {
+            return id;
+        }
+        let id = self.state.classes.len() as u32;
+        let record = Record::ClassName {
+            class: id,
+            name: name.to_string(),
+        };
+        self.state.apply(&record);
+        self.pending.push(record);
+        id
+    }
+
+    /// Stage one belief delta for the next commit.
+    pub fn append_delta(
+        &mut self,
+        class: u32,
+        chunk: u32,
+        n1_delta: i64,
+        samples_delta: u64,
+        stage: u64,
+    ) -> Result<(), StoreError> {
+        self.check_class(class)?;
+        self.pending.push(Record::BeliefDelta {
+            class,
+            chunk,
+            n1_delta,
+            samples_delta,
+            stage,
+        });
+        Ok(())
+    }
+
+    /// Stage one distinct-result record for the next commit.
+    pub fn append_result(
+        &mut self,
+        class: u32,
+        frame: u64,
+        instance: u64,
+        stage: u64,
+    ) -> Result<(), StoreError> {
+        self.check_class(class)?;
+        self.pending.push(Record::ResultFound {
+            class,
+            frame,
+            instance,
+            stage,
+        });
+        Ok(())
+    }
+
+    fn check_class(&self, class: u32) -> Result<(), StoreError> {
+        if (class as usize) < self.state.classes.len() {
+            Ok(())
+        } else {
+            Err(StoreError::InvalidRecord {
+                detail: format!("class id {class} was never interned"),
+            })
+        }
+    }
+
+    /// Make the staged records durable as one atomic stage (see module
+    /// docs), then fold them into the in-memory state.  Commits with no
+    /// staged records still write the commit marker, advancing
+    /// [`BeliefStore::last_committed_stage`].
+    pub fn commit_stage(&mut self, stage: u64) -> Result<(), StoreError> {
+        self.pending.push(Record::StageCommit { stage });
+        let bytes = encode_frames(&self.pending);
+        self.append_durably(LOG, &bytes)?;
+        self.sync_durably(LOG)?;
+        for record in std::mem::take(&mut self.pending) {
+            self.state.apply(&record);
+        }
+        self.last_committed_stage = Some(stage);
+        self.commits_since_compact += 1;
+        if self.commits_since_compact >= self.compact_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Force a snapshot compaction now (also called automatically every
+    /// `compact_every` commits).  Uncommitted staged records are not
+    /// included — only committed state is ever snapshotted.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.compact()
+    }
+
+    /// Change the automatic compaction cadence (commits between snapshots).
+    pub fn set_compact_every(&mut self, commits: u64) {
+        self.compact_every = commits.max(1);
+    }
+
+    /// Temp-write → fsync → atomic rename, then restart the log under the
+    /// new generation.  Crash-safe at every step: recovery either sees the
+    /// old snapshot plus the full old log, or the new snapshot plus a log it
+    /// recognises as stale and discards (never both applied).
+    fn compact(&mut self) -> Result<(), StoreError> {
+        let next_generation = self.generation + 1;
+        let mut records = Vec::with_capacity(
+            1 + self.state.classes.len() + self.state.beliefs.len() + self.state.results.len(),
+        );
+        records.push(Record::SnapshotHeader {
+            generation: next_generation,
+            last_stage: self.last_committed_stage,
+        });
+        for (id, name) in self.state.classes.iter().enumerate() {
+            records.push(Record::ClassName {
+                class: id as u32,
+                name: name.clone(),
+            });
+        }
+        for (&(class, chunk), cell) in &self.state.beliefs {
+            records.push(Record::BeliefTotal {
+                class,
+                chunk,
+                n1: cell.n1,
+                samples: cell.samples,
+            });
+        }
+        for (&(class, instance), cell) in &self.state.results {
+            records.push(Record::ResultFound {
+                class,
+                frame: cell.frame,
+                instance,
+                stage: cell.stage,
+            });
+        }
+        let bytes = encode_frames(&records);
+        self.write_durably(SNAPSHOT_TMP, &bytes)?;
+        self.sync_durably(SNAPSHOT_TMP)?;
+        self.rename_durably(SNAPSHOT_TMP, SNAPSHOT)?;
+        self.generation = next_generation;
+        self.reset_log()?;
+        self.health.snapshot_compactions += 1;
+        self.commits_since_compact = 0;
+        Ok(())
+    }
+
+    /// The merged durable state (committed records only).
+    pub fn state(&self) -> &BeliefState {
+        &self.state
+    }
+
+    /// The last committed stage, if any stage ever committed.
+    pub fn last_committed_stage(&self) -> Option<u64> {
+        self.last_committed_stage
+    }
+
+    /// The live snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative health counters (recovery + run).
+    pub fn health(&self) -> StoreHealth {
+        self.health
+    }
+
+    /// Records staged but not yet committed.
+    pub fn pending_records(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ---- durable I/O helpers -------------------------------------------
+    //
+    // Each helper is one *logical* operation: it calls `begin_op` once, then
+    // retries transient failures (and rolls back short writes) up to
+    // MAX_ATTEMPTS physical attempts.  Every retry is counted in
+    // `health.io_retries`.
+
+    fn append_durably(&mut self, name: &'static str, bytes: &[u8]) -> Result<(), StoreError> {
+        let base = self.storage.len(name)?.unwrap_or(0);
+        self.storage.begin_op();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let failure = match self.storage.append(name, bytes) {
+                Ok(n) if n == bytes.len() => return Ok(()),
+                Ok(n) => StoreError::Io {
+                    op: "append",
+                    file: name.to_string(),
+                    kind: std::io::ErrorKind::WriteZero,
+                    message: format!("short write: {n} of {} bytes", bytes.len()),
+                },
+                Err(e) if e.is_transient() => e,
+                Err(e) => return Err(e),
+            };
+            // Roll the partial bytes back before retrying so a half frame is
+            // never left in front of the retried (good) one.
+            self.rollback(name, base)?;
+            self.health.io_retries += 1;
+            if attempts >= MAX_ATTEMPTS {
+                return Err(StoreError::RetriesExhausted {
+                    op: "append",
+                    file: name.to_string(),
+                    attempts,
+                    source: Box::new(failure),
+                });
+            }
+        }
+    }
+
+    /// Truncate back to `base` as part of an append retry (same logical op,
+    /// so no `begin_op`), retrying its own transient failures.
+    fn rollback(&mut self, name: &'static str, base: u64) -> Result<(), StoreError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.storage.truncate(name, base) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempts < MAX_ATTEMPTS => {
+                    self.health.io_retries += 1;
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(StoreError::RetriesExhausted {
+                        op: "truncate",
+                        file: name.to_string(),
+                        attempts,
+                        source: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn write_durably(&mut self, name: &'static str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.storage.begin_op();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let failure = match self.storage.write(name, bytes) {
+                // `write` replaces the whole file, so a short write needs no
+                // rollback — the retry overwrites it.
+                Ok(n) if n == bytes.len() => return Ok(()),
+                Ok(n) => StoreError::Io {
+                    op: "write",
+                    file: name.to_string(),
+                    kind: std::io::ErrorKind::WriteZero,
+                    message: format!("short write: {n} of {} bytes", bytes.len()),
+                },
+                Err(e) if e.is_transient() => e,
+                Err(e) => return Err(e),
+            };
+            self.health.io_retries += 1;
+            if attempts >= MAX_ATTEMPTS {
+                return Err(StoreError::RetriesExhausted {
+                    op: "write",
+                    file: name.to_string(),
+                    attempts,
+                    source: Box::new(failure),
+                });
+            }
+        }
+    }
+
+    fn sync_durably(&mut self, name: &'static str) -> Result<(), StoreError> {
+        self.storage.begin_op();
+        self.retry_simple("sync", name, |s, n| s.sync(n))
+    }
+
+    fn rename_durably(&mut self, from: &'static str, to: &'static str) -> Result<(), StoreError> {
+        self.storage.begin_op();
+        self.retry_simple("rename", from, |s, n| s.rename(n, to))
+    }
+
+    fn remove_durably(&mut self, name: &'static str) -> Result<(), StoreError> {
+        self.storage.begin_op();
+        self.retry_simple("remove", name, |s, n| s.remove(n))
+    }
+
+    fn truncate_durably(&mut self, name: &'static str, len: u64) -> Result<(), StoreError> {
+        self.storage.begin_op();
+        self.retry_simple("truncate", name, |s, n| s.truncate(n, len))
+    }
+
+    fn retry_simple(
+        &mut self,
+        op: &'static str,
+        name: &'static str,
+        mut call: impl FnMut(&mut dyn Storage, &str) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match call(self.storage.as_mut(), name) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempts < MAX_ATTEMPTS => {
+                    self.health.io_retries += 1;
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(StoreError::RetriesExhausted {
+                        op,
+                        file: name.to_string(),
+                        attempts,
+                        source: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn open_mem(files: &crate::storage::MemFiles) -> (BeliefStore, RecoveryReport) {
+        BeliefStore::open(MemStorage::with_files(std::sync::Arc::clone(files))).unwrap()
+    }
+
+    #[test]
+    fn fresh_store_commits_and_reopens_identically() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        let state = {
+            let (mut store, report) = BeliefStore::open(mem).unwrap();
+            assert_eq!(report.generation, 0);
+            assert!(!report.snapshot_loaded);
+            let car = store.intern_class("car");
+            store.append_delta(car, 3, 2, 1, 0).unwrap();
+            store.append_delta(car, 5, -1, 1, 0).unwrap();
+            store.append_result(car, 101, 7, 0).unwrap();
+            store.commit_stage(0).unwrap();
+            store.append_delta(car, 3, 1, 1, 1).unwrap();
+            store.commit_stage(1).unwrap();
+            store.state().clone()
+        };
+        let (reopened, report) = open_mem(&files);
+        assert_eq!(reopened.state(), &state);
+        assert_eq!(report.last_committed_stage, Some(1));
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert!(report.records_replayed > 0);
+        assert_eq!(
+            reopened.state().belief(0, 3),
+            Some(BeliefCell { n1: 3, samples: 2 })
+        );
+        assert_eq!(reopened.state().result_count(0), 1);
+    }
+
+    #[test]
+    fn uncommitted_records_do_not_survive_reopen() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        {
+            let (mut store, _) = BeliefStore::open(mem).unwrap();
+            let car = store.intern_class("car");
+            store.append_delta(car, 0, 5, 1, 0).unwrap();
+            store.commit_stage(0).unwrap();
+            // Staged but never committed:
+            store.append_delta(car, 0, 100, 1, 1).unwrap();
+            assert_eq!(store.pending_records(), 1);
+        }
+        let (reopened, _) = open_mem(&files);
+        assert_eq!(
+            reopened.state().belief(0, 0),
+            Some(BeliefCell { n1: 5, samples: 1 })
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        {
+            let (mut store, _) = BeliefStore::open(mem).unwrap();
+            let car = store.intern_class("car");
+            store.append_delta(car, 1, 1, 1, 0).unwrap();
+            store.commit_stage(0).unwrap();
+        }
+        // Simulate a kill mid-append: garbage on the log tail.
+        let torn_len = {
+            let mut f = files.lock().unwrap();
+            let log = f.get_mut(LOG).unwrap();
+            log.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+            log.len()
+        };
+        let (reopened, report) = open_mem(&files);
+        assert_eq!(report.torn_tail_bytes, 3);
+        assert_eq!(
+            reopened.state().belief(0, 1),
+            Some(BeliefCell { n1: 1, samples: 1 })
+        );
+        // The log was physically repaired.
+        assert_eq!(files.lock().unwrap().get(LOG).unwrap().len(), torn_len - 3);
+        // A second open is clean: recovery is idempotent.
+        let (_, second) = open_mem(&files);
+        assert_eq!(second.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn compaction_snapshots_state_and_restarts_the_log() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        let state = {
+            let (mut store, _) = BeliefStore::open(mem).unwrap();
+            store.set_compact_every(2);
+            let car = store.intern_class("car");
+            for stage in 0..5u64 {
+                store
+                    .append_delta(car, (stage % 3) as u32, 1, 1, stage)
+                    .unwrap();
+                store.commit_stage(stage).unwrap();
+            }
+            assert!(store.health().snapshot_compactions >= 2);
+            assert_eq!(store.generation(), store.health().snapshot_compactions);
+            store.state().clone()
+        };
+        {
+            let f = files.lock().unwrap();
+            assert!(f.contains_key(SNAPSHOT));
+            assert!(!f.contains_key(SNAPSHOT_TMP));
+        }
+        let (reopened, report) = open_mem(&files);
+        assert!(report.snapshot_loaded);
+        assert_eq!(reopened.state(), &state);
+        assert_eq!(report.last_committed_stage, Some(4));
+    }
+
+    #[test]
+    fn stale_generation_log_is_never_double_applied() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        let (state, old_log) = {
+            let (mut store, _) = BeliefStore::open(mem).unwrap();
+            let car = store.intern_class("car");
+            store.append_delta(car, 0, 7, 1, 0).unwrap();
+            store.commit_stage(0).unwrap();
+            let old_log = files.lock().unwrap().get(LOG).unwrap().clone();
+            store.checkpoint().unwrap();
+            (store.state().clone(), old_log)
+        };
+        // Simulate the crash window between snapshot-rename and
+        // log-truncate: the new snapshot is live but the old log is intact.
+        files.lock().unwrap().insert(LOG.to_string(), old_log);
+        let (reopened, report) = open_mem(&files);
+        assert_eq!(
+            reopened.state(),
+            &state,
+            "stale log must be skipped, not re-applied"
+        );
+        assert_eq!(report.records_replayed, 0);
+        assert!(report.torn_tail_bytes > 0, "the stale log was discarded");
+    }
+
+    #[test]
+    fn unknown_class_is_a_typed_error() {
+        let (mut store, _) = BeliefStore::open(MemStorage::new()).unwrap();
+        assert!(matches!(
+            store.append_delta(9, 0, 1, 1, 0),
+            Err(StoreError::InvalidRecord { .. })
+        ));
+        assert!(matches!(
+            store.append_result(9, 0, 0, 0),
+            Err(StoreError::InvalidRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_survives_compaction() {
+        let mem = MemStorage::new();
+        let files = mem.files();
+        {
+            let (mut store, _) = BeliefStore::open(mem).unwrap();
+            assert_eq!(store.intern_class("car"), 0);
+            assert_eq!(store.intern_class("person"), 1);
+            assert_eq!(store.intern_class("car"), 0);
+            store.commit_stage(0).unwrap();
+            store.checkpoint().unwrap();
+        }
+        let (store, _) = open_mem(&files);
+        assert_eq!(store.state().classes(), ["car", "person"]);
+        assert_eq!(store.state().class_id("person"), Some(1));
+    }
+}

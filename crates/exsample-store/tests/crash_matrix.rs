@@ -1,0 +1,209 @@
+//! The crash-at-every-write-boundary matrix.
+//!
+//! A deterministic multi-stage workload runs once uninterrupted to produce
+//! the reference state and to count how many mutating storage calls the run
+//! makes.  Then, for **every** mutating call index `k`, a fresh run is
+//! killed at `k` (the injector applies a partial write where one exists —
+//! the torn tail — and fails everything after), the surviving bytes are
+//! reopened by a fresh store exactly as a restarted process would reopen
+//! real files, the run resumes from the last committed stage, and the final
+//! merged state must be bitwise-identical to the uninterrupted run.
+//!
+//! A second matrix runs the same workload under flaky-but-not-fatal storage
+//! (transient errors + short writes) and asserts the degraded run is both
+//! correct and bitwise-reproducible, PR 6-style.
+
+use exsample_store::{
+    BeliefState, BeliefStore, FaultInjectingStorage, MemFiles, MemStorage, StoragePlan, StoreError,
+};
+use std::sync::Arc;
+
+const STAGES: u64 = 24;
+const COMPACT_EVERY: u64 = 4;
+
+/// Deterministic per-stage workload: which deltas and results stage `s`
+/// stages before committing.  Pure arithmetic — no RNG — so every run, in
+/// every test, agrees on it.
+fn apply_stage(store: &mut BeliefStore, stage: u64) -> Result<(), StoreError> {
+    let car = store.intern_class("car");
+    let person = store.intern_class("person");
+    for i in 0..3u64 {
+        let chunk = ((stage * 3 + i) % 7) as u32;
+        let n1_delta = ((stage + i) % 3) as i64 - 1; // -1, 0, or 1
+        store.append_delta(car, chunk, n1_delta, 1, stage)?;
+    }
+    if stage.is_multiple_of(2) {
+        store.append_delta(person, (stage % 5) as u32, 1, 1, stage)?;
+    }
+    if stage % 4 == 1 {
+        store.append_result(car, stage * 100, stage, stage)?;
+    }
+    store.commit_stage(stage)
+}
+
+/// Run stages `[from, STAGES)`; `Err` means the storage crashed mid-run.
+fn run_stages(store: &mut BeliefStore, from: u64) -> Result<(), StoreError> {
+    for stage in from..STAGES {
+        apply_stage(store, stage)?;
+    }
+    Ok(())
+}
+
+fn open_with_plan(
+    files: &MemFiles,
+    plan: StoragePlan,
+) -> Result<(BeliefStore, exsample_store::StorageFaultMonitor), StoreError> {
+    let storage = FaultInjectingStorage::new(MemStorage::with_files(Arc::clone(files)), plan);
+    let monitor = storage.monitor();
+    let (mut store, _) = BeliefStore::open(storage)?;
+    store.set_compact_every(COMPACT_EVERY);
+    Ok((store, monitor))
+}
+
+/// The uninterrupted reference: final state plus the mutating-call count
+/// that defines the crash matrix.
+fn reference() -> (BeliefState, u64) {
+    let files = MemStorage::new().files();
+    let (mut store, monitor) =
+        open_with_plan(&files, StoragePlan::new(0)).expect("zero-fault open cannot fail");
+    run_stages(&mut store, 0).expect("zero-fault run cannot crash");
+    assert!(
+        store.health().snapshot_compactions >= 2,
+        "the workload must exercise compaction inside the matrix"
+    );
+    (store.state().clone(), monitor.mutations())
+}
+
+#[test]
+fn recover_and_resume_is_bitwise_identical_at_every_crash_point() {
+    let (expected, total_ops) = reference();
+    assert!(total_ops > 50, "matrix unexpectedly small: {total_ops} ops");
+
+    for crash_at in 0..total_ops {
+        let files = MemStorage::new().files();
+        let plan = StoragePlan::new(0).crash_at(crash_at);
+
+        // Phase 1: run until the kill.  The crash can land inside open()
+        // itself (its recovery bootstrap writes a generation marker), inside
+        // a stage commit, or inside a compaction.
+        let crashed = match open_with_plan(&files, plan) {
+            Err(e) => {
+                assert!(
+                    matches!(e, StoreError::Crashed { .. }),
+                    "open failed with a non-crash error at op {crash_at}: {e}"
+                );
+                true
+            }
+            Ok((mut store, monitor)) => match run_stages(&mut store, 0) {
+                Err(e) => {
+                    assert!(
+                        matches!(e, StoreError::Crashed { .. }),
+                        "run failed with a non-crash error at op {crash_at}: {e}"
+                    );
+                    true
+                }
+                Ok(()) => {
+                    assert!(!monitor.has_crashed());
+                    false
+                }
+            },
+        };
+        assert!(crashed, "crash point {crash_at} < {total_ops} never fired");
+
+        // Phase 2: the process restarts — clean storage over the surviving
+        // bytes — recovers, and resumes from the last committed stage.
+        let (mut store, report) = BeliefStore::open(MemStorage::with_files(Arc::clone(&files)))
+            .unwrap_or_else(|e| panic!("recovery after crash at op {crash_at} failed: {e}"));
+        store.set_compact_every(COMPACT_EVERY);
+        let resume_from = report.last_committed_stage.map_or(0, |s| s + 1);
+        assert!(
+            resume_from <= STAGES,
+            "recovered stage cursor {resume_from} past the workload at op {crash_at}"
+        );
+        run_stages(&mut store, resume_from)
+            .unwrap_or_else(|e| panic!("clean resume after crash at op {crash_at} failed: {e}"));
+
+        assert_eq!(
+            store.state(),
+            &expected,
+            "crash at op {crash_at}: recovered+resumed state diverged \
+             (resumed from stage {resume_from}, recovery report {report:?})"
+        );
+    }
+}
+
+#[test]
+fn flaky_storage_run_is_correct_and_reproducible() {
+    let (expected, _) = reference();
+    let plan = StoragePlan::new(42)
+        .transient_rate(0.35)
+        .short_write_rate(0.35)
+        .transient_attempts(2);
+
+    let run = || {
+        let files = MemStorage::new().files();
+        let (mut store, monitor) = open_with_plan(&files, plan).expect("flaky open should survive");
+        run_stages(&mut store, 0).expect("flaky run should survive retries");
+        (store.state().clone(), store.health(), monitor)
+    };
+
+    let (state_a, health_a, monitor_a) = run();
+    let (state_b, health_b, _) = run();
+
+    assert_eq!(
+        state_a, expected,
+        "retried faults must not change the state"
+    );
+    assert_eq!(state_a, state_b);
+    assert_eq!(
+        health_a, health_b,
+        "degraded behaviour must be reproducible"
+    );
+    assert!(
+        monitor_a.injected_transients() > 0 && monitor_a.injected_short_writes() > 0,
+        "the flaky plan should actually inject ({} transients, {} shorts)",
+        monitor_a.injected_transients(),
+        monitor_a.injected_short_writes()
+    );
+    assert_eq!(
+        health_a.io_retries,
+        monitor_a.injected_transients() + monitor_a.injected_short_writes(),
+        "every injected fault should be visible as a retry tally"
+    );
+    assert_eq!(health_a.torn_tail_bytes, 0, "no crash, no torn tail");
+}
+
+#[test]
+fn a_doubly_interrupted_run_still_converges() {
+    // Crash, resume under a *second* crash, resume again: recovery must
+    // compose.  Pick two mid-run crash points from the reference op count.
+    let (expected, total_ops) = reference();
+    let first = total_ops / 3;
+
+    let files = MemStorage::new().files();
+    let outcome = open_with_plan(&files, StoragePlan::new(0).crash_at(first))
+        .map(|(mut store, _)| run_stages(&mut store, 0));
+    assert!(matches!(outcome, Ok(Err(StoreError::Crashed { .. }))));
+
+    // Second life: crash again a little further in (fresh injector, fresh
+    // op numbering — any index works as long as it fires mid-run).
+    let resume_from = {
+        let (store, report) = BeliefStore::open(MemStorage::with_files(Arc::clone(&files)))
+            .expect("first recovery failed");
+        drop(store);
+        report.last_committed_stage.map_or(0, |s| s + 1)
+    };
+    let second_outcome = open_with_plan(&files, StoragePlan::new(1).crash_at(20))
+        .map(|(mut store, _)| run_stages(&mut store, resume_from));
+    // The second crash may land in open or in the run; either way, recover.
+    let crashed_twice = !matches!(second_outcome, Ok(Ok(())));
+
+    let (mut store, report) = BeliefStore::open(MemStorage::with_files(Arc::clone(&files)))
+        .expect("second recovery failed");
+    store.set_compact_every(COMPACT_EVERY);
+    let resume_from = report.last_committed_stage.map_or(0, |s| s + 1);
+    run_stages(&mut store, resume_from).expect("final clean resume failed");
+
+    assert_eq!(store.state(), &expected);
+    assert!(crashed_twice, "the second crash point never fired");
+}
